@@ -1,0 +1,74 @@
+// Ablation of the two scalability levers DESIGN.md calls out:
+//  (1) reachability-aware TL pruning (SuccessorOptions) vs the paper's
+//      maxTravelingTime expiry rule — same represented trajectories and
+//      probabilities, radically fewer node variants under TT constraints;
+//  (2) l-sequence candidate pruning (LSequence::FromReadings
+//      min_probability) — a lossy preprocessing knob trading graph size for
+//      fidelity of the a-priori interpretation.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "core/builder.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Ablation — TL pruning and candidate pruning",
+              "Effect of the scalability levers on DU+LT+TT graphs (SYN1, "
+              "10-minute trajectories).",
+              scale);
+  DatasetOptions options = MakeSynOptions(1, scale);
+  options.durations_ticks = {600};
+  std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+
+  Table table({"TL pruning", "candidate min-prob", "avg clean (ms)",
+               "avg peak nodes", "avg final nodes", "avg size"});
+  for (bool tl_pruning : {true, false}) {
+    for (double min_probability : {0.0, 0.005, 0.02}) {
+      SuccessorOptions successor_options;
+      successor_options.reachability_tl_pruning = tl_pruning;
+      CtGraphBuilder builder(constraints, successor_options);
+      double millis = 0.0;
+      double peak = 0.0;
+      double final_nodes = 0.0;
+      double bytes = 0.0;
+      int successes = 0;
+      for (const Dataset::Item& item : dataset->items()) {
+        LSequence sequence = LSequence::FromReadings(
+            item.readings, dataset->apriori(), min_probability);
+        BuildStats stats;
+        Stopwatch stopwatch;
+        Result<CtGraph> graph = builder.Build(sequence, &stats);
+        if (!graph.ok()) continue;
+        millis += stopwatch.ElapsedMillis();
+        peak += static_cast<double>(stats.peak_nodes);
+        final_nodes += static_cast<double>(stats.final_nodes);
+        bytes += static_cast<double>(graph.value().ApproximateBytes());
+        ++successes;
+      }
+      if (successes == 0) continue;
+      table.AddRow(
+          {tl_pruning ? "reachability" : "paper (maxTT)",
+           StrFormat("%.3f", min_probability),
+           StrFormat("%.1f", millis / successes),
+           StrFormat("%.0f", peak / successes),
+           StrFormat("%.0f", final_nodes / successes),
+           HumanBytes(static_cast<std::size_t>(bytes / successes))});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

@@ -1,0 +1,129 @@
+// Cross-method comparison on the §6 workload: stay-query accuracy of
+//   - the raw per-instant interpretation (no cleaning),
+//   - SMURF-style per-reader smoothing (the paper's reference [14],
+//     discussed in §7: it cannot exploit spatio-temporal correlations),
+//   - HMM forward-backward smoothing over a DU-derived transition model
+//     (the natural first-order probabilistic baseline),
+//   - ct-graph conditioning with DU and with DU+LT+TT (this paper).
+// Accuracy is the probability assigned to the true location, averaged over
+// 100 random stay queries per trajectory.
+
+#include <cstdio>
+#include <iostream>
+
+#include "baseline/hmm.h"
+#include "baseline/smurf.h"
+#include "baseline/uncleaned.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/builder.h"
+#include "eval/accuracy.h"
+#include "eval/workload.h"
+#include "query/stay_query.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Baseline comparison — stay-query accuracy",
+              "Raw vs SMURF vs HMM vs ct-graph conditioning (this paper).",
+              scale);
+  Table table({"dataset", "method", "stay accuracy"});
+  for (int which : {1, 2}) {
+    DatasetOptions options = MakeSynOptions(which, scale);
+    options.durations_ticks = {600, 1800};  // Accuracy saturates quickly.
+    std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+    ConstraintSet du = dataset->MakeConstraints(ConstraintFamilies::Du());
+    ConstraintSet all =
+        dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+    CtGraphBuilder du_builder(du);
+    CtGraphBuilder all_builder(all);
+    SmurfSmoother smurf;
+    HmmSmoother hmm(du);
+
+    double raw_total = 0.0, smurf_total = 0.0, hmm_total = 0.0;
+    double ctg_du_total = 0.0, ctg_all_total = 0.0, hybrid_total = 0.0;
+    int count = 0;
+    std::uint64_t stream = 0;
+    for (const Dataset::Item& item : dataset->items()) {
+      Rng rng(11, stream++);
+      std::vector<Timestamp> times = StayQueryWorkload(
+          item.duration, scale.StayQueriesPerTrajectory(), rng);
+
+      UncleanedModel raw(item.lsequence);
+      raw_total +=
+          UncleanedStayAccuracy(raw, item.ground_truth, times);
+
+      RSequence smoothed = smurf.Smooth(
+          item.readings, static_cast<int>(dataset->readers().size()));
+      LSequence smurf_sequence =
+          LSequence::FromReadings(smoothed, dataset->apriori());
+      UncleanedModel smurf_model(smurf_sequence);
+      smurf_total +=
+          UncleanedStayAccuracy(smurf_model, item.ground_truth, times);
+
+      auto posterior = hmm.Smooth(item.lsequence);
+      double hmm_accuracy = 0.0;
+      for (Timestamp t : times) {
+        hmm_accuracy += posterior[static_cast<std::size_t>(t)]
+                                 [static_cast<std::size_t>(
+                                     item.ground_truth.At(t))];
+      }
+      hmm_total += hmm_accuracy / static_cast<double>(times.size());
+
+      Result<CtGraph> du_graph = du_builder.Build(item.lsequence);
+      Result<CtGraph> all_graph = all_builder.Build(item.lsequence);
+      if (!du_graph.ok() || !all_graph.ok()) continue;
+      StayQueryEvaluator du_stay(du_graph.value());
+      StayQueryEvaluator all_stay(all_graph.value());
+      ctg_du_total += StayQueryAccuracy(du_stay, item.ground_truth, times);
+      ctg_all_total +=
+          StayQueryAccuracy(all_stay, item.ground_truth, times);
+
+      // Hybrid: the HMM's smoothed marginals become the per-instant
+      // a-priori, then the constraints are conditioned exactly on top.
+      // (The motion prior and the constraint knowledge are orthogonal.)
+      std::vector<std::vector<Candidate>> smoothed_candidates;
+      for (const auto& row : posterior) {
+        std::vector<Candidate> at_t;
+        for (std::size_t l = 0; l < row.size(); ++l) {
+          if (row[l] > 0.0) {
+            at_t.push_back(Candidate{static_cast<LocationId>(l), row[l]});
+          }
+        }
+        smoothed_candidates.push_back(std::move(at_t));
+      }
+      Result<LSequence> hybrid_sequence =
+          LSequence::Create(std::move(smoothed_candidates));
+      if (hybrid_sequence.ok()) {
+        Result<CtGraph> hybrid_graph =
+            all_builder.Build(hybrid_sequence.value());
+        if (hybrid_graph.ok()) {
+          StayQueryEvaluator hybrid_stay(hybrid_graph.value());
+          hybrid_total +=
+              StayQueryAccuracy(hybrid_stay, item.ground_truth, times);
+        }
+      }
+      ++count;
+    }
+    if (count == 0) continue;
+    double n = static_cast<double>(count);
+    const char* name = dataset->options().name.c_str();
+    table.AddRow({name, "raw (uncleaned)", StrFormat("%.4f", raw_total / n)});
+    table.AddRow({name, "SMURF smoothing", StrFormat("%.4f", smurf_total / n)});
+    table.AddRow({name, "HMM smoothing", StrFormat("%.4f", hmm_total / n)});
+    table.AddRow({name, "CTG(DU)", StrFormat("%.4f", ctg_du_total / n)});
+    table.AddRow(
+        {name, "CTG(DU+LT+TT)", StrFormat("%.4f", ctg_all_total / n)});
+    table.AddRow({name, "HMM + CTG(DU+LT+TT)",
+                  StrFormat("%.4f", hybrid_total / n)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

@@ -1,0 +1,77 @@
+#ifndef RFIDCLEAN_BENCH_BENCH_UTIL_H_
+#define RFIDCLEAN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "constraints/inference.h"
+#include "eval/experiment.h"
+#include "gen/dataset.h"
+
+namespace rfidclean::bench {
+
+/// Workload scale of a figure bench. Quick mode (the default) keeps the
+/// paper's durations (10/60/90/120 min) but averages over 2 trajectories
+/// per (dataset, duration) cell instead of 25, so the full suite completes
+/// in minutes on one core; `--paper` (or RFIDCLEAN_BENCH_MODE=paper)
+/// restores the paper's 25.
+struct BenchScale {
+  bool paper = false;
+
+  static BenchScale FromArgs(int argc, char** argv) {
+    BenchScale scale;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper") == 0) scale.paper = true;
+    }
+    const char* env = std::getenv("RFIDCLEAN_BENCH_MODE");
+    if (env != nullptr && std::strcmp(env, "paper") == 0) scale.paper = true;
+    return scale;
+  }
+
+  int TrajectoriesPerDuration() const { return paper ? 25 : 2; }
+  int StayQueriesPerTrajectory() const { return paper ? 100 : 100; }
+  int TrajectoryQueriesPerTrajectory() const { return paper ? 50 : 10; }
+
+  const char* Label() const { return paper ? "paper" : "quick"; }
+};
+
+inline DatasetOptions MakeSynOptions(int which, const BenchScale& scale) {
+  DatasetOptions options =
+      which == 1 ? DatasetOptions::Syn1() : DatasetOptions::Syn2();
+  options.trajectories_per_duration = scale.TrajectoriesPerDuration();
+  return options;
+}
+
+inline ExperimentLimits MakeLimits(const BenchScale& scale) {
+  ExperimentLimits limits;
+  limits.max_items_per_duration = scale.TrajectoriesPerDuration();
+  limits.stay_queries_per_trajectory = scale.StayQueriesPerTrajectory();
+  limits.trajectory_queries_per_trajectory =
+      scale.TrajectoryQueriesPerTrajectory();
+  return limits;
+}
+
+inline void PrintHeader(const char* figure, const char* description,
+                        const BenchScale& scale) {
+  std::printf("=== %s ===\n%s\n", figure, description);
+  std::printf(
+      "mode: %s (%d trajectories per duration cell; pass --paper or set "
+      "RFIDCLEAN_BENCH_MODE=paper for the paper's 25)\n\n",
+      scale.Label(), scale.TrajectoriesPerDuration());
+}
+
+inline std::string Minutes(Timestamp ticks) {
+  return StrFormat("%dm", ticks / 60);
+}
+
+inline std::vector<ConstraintFamilies> AllFamilies() {
+  return {ConstraintFamilies::Du(), ConstraintFamilies::DuLt(),
+          ConstraintFamilies::DuLtTt()};
+}
+
+}  // namespace rfidclean::bench
+
+#endif  // RFIDCLEAN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,41 @@
+// Reproduces Figure 8(a): average cleaning time of CTG over SYN1 vs
+// trajectory duration, one series per constraint set (DU, DU+LT, DU+LT+TT).
+// Expected shape (paper §6.5): linear growth in trajectory length, and
+// richer constraint sets are slower (more location-node variants).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Figure 8(a) — cleaning time, SYN1",
+              "Average CTG cleaning time per trajectory (ms) vs duration.",
+              scale);
+  std::unique_ptr<Dataset> dataset = Dataset::Build(MakeSynOptions(1, scale));
+  std::vector<CleaningCostRow> rows =
+      RunCleaningCost(*dataset, AllFamilies(), MakeLimits(scale));
+
+  Table table({"constraints", "duration", "avg clean (ms)", "fwd (ms)",
+               "bwd (ms)", "peak nodes", "final nodes"});
+  for (const CleaningCostRow& row : rows) {
+    table.AddRow({row.families, Minutes(row.duration_ticks),
+                  StrFormat("%.1f", row.avg_total_ms),
+                  StrFormat("%.1f", row.avg_forward_ms),
+                  StrFormat("%.1f", row.avg_backward_ms),
+                  StrFormat("%.0f", row.avg_peak_nodes),
+                  StrFormat("%.0f", row.avg_final_nodes)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

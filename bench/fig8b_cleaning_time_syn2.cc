@@ -1,0 +1,41 @@
+// Reproduces Figure 8(b): average cleaning time of CTG over SYN2 vs
+// trajectory duration. Expected shape (paper §6.5): as Fig. 8(a) but slower
+// than SYN1, especially with TT constraints — the larger map yields longer
+// traveling-time windows and more node variants per (time, location).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Figure 8(b) — cleaning time, SYN2",
+              "Average CTG cleaning time per trajectory (ms) vs duration.",
+              scale);
+  std::unique_ptr<Dataset> dataset = Dataset::Build(MakeSynOptions(2, scale));
+  std::vector<CleaningCostRow> rows =
+      RunCleaningCost(*dataset, AllFamilies(), MakeLimits(scale));
+
+  Table table({"constraints", "duration", "avg clean (ms)", "fwd (ms)",
+               "bwd (ms)", "peak nodes", "final nodes"});
+  for (const CleaningCostRow& row : rows) {
+    table.AddRow({row.families, Minutes(row.duration_ticks),
+                  StrFormat("%.1f", row.avg_total_ms),
+                  StrFormat("%.1f", row.avg_forward_ms),
+                  StrFormat("%.1f", row.avg_backward_ms),
+                  StrFormat("%.0f", row.avg_peak_nodes),
+                  StrFormat("%.0f", row.avg_final_nodes)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

@@ -1,0 +1,43 @@
+// Reproduces Figure 8(c): average query execution time over SYN1/SYN2 vs
+// trajectory duration. Expected shape (paper §6.7): linear growth with
+// trajectory length, and much faster on ct-graphs built with DU/DU+LT only
+// (they are smaller than the DU+LT+TT graphs).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader(
+      "Figure 8(c) — query time, SYN1/SYN2",
+      "Average per-query execution time over the cleaned ct-graphs\n"
+      "(stay queries include their share of the marginal pass; trajectory\n"
+      "queries are full pattern evaluations).",
+      scale);
+  Table table({"dataset", "constraints", "duration", "stay query (us)",
+               "trajectory query (us)"});
+  for (int which : {1, 2}) {
+    std::unique_ptr<Dataset> dataset =
+        Dataset::Build(MakeSynOptions(which, scale));
+    std::vector<QueryTimeRow> rows =
+        RunQueryTime(*dataset, AllFamilies(), MakeLimits(scale));
+    for (const QueryTimeRow& row : rows) {
+      table.AddRow({row.dataset, row.families, Minutes(row.duration_ticks),
+                    StrFormat("%.1f", row.avg_stay_micros),
+                    StrFormat("%.1f", row.avg_pattern_micros)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

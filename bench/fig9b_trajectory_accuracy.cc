@@ -1,0 +1,41 @@
+// Reproduces Figure 9(b): average accuracy of trajectory (pattern) queries
+// over the two datasets — 50 random queries per trajectory in the paper's
+// setting, each with 2-4 location conditions and durations drawn from
+// {-1, 3, 5, 7, 9} (§6.6). Accuracy of one answer is p if the ground-truth
+// trajectory matches the pattern and 1-p otherwise. The uncleaned
+// interpretation is the before-cleaning baseline.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Figure 9(b) — trajectory-query accuracy",
+              "Average accuracy of trajectory-query answers over cleaned "
+              "data.",
+              scale);
+  Table table({"dataset", "constraints", "trajectory accuracy"});
+  for (int which : {1, 2}) {
+    std::unique_ptr<Dataset> dataset =
+        Dataset::Build(MakeSynOptions(which, scale));
+    std::vector<AccuracyRow> rows =
+        RunAccuracy(*dataset, AllFamilies(), MakeLimits(scale));
+    for (const AccuracyRow& row : rows) {
+      table.AddRow({row.dataset, row.families,
+                    StrFormat("%.4f", row.trajectory_accuracy)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

@@ -1,0 +1,37 @@
+// Reproduces Figure 9(c): average trajectory-query accuracy over SYN2 as a
+// function of the query length (number of location conditions, 2/3/4).
+// Queries are evaluated on the DU+LT+TT ct-graphs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Figure 9(c) — trajectory-query accuracy vs query length, SYN2",
+              "Average accuracy of trajectory queries with 2, 3 or 4 "
+              "location conditions.",
+              scale);
+  std::unique_ptr<Dataset> dataset = Dataset::Build(MakeSynOptions(2, scale));
+  std::vector<AccuracyByLengthRow> rows = RunAccuracyByQueryLength(
+      *dataset, ConstraintFamilies::DuLtTt(), MakeLimits(scale));
+  Table table({"dataset", "constraints", "query length",
+               "trajectory accuracy"});
+  for (const AccuracyByLengthRow& row : rows) {
+    table.AddRow({row.dataset, row.families,
+                  StrFormat("%d", row.query_length),
+                  StrFormat("%.4f", row.trajectory_accuracy)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

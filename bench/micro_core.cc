@@ -1,0 +1,183 @@
+// Micro-benchmarks of the library's hot paths (google-benchmark):
+// successor generation, node-key hashing, ct-graph construction at several
+// sequence lengths, stay-query evaluation, pattern-query evaluation, and
+// trajectory sampling.
+
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/builder.h"
+#include "core/location_node.h"
+#include "core/successor.h"
+#include "eval/workload.h"
+#include "gen/dataset.h"
+#include "query/pattern_matcher.h"
+#include "query/sampler.h"
+#include "query/stay_query.h"
+#include "query/trajectory_query.h"
+
+namespace rfidclean {
+namespace {
+
+/// One shared small dataset for all micro-benchmarks (3-minute items).
+const Dataset& SharedDataset() {
+  static const Dataset* dataset = [] {
+    DatasetOptions options = DatasetOptions::Syn1();
+    options.durations_ticks = {180};
+    options.trajectories_per_duration = 1;
+    return Dataset::Build(options).release();
+  }();
+  return *dataset;
+}
+
+const LSequence& SharedSequence() {
+  return SharedDataset().items()[0].lsequence;
+}
+
+const ConstraintSet& SharedConstraints() {
+  static const ConstraintSet* constraints = new ConstraintSet(
+      SharedDataset().MakeConstraints(ConstraintFamilies::DuLtTt()));
+  return *constraints;
+}
+
+const CtGraph& SharedGraph() {
+  static const CtGraph* graph = [] {
+    CtGraphBuilder builder(SharedConstraints());
+    Result<CtGraph> result = builder.Build(SharedSequence());
+    RFID_CHECK(result.ok());
+    return new CtGraph(std::move(result).value());
+  }();
+  return *graph;
+}
+
+void BM_SuccessorGeneration(benchmark::State& state) {
+  SuccessorGenerator generator(SharedConstraints());
+  std::vector<NodeKey> sources =
+      generator.SourceKeys(SharedSequence().CandidatesAt(0));
+  std::vector<NodeKey> out;
+  for (auto _ : state) {
+    out.clear();
+    for (const NodeKey& key : sources) {
+      generator.AppendSuccessors(0, key, SharedSequence().CandidatesAt(1),
+                                 &out);
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(sources.size()));
+}
+BENCHMARK(BM_SuccessorGeneration);
+
+void BM_NodeKeyHash(benchmark::State& state) {
+  NodeKey key{3, 2, {}};
+  key.departures.push_back(Departure{10, 1});
+  key.departures.push_back(Departure{12, 2});
+  NodeKeyHash hash;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash(key));
+  }
+}
+BENCHMARK(BM_NodeKeyHash);
+
+void BM_BuildCtGraph(benchmark::State& state) {
+  const Timestamp length = static_cast<Timestamp>(state.range(0));
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.durations_ticks = {length};
+  options.trajectories_per_duration = 1;
+  std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder builder(constraints);
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    Result<CtGraph> graph = builder.Build(dataset->items()[0].lsequence);
+    RFID_CHECK(graph.ok());
+    nodes = graph.value().NumNodes();
+    benchmark::DoNotOptimize(nodes);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_BuildCtGraph)->Arg(60)->Arg(180)->Arg(600)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StayQueryEvaluatorConstruction(benchmark::State& state) {
+  const CtGraph& graph = SharedGraph();
+  for (auto _ : state) {
+    StayQueryEvaluator evaluator(graph);
+    benchmark::DoNotOptimize(evaluator.Probability(0, 0));
+  }
+}
+BENCHMARK(BM_StayQueryEvaluatorConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_StayQuery(benchmark::State& state) {
+  const CtGraph& graph = SharedGraph();
+  StayQueryEvaluator evaluator(graph);
+  Timestamp t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(t));
+    t = (t + 7) % graph.length();
+  }
+}
+BENCHMARK(BM_StayQuery);
+
+void BM_TrajectoryQuery(benchmark::State& state) {
+  const CtGraph& graph = SharedGraph();
+  Rng rng(1);
+  Pattern pattern = RandomTrajectoryQuery(
+      SharedDataset().building(), static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EvaluateTrajectoryQuery(graph, pattern));
+  }
+}
+BENCHMARK(BM_TrajectoryQuery)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_PatternMatcherStep(benchmark::State& state) {
+  Rng rng(2);
+  Pattern pattern =
+      RandomTrajectoryQuery(SharedDataset().building(), 3, rng);
+  PatternMatcher matcher(pattern);
+  int s = matcher.StartState();
+  LocationId l = 0;
+  for (auto _ : state) {
+    s = matcher.Step(s, l);
+    benchmark::DoNotOptimize(s);
+    l = (l + 1) % static_cast<LocationId>(
+                      SharedDataset().building().NumLocations());
+  }
+}
+BENCHMARK(BM_PatternMatcherStep);
+
+void BM_SampleTrajectory(benchmark::State& state) {
+  const CtGraph& graph = SharedGraph();
+  TrajectorySampler sampler(graph);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng).length());
+  }
+}
+BENCHMARK(BM_SampleTrajectory);
+
+void BM_AprioriDistribution(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  // Re-derive distributions without cache hits by rotating reader sets.
+  std::vector<ReaderSet> sets;
+  for (ReaderId r = 0;
+       r < static_cast<ReaderId>(dataset.readers().size()); ++r) {
+    sets.push_back({r});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset.apriori().Distribution(sets[i % sets.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_AprioriDistribution);
+
+}  // namespace
+}  // namespace rfidclean
+
+BENCHMARK_MAIN();

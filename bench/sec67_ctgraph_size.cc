@@ -1,0 +1,62 @@
+// Reproduces the §6.7 memory statement: "the average memory needed to store
+// ct-graphs representing 120-min-long trajectories is 25 MB in the case
+// that DU, LT, TT constraints are used, and only 640 KB in the case that
+// DU constraints are used". We report the estimated resident size of the
+// final graphs for every constraint set, on both datasets, at 120 minutes.
+// Absolute sizes depend on the reader deployment and the TL representation;
+// the DU << DU+LT << DU+LT+TT ordering and the orders of magnitude are the
+// reproduced shape.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "core/builder.h"
+
+namespace rfidclean::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchScale scale = BenchScale::FromArgs(argc, argv);
+  PrintHeader("Section 6.7 — ct-graph memory (120-min trajectories)",
+              "Average estimated size of the final ct-graphs.\n"
+              "Paper reference points: 640 KB with DU, 25 MB with DU+LT+TT.",
+              scale);
+  Table table({"dataset", "constraints", "avg size", "avg nodes",
+               "avg edges"});
+  for (int which : {1, 2}) {
+    DatasetOptions options = MakeSynOptions(which, scale);
+    options.durations_ticks = {7200};  // 120 minutes only.
+    std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+    for (const ConstraintFamilies& family : AllFamilies()) {
+      ConstraintSet constraints = dataset->MakeConstraints(family);
+      CtGraphBuilder builder(constraints);
+      double bytes = 0.0;
+      double nodes = 0.0;
+      double edges = 0.0;
+      int successes = 0;
+      for (const Dataset::Item& item : dataset->items()) {
+        Result<CtGraph> graph = builder.Build(item.lsequence);
+        if (!graph.ok()) continue;
+        bytes += static_cast<double>(graph.value().ApproximateBytes());
+        nodes += static_cast<double>(graph.value().NumNodes());
+        edges += static_cast<double>(graph.value().NumEdges());
+        ++successes;
+      }
+      if (successes == 0) continue;
+      table.AddRow(
+          {dataset->options().name, ConstraintFamiliesLabel(family),
+           HumanBytes(static_cast<std::size_t>(bytes / successes)),
+           StrFormat("%.0f", nodes / successes),
+           StrFormat("%.0f", edges / successes)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) { return rfidclean::bench::Run(argc, argv); }

@@ -1,0 +1,93 @@
+// Museum guide: the paper's motivating scenario (§1) — use cleaned
+// trajectory data to tell which artworks a visitor saw, so the guide app
+// can personalize what it shows next.
+//
+// This example runs the complete pipeline on simulated infrastructure:
+// a 2-floor "museum" with RFID readers, a simulated visitor, per-second
+// readings with false negatives and cross-room detections, calibration of
+// the a-priori model, cleaning under map-inferred constraints, and finally
+// per-room stay reports computed from the cleaned data vs the raw
+// interpretation.
+//
+// Build & run:  cmake --build build && ./build/examples/museum_guide
+
+#include <cstdio>
+#include <map>
+
+#include "baseline/uncleaned.h"
+#include "core/builder.h"
+#include "gen/dataset.h"
+#include "query/stay_query.h"
+
+using namespace rfidclean;  // NOLINT: example brevity.
+
+int main() {
+  // A small museum: 2 floors of exhibition rooms around a corridor, with
+  // the standard reader deployment, one visitor monitored for 5 minutes.
+  DatasetOptions options;
+  options.num_floors = 2;
+  options.name = "Museum";
+  options.durations_ticks = {300};
+  options.trajectories_per_duration = 1;
+  options.seed = 2026;
+  std::unique_ptr<Dataset> museum = Dataset::Build(options);
+  const Dataset::Item& visit = museum->items()[0];
+
+  std::printf("Museum: %zu rooms, %zu readers; visitor monitored for %d s\n",
+              museum->building().NumLocations(), museum->readers().size(),
+              visit.duration);
+
+  // Clean under constraints inferred from the floor plan + walking speed.
+  ConstraintSet constraints =
+      museum->MakeConstraints(ConstraintFamilies::DuLtTt());
+  std::printf("Inferred constraints: %zu DU, %zu LT, %zu TT\n\n",
+              constraints.NumUnreachable(), constraints.NumLatency(),
+              constraints.NumTravelingTime());
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(visit.lsequence);
+  if (!graph.ok()) {
+    std::printf("cleaning failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // Expected seconds spent per room, before and after cleaning, vs truth.
+  StayQueryEvaluator cleaned(graph.value());
+  UncleanedModel raw(visit.lsequence);
+  std::map<LocationId, double> cleaned_stay, raw_stay;
+  std::map<LocationId, int> true_stay;
+  for (Timestamp t = 0; t < visit.duration; ++t) {
+    for (const auto& [location, probability] : cleaned.Evaluate(t)) {
+      cleaned_stay[location] += probability;
+    }
+    for (const Candidate& candidate : visit.lsequence.CandidatesAt(t)) {
+      raw_stay[candidate.location] += candidate.probability;
+    }
+    true_stay[visit.ground_truth.At(t)] += 1;
+  }
+
+  std::printf("%-14s %8s %10s %10s\n", "room", "truth", "raw", "cleaned");
+  std::printf("%.46s\n",
+              "----------------------------------------------");
+  for (std::size_t l = 0; l < museum->building().NumLocations(); ++l) {
+    const LocationId id = static_cast<LocationId>(l);
+    double c = cleaned_stay.count(id) ? cleaned_stay[id] : 0.0;
+    double r = raw_stay.count(id) ? raw_stay[id] : 0.0;
+    int truth = true_stay.count(id) ? true_stay[id] : 0;
+    if (truth == 0 && c < 1.0 && r < 1.0) continue;  // Skip unvisited rooms.
+    std::printf("%-14s %7ds %9.1fs %9.1fs\n",
+                museum->building().location(id).name.c_str(), truth, r, c);
+  }
+
+  // Error of the expected-stay estimates (L1 distance to the truth).
+  double raw_error = 0.0, cleaned_error = 0.0;
+  for (std::size_t l = 0; l < museum->building().NumLocations(); ++l) {
+    const LocationId id = static_cast<LocationId>(l);
+    double truth = true_stay.count(id) ? true_stay[id] : 0.0;
+    raw_error += std::abs((raw_stay.count(id) ? raw_stay[id] : 0.0) - truth);
+    cleaned_error +=
+        std::abs((cleaned_stay.count(id) ? cleaned_stay[id] : 0.0) - truth);
+  }
+  std::printf("\nTotal stay-estimate error: raw %.1f s, cleaned %.1f s\n",
+              raw_error, cleaned_error);
+  return 0;
+}

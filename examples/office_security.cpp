@@ -1,0 +1,124 @@
+// Office security / forensics: the paper's second motivating scenario (§1)
+// — use cleaned RFID trajectories to look into an incident.
+//
+// A badge-carrying person was monitored while moving through a 4-floor
+// office building. A document disappeared from "F2.RoomC" some time during
+// the monitoring window. The investigator asks:
+//   (a) What is the probability the person was in F2.RoomC at the incident
+//       time?
+//   (b) Did the person's trajectory ever include a stay of >= 5 s in
+//       F2.RoomC at all?
+//   (c) What do plausible reconstructions of the full trajectory look like?
+//       (drawn from the conditioned distribution, every sample consistent
+//       with walls, walking speed and minimum stays)
+//
+// Build & run:  cmake --build build && ./build/examples/office_security
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "gen/dataset.h"
+#include "query/pattern.h"
+#include "query/sampler.h"
+#include "query/stay_query.h"
+#include "query/top_k.h"
+#include "query/trajectory_query.h"
+#include "query/uncertainty.h"
+#include "query/window_query.h"
+
+using namespace rfidclean;  // NOLINT: example brevity.
+
+int main() {
+  DatasetOptions options = DatasetOptions::Syn1();  // 4-floor office.
+  options.name = "Office";
+  options.durations_ticks = {600};  // 10 minutes of monitoring.
+  options.trajectories_per_duration = 1;
+  options.seed = 40;
+  std::unique_ptr<Dataset> office = Dataset::Build(options);
+  const Dataset::Item& person = office->items()[0];
+  const Building& building = office->building();
+
+  ConstraintSet constraints =
+      office->MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(person.lsequence);
+  if (!graph.ok()) {
+    std::printf("cleaning failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Cleaned 10 minutes of readings into a ct-graph with %zu "
+              "nodes / %zu edges.\n\n",
+              graph.value().NumNodes(), graph.value().NumEdges());
+
+  // (a) Stay query at the (hypothetical) incident time.
+  const Timestamp kIncidentTime = 431;
+  LocationId room_c = building.FindLocationByName("F2.RoomC");
+  StayQueryEvaluator stay(graph.value());
+  std::printf("(a) P(person in F2.RoomC at t=%d) = %.4f\n", kIncidentTime,
+              stay.Probability(kIncidentTime, room_c));
+  std::printf("    Full distribution at t=%d:\n", kIncidentTime);
+  for (const auto& [location, probability] : stay.Evaluate(kIncidentTime)) {
+    std::printf("      %-13s %.4f\n",
+                building.location(location).name.c_str(), probability);
+  }
+
+  // (b) Trajectory query: any >= 5 s stay in F2.RoomC during the window.
+  Result<Pattern> pattern = Pattern::Parse("? F2.RoomC[5] ?", building);
+  if (!pattern.ok()) {
+    std::printf("bad pattern: %s\n", pattern.status().ToString().c_str());
+    return 1;
+  }
+  double yes = EvaluateTrajectoryQuery(graph.value(), pattern.value());
+  std::printf("\n(b) P(stayed >= 5 s in F2.RoomC at some point) = %.4f\n",
+              yes);
+
+  // (c) Three plausible reconstructions, summarized as room itineraries.
+  std::printf("\n(c) Sampled consistent reconstructions:\n");
+  TrajectorySampler sampler(graph.value());
+  Rng rng(7);
+  for (int i = 0; i < 3; ++i) {
+    Trajectory sample = sampler.Sample(rng);
+    std::printf("    #%d:", i + 1);
+    LocationId last = kInvalidLocation;
+    int printed = 0;
+    for (Timestamp t = 0; t < sample.length() && printed < 12; ++t) {
+      if (sample.At(t) != last) {
+        last = sample.At(t);
+        std::printf(" %s", building.location(last).name.c_str());
+        ++printed;
+      }
+    }
+    std::printf(printed >= 12 ? " ...\n" : "\n");
+  }
+
+  // Time-anchored window query: was the person *ever* in the room during
+  // the five minutes around the incident?
+  std::printf("\n    P(visited F2.RoomC during [%d, %d]) = %.4f\n",
+              kIncidentTime - 150, kIncidentTime + 150,
+              ProbabilityVisitedInWindow(graph.value(), room_c,
+                                         kIncidentTime - 150,
+                                         kIncidentTime + 150));
+
+  // The two most plausible complete reconstructions, with their odds.
+  auto top = TopKTrajectories(graph.value(), 2);
+  if (top.size() == 2) {
+    std::printf(
+        "    Most likely reconstruction is %.1fx more probable than the "
+        "runner-up (p=%.3g vs p=%.3g).\n",
+        top[0].second / top[1].second, top[0].second, top[1].second);
+  }
+
+  // How much ambiguity is left after cleaning?
+  std::printf(
+      "    Residual uncertainty: %.1f bits over 10 minutes (~%.3g "
+      "effective trajectories).\n",
+      TrajectoryEntropy(graph.value()),
+      EffectiveTrajectories(graph.value()));
+
+  // Ground truth for reference (the simulation knows it; investigators do
+  // not).
+  std::printf("\nGround truth at t=%d: %s\n", kIncidentTime,
+              building.location(person.ground_truth.At(kIncidentTime))
+                  .name.c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Supply chain: the paper's §8 future-work scenario — objects moving
+// *together* (here, tagged boxes on a pallet) whose correlation can be
+// exploited during cleaning. Each tag is an independent, noisy witness of
+// the same trajectory; combining their readings before conditioning
+// (model/group.h) sharpens the interpretation far beyond what any single
+// tag supports.
+//
+// Build & run:  cmake --build build && ./build/examples/supply_chain
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "eval/accuracy.h"
+#include "eval/workload.h"
+#include "gen/dataset.h"
+#include "gen/reading_generator.h"
+#include "model/group.h"
+#include "query/stay_query.h"
+
+using namespace rfidclean;  // NOLINT: example brevity.
+
+int main() {
+  // A 2-floor "warehouse" with the standard reader deployment; one pallet
+  // moved around for 3 minutes.
+  DatasetOptions options;
+  options.num_floors = 2;
+  options.name = "Warehouse";
+  options.durations_ticks = {180};
+  options.trajectories_per_duration = 1;
+  options.seed = 515;
+  std::unique_ptr<Dataset> warehouse = Dataset::Build(options);
+  const Dataset::Item& pallet = warehouse->items()[0];
+
+  // Simulate 8 tags riding the same pallet: independent reading sequences
+  // of the one continuous trajectory.
+  ReadingGenerator reader_sim(warehouse->grid(),
+                              warehouse->truth_coverage());
+  std::vector<RSequence> tags;
+  for (int tag = 0; tag < 8; ++tag) {
+    Rng rng(2026, static_cast<std::uint64_t>(tag));
+    tags.push_back(reader_sim.Generate(pallet.continuous, rng));
+  }
+
+  ConstraintSet constraints =
+      warehouse->MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder builder(constraints);
+  Rng workload_rng(1);
+  std::vector<Timestamp> queries = StayQueryWorkload(180, 100, workload_rng);
+
+  std::printf("Stay-query accuracy vs number of tags combined:\n");
+  std::printf("%8s %10s %12s %12s\n", "tags", "accuracy", "graph nodes",
+              "conflicts");
+  for (int group_size : {1, 2, 4, 8}) {
+    std::vector<const RSequence*> group;
+    for (int tag = 0; tag < group_size; ++tag) group.push_back(&tags[tag]);
+    GroupCombineStats stats;
+    Result<LSequence> combined =
+        CombineGroupReadings(group, warehouse->apriori(), &stats);
+    if (!combined.ok()) {
+      std::printf("combine failed: %s\n",
+                  combined.status().ToString().c_str());
+      return 1;
+    }
+    Result<CtGraph> graph = builder.Build(combined.value());
+    if (!graph.ok()) {
+      std::printf("%8d  (constraints ruled out every interpretation)\n",
+                  group_size);
+      continue;
+    }
+    StayQueryEvaluator stay(graph.value());
+    double accuracy =
+        StayQueryAccuracy(stay, pallet.ground_truth, queries);
+    std::printf("%8d %10.4f %12zu %12d\n", group_size, accuracy,
+                graph.value().NumNodes(), stats.conflict_ticks);
+  }
+  std::printf(
+      "\nOne lost pallet, found: combining witnesses shrinks both the\n"
+      "uncertainty and the ct-graph itself.\n");
+  return 0;
+}

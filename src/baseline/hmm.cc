@@ -1,0 +1,115 @@
+#include "baseline/hmm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+HmmSmoother::HmmSmoother(const ConstraintSet& constraints,
+                         const Params& params)
+    : constraints_(&constraints), params_(params) {
+  RFID_CHECK_GT(params_.self_transition, 0.0);
+  RFID_CHECK_LT(params_.self_transition, 1.0);
+}
+
+std::vector<std::vector<double>> HmmSmoother::Smooth(
+    const LSequence& sequence) const {
+  const std::size_t n = constraints_->num_locations();
+  const Timestamp length = sequence.length();
+
+  // Row-normalized transition matrix from the DU constraints.
+  std::vector<double> transition(n * n, 0.0);
+  for (std::size_t from = 0; from < n; ++from) {
+    std::size_t moves = 0;
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from != to &&
+          !constraints_->IsUnreachable(static_cast<LocationId>(from),
+                                       static_cast<LocationId>(to))) {
+        ++moves;
+      }
+    }
+    double move_mass =
+        moves == 0 ? 0.0 : (1.0 - params_.self_transition) / moves;
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) {
+        transition[from * n + to] =
+            moves == 0 ? 1.0 : params_.self_transition;
+      } else if (!constraints_->IsUnreachable(
+                     static_cast<LocationId>(from),
+                     static_cast<LocationId>(to))) {
+        transition[from * n + to] = move_mass;
+      }
+    }
+  }
+
+  auto emission = [&sequence](Timestamp t, std::size_t location) {
+    return sequence.ProbabilityAt(t, static_cast<LocationId>(location));
+  };
+  auto normalize = [](std::vector<double>& row) {
+    double total = 0.0;
+    for (double value : row) total += value;
+    if (total > 0.0) {
+      for (double& value : row) value /= total;
+    }
+    return total;
+  };
+
+  // Forward pass (scaled per step).
+  std::vector<std::vector<double>> alpha(
+      static_cast<std::size_t>(length), std::vector<double>(n, 0.0));
+  for (std::size_t l = 0; l < n; ++l) alpha[0][l] = emission(0, l);
+  normalize(alpha[0]);
+  for (Timestamp t = 1; t < length; ++t) {
+    auto& current = alpha[static_cast<std::size_t>(t)];
+    const auto& previous = alpha[static_cast<std::size_t>(t) - 1];
+    for (std::size_t to = 0; to < n; ++to) {
+      double mass = 0.0;
+      for (std::size_t from = 0; from < n; ++from) {
+        mass += previous[from] * transition[from * n + to];
+      }
+      current[to] = mass * emission(t, to);
+    }
+    if (normalize(current) == 0.0) {
+      // Emissions incompatible with every reachable state: restart from
+      // the emission distribution alone (standard HMM failure handling).
+      for (std::size_t l = 0; l < n; ++l) current[l] = emission(t, l);
+      normalize(current);
+    }
+  }
+
+  // Backward pass (scaled per step).
+  std::vector<std::vector<double>> beta(
+      static_cast<std::size_t>(length), std::vector<double>(n, 1.0));
+  for (Timestamp t = length - 2; t >= 0; --t) {
+    auto& current = beta[static_cast<std::size_t>(t)];
+    const auto& next = beta[static_cast<std::size_t>(t) + 1];
+    for (std::size_t from = 0; from < n; ++from) {
+      double mass = 0.0;
+      for (std::size_t to = 0; to < n; ++to) {
+        mass += transition[from * n + to] * emission(t + 1, to) * next[to];
+      }
+      current[from] = mass;
+    }
+    if (normalize(current) == 0.0) {
+      std::fill(current.begin(), current.end(), 1.0 / static_cast<double>(n));
+    }
+  }
+
+  // Posterior marginals.
+  std::vector<std::vector<double>> posterior(
+      static_cast<std::size_t>(length), std::vector<double>(n, 0.0));
+  for (Timestamp t = 0; t < length; ++t) {
+    auto& row = posterior[static_cast<std::size_t>(t)];
+    for (std::size_t l = 0; l < n; ++l) {
+      row[l] = alpha[static_cast<std::size_t>(t)][l] *
+               beta[static_cast<std::size_t>(t)][l];
+    }
+    if (normalize(row) == 0.0) {
+      row = alpha[static_cast<std::size_t>(t)];
+    }
+  }
+  return posterior;
+}
+
+}  // namespace rfidclean

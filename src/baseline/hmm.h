@@ -1,0 +1,50 @@
+#ifndef RFIDCLEAN_BASELINE_HMM_H_
+#define RFIDCLEAN_BASELINE_HMM_H_
+
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "model/lsequence.h"
+
+namespace rfidclean {
+
+/// Forward-backward (HMM) smoothing baseline: what a practitioner would
+/// typically build before reaching for constraint conditioning. States are
+/// locations; the transition model allows staying or moving to any location
+/// not forbidden by the DU constraints, with a fixed self-transition bias;
+/// the per-instant emission score of location l at time t is its candidate
+/// probability in the l-sequence. The smoother computes per-instant
+/// posterior marginals.
+///
+/// Contrast with the ct-graph approach: the first-order Markov state cannot
+/// express latency or traveling-time constraints (it remembers one step of
+/// history), and the transition model is a modeling guess rather than a
+/// hard validity condition — so mass still leaks onto trajectories the
+/// constraints rule out. The difference is measured in
+/// bench/baseline_comparison.
+class HmmSmoother {
+ public:
+  struct Params {
+    /// Probability mass given to staying put at each step; the remainder
+    /// spreads uniformly over the DU-allowed moves.
+    double self_transition = 0.8;
+  };
+
+  /// Derives the transition structure from the DU constraints in
+  /// `constraints` (which must outlive the smoother).
+  HmmSmoother(const ConstraintSet& constraints, const Params& params);
+  explicit HmmSmoother(const ConstraintSet& constraints)
+      : HmmSmoother(constraints, Params()) {}
+
+  /// Posterior marginals over locations per time point
+  /// (marginals[t][location], each row summing to 1).
+  std::vector<std::vector<double>> Smooth(const LSequence& sequence) const;
+
+ private:
+  const ConstraintSet* constraints_;
+  Params params_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_BASELINE_HMM_H_

@@ -1,0 +1,74 @@
+#include "baseline/naive_cleaner.h"
+
+#include "baseline/validity.h"
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+NaiveCleaner::NaiveCleaner(const ConstraintSet& constraints)
+    : constraints_(&constraints) {}
+
+Result<std::vector<NaiveCleaner::Entry>> NaiveCleaner::Clean(
+    const LSequence& sequence, std::size_t max_trajectories) const {
+  double count = sequence.NumTrajectories();
+  if (count > static_cast<double>(max_trajectories)) {
+    return ResourceExhaustedError(StrFormat(
+        "sequence admits %.3g trajectories, above the cap of %zu", count,
+        max_trajectories));
+  }
+  const Timestamp n = sequence.length();
+  std::vector<Entry> valid;
+  std::vector<LocationId> steps(static_cast<std::size_t>(n));
+  // Odometer-style enumeration over the candidate lists.
+  std::vector<std::size_t> choice(static_cast<std::size_t>(n), 0);
+  double total_valid_mass = 0.0;
+  for (;;) {
+    double probability = 1.0;
+    for (Timestamp t = 0; t < n; ++t) {
+      const Candidate& candidate =
+          sequence.CandidatesAt(t)[choice[static_cast<std::size_t>(t)]];
+      steps[static_cast<std::size_t>(t)] = candidate.location;
+      probability *= candidate.probability;
+    }
+    Trajectory trajectory(steps);
+    if (IsValidTrajectory(trajectory, *constraints_)) {
+      total_valid_mass += probability;
+      valid.emplace_back(std::move(trajectory), probability);
+    }
+    // Advance the odometer.
+    Timestamp t = n - 1;
+    while (t >= 0) {
+      std::size_t& c = choice[static_cast<std::size_t>(t)];
+      if (++c < sequence.CandidatesAt(t).size()) break;
+      c = 0;
+      --t;
+    }
+    if (t < 0) break;
+  }
+  if (valid.empty() || total_valid_mass <= 0.0) {
+    return FailedPreconditionError(
+        "the integrity constraints rule out every interpretation of the "
+        "readings");
+  }
+  for (Entry& entry : valid) entry.second /= total_valid_mass;
+  return valid;
+}
+
+std::vector<std::vector<double>> NaiveCleaner::Marginals(
+    const std::vector<Entry>& cleaned, std::size_t num_locations) {
+  RFID_CHECK(!cleaned.empty());
+  const Timestamp n = cleaned.front().first.length();
+  std::vector<std::vector<double>> marginals(
+      static_cast<std::size_t>(n), std::vector<double>(num_locations, 0.0));
+  for (const Entry& entry : cleaned) {
+    RFID_CHECK_EQ(entry.first.length(), n);
+    for (Timestamp t = 0; t < n; ++t) {
+      marginals[static_cast<std::size_t>(t)]
+               [static_cast<std::size_t>(entry.first.At(t))] += entry.second;
+    }
+  }
+  return marginals;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,46 @@
+#ifndef RFIDCLEAN_BASELINE_NAIVE_CLEANER_H_
+#define RFIDCLEAN_BASELINE_NAIVE_CLEANER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint_set.h"
+#include "model/lsequence.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// The naive conditioning approach the paper argues against (§1): enumerate
+/// every trajectory over the l-sequence, discard the invalid ones
+/// (Definition 2), and renormalize the survivors' a-priori probabilities.
+/// Exponential in the sequence length — it exists as the correctness oracle
+/// for the ct-graph algorithm and as the baseline of the ablation benches.
+class NaiveCleaner {
+ public:
+  /// A valid trajectory with its conditioned probability.
+  using Entry = std::pair<Trajectory, double>;
+
+  explicit NaiveCleaner(const ConstraintSet& constraints);
+
+  /// Enumerates, filters and conditions. Fails with ResourceExhausted when
+  /// the sequence admits more than `max_trajectories` interpretations, and
+  /// with FailedPrecondition when no valid trajectory exists.
+  Result<std::vector<Entry>> Clean(const LSequence& sequence,
+                                   std::size_t max_trajectories = 1u
+                                                                  << 22) const;
+
+  /// Conditioned marginal distribution over locations at each time point,
+  /// computed from a Clean() result: marginals[t][l] = Σ p(traj) over valid
+  /// trajectories whose t-th step is l. Index by LocationId up to
+  /// `num_locations`.
+  static std::vector<std::vector<double>> Marginals(
+      const std::vector<Entry>& cleaned, std::size_t num_locations);
+
+ private:
+  const ConstraintSet* constraints_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_BASELINE_NAIVE_CLEANER_H_

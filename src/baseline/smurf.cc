@@ -1,0 +1,80 @@
+#include "baseline/smurf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+SmurfSmoother::SmurfSmoother(const Params& params) : params_(params) {
+  RFID_CHECK_GT(params_.delta, 0.0);
+  RFID_CHECK_LT(params_.delta, 1.0);
+  RFID_CHECK_GE(params_.initial_window, 1);
+  RFID_CHECK_GE(params_.max_window, params_.initial_window);
+}
+
+RSequence SmurfSmoother::Smooth(const RSequence& raw,
+                                int num_readers) const {
+  const Timestamp length = raw.length();
+  // Detection bitmap per reader.
+  std::vector<std::vector<bool>> detected(
+      static_cast<std::size_t>(num_readers),
+      std::vector<bool>(static_cast<std::size_t>(length), false));
+  for (Timestamp t = 0; t < length; ++t) {
+    for (ReaderId r : raw.ReadersAt(t)) {
+      RFID_CHECK_LT(r, num_readers);
+      detected[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)] =
+          true;
+    }
+  }
+
+  std::vector<std::vector<ReaderId>> smoothed(
+      static_cast<std::size_t>(length));
+  for (ReaderId r = 0; r < num_readers; ++r) {
+    const std::vector<bool>& stream =
+        detected[static_cast<std::size_t>(r)];
+    int window = params_.initial_window;
+    for (Timestamp t = 0; t < length; ++t) {
+      // Centered window [t - w/2, t + w/2], clipped to the sequence.
+      Timestamp lo = std::max<Timestamp>(0, t - window / 2);
+      Timestamp hi = std::min<Timestamp>(length - 1, t + window / 2);
+      int count = 0;
+      for (Timestamp u = lo; u <= hi; ++u) {
+        if (stream[static_cast<std::size_t>(u)]) ++count;
+      }
+      if (count > 0) {
+        smoothed[static_cast<std::size_t>(t)].push_back(r);
+      }
+      if (count >= 2) {
+        // Adapt the window from the observed read rate p̂ within the
+        // current window; a single detection carries no rate evidence and
+        // leaves the window unchanged (otherwise one spurious read would
+        // inflate the window toward its maximum and smear).
+        double span = static_cast<double>(hi - lo + 1);
+        double rate = static_cast<double>(count) / span;
+        int required = static_cast<int>(
+            std::ceil(std::log(1.0 / params_.delta) / rate));
+        window = std::clamp(required, params_.initial_window,
+                            params_.max_window);
+      } else if (count == 0) {
+        // Responsiveness: an empty window after activity suggests the tag
+        // left the reader's range; shrink toward the initial size so the
+        // smoothed presence reacts quickly (SMURF's window-halving rule).
+        window = std::max(params_.initial_window, window / 2);
+      }
+    }
+  }
+
+  std::vector<Reading> readings;
+  readings.reserve(static_cast<std::size_t>(length));
+  for (Timestamp t = 0; t < length; ++t) {
+    readings.push_back(
+        Reading{t, std::move(smoothed[static_cast<std::size_t>(t)])});
+  }
+  Result<RSequence> sequence = RSequence::Create(std::move(readings));
+  RFID_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+}  // namespace rfidclean

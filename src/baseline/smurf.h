@@ -1,0 +1,56 @@
+#ifndef RFIDCLEAN_BASELINE_SMURF_H_
+#define RFIDCLEAN_BASELINE_SMURF_H_
+
+#include <vector>
+
+#include "model/rsequence.h"
+
+namespace rfidclean {
+
+/// SMURF-style adaptive smoothing (Jeffery et al., VLDB'06 — the paper's
+/// reference [14]): the classical RFID cleaning baseline the ct-graph
+/// approach is contrasted against in §7. SMURF operates *per reader*, with
+/// no knowledge of the map: for each (tag, reader) stream of raw epochs it
+/// maintains a sliding window and declares the tag present at an epoch if
+/// the window around it contains at least one detection. The window size
+/// adapts per reader using binomial sampling arguments:
+///
+///  - completeness: with observed per-epoch read rate p̂, a window of
+///    w* = ceil(ln(1/δ) / p̂) epochs captures a present tag with
+///    probability ≥ 1 - δ;
+///  - responsiveness: if the detection count in the current window is
+///    statistically below the binomial expectation w·p̂ (beyond two
+///    standard deviations), a transition (tag left the range) is likely and
+///    the window is halved.
+///
+/// The smoothed output is again a reading sequence — per epoch, the set of
+/// readers considered to cover the tag — which is then interpreted exactly
+/// like raw readings (AprioriModel + per-instant independence). Because
+/// SMURF cleans each reader stream separately, it cannot exploit the
+/// spatio-temporal correlations the integrity constraints describe; that
+/// contrast is measured in bench/baseline_comparison.
+class SmurfSmoother {
+ public:
+  struct Params {
+    /// Completeness target δ: the probability of missing a present tag
+    /// within one window.
+    double delta = 0.05;
+    /// Initial and maximum window sizes, in epochs.
+    int initial_window = 3;
+    int max_window = 20;
+  };
+
+  explicit SmurfSmoother(const Params& params);
+  SmurfSmoother() : SmurfSmoother(Params()) {}
+
+  /// Smooths a raw reading sequence. `num_readers` bounds the reader ids
+  /// appearing in the sequence.
+  RSequence Smooth(const RSequence& raw, int num_readers) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_BASELINE_SMURF_H_

@@ -1,0 +1,26 @@
+#include "baseline/uncleaned.h"
+
+namespace rfidclean {
+
+UncleanedModel::UncleanedModel(const LSequence& sequence)
+    : sequence_(&sequence) {}
+
+double UncleanedModel::StayProbability(Timestamp t,
+                                       LocationId location) const {
+  return sequence_->ProbabilityAt(t, location);
+}
+
+Trajectory UncleanedModel::MostLikelyTrajectory() const {
+  Trajectory trajectory;
+  for (Timestamp t = 0; t < sequence_->length(); ++t) {
+    const std::vector<Candidate>& candidates = sequence_->CandidatesAt(t);
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+      if (candidates[i].probability > candidates[best].probability) best = i;
+    }
+    trajectory.Append(candidates[best].location);
+  }
+  return trajectory;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,33 @@
+#ifndef RFIDCLEAN_BASELINE_UNCLEANED_H_
+#define RFIDCLEAN_BASELINE_UNCLEANED_H_
+
+#include <vector>
+
+#include "model/lsequence.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// The per-instant independent interpretation of the readings, i.e. p*(t|Θ)
+/// with no constraint knowledge (§1, Example 1). Serves as the accuracy
+/// baseline of the Figure-9 experiments: how well do queries do *before*
+/// cleaning?
+class UncleanedModel {
+ public:
+  /// `sequence` must outlive the model.
+  explicit UncleanedModel(const LSequence& sequence);
+
+  /// Marginal probability that the object is at `location` at time `t`
+  /// (simply the a-priori candidate probability).
+  double StayProbability(Timestamp t, LocationId location) const;
+
+  /// The most probable trajectory under independence: argmax per instant.
+  Trajectory MostLikelyTrajectory() const;
+
+ private:
+  const LSequence* sequence_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_BASELINE_UNCLEANED_H_

@@ -1,0 +1,50 @@
+#include "baseline/validity.h"
+
+#include <algorithm>
+
+namespace rfidclean {
+
+bool IsValidTrajectory(const Trajectory& trajectory,
+                       const ConstraintSet& constraints) {
+  const Timestamp n = trajectory.length();
+  if (n == 0) return false;
+
+  // Direct unreachability: consecutive steps.
+  for (Timestamp t = 0; t + 1 < n; ++t) {
+    LocationId from = trajectory.At(t);
+    LocationId to = trajectory.At(t + 1);
+    if (from != to && constraints.IsUnreachable(from, to)) return false;
+  }
+
+  // Latency: every maximal stay that ends by moving away (not by the window
+  // end) must reach the location's minimum duration.
+  Timestamp stay_start = 0;
+  for (Timestamp t = 1; t <= n; ++t) {
+    const bool stay_ends_here = t < n && trajectory.At(t) != trajectory.At(t - 1);
+    if (t == n || stay_ends_here) {
+      if (t < n) {  // Ended by moving away.
+        LocationId location = trajectory.At(stay_start);
+        Timestamp required = constraints.LatencyOf(location);
+        if (required > 0 && t - stay_start < required) return false;
+      }
+      stay_start = t;
+    }
+  }
+
+  // Traveling time: every ordered pair of time points.
+  for (Timestamp t1 = 0; t1 < n; ++t1) {
+    LocationId from = trajectory.At(t1);
+    if (!constraints.HasTravelingTimeFrom(from)) continue;
+    Timestamp horizon =
+        std::min<Timestamp>(n, t1 + constraints.MaxTravelingTimeFrom(from));
+    for (Timestamp t2 = t1 + 1; t2 < horizon; ++t2) {
+      LocationId to = trajectory.At(t2);
+      if (to == from) continue;
+      Timestamp required = constraints.MinTravelTicks(from, to);
+      if (required > 0 && t2 - t1 < required) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,27 @@
+#ifndef RFIDCLEAN_BASELINE_VALIDITY_H_
+#define RFIDCLEAN_BASELINE_VALIDITY_H_
+
+#include "constraints/constraint_set.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// Direct implementation of Definition 2: is `trajectory` valid w.r.t.
+/// `constraints`?
+///  - latency(l, δ): every stay at l lasts ≥ δ ticks. A stay truncated by
+///    the end of the monitoring window is not a violation (the
+///    boundary-tolerant reading realized by Algorithm 1; see DESIGN.md),
+///    while a stay starting at τ = 0 must satisfy δ (or reach the window
+///    end).
+///  - unreachable(l1, l2): no step from l1 directly to l2.
+///  - travelingTime(l1, l2, ν): no pair of time points τ1 < τ2 with the
+///    object at l1 at τ1 and at l2 at τ2 and τ2 - τ1 < ν.
+///
+/// Quadratic in the trajectory length; intended as the ground-truth oracle
+/// for tests and the naive baseline, not for production cleaning.
+bool IsValidTrajectory(const Trajectory& trajectory,
+                       const ConstraintSet& constraints);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_BASELINE_VALIDITY_H_

@@ -1,0 +1,50 @@
+#ifndef RFIDCLEAN_COMMON_CHECK_H_
+#define RFIDCLEAN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Fatal assertion macros for programmer errors (contract violations).
+/// These are always on, including in release builds: the library is used to
+/// produce published experimental numbers, and silently continuing past a
+/// broken invariant would corrupt them.
+
+namespace rfidclean::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace rfidclean::internal_check
+
+/// Aborts the process if `expr` is false.
+#define RFID_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::rfidclean::internal_check::CheckFailed(__FILE__, __LINE__,      \
+                                               #expr);                  \
+    }                                                                   \
+  } while (false)
+
+/// Convenience comparison forms; evaluate operands exactly once.
+#define RFID_CHECK_OP(op, a, b)                   \
+  do {                                            \
+    const auto& rfid_check_a_ = (a);              \
+    const auto& rfid_check_b_ = (b);              \
+    if (!(rfid_check_a_ op rfid_check_b_)) {      \
+      ::rfidclean::internal_check::CheckFailed(   \
+          __FILE__, __LINE__, #a " " #op " " #b); \
+    }                                             \
+  } while (false)
+
+#define RFID_CHECK_EQ(a, b) RFID_CHECK_OP(==, a, b)
+#define RFID_CHECK_NE(a, b) RFID_CHECK_OP(!=, a, b)
+#define RFID_CHECK_LT(a, b) RFID_CHECK_OP(<, a, b)
+#define RFID_CHECK_LE(a, b) RFID_CHECK_OP(<=, a, b)
+#define RFID_CHECK_GT(a, b) RFID_CHECK_OP(>, a, b)
+#define RFID_CHECK_GE(a, b) RFID_CHECK_OP(>=, a, b)
+
+#endif  // RFIDCLEAN_COMMON_CHECK_H_

@@ -1,0 +1,66 @@
+#ifndef RFIDCLEAN_COMMON_RESULT_H_
+#define RFIDCLEAN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace rfidclean {
+
+/// Holds either a value of type `T` or a non-OK Status, modeled after
+/// absl::StatusOr. Accessing the value of an error Result is a fatal
+/// programmer error (RFID_CHECK).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: `return my_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status: `return InvalidArgumentError(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RFID_CHECK(!status_.ok());  // OK must carry a value.
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RFID_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    RFID_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    RFID_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace rfidclean
+
+/// Unwraps a Result into `lhs`, propagating errors to the caller.
+/// Usage: RFID_ASSIGN_OR_RETURN(auto graph, builder.Build(seq));
+#define RFID_ASSIGN_OR_RETURN(lhs, expr)                   \
+  RFID_ASSIGN_OR_RETURN_IMPL_(                             \
+      RFID_RESULT_CONCAT_(rfid_result_, __LINE__), lhs, expr)
+
+#define RFID_RESULT_CONCAT_INNER_(a, b) a##b
+#define RFID_RESULT_CONCAT_(a, b) RFID_RESULT_CONCAT_INNER_(a, b)
+#define RFID_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // RFIDCLEAN_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#include "common/rng.h"
+
+#include <cstddef>
+
+namespace rfidclean {
+
+namespace {
+constexpr std::uint64_t kPcgMultiplier = 6364136223846793005ULL;
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+std::uint32_t Rng::NextUint32() {
+  std::uint64_t old = state_;
+  state_ = old * kPcgMultiplier + inc_;
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::UniformUint32(std::uint32_t bound) {
+  RFID_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to remove modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::UniformInt(int lo, int hi) {
+  RFID_CHECK_LE(lo, hi);
+  std::uint32_t span = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo) + 1);
+  return lo + static_cast<int>(UniformUint32(span));
+}
+
+double Rng::UniformDouble() {
+  return NextUint32() * (1.0 / 4294967296.0);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  RFID_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::size_t Rng::UniformIndex(std::size_t n) {
+  RFID_CHECK_GT(n, 0u);
+  return static_cast<std::size_t>(
+      UniformUint32(static_cast<std::uint32_t>(n)));
+}
+
+std::size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    RFID_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  RFID_CHECK_GT(total, 0.0);
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive weight.
+  for (std::size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,75 @@
+#ifndef RFIDCLEAN_COMMON_STATUS_H_
+#define RFIDCLEAN_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+/// \file
+/// Error propagation without exceptions, modeled after absl::Status.
+/// Library entry points that can fail on user input return `Status` (or
+/// `Result<T>`, see result.h); programmer errors use RFID_CHECK instead.
+
+namespace rfidclean {
+
+/// Coarse error categories; fine detail lives in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an (code, message) error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Shorthand error constructors.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InternalError(std::string message);
+
+}  // namespace rfidclean
+
+/// Propagates a non-OK status to the caller.
+#define RFID_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::rfidclean::Status rfid_status_ = (expr);     \
+    if (!rfid_status_.ok()) return rfid_status_;   \
+  } while (false)
+
+#endif  // RFIDCLEAN_COMMON_STATUS_H_

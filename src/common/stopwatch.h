@@ -1,0 +1,35 @@
+#ifndef RFIDCLEAN_COMMON_STOPWATCH_H_
+#define RFIDCLEAN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace rfidclean {
+
+/// Monotonic wall-clock stopwatch for the experiment harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_COMMON_STOPWATCH_H_

@@ -1,0 +1,35 @@
+#ifndef RFIDCLEAN_COMMON_TABLE_H_
+#define RFIDCLEAN_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rfidclean {
+
+/// Minimal column-aligned text table used by the benchmark harness to print
+/// paper-shaped result rows, with optional CSV export for plotting.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no quoting: cells must not contain commas).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_COMMON_TABLE_H_

@@ -1,0 +1,42 @@
+#ifndef RFIDCLEAN_CONSTRAINTS_CONSTRAINT_H_
+#define RFIDCLEAN_CONSTRAINTS_CONSTRAINT_H_
+
+#include "map/location.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// unreachable(from, to): no object can move from `from` to `to` within one
+/// time point (§3). Directional: doors can in principle be one-way.
+struct DirectUnreachability {
+  LocationId from = kInvalidLocation;
+  LocationId to = kInvalidLocation;
+
+  friend bool operator==(const DirectUnreachability&,
+                         const DirectUnreachability&) = default;
+};
+
+/// travelingTime(from, to, min_ticks): moving from `from` to `to` takes at
+/// least `min_ticks` time points (§3). Only meaningful for min_ticks >= 2:
+/// any move already takes one tick.
+struct TravelingTime {
+  LocationId from = kInvalidLocation;
+  LocationId to = kInvalidLocation;
+  Timestamp min_ticks = 0;
+
+  friend bool operator==(const TravelingTime&, const TravelingTime&) = default;
+};
+
+/// latency(location, min_stay): every stay at `location` lasts at least
+/// `min_stay` consecutive time points (§3). Only meaningful for
+/// min_stay >= 2: every visit already lasts one tick.
+struct Latency {
+  LocationId location = kInvalidLocation;
+  Timestamp min_stay = 0;
+
+  friend bool operator==(const Latency&, const Latency&) = default;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,105 @@
+#include "constraints/constraint_set.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+ConstraintSet::ConstraintSet(std::size_t num_locations)
+    : num_locations_(num_locations) {
+  RFID_CHECK_GT(num_locations, 0u);
+  unreachable_.assign(num_locations * num_locations, false);
+  travel_ticks_.assign(num_locations * num_locations, 0);
+  latency_.assign(num_locations, 0);
+  tt_from_.assign(num_locations, {});
+  max_tt_from_.assign(num_locations, 0);
+}
+
+void ConstraintSet::AddUnreachable(LocationId from, LocationId to) {
+  CheckId(from);
+  CheckId(to);
+  RFID_CHECK_NE(from, to);  // unreachable(l, l) would forbid staying put.
+  std::size_t index = PairIndex(from, to);
+  if (!unreachable_[index]) {
+    unreachable_[index] = true;
+    ++num_unreachable_;
+  }
+}
+
+void ConstraintSet::AddTravelingTime(LocationId from, LocationId to,
+                                     Timestamp min_ticks) {
+  CheckId(from);
+  CheckId(to);
+  RFID_CHECK_NE(from, to);
+  if (min_ticks <= 1) return;  // Vacuous: any move takes one tick.
+  std::size_t index = PairIndex(from, to);
+  Timestamp& current = travel_ticks_[index];
+  if (current == 0) {
+    ++num_traveling_time_;
+    tt_from_[static_cast<std::size_t>(from)].push_back(
+        TravelingTime{from, to, min_ticks});
+  } else if (min_ticks > current) {
+    for (TravelingTime& tt : tt_from_[static_cast<std::size_t>(from)]) {
+      if (tt.to == to) tt.min_ticks = min_ticks;
+    }
+  } else {
+    return;  // Weaker duplicate.
+  }
+  current = std::max(current, min_ticks);
+  max_tt_from_[static_cast<std::size_t>(from)] =
+      std::max(max_tt_from_[static_cast<std::size_t>(from)], min_ticks);
+}
+
+void ConstraintSet::AddLatency(LocationId location, Timestamp min_stay) {
+  CheckId(location);
+  if (min_stay <= 1) return;  // Vacuous: every visit lasts one tick.
+  Timestamp& current = latency_[static_cast<std::size_t>(location)];
+  if (current == 0) ++num_latency_;
+  current = std::max(current, min_stay);
+}
+
+bool ConstraintSet::IsUnreachable(LocationId from, LocationId to) const {
+  CheckId(from);
+  CheckId(to);
+  return unreachable_[PairIndex(from, to)];
+}
+
+Timestamp ConstraintSet::LatencyOf(LocationId location) const {
+  CheckId(location);
+  return latency_[static_cast<std::size_t>(location)];
+}
+
+Timestamp ConstraintSet::MinTravelTicks(LocationId from, LocationId to) const {
+  CheckId(from);
+  CheckId(to);
+  return travel_ticks_[PairIndex(from, to)];
+}
+
+bool ConstraintSet::HasTravelingTimeFrom(LocationId from) const {
+  CheckId(from);
+  return !tt_from_[static_cast<std::size_t>(from)].empty();
+}
+
+Timestamp ConstraintSet::MaxTravelingTimeFrom(LocationId from) const {
+  CheckId(from);
+  return max_tt_from_[static_cast<std::size_t>(from)];
+}
+
+const std::vector<TravelingTime>& ConstraintSet::TravelingTimesFrom(
+    LocationId from) const {
+  CheckId(from);
+  return tt_from_[static_cast<std::size_t>(from)];
+}
+
+std::size_t ConstraintSet::PairIndex(LocationId from, LocationId to) const {
+  return static_cast<std::size_t>(from) * num_locations_ +
+         static_cast<std::size_t>(to);
+}
+
+void ConstraintSet::CheckId(LocationId id) const {
+  RFID_CHECK_GE(id, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(id), num_locations_);
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,73 @@
+#ifndef RFIDCLEAN_CONSTRAINTS_CONSTRAINT_SET_H_
+#define RFIDCLEAN_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace rfidclean {
+
+/// An indexed set IC of integrity constraints over a fixed universe of
+/// `num_locations` locations, with the constant-time lookups the cleaning
+/// algorithm needs:
+///  - IsUnreachable(l1, l2)                       (Def. 3, condition 2)
+///  - LatencyOf(l)                                (conditions 3/4)
+///  - MinTravelTicks(l1, l2), HasTravelingTimeFrom (conditions 5/6)
+///  - MaxTravelingTimeFrom(l) — the paper's maxTravelingTime_IC(l), used to
+///    expire entries of the TL component of location nodes.
+///
+/// Adding a duplicate DU constraint is a no-op; duplicate TT/LT constraints
+/// keep the strongest (largest) bound.
+class ConstraintSet {
+ public:
+  explicit ConstraintSet(std::size_t num_locations);
+
+  std::size_t num_locations() const { return num_locations_; }
+
+  void AddUnreachable(LocationId from, LocationId to);
+  void AddTravelingTime(LocationId from, LocationId to, Timestamp min_ticks);
+  void AddLatency(LocationId location, Timestamp min_stay);
+
+  bool IsUnreachable(LocationId from, LocationId to) const;
+
+  /// Minimum stay at `location`, or 0 when unconstrained.
+  Timestamp LatencyOf(LocationId location) const;
+  bool HasLatency(LocationId location) const { return LatencyOf(location) > 1; }
+
+  /// Minimum ticks to travel from -> to, or 0 when unconstrained.
+  Timestamp MinTravelTicks(LocationId from, LocationId to) const;
+
+  /// True when some travelingTime(from, ·, ·) constraint exists.
+  bool HasTravelingTimeFrom(LocationId from) const;
+
+  /// max_{travelingTime(from, l', nu) in IC} nu, or 0 when none exists.
+  Timestamp MaxTravelingTimeFrom(LocationId from) const;
+
+  /// All TT constraints with the given first argument.
+  const std::vector<TravelingTime>& TravelingTimesFrom(LocationId from) const;
+
+  std::size_t NumUnreachable() const { return num_unreachable_; }
+  std::size_t NumTravelingTime() const { return num_traveling_time_; }
+  std::size_t NumLatency() const { return num_latency_; }
+  std::size_t TotalConstraints() const {
+    return num_unreachable_ + num_traveling_time_ + num_latency_;
+  }
+
+ private:
+  std::size_t PairIndex(LocationId from, LocationId to) const;
+  void CheckId(LocationId id) const;
+
+  std::size_t num_locations_;
+  std::vector<bool> unreachable_;       // num_locations^2
+  std::vector<Timestamp> travel_ticks_; // num_locations^2, 0 = none
+  std::vector<Timestamp> latency_;      // per location, 0 = none
+  std::vector<std::vector<TravelingTime>> tt_from_;
+  std::vector<Timestamp> max_tt_from_;
+  std::size_t num_unreachable_ = 0;
+  std::size_t num_traveling_time_ = 0;
+  std::size_t num_latency_ = 0;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CONSTRAINTS_CONSTRAINT_SET_H_

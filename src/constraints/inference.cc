@@ -1,0 +1,56 @@
+#include "constraints/inference.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+std::string ConstraintFamiliesLabel(const ConstraintFamilies& families) {
+  std::string label;
+  auto append = [&label](const char* part) {
+    if (!label.empty()) label += "+";
+    label += part;
+  };
+  if (families.direct_unreachability) append("DU");
+  if (families.latency) append("LT");
+  if (families.traveling_time) append("TT");
+  if (label.empty()) label = "none";
+  return label;
+}
+
+ConstraintSet InferConstraints(const Building& building,
+                               const WalkingDistances& distances,
+                               const InferenceOptions& options) {
+  RFID_CHECK_GT(options.max_speed, 0.0);
+  RFID_CHECK_EQ(distances.NumLocations(), building.NumLocations());
+  const std::size_t n = building.NumLocations();
+  ConstraintSet constraints(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const LocationId a = static_cast<LocationId>(i);
+    if (options.families.latency &&
+        building.location(a).kind != LocationKind::kCorridor) {
+      constraints.AddLatency(a, options.latency_ticks);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const LocationId b = static_cast<LocationId>(j);
+      if (building.AreDirectlyConnected(a, b)) continue;
+      if (options.families.direct_unreachability) {
+        constraints.AddUnreachable(a, b);
+      }
+      if (options.families.traveling_time) {
+        double meters = distances.MetersBetween(a, b);
+        if (meters < kInfiniteDistance) {
+          Timestamp ticks =
+              static_cast<Timestamp>(std::ceil(meters / options.max_speed));
+          constraints.AddTravelingTime(a, b, ticks);
+        }
+      }
+    }
+  }
+  return constraints;
+}
+
+}  // namespace rfidclean

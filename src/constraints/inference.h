@@ -1,0 +1,55 @@
+#ifndef RFIDCLEAN_CONSTRAINTS_INFERENCE_H_
+#define RFIDCLEAN_CONSTRAINTS_INFERENCE_H_
+
+#include <string>
+
+#include "constraints/constraint_set.h"
+#include "map/building.h"
+#include "map/walking_distance.h"
+
+namespace rfidclean {
+
+/// Which constraint families to infer. The paper's evaluation compares
+/// CTG(DU), CTG(DU+LT) and CTG(DU+LT+TT).
+struct ConstraintFamilies {
+  bool direct_unreachability = true;
+  bool latency = false;
+  bool traveling_time = false;
+
+  static ConstraintFamilies Du() { return {true, false, false}; }
+  static ConstraintFamilies DuLt() { return {true, true, false}; }
+  static ConstraintFamilies DuLtTt() { return {true, true, true}; }
+};
+
+/// Returns "DU", "DU+LT", "DU+LT+TT", ... for reports.
+std::string ConstraintFamiliesLabel(const ConstraintFamilies& families);
+
+/// Parameters of the automatic inference of §6.3.
+struct InferenceOptions {
+  ConstraintFamilies families = ConstraintFamilies::DuLtTt();
+
+  /// Maximum speed of the monitored objects, in meters per tick
+  /// (the paper assumes people walking at up to 2 m/s).
+  double max_speed = 2.0;
+
+  /// Minimum-stay bound of the inferred LT constraints, in ticks
+  /// (the paper imposes 5-second stays at every location but corridors).
+  Timestamp latency_ticks = 5;
+};
+
+/// Infers the constraint set from the map and the objects' motility (§6.3):
+///  - DU: unreachable(l1, l2) for every ordered pair of distinct locations
+///    not directly connected by a door or staircase;
+///  - LT: latency(l, latency_ticks) for every location except corridors;
+///  - TT: travelingTime(l1, l2, ceil(walk(l1, l2) / max_speed)) for every
+///    ordered pair that is connected but not directly connected (bounds of
+///    one tick or less are vacuous and skipped).
+/// This is the paper's point that the only inputs needed are the map and the
+/// maximum speed.
+ConstraintSet InferConstraints(const Building& building,
+                               const WalkingDistances& distances,
+                               const InferenceOptions& options);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CONSTRAINTS_INFERENCE_H_

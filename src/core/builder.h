@@ -1,0 +1,72 @@
+#ifndef RFIDCLEAN_CORE_BUILDER_H_
+#define RFIDCLEAN_CORE_BUILDER_H_
+
+#include "common/result.h"
+#include "constraints/constraint_set.h"
+#include "core/ct_graph.h"
+#include "core/successor.h"
+#include "model/lsequence.h"
+
+namespace rfidclean {
+
+/// Diagnostics of one ct-graph construction.
+struct BuildStats {
+  double forward_millis = 0.0;
+  double backward_millis = 0.0;
+  /// Node/edge counts at the end of the forward phase, before the backward
+  /// phase prunes dead branches.
+  std::size_t peak_nodes = 0;
+  std::size_t peak_edges = 0;
+  /// Counts in the returned graph.
+  std::size_t final_nodes = 0;
+  std::size_t final_edges = 0;
+
+  double TotalMillis() const { return forward_millis + backward_millis; }
+};
+
+/// Algorithm 1: builds the conditioned trajectory graph of an l-sequence
+/// under a set of integrity constraints.
+///
+/// The *forward phase* sweeps timestamps in increasing order, materializing
+/// only nodes that are successors of already-materialized nodes (interning
+/// equal keys) and labeling edges with the a-priori probability of their
+/// target (time, location) pair. Each node records its `loss`: the a-priori
+/// probability mass of candidate continuations that are not successors.
+///
+/// The *backward phase* sweeps timestamps in decreasing order. Where the
+/// paper's pseudo-code propagates an additive per-node `loss`, this
+/// implementation tracks the complementary *surviving suffix mass*
+/// S(n) = Σ_k p(k)·S(k) directly and conditions each edge to
+/// p(k)·S(k)/S(n) — the same quantity as the paper's "divide by 1 − loss",
+/// but free of the catastrophic `1 − x` cancellation that breaks the
+/// additive form when nearly all of a node's continuation mass is invalid
+/// (which genuinely happens under calibrated a-priori models). Layers are
+/// rescaled by their maximum S so values stay representable at any sequence
+/// length; within-layer ratios are all that matter. Death ("loss = 1") is
+/// the structural condition S(n) = 0 — no surviving successor, matching
+/// Proposition 1. Finally the surviving source probabilities are
+/// conditioned, weighting each source by its surviving mass (see the
+/// erratum note in builder.cc and DESIGN.md).
+///
+/// Complexity is polynomial in the sequence length (data complexity §5):
+/// linear in the number of materialized nodes and edges.
+class CtGraphBuilder {
+ public:
+  /// The constraint set must outlive the builder. `options` tunes the
+  /// successor relation (see SuccessorOptions).
+  explicit CtGraphBuilder(const ConstraintSet& constraints,
+                          const SuccessorOptions& options = SuccessorOptions());
+
+  /// Builds the ct-graph of `sequence`. Fails with FailedPrecondition when
+  /// the constraints rule out every interpretation of the readings.
+  Result<CtGraph> Build(const LSequence& sequence,
+                        BuildStats* stats = nullptr) const;
+
+ private:
+  const ConstraintSet* constraints_;
+  SuccessorOptions options_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_BUILDER_H_

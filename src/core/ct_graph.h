@@ -1,0 +1,97 @@
+#ifndef RFIDCLEAN_CORE_CT_GRAPH_H_
+#define RFIDCLEAN_CORE_CT_GRAPH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/location_node.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// Identifier of a node within a CtGraph (dense, 0-based).
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// The conditioned trajectory graph of Definition 4, as returned by
+/// CtGraphBuilder (Algorithm 1): a DAG layered by timestamp whose
+/// source-to-target paths one-to-one correspond to the valid trajectories,
+/// and whose probabilities are conditioned so that
+///   p(path) = p_N(source) · Π p_E(edge) = p*(trajectory | IC).
+///
+/// After construction the graph is immutable. Invariants (checked by
+/// CheckConsistency):
+///  - source probabilities sum to 1;
+///  - every non-target node's outgoing edge probabilities sum to 1;
+///  - every node lies on some source-to-target path.
+class CtGraph {
+ public:
+  /// An empty graph (length 0); useful only as an assignment target.
+  CtGraph() = default;
+
+  struct Edge {
+    NodeId to = kInvalidNode;
+    double probability = 0.0;
+  };
+
+  struct Node {
+    Timestamp time = 0;
+    NodeKey key;
+    /// p_N for source nodes (time == 0); unused otherwise.
+    double source_probability = 0.0;
+    std::vector<Edge> out_edges;
+  };
+
+  /// Assembles a graph from raw node records spanning `length` time points
+  /// (deserialization support). Nodes must be grouped by their `time` in
+  /// the given order within each layer; every invariant is re-validated
+  /// via CheckConsistency.
+  static Result<CtGraph> Assemble(std::vector<Node> nodes, Timestamp length);
+
+  /// Number of time points spanned (T = [0, length)).
+  Timestamp length() const {
+    return static_cast<Timestamp>(nodes_by_time_.size());
+  }
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumEdges() const;
+
+  const Node& node(NodeId id) const;
+  const std::vector<NodeId>& NodesAt(Timestamp t) const;
+  const std::vector<NodeId>& SourceNodes() const { return NodesAt(0); }
+  const std::vector<NodeId>& TargetNodes() const {
+    return NodesAt(length() - 1);
+  }
+
+  /// Conditioned probability of `trajectory` (0 when it is not represented,
+  /// i.e. not valid). A trajectory follows at most one path: successor keys
+  /// are unique per (parent, target location).
+  double TrajectoryProbability(const Trajectory& trajectory) const;
+
+  /// Enumerates every represented trajectory with its conditioned
+  /// probability. Intended for tests and small graphs; aborts (RFID_CHECK)
+  /// when more than `max_paths` paths exist.
+  std::vector<std::pair<Trajectory, double>> EnumerateTrajectories(
+      std::size_t max_paths = 1u << 20) const;
+
+  /// Verifies the class invariants within `tolerance`.
+  Status CheckConsistency(double tolerance = 1e-9) const;
+
+  /// Estimated resident size of the graph in bytes: node records, edge
+  /// records, per-node vector capacities and spilled TL storage. This is
+  /// the quantity reported by the §6.7 memory experiment.
+  std::size_t ApproximateBytes() const;
+
+ private:
+  friend class CtGraphBuilder;
+
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> nodes_by_time_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_CT_GRAPH_H_

@@ -1,0 +1,39 @@
+#include "core/location_node.h"
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+std::string NodeKey::ToString() const {
+  std::string out = StrFormat("(L%d, ", location);
+  if (delta == kDeltaBottom) {
+    out += "δ=⊥";
+  } else {
+    out += StrFormat("δ=%d", delta);
+  }
+  out += ", TL={";
+  bool first = true;
+  departures.ForEach([&](const Departure& d) {
+    if (!first) out += ", ";
+    first = false;
+    out += StrFormat("(%d,L%d)", d.time, d.location);
+  });
+  out += "})";
+  return out;
+}
+
+std::size_t NodeKeyHash::operator()(const NodeKey& key) const {
+  std::size_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](std::size_t value) {
+    hash ^= value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  };
+  mix(static_cast<std::size_t>(key.location));
+  mix(static_cast<std::size_t>(key.delta + 1));
+  key.departures.ForEach([&](const Departure& d) {
+    mix(static_cast<std::size_t>(d.time));
+    mix(static_cast<std::size_t>(d.location));
+  });
+  return hash;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,63 @@
+#ifndef RFIDCLEAN_CORE_LOCATION_NODE_H_
+#define RFIDCLEAN_CORE_LOCATION_NODE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/small_vector.h"
+#include "map/location.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// The ⊥ value of a location node's δ component: either the location has no
+/// latency constraint, or the stay already satisfied it (§4.1, fact B).
+inline constexpr Timestamp kDeltaBottom = -1;
+
+/// One entry (τ', l') of the TL component of a location node: the most
+/// recent stay at l' ended at τ' (§4.1, fact C). Only locations appearing as
+/// the first argument of some traveling-time constraint are recorded, and
+/// entries are dropped once τ - τ' ≥ maxTravelingTime(l').
+struct Departure {
+  Timestamp time = 0;
+  LocationId location = kInvalidLocation;
+
+  friend bool operator==(const Departure&, const Departure&) = default;
+};
+
+/// TL lists are tiny in practice (bounded by the number of distinct
+/// TT-constrained locations leavable within the largest traveling-time
+/// window); four inline slots cover the common case without heap traffic.
+using DepartureList = SmallVector<Departure, 4>;
+
+/// The identity of a location node n = (τ, l, δ, TL) of §4.1, *without* its
+/// timestamp: the ct-graph stores nodes bucketed per timestamp, so the key
+/// only carries (l, δ, TL). Two nodes at the same timestamp with equal keys
+/// are the same node (interned during the forward phase).
+///
+/// Invariants maintained by SuccessorGenerator:
+///  - delta == kDeltaBottom unless `location` has a latency constraint
+///    latency(location, d) and the current stay is still shorter than d;
+///  - departures is sorted by location id, holds at most one entry per
+///    location, and never contains `location` itself.
+struct NodeKey {
+  LocationId location = kInvalidLocation;
+  Timestamp delta = kDeltaBottom;
+  DepartureList departures;
+
+  friend bool operator==(const NodeKey& a, const NodeKey& b) {
+    return a.location == b.location && a.delta == b.delta &&
+           a.departures == b.departures;
+  }
+
+  /// Debug representation, e.g. "(L3, δ=0, TL={(0,L1)})".
+  std::string ToString() const;
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& key) const;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_LOCATION_NODE_H_

@@ -1,0 +1,164 @@
+#include "core/streaming.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+using internal_core::WorkEdge;
+using internal_core::WorkNode;
+
+namespace {
+
+Status ValidateCandidates(const std::vector<Candidate>& candidates) {
+  if (candidates.empty()) {
+    return InvalidArgumentError("tick has no candidate locations");
+  }
+  double sum = 0.0;
+  for (const Candidate& candidate : candidates) {
+    if (candidate.location < 0) {
+      return InvalidArgumentError("invalid candidate location id");
+    }
+    if (candidate.probability <= 0.0) {
+      return InvalidArgumentError("non-positive candidate probability");
+    }
+    sum += candidate.probability;
+  }
+  if (std::abs(sum - 1.0) > 1e-6) {
+    return InvalidArgumentError(
+        StrFormat("candidate probabilities sum to %f, not 1", sum));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StreamingCleaner::StreamingCleaner(const ConstraintSet& constraints,
+                                   const SuccessorOptions& options)
+    : constraints_(&constraints), successors_(constraints, options) {}
+
+Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
+  if (failed_) {
+    return FailedPreconditionError(
+        "a previous tick left no consistent interpretation");
+  }
+  RFID_RETURN_IF_ERROR(ValidateCandidates(candidates));
+
+  if (work_.by_time.empty()) {
+    // First tick: source nodes.
+    std::vector<NodeId> layer;
+    std::vector<double> alpha;
+    for (NodeKey& key : successors_.SourceKeys(candidates)) {
+      WorkNode node;
+      node.time = 0;
+      for (const Candidate& candidate : candidates) {
+        if (candidate.location == key.location) {
+          node.source_probability = candidate.probability;
+        }
+      }
+      alpha.push_back(node.source_probability);
+      node.key = std::move(key);
+      layer.push_back(static_cast<NodeId>(work_.nodes.size()));
+      work_.nodes.push_back(std::move(node));
+    }
+    work_.by_time.push_back(std::move(layer));
+    frontier_alpha_ = std::move(alpha);
+    return Status::Ok();
+  }
+
+  const Timestamp t = TicksSeen() - 1;
+  const std::vector<NodeId>& frontier = work_.by_time.back();
+  std::unordered_map<NodeKey, NodeId, NodeKeyHash> interned;
+  std::vector<NodeId> layer;
+  std::vector<double> alpha;
+  std::vector<NodeKey> scratch;
+  std::unordered_map<NodeId, std::size_t> layer_index;
+  for (std::size_t f = 0; f < frontier.size(); ++f) {
+    NodeId id = frontier[f];
+    scratch.clear();
+    successors_.AppendSuccessors(
+        t, work_.nodes[static_cast<std::size_t>(id)].key, candidates,
+        &scratch);
+    for (NodeKey& key : scratch) {
+      double apriori = 0.0;
+      for (const Candidate& candidate : candidates) {
+        if (candidate.location == key.location) {
+          apriori = candidate.probability;
+        }
+      }
+      NodeId target;
+      auto it = interned.find(key);
+      if (it != interned.end()) {
+        target = it->second;
+      } else {
+        target = static_cast<NodeId>(work_.nodes.size());
+        WorkNode node;
+        node.time = t + 1;
+        node.key = key;
+        interned.emplace(std::move(key), target);
+        work_.nodes.push_back(std::move(node));
+        layer_index.emplace(target, layer.size());
+        layer.push_back(target);
+        alpha.push_back(0.0);
+      }
+      std::int32_t edge_id = static_cast<std::int32_t>(work_.edges.size());
+      work_.edges.push_back(WorkEdge{id, target, apriori, true});
+      work_.nodes[static_cast<std::size_t>(id)].out_edges.push_back(edge_id);
+      work_.nodes[static_cast<std::size_t>(target)].in_edges.push_back(
+          edge_id);
+      alpha[layer_index[target]] += frontier_alpha_[f] * apriori;
+    }
+  }
+  if (layer.empty()) {
+    // No node of the frontier admits a successor compatible with this
+    // tick: every interpretation is now invalid. Nothing was appended
+    // (successor generation produced no node or edge), so the previous
+    // state remains intact for inspection.
+    failed_ = true;
+    return FailedPreconditionError(
+        "the new tick leaves no consistent interpretation of the readings");
+  }
+  double total = 0.0;
+  for (double mass : alpha) total += mass;
+  RFID_CHECK_GT(total, 0.0);
+  for (double& mass : alpha) mass /= total;
+  work_.by_time.push_back(std::move(layer));
+  frontier_alpha_ = std::move(alpha);
+  return Status::Ok();
+}
+
+std::vector<std::pair<LocationId, double>>
+StreamingCleaner::CurrentDistribution() const {
+  RFID_CHECK(!work_.by_time.empty());
+  std::vector<std::pair<LocationId, double>> distribution;
+  const std::vector<NodeId>& frontier = work_.by_time.back();
+  for (std::size_t f = 0; f < frontier.size(); ++f) {
+    LocationId location =
+        work_.nodes[static_cast<std::size_t>(frontier[f])].key.location;
+    bool found = false;
+    for (auto& [existing, mass] : distribution) {
+      if (existing == location) {
+        mass += frontier_alpha_[f];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      distribution.emplace_back(location, frontier_alpha_[f]);
+    }
+  }
+  return distribution;
+}
+
+Result<CtGraph> StreamingCleaner::Finish(BuildStats* stats) && {
+  RFID_CHECK(!work_.by_time.empty());
+  if (stats != nullptr) {
+    stats->peak_nodes = work_.nodes.size();
+    stats->peak_edges = work_.edges.size();
+  }
+  return internal_core::ConditionAndCompact(std::move(work_), stats);
+}
+
+}  // namespace rfidclean

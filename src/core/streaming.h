@@ -1,0 +1,74 @@
+#ifndef RFIDCLEAN_CORE_STREAMING_H_
+#define RFIDCLEAN_CORE_STREAMING_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "constraints/constraint_set.h"
+#include "core/builder.h"
+#include "core/successor.h"
+#include "core/work_graph.h"
+#include "model/lsequence.h"
+
+namespace rfidclean {
+
+/// Incremental (streaming) cleaning: real monitoring systems receive
+/// readings one tick at a time and want live position estimates long before
+/// the monitoring window closes. StreamingCleaner maintains the ct-graph
+/// forward phase online:
+///
+///   StreamingCleaner cleaner(constraints);
+///   for each tick: cleaner.Push(candidates);      // from AprioriModel
+///                  cleaner.CurrentDistribution(); // live estimate
+///   auto graph = std::move(cleaner).Finish();     // exact ct-graph
+///
+/// CurrentDistribution() is the *filtered* marginal: conditioned on the
+/// readings and constraint checks up to now (future readings can still
+/// retroactively invalidate interpretations, which is what Finish()'s
+/// backward phase accounts for — the classical filtering vs smoothing
+/// distinction). Finish() produces exactly the graph the batch
+/// CtGraphBuilder would build for the same sequence.
+class StreamingCleaner {
+ public:
+  /// The constraint set must outlive the cleaner.
+  explicit StreamingCleaner(
+      const ConstraintSet& constraints,
+      const SuccessorOptions& options = SuccessorOptions());
+
+  /// Appends the candidate interpretation of the next tick (location,
+  /// probability pairs summing to 1, as produced by AprioriModel /
+  /// LSequence). Fails with FailedPrecondition when the new tick leaves no
+  /// consistent interpretation — the cleaner then stays at its previous
+  /// state and further Pushes are rejected.
+  Status Push(const std::vector<Candidate>& candidates);
+
+  /// Number of ticks consumed so far.
+  Timestamp TicksSeen() const {
+    return static_cast<Timestamp>(work_.by_time.size());
+  }
+
+  /// Filtered distribution over locations at the latest tick (sums to 1).
+  /// Requires at least one successful Push.
+  std::vector<std::pair<LocationId, double>> CurrentDistribution() const;
+
+  /// Runs the backward conditioning over everything seen and returns the
+  /// exact ct-graph (identical to the batch builder's). Consumes the
+  /// cleaner. Requires at least one successful Push.
+  Result<CtGraph> Finish(BuildStats* stats = nullptr) &&;
+
+ private:
+  const ConstraintSet* constraints_;
+  SuccessorGenerator successors_;
+  internal_core::WorkGraph work_;
+  /// Filtered forward mass per frontier node (aligned with the last layer
+  /// of work_.by_time, renormalized every tick).
+  std::vector<double> frontier_alpha_;
+  bool failed_ = false;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_STREAMING_H_

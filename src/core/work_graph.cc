@@ -1,0 +1,136 @@
+#include "core/work_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/builder.h"
+
+namespace rfidclean::internal_core {
+
+Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
+  Stopwatch stopwatch;
+  std::vector<WorkNode>& nodes = work.nodes;
+  std::vector<WorkEdge>& edges = work.edges;
+  std::vector<std::vector<NodeId>>& by_time = work.by_time;
+  const Timestamp length = static_cast<Timestamp>(by_time.size());
+  RFID_CHECK_GT(length, 0);
+
+  // --- Backward phase (Algorithm 1, lines 15-29), reformulated over
+  // surviving masses: S(n) = Σ_k p(k) · S(k) with S(target) = 1, so the
+  // conditioned probability of edge (n, k) is p(k)·S(k)/S(n) — the paper's
+  // "divide by (1 - loss)" without subtractive cancellation. Layers are
+  // rescaled by their maximum so S stays representable at any length, and
+  // a node is dead iff S(n) = 0 (Proposition 1, detected structurally).
+  for (Timestamp t = length - 2; t >= 0; --t) {
+    const auto& layer = by_time[static_cast<std::size_t>(t)];
+    double layer_max = 0.0;
+    for (NodeId id : layer) {
+      WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      double mass = 0.0;
+      for (std::int32_t edge_id : node.out_edges) {
+        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        mass += edge.probability *
+                nodes[static_cast<std::size_t>(edge.to)].survived;
+      }
+      node.survived = mass;
+      layer_max = std::max(layer_max, mass);
+    }
+    for (NodeId id : layer) {
+      WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      if (node.survived <= 0.0) {
+        node.alive = false;
+        for (std::int32_t edge_id : node.out_edges) {
+          edges[static_cast<std::size_t>(edge_id)].alive = false;
+        }
+        continue;
+      }
+      for (std::int32_t edge_id : node.out_edges) {
+        WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        double conditioned =
+            edge.probability *
+            nodes[static_cast<std::size_t>(edge.to)].survived /
+            node.survived;
+        if (conditioned > 0.0) {
+          edge.probability = conditioned;
+        } else {
+          edge.alive = false;
+          edge.probability = 0.0;
+        }
+      }
+      node.survived /= layer_max;
+    }
+  }
+
+  // Lines 30-31 with the source-weighting erratum fix (see DESIGN.md):
+  // each surviving source is weighted by its surviving suffix mass.
+  double source_mass = 0.0;
+  for (NodeId id : by_time[0]) {
+    WorkNode& node = nodes[static_cast<std::size_t>(id)];
+    if (node.alive) {
+      node.source_probability *= node.survived;
+      source_mass += node.source_probability;
+    }
+  }
+  if (source_mass <= 0.0) {
+    return FailedPreconditionError(
+        "the integrity constraints rule out every interpretation of the "
+        "readings");
+  }
+
+  // --- Compaction: alive nodes reachable from a surviving source through
+  // live edges (explicit reachability: per-edge products can underflow to
+  // zero under extreme probability ranges).
+  std::vector<bool> reachable(nodes.size(), false);
+  for (NodeId id : by_time[0]) {
+    const WorkNode& node = nodes[static_cast<std::size_t>(id)];
+    if (node.alive && node.source_probability > 0.0) {
+      reachable[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  for (Timestamp t = 0; t + 1 < length; ++t) {
+    for (NodeId id : by_time[static_cast<std::size_t>(t)]) {
+      if (!reachable[static_cast<std::size_t>(id)]) continue;
+      for (std::int32_t edge_id :
+           nodes[static_cast<std::size_t>(id)].out_edges) {
+        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        if (edge.alive && nodes[static_cast<std::size_t>(edge.to)].alive) {
+          reachable[static_cast<std::size_t>(edge.to)] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<CtGraph::Node> compact;
+  std::vector<NodeId> remap(nodes.size(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    WorkNode& node = nodes[i];
+    if (!node.alive || !reachable[i]) continue;
+    remap[i] = static_cast<NodeId>(compact.size());
+    CtGraph::Node out;
+    out.time = node.time;
+    out.key = std::move(node.key);
+    out.source_probability =
+        node.time == 0 ? node.source_probability / source_mass : 0.0;
+    compact.push_back(std::move(out));
+  }
+  for (const WorkEdge& edge : edges) {
+    if (!edge.alive) continue;
+    NodeId from = remap[static_cast<std::size_t>(edge.from)];
+    NodeId to = remap[static_cast<std::size_t>(edge.to)];
+    if (from == kInvalidNode || to == kInvalidNode) continue;
+    compact[static_cast<std::size_t>(from)].out_edges.push_back(
+        CtGraph::Edge{to, edge.probability});
+  }
+  Result<CtGraph> graph = CtGraph::Assemble(std::move(compact), length);
+  RFID_CHECK(graph.ok());  // Construction invariants guarantee validity.
+  if (stats != nullptr) {
+    stats->backward_millis = stopwatch.ElapsedMillis();
+    stats->final_nodes = graph.value().NumNodes();
+    stats->final_edges = graph.value().NumEdges();
+  }
+  return graph;
+}
+
+}  // namespace rfidclean::internal_core

@@ -1,0 +1,55 @@
+#ifndef RFIDCLEAN_CORE_WORK_GRAPH_H_
+#define RFIDCLEAN_CORE_WORK_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+struct BuildStats;
+
+namespace internal_core {
+
+/// Mutable node record shared by the batch builder (CtGraphBuilder) and the
+/// incremental one (StreamingCleaner) during construction.
+struct WorkNode {
+  NodeKey key;
+  Timestamp time = 0;
+  double source_probability = 0.0;
+  /// Relative a-priori mass of the node's *valid* suffixes (see the
+  /// backward-phase commentary in builder.h: this replaces the paper's
+  /// additive `loss` with its numerically robust complement).
+  double survived = 1.0;
+  bool alive = true;
+  std::vector<std::int32_t> out_edges;  // indices into the edge arena
+  std::vector<std::int32_t> in_edges;
+};
+
+struct WorkEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double probability = 0.0;
+  bool alive = true;
+};
+
+/// The forward-phase output: nodes/edges plus the per-timestamp layers.
+struct WorkGraph {
+  std::vector<WorkNode> nodes;
+  std::vector<WorkEdge> edges;
+  std::vector<std::vector<NodeId>> by_time;
+};
+
+/// Runs the backward conditioning phase (survival masses, per-layer
+/// rescaling, source weighting) and compacts the survivors into a CtGraph.
+/// Consumes `graph`. Fills the backward timing and final counts of `stats`
+/// when given. Fails with FailedPrecondition when no interpretation
+/// survives.
+Result<CtGraph> ConditionAndCompact(WorkGraph&& graph, BuildStats* stats);
+
+}  // namespace internal_core
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_WORK_GRAPH_H_

@@ -1,0 +1,69 @@
+#include "eval/accuracy.h"
+
+#include "common/check.h"
+#include "query/pattern_matcher.h"
+
+namespace rfidclean {
+
+double StayQueryAccuracy(const StayQueryEvaluator& evaluator,
+                         const Trajectory& ground_truth,
+                         const std::vector<Timestamp>& times) {
+  RFID_CHECK(!times.empty());
+  double total = 0.0;
+  for (Timestamp t : times) {
+    total += evaluator.Probability(t, ground_truth.At(t));
+  }
+  return total / static_cast<double>(times.size());
+}
+
+double UncleanedStayAccuracy(const UncleanedModel& model,
+                             const Trajectory& ground_truth,
+                             const std::vector<Timestamp>& times) {
+  RFID_CHECK(!times.empty());
+  double total = 0.0;
+  for (Timestamp t : times) {
+    total += model.StayProbability(t, ground_truth.At(t));
+  }
+  return total / static_cast<double>(times.size());
+}
+
+double TrajectoryQueryAccuracy(double yes_probability, bool truth_matches) {
+  return truth_matches ? yes_probability : 1.0 - yes_probability;
+}
+
+double UncleanedTrajectoryQueryProbability(const LSequence& sequence,
+                                           const Pattern& pattern) {
+  PatternMatcher matcher(pattern);
+  // mass[s] = probability that a random independent interpretation's prefix
+  // leaves the DFA in state s.
+  std::vector<std::pair<int, double>> mass = {{matcher.StartState(), 1.0}};
+  std::vector<std::pair<int, double>> next;
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    next.clear();
+    for (const auto& [state, probability] : mass) {
+      for (const Candidate& candidate : sequence.CandidatesAt(t)) {
+        int target = matcher.Step(state, candidate.location);
+        double added = probability * candidate.probability;
+        bool found = false;
+        for (auto& [existing, total] : next) {
+          if (existing == target) {
+            total += added;
+            found = true;
+            break;
+          }
+        }
+        if (!found) next.emplace_back(target, added);
+      }
+    }
+    mass.swap(next);
+  }
+  double yes = 0.0;
+  for (const auto& [state, probability] : mass) {
+    if (matcher.IsAccepting(state)) yes += probability;
+  }
+  if (yes < 0.0) yes = 0.0;
+  if (yes > 1.0) yes = 1.0;
+  return yes;
+}
+
+}  // namespace rfidclean

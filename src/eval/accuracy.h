@@ -1,0 +1,41 @@
+#ifndef RFIDCLEAN_EVAL_ACCURACY_H_
+#define RFIDCLEAN_EVAL_ACCURACY_H_
+
+#include <vector>
+
+#include "baseline/uncleaned.h"
+#include "model/lsequence.h"
+#include "model/trajectory.h"
+#include "query/pattern.h"
+#include "query/stay_query.h"
+
+namespace rfidclean {
+
+/// Accuracy of a stay-query answer (§6.6): the probability the answer
+/// assigns to the location the object actually occupied. Returns the mean
+/// over the workload's time points.
+double StayQueryAccuracy(const StayQueryEvaluator& evaluator,
+                         const Trajectory& ground_truth,
+                         const std::vector<Timestamp>& times);
+
+/// Same metric computed on the uncleaned (per-instant independent)
+/// interpretation — the before-cleaning baseline of Figure 9(a).
+double UncleanedStayAccuracy(const UncleanedModel& model,
+                             const Trajectory& ground_truth,
+                             const std::vector<Timestamp>& times);
+
+/// Accuracy of one trajectory-query answer: p if the ground-truth trajectory
+/// matches the pattern, 1 - p otherwise, where p is the probability of
+/// "yes" under the evaluated model.
+double TrajectoryQueryAccuracy(double yes_probability, bool truth_matches);
+
+/// Probability that the pattern matches under the *uncleaned* independent
+/// interpretation of the l-sequence: the same DFA dynamic program as the
+/// ct-graph evaluator, but over the per-instant candidate distributions
+/// (every location transition considered possible).
+double UncleanedTrajectoryQueryProbability(const LSequence& sequence,
+                                           const Pattern& pattern);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_EVAL_ACCURACY_H_

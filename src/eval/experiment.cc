@@ -1,0 +1,271 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "baseline/uncleaned.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/builder.h"
+#include "eval/accuracy.h"
+#include "eval/workload.h"
+#include "query/pattern_matcher.h"
+#include "query/stay_query.h"
+#include "query/trajectory_query.h"
+
+namespace rfidclean {
+
+namespace {
+
+std::vector<const Dataset::Item*> SelectItems(const Dataset& dataset,
+                                              Timestamp duration,
+                                              int max_items) {
+  std::vector<const Dataset::Item*> items =
+      dataset.ItemsWithDuration(duration);
+  if (static_cast<int>(items.size()) > max_items) {
+    items.resize(static_cast<std::size_t>(max_items));
+  }
+  return items;
+}
+
+}  // namespace
+
+std::vector<CleaningCostRow> RunCleaningCost(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits) {
+  std::vector<CleaningCostRow> rows;
+  for (const ConstraintFamilies& family : families) {
+    ConstraintSet constraints = dataset.MakeConstraints(family);
+    CtGraphBuilder builder(constraints);
+    for (Timestamp duration : dataset.options().durations_ticks) {
+      auto items =
+          SelectItems(dataset, duration, limits.max_items_per_duration);
+      if (items.empty()) continue;
+      CleaningCostRow row;
+      row.dataset = dataset.options().name;
+      row.families = ConstraintFamiliesLabel(family);
+      row.duration_ticks = duration;
+      row.trajectories = static_cast<int>(items.size());
+      int successes = 0;
+      for (const Dataset::Item* item : items) {
+        BuildStats stats;
+        Result<CtGraph> graph = builder.Build(item->lsequence, &stats);
+        if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+        ++successes;
+        row.avg_total_ms += stats.TotalMillis();
+        row.avg_forward_ms += stats.forward_millis;
+        row.avg_backward_ms += stats.backward_millis;
+        row.avg_peak_nodes += static_cast<double>(stats.peak_nodes);
+        row.avg_final_nodes += static_cast<double>(stats.final_nodes);
+        row.avg_final_edges += static_cast<double>(stats.final_edges);
+        row.avg_graph_bytes +=
+            static_cast<double>(graph.value().ApproximateBytes());
+      }
+      if (successes == 0) continue;
+      row.trajectories = successes;
+      double n = static_cast<double>(successes);
+      row.avg_total_ms /= n;
+      row.avg_forward_ms /= n;
+      row.avg_backward_ms /= n;
+      row.avg_peak_nodes /= n;
+      row.avg_final_nodes /= n;
+      row.avg_final_edges /= n;
+      row.avg_graph_bytes /= n;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<QueryTimeRow> RunQueryTime(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits) {
+  std::vector<QueryTimeRow> rows;
+  for (const ConstraintFamilies& family : families) {
+    ConstraintSet constraints = dataset.MakeConstraints(family);
+    CtGraphBuilder builder(constraints);
+    for (Timestamp duration : dataset.options().durations_ticks) {
+      auto items =
+          SelectItems(dataset, duration, limits.max_items_per_duration);
+      if (items.empty()) continue;
+      QueryTimeRow row;
+      row.dataset = dataset.options().name;
+      row.families = ConstraintFamiliesLabel(family);
+      row.duration_ticks = duration;
+      double stay_micros = 0.0;
+      double pattern_micros = 0.0;
+      std::size_t stay_count = 0;
+      std::size_t pattern_count = 0;
+      std::uint64_t stream = 0;
+      for (const Dataset::Item* item : items) {
+        Rng rng(limits.query_seed, stream++);
+        Result<CtGraph> graph = builder.Build(item->lsequence);
+        if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+        std::vector<Timestamp> times = StayQueryWorkload(
+            duration, limits.stay_queries_per_trajectory, rng);
+        Stopwatch stopwatch;
+        StayQueryEvaluator evaluator(graph.value());
+        double sink = 0.0;
+        for (Timestamp t : times) {
+          sink += evaluator
+                      .Evaluate(t)[0]
+                      .second;  // Force full evaluation.
+        }
+        stay_micros += stopwatch.ElapsedMicros();
+        stay_count += times.size();
+        RFID_CHECK_GE(sink, 0.0);
+
+        std::vector<Pattern> queries = TrajectoryQueryWorkload(
+            dataset.building(), limits.trajectory_queries_per_trajectory,
+            rng);
+        stopwatch.Reset();
+        for (const Pattern& pattern : queries) {
+          sink += EvaluateTrajectoryQuery(graph.value(), pattern);
+        }
+        pattern_micros += stopwatch.ElapsedMicros();
+        pattern_count += queries.size();
+      }
+      if (stay_count == 0 || pattern_count == 0) continue;
+      row.avg_stay_micros = stay_micros / static_cast<double>(stay_count);
+      row.avg_pattern_micros =
+          pattern_micros / static_cast<double>(pattern_count);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::vector<AccuracyRow> RunAccuracy(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits, bool include_uncleaned_baseline) {
+  std::vector<AccuracyRow> rows;
+
+  // Shared workloads: the same queries are posed to every model so the
+  // comparison isolates the effect of cleaning.
+  struct ItemWorkload {
+    const Dataset::Item* item;
+    std::vector<Timestamp> stay_times;
+    std::vector<Pattern> patterns;
+    std::vector<bool> truth_matches;
+  };
+  std::vector<ItemWorkload> workloads;
+  std::uint64_t stream = 0;
+  for (Timestamp duration : dataset.options().durations_ticks) {
+    for (const Dataset::Item* item :
+         SelectItems(dataset, duration, limits.max_items_per_duration)) {
+      Rng rng(limits.query_seed, stream++);
+      ItemWorkload workload;
+      workload.item = item;
+      workload.stay_times = StayQueryWorkload(
+          item->duration, limits.stay_queries_per_trajectory, rng);
+      workload.patterns = TrajectoryQueryWorkload(
+          dataset.building(), limits.trajectory_queries_per_trajectory, rng);
+      for (const Pattern& pattern : workload.patterns) {
+        PatternMatcher matcher(pattern);
+        workload.truth_matches.push_back(
+            matcher.Matches(item->ground_truth));
+      }
+      workloads.push_back(std::move(workload));
+    }
+  }
+  RFID_CHECK(!workloads.empty());
+
+  if (include_uncleaned_baseline) {
+    AccuracyRow row;
+    row.dataset = dataset.options().name;
+    row.families = "uncleaned";
+    double stay = 0.0;
+    double pattern = 0.0;
+    std::size_t pattern_count = 0;
+    for (const ItemWorkload& workload : workloads) {
+      UncleanedModel model(workload.item->lsequence);
+      stay += UncleanedStayAccuracy(model, workload.item->ground_truth,
+                                    workload.stay_times);
+      for (std::size_t q = 0; q < workload.patterns.size(); ++q) {
+        double yes = UncleanedTrajectoryQueryProbability(
+            workload.item->lsequence, workload.patterns[q]);
+        pattern += TrajectoryQueryAccuracy(yes, workload.truth_matches[q]);
+        ++pattern_count;
+      }
+    }
+    row.stay_accuracy = stay / static_cast<double>(workloads.size());
+    row.trajectory_accuracy =
+        pattern / static_cast<double>(pattern_count);
+    rows.push_back(std::move(row));
+  }
+
+  for (const ConstraintFamilies& family : families) {
+    ConstraintSet constraints = dataset.MakeConstraints(family);
+    CtGraphBuilder builder(constraints);
+    AccuracyRow row;
+    row.dataset = dataset.options().name;
+    row.families = ConstraintFamiliesLabel(family);
+    double stay = 0.0;
+    double pattern = 0.0;
+    std::size_t stay_count = 0;
+    std::size_t pattern_count = 0;
+    for (const ItemWorkload& workload : workloads) {
+      Result<CtGraph> graph = builder.Build(workload.item->lsequence);
+      if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+      ++stay_count;
+      StayQueryEvaluator evaluator(graph.value());
+      stay += StayQueryAccuracy(evaluator, workload.item->ground_truth,
+                                workload.stay_times);
+      for (std::size_t q = 0; q < workload.patterns.size(); ++q) {
+        double yes =
+            EvaluateTrajectoryQuery(graph.value(), workload.patterns[q]);
+        pattern += TrajectoryQueryAccuracy(yes, workload.truth_matches[q]);
+        ++pattern_count;
+      }
+    }
+    if (stay_count == 0 || pattern_count == 0) continue;
+    row.stay_accuracy = stay / static_cast<double>(stay_count);
+    row.trajectory_accuracy =
+        pattern / static_cast<double>(pattern_count);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<AccuracyByLengthRow> RunAccuracyByQueryLength(
+    const Dataset& dataset, const ConstraintFamilies& families,
+    const ExperimentLimits& limits) {
+  ConstraintSet constraints = dataset.MakeConstraints(families);
+  CtGraphBuilder builder(constraints);
+  // Each ct-graph is built once and queried at every length.
+  double accuracy[3] = {0.0, 0.0, 0.0};
+  std::size_t count[3] = {0, 0, 0};
+  std::uint64_t stream = 1000;
+  for (Timestamp duration : dataset.options().durations_ticks) {
+    for (const Dataset::Item* item :
+         SelectItems(dataset, duration, limits.max_items_per_duration)) {
+      Rng rng(limits.query_seed, stream++);
+      Result<CtGraph> graph = builder.Build(item->lsequence);
+      if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+      for (int length = 2; length <= 4; ++length) {
+        for (int q = 0; q < limits.trajectory_queries_per_trajectory; ++q) {
+          Pattern pattern =
+              RandomTrajectoryQuery(dataset.building(), length, rng);
+          PatternMatcher matcher(pattern);
+          double yes = EvaluateTrajectoryQuery(graph.value(), pattern);
+          accuracy[length - 2] += TrajectoryQueryAccuracy(
+              yes, matcher.Matches(item->ground_truth));
+          ++count[length - 2];
+        }
+      }
+    }
+  }
+  std::vector<AccuracyByLengthRow> rows;
+  for (int length = 2; length <= 4; ++length) {
+    RFID_CHECK_GT(count[length - 2], 0u);
+    AccuracyByLengthRow row;
+    row.dataset = dataset.options().name;
+    row.families = ConstraintFamiliesLabel(families);
+    row.query_length = length;
+    row.trajectory_accuracy =
+        accuracy[length - 2] / static_cast<double>(count[length - 2]);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,87 @@
+#ifndef RFIDCLEAN_EVAL_EXPERIMENT_H_
+#define RFIDCLEAN_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "constraints/inference.h"
+#include "gen/dataset.h"
+
+namespace rfidclean {
+
+/// Workload sizes of the §6 experiments. The paper's full setting is
+/// 25 trajectories per duration, 100 stay queries and 50 trajectory queries
+/// per trajectory; quick runs scale max_items_per_duration down.
+struct ExperimentLimits {
+  int max_items_per_duration = 25;
+  int stay_queries_per_trajectory = 100;
+  int trajectory_queries_per_trajectory = 50;
+  std::uint64_t query_seed = 7;
+};
+
+/// One row of the Fig. 8(a)/8(b) cleaning-cost experiment: averages over
+/// the trajectories of one (dataset, constraint set, duration) cell.
+struct CleaningCostRow {
+  std::string dataset;
+  std::string families;
+  Timestamp duration_ticks = 0;
+  int trajectories = 0;
+  double avg_total_ms = 0.0;
+  double avg_forward_ms = 0.0;
+  double avg_backward_ms = 0.0;
+  double avg_peak_nodes = 0.0;
+  double avg_final_nodes = 0.0;
+  double avg_final_edges = 0.0;
+  double avg_graph_bytes = 0.0;  ///< The §6.7 memory metric.
+};
+
+/// Builds the ct-graph of every selected item under every requested
+/// constraint family and reports per-cell averages.
+std::vector<CleaningCostRow> RunCleaningCost(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits);
+
+/// One row of the Fig. 8(c) query-time experiment.
+struct QueryTimeRow {
+  std::string dataset;
+  std::string families;
+  Timestamp duration_ticks = 0;
+  double avg_stay_micros = 0.0;     ///< Per stay query (marginals amortized).
+  double avg_pattern_micros = 0.0;  ///< Per trajectory query.
+};
+
+std::vector<QueryTimeRow> RunQueryTime(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits);
+
+/// One row of the Fig. 9(a)/9(b) accuracy experiment, aggregated over all
+/// durations of a dataset. families == "uncleaned" is the no-cleaning
+/// baseline.
+struct AccuracyRow {
+  std::string dataset;
+  std::string families;
+  double stay_accuracy = 0.0;
+  double trajectory_accuracy = 0.0;
+};
+
+std::vector<AccuracyRow> RunAccuracy(
+    const Dataset& dataset, const std::vector<ConstraintFamilies>& families,
+    const ExperimentLimits& limits, bool include_uncleaned_baseline = true);
+
+/// One row of the Fig. 9(c) experiment: trajectory-query accuracy bucketed
+/// by the number of location conditions in the query (2, 3 or 4).
+struct AccuracyByLengthRow {
+  std::string dataset;
+  std::string families;
+  int query_length = 0;
+  double trajectory_accuracy = 0.0;
+};
+
+std::vector<AccuracyByLengthRow> RunAccuracyByQueryLength(
+    const Dataset& dataset, const ConstraintFamilies& families,
+    const ExperimentLimits& limits);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_EVAL_EXPERIMENT_H_

@@ -1,0 +1,47 @@
+#include "eval/workload.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+std::vector<Timestamp> StayQueryWorkload(Timestamp trajectory_length,
+                                         int count, Rng& rng) {
+  RFID_CHECK_GT(trajectory_length, 0);
+  std::vector<Timestamp> times;
+  times.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    times.push_back(static_cast<Timestamp>(
+        rng.UniformIndex(static_cast<std::size_t>(trajectory_length))));
+  }
+  return times;
+}
+
+Pattern RandomTrajectoryQuery(const Building& building, int num_conditions,
+                              Rng& rng) {
+  RFID_CHECK_GE(num_conditions, 1);
+  static constexpr int kDurations[] = {-1, 3, 5, 7, 9};
+  std::vector<PatternItem> items;
+  items.push_back(PatternItem::Wildcard());
+  for (int i = 0; i < num_conditions; ++i) {
+    LocationId location =
+        static_cast<LocationId>(rng.UniformIndex(building.NumLocations()));
+    int duration = kDurations[rng.UniformIndex(std::size(kDurations))];
+    items.push_back(PatternItem::Condition(
+        location, duration < 0 ? 1 : static_cast<Timestamp>(duration)));
+    items.push_back(PatternItem::Wildcard());
+  }
+  return Pattern(std::move(items));
+}
+
+std::vector<Pattern> TrajectoryQueryWorkload(const Building& building,
+                                             int count, Rng& rng) {
+  std::vector<Pattern> queries;
+  queries.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    int num_conditions = rng.UniformInt(2, 4);
+    queries.push_back(RandomTrajectoryQuery(building, num_conditions, rng));
+  }
+  return queries;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,31 @@
+#ifndef RFIDCLEAN_EVAL_WORKLOAD_H_
+#define RFIDCLEAN_EVAL_WORKLOAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "map/building.h"
+#include "model/reading.h"
+#include "query/pattern.h"
+
+namespace rfidclean {
+
+/// Random time points for a stay-query workload (§6.6: 100 per trajectory).
+std::vector<Timestamp> StayQueryWorkload(Timestamp trajectory_length,
+                                         int count, Rng& rng);
+
+/// One random trajectory query following §6.6: `num_conditions` locations
+/// drawn uniformly from the map, each with a duration drawn from
+/// {-1, 3, 5, 7, 9} (-1 meaning a bare `l` condition), separated and
+/// surrounded by wildcards: "? l1[n1] ? ... ? lx[nx] ?".
+Pattern RandomTrajectoryQuery(const Building& building, int num_conditions,
+                              Rng& rng);
+
+/// A workload of `count` trajectory queries whose condition counts are
+/// drawn uniformly from {2, 3, 4} (§6.6: 50 per trajectory).
+std::vector<Pattern> TrajectoryQueryWorkload(const Building& building,
+                                             int count, Rng& rng);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_EVAL_WORKLOAD_H_

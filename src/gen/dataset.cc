@@ -1,0 +1,79 @@
+#include "gen/dataset.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "gen/reading_generator.h"
+#include "map/standard_buildings.h"
+#include "rfid/calibration.h"
+#include "rfid/reader_placement.h"
+
+namespace rfidclean {
+
+Dataset::Dataset(const DatasetOptions& options, Building building)
+    : options_(options),
+      building_(std::move(building)),
+      grid_(BuildingGrid::Build(building_, options.cell_size)),
+      walking_(WalkingDistances::Compute(building_, grid_)) {}
+
+std::unique_ptr<Dataset> Dataset::Build(const DatasetOptions& options) {
+  RFID_CHECK_GE(options.num_floors, 1);
+  RFID_CHECK(!options.durations_ticks.empty());
+  RFID_CHECK_GE(options.trajectories_per_duration, 1);
+
+  // unique_ptr with explicit new: the constructor is private.
+  std::unique_ptr<Dataset> dataset(
+      new Dataset(options, MakeOfficeBuilding(options.num_floors)));
+
+  dataset->readers_ = PlaceStandardReaders(dataset->building_);
+  DetectionModel model(options.detection);
+  dataset->truth_ = std::make_unique<CoverageMatrix>(
+      CoverageMatrix::FromModel(dataset->readers_, dataset->grid_, model));
+
+  Rng calibration_rng(options.seed, /*stream=*/0xCA11B);
+  dataset->calibrated_ = std::make_unique<CoverageMatrix>(
+      Calibrator::Calibrate(*dataset->truth_, options.calibration_seconds,
+                            calibration_rng));
+  dataset->apriori_ = std::make_unique<AprioriModel>(
+      dataset->building_, dataset->grid_, *dataset->calibrated_);
+
+  TrajectoryGenerator trajectories(dataset->building_);
+  ReadingGenerator readings(dataset->grid_, *dataset->truth_);
+  std::uint64_t stream = 1;
+  for (Timestamp duration : options.durations_ticks) {
+    for (int i = 0; i < options.trajectories_per_duration; ++i) {
+      Rng rng(options.seed, stream++);
+      TrajectoryGenOptions motion = options.motion;
+      motion.duration_ticks = duration;
+      Item item;
+      item.duration = duration;
+      item.continuous = trajectories.Generate(motion, rng);
+      item.ground_truth = item.continuous.ToDiscrete(dataset->building_);
+      item.readings = readings.Generate(item.continuous, rng);
+      item.lsequence =
+          LSequence::FromReadings(item.readings, *dataset->apriori_);
+      dataset->items_.push_back(std::move(item));
+    }
+  }
+  return dataset;
+}
+
+std::vector<const Dataset::Item*> Dataset::ItemsWithDuration(
+    Timestamp duration) const {
+  std::vector<const Item*> out;
+  for (const Item& item : items_) {
+    if (item.duration == duration) out.push_back(&item);
+  }
+  return out;
+}
+
+ConstraintSet Dataset::MakeConstraints(
+    const ConstraintFamilies& families) const {
+  InferenceOptions inference;
+  inference.families = families;
+  inference.max_speed = options_.motion.max_speed;
+  return InferConstraints(building_, walking_, inference);
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,106 @@
+#ifndef RFIDCLEAN_GEN_DATASET_H_
+#define RFIDCLEAN_GEN_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/inference.h"
+#include "gen/trajectory_generator.h"
+#include "map/building.h"
+#include "map/building_grid.h"
+#include "map/walking_distance.h"
+#include "model/apriori.h"
+#include "model/lsequence.h"
+#include "model/rsequence.h"
+#include "rfid/coverage_matrix.h"
+#include "rfid/detection_model.h"
+#include "rfid/reader.h"
+
+namespace rfidclean {
+
+/// Parameters of a full synthetic dataset in the style of §6.1. Defaults
+/// mirror the paper; the evaluation harness scales trajectories_per_duration
+/// down for quick runs.
+struct DatasetOptions {
+  int num_floors = 4;  ///< 4 = SYN1, 8 = SYN2.
+  std::vector<Timestamp> durations_ticks = {600, 3600, 5400, 7200};
+  int trajectories_per_duration = 25;
+  double cell_size = 0.5;
+  int calibration_seconds = 30;
+  std::uint64_t seed = 1;
+  DetectionModel::Params detection;
+  TrajectoryGenOptions motion;  ///< duration_ticks is overridden per item.
+  std::string name = "SYN";
+
+  static DatasetOptions Syn1() {
+    DatasetOptions options;
+    options.num_floors = 4;
+    options.name = "SYN1";
+    return options;
+  }
+  static DatasetOptions Syn2() {
+    DatasetOptions options;
+    options.num_floors = 8;
+    options.seed = 2;
+    options.name = "SYN2";
+    return options;
+  }
+};
+
+/// A fully materialized dataset: the building, the reader deployment, the
+/// ground-truth and calibrated coverage matrices, the a-priori model, the
+/// walking distances, and one item per generated trajectory. Returned by
+/// pointer: AprioriModel holds references into the owning struct.
+class Dataset {
+ public:
+  /// Runs the whole §6 pipeline: build the building and its grid, place
+  /// readers, derive ground-truth coverage from the antenna model, calibrate,
+  /// compute walking distances, then generate the requested trajectories and
+  /// their readings and l-sequences.
+  static std::unique_ptr<Dataset> Build(const DatasetOptions& options);
+
+  struct Item {
+    Timestamp duration = 0;
+    ContinuousTrajectory continuous;
+    Trajectory ground_truth;
+    RSequence readings;
+    LSequence lsequence;
+  };
+
+  const DatasetOptions& options() const { return options_; }
+  const Building& building() const { return building_; }
+  const BuildingGrid& grid() const { return grid_; }
+  const std::vector<Reader>& readers() const { return readers_; }
+  const CoverageMatrix& truth_coverage() const { return *truth_; }
+  const CoverageMatrix& calibrated_coverage() const { return *calibrated_; }
+  const AprioriModel& apriori() const { return *apriori_; }
+  const WalkingDistances& walking() const { return walking_; }
+  const std::vector<Item>& items() const { return items_; }
+
+  /// Items with the given duration (e.g. the paper's SYN1-60 bucket).
+  std::vector<const Item*> ItemsWithDuration(Timestamp duration) const;
+
+  /// Constraint set for the requested families, inferred from the map and
+  /// max speed (§6.3) using this dataset's motion parameters.
+  ConstraintSet MakeConstraints(const ConstraintFamilies& families) const;
+
+ private:
+  Dataset(const DatasetOptions& options, Building building);
+
+  DatasetOptions options_;
+  Building building_;
+  BuildingGrid grid_;
+  std::vector<Reader> readers_;
+  std::unique_ptr<CoverageMatrix> truth_;
+  std::unique_ptr<CoverageMatrix> calibrated_;
+  std::unique_ptr<AprioriModel> apriori_;
+  WalkingDistances walking_;
+  std::vector<Item> items_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEN_DATASET_H_

@@ -1,0 +1,45 @@
+#include "gen/reading_generator.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+ReadingGenerator::ReadingGenerator(const BuildingGrid& grid,
+                                   const CoverageMatrix& truth)
+    : grid_(&grid), truth_(&truth) {
+  RFID_CHECK_EQ(truth.num_cells(), grid.NumCells());
+  candidates_.resize(static_cast<std::size_t>(grid.NumCells()));
+  for (int c = 0; c < grid.NumCells(); ++c) {
+    for (ReaderId r = 0; r < truth.num_readers(); ++r) {
+      if (truth.Probability(r, c) > 0.0) {
+        candidates_[static_cast<std::size_t>(c)].push_back(r);
+      }
+    }
+  }
+}
+
+RSequence ReadingGenerator::Generate(const ContinuousTrajectory& trajectory,
+                                     Rng& rng) const {
+  RFID_CHECK_GT(trajectory.length(), 0);
+  std::vector<Reading> readings;
+  readings.reserve(static_cast<std::size_t>(trajectory.length()));
+  for (Timestamp t = 0; t < trajectory.length(); ++t) {
+    const PositionSample& sample =
+        trajectory.samples[static_cast<std::size_t>(t)];
+    int cell = grid_->GlobalCellAt(sample.floor, sample.position);
+    RFID_CHECK_GE(cell, 0);
+    Reading reading;
+    reading.time = t;
+    for (ReaderId r : candidates_[static_cast<std::size_t>(cell)]) {
+      if (rng.Bernoulli(truth_->Probability(r, cell))) {
+        reading.readers.push_back(r);
+      }
+    }
+    readings.push_back(std::move(reading));
+  }
+  Result<RSequence> sequence = RSequence::Create(std::move(readings));
+  RFID_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,36 @@
+#ifndef RFIDCLEAN_GEN_READING_GENERATOR_H_
+#define RFIDCLEAN_GEN_READING_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "gen/trajectory_generator.h"
+#include "map/building_grid.h"
+#include "model/rsequence.h"
+#include "rfid/coverage_matrix.h"
+
+namespace rfidclean {
+
+/// The paper's reading-generator module (§6.4): transforms each continuous
+/// position sample (x, y, τ) into a reading (τ, R) by locating the grid cell
+/// c containing the point and putting each reader r into R independently
+/// with probability F[r, c] — F interpreted as the per-second detection
+/// probability, readers behaving independently.
+class ReadingGenerator {
+ public:
+  /// `grid` and `truth` (the ground-truth coverage matrix) must outlive the
+  /// generator. An index of candidate readers per cell is precomputed so
+  /// generation touches only readers that can possibly fire.
+  ReadingGenerator(const BuildingGrid& grid, const CoverageMatrix& truth);
+
+  RSequence Generate(const ContinuousTrajectory& trajectory, Rng& rng) const;
+
+ private:
+  const BuildingGrid* grid_;
+  const CoverageMatrix* truth_;
+  std::vector<std::vector<ReaderId>> candidates_;  // per cell
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEN_READING_GENERATOR_H_

@@ -1,0 +1,151 @@
+#include "gen/trajectory_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+namespace {
+
+/// A straight-line leg (or a wait, when from == to) on one floor.
+struct Segment {
+  int floor = 0;
+  Vec2 from;
+  Vec2 to;
+  double duration = 0.0;  // seconds
+};
+
+/// A point `inset` meters inside `footprint` from the door position,
+/// toward the footprint center; keeps polylines out of walls.
+Vec2 ApproachPoint(const Rect& footprint, Vec2 door_position, double inset) {
+  Vec2 entry = footprint.ClosestPointTo(door_position);
+  Vec2 toward = footprint.Center() - entry;
+  double norm = toward.Norm();
+  if (norm == 0.0) return entry;
+  return entry + toward * std::min(1.0, inset / norm);
+}
+
+Vec2 RandomPointInside(const Rect& footprint, double inset, Rng& rng) {
+  double usable = std::min({inset, footprint.Width() / 2 - 0.05,
+                            footprint.Height() / 2 - 0.05});
+  if (usable <= 0.0) return footprint.Center();
+  return {rng.UniformDouble(footprint.min.x + usable,
+                            footprint.max.x - usable),
+          rng.UniformDouble(footprint.min.y + usable,
+                            footprint.max.y - usable)};
+}
+
+}  // namespace
+
+Trajectory ContinuousTrajectory::ToDiscrete(const Building& building) const {
+  Trajectory trajectory;
+  for (const PositionSample& sample : samples) {
+    LocationId location =
+        building.LocationNear(sample.floor, sample.position);
+    RFID_CHECK_NE(location, kInvalidLocation);
+    trajectory.Append(location);
+  }
+  return trajectory;
+}
+
+TrajectoryGenerator::TrajectoryGenerator(const Building& building)
+    : building_(&building) {}
+
+ContinuousTrajectory TrajectoryGenerator::Generate(
+    const TrajectoryGenOptions& options, Rng& rng) const {
+  RFID_CHECK_GT(options.duration_ticks, 0);
+  RFID_CHECK_GT(options.min_speed, 0.0);
+  RFID_CHECK_LE(options.min_speed, options.max_speed);
+  RFID_CHECK_GE(options.min_stay, 1);
+  RFID_CHECK_LE(options.min_stay, options.max_stay);
+
+  const Building& building = *building_;
+  std::vector<Segment> segments;
+  double total = 0.0;
+  auto add = [&](int floor, Vec2 from, Vec2 to, double duration) {
+    if (duration <= 0.0) return;
+    segments.push_back(Segment{floor, from, to, duration});
+    total += duration;
+  };
+  auto add_move = [&](int floor, Vec2 from, Vec2 to, double speed) {
+    add(floor, from, to, Distance(from, to) / speed);
+  };
+
+  // First room and entrance point are random (§6.4).
+  LocationId current = static_cast<LocationId>(
+      rng.UniformIndex(building.NumLocations()));
+  Vec2 position = RandomPointInside(building.location(current).footprint,
+                                    options.rest_inset, rng);
+
+  const double horizon = static_cast<double>(options.duration_ticks);
+  while (total < horizon) {
+    const Location& room = building.location(current);
+    const double speed =
+        rng.UniformDouble(options.min_speed, options.max_speed);
+    // Entrance point -> rest point, then stay.
+    Vec2 rest = RandomPointInside(room.footprint, options.rest_inset, rng);
+    add_move(room.floor, position, rest, speed);
+    Timestamp stay = static_cast<Timestamp>(
+        rng.UniformInt(options.min_stay, options.max_stay));
+    add(room.floor, rest, rest, static_cast<double>(stay));
+    position = rest;
+
+    // Uniformly pick an exit: a door or a staircase of the current room.
+    const std::vector<int>& doors = building.DoorsOf(current);
+    const std::vector<int>& stairs = building.StairsOf(current);
+    const std::size_t num_exits = doors.size() + stairs.size();
+    RFID_CHECK_GT(num_exits, 0u);
+    std::size_t exit = rng.UniformIndex(num_exits);
+    if (exit < doors.size()) {
+      const Door& door =
+          building.doors()[static_cast<std::size_t>(doors[exit])];
+      LocationId next = door.a == current ? door.b : door.a;
+      const Location& next_room = building.location(next);
+      Vec2 out = ApproachPoint(room.footprint, door.position, 0.35);
+      Vec2 in = ApproachPoint(next_room.footprint, door.position, 0.35);
+      add_move(room.floor, position, out, speed);
+      add_move(room.floor, out, door.position, speed);
+      add_move(room.floor, door.position, in, speed);
+      current = next;
+      position = in;
+    } else {
+      const StairEdge& stair = building.stairs()[static_cast<std::size_t>(
+          stairs[exit - doors.size()])];
+      LocationId next = stair.lower == current ? stair.upper : stair.lower;
+      const Location& next_room = building.location(next);
+      Vec2 here = room.footprint.Center();
+      Vec2 there = next_room.footprint.Center();
+      double climb = stair.length / speed;
+      add_move(room.floor, position, here, speed);
+      add(room.floor, here, here, climb / 2);
+      add(next_room.floor, there, there, climb / 2);
+      current = next;
+      position = there;
+    }
+  }
+
+  // Sample the polyline at integer seconds.
+  ContinuousTrajectory trajectory;
+  trajectory.samples.reserve(
+      static_cast<std::size_t>(options.duration_ticks));
+  double segment_start = 0.0;
+  std::size_t index = 0;
+  for (Timestamp t = 0; t < options.duration_ticks; ++t) {
+    double at = static_cast<double>(t);
+    while (index < segments.size() &&
+           at >= segment_start + segments[index].duration) {
+      segment_start += segments[index].duration;
+      ++index;
+    }
+    RFID_CHECK_LT(index, segments.size());
+    const Segment& segment = segments[index];
+    double fraction = (at - segment_start) / segment.duration;
+    trajectory.samples.push_back(PositionSample{
+        segment.floor, Lerp(segment.from, segment.to, fraction)});
+  }
+  return trajectory;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,69 @@
+#ifndef RFIDCLEAN_GEN_TRAJECTORY_GENERATOR_H_
+#define RFIDCLEAN_GEN_TRAJECTORY_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geometry/vec2.h"
+#include "map/building.h"
+#include "model/reading.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// Position of the object at one integer time point.
+struct PositionSample {
+  int floor = 0;
+  Vec2 position;
+};
+
+/// A continuous ground-truth trajectory: one (x, y, floor) triple per tick,
+/// as produced by the paper's trajectory-generator module (§6.4).
+struct ContinuousTrajectory {
+  std::vector<PositionSample> samples;
+
+  Timestamp length() const {
+    return static_cast<Timestamp>(samples.size());
+  }
+
+  /// Ground-truth discrete trajectory: the location of each sample.
+  /// Samples inside door gaps are assigned the nearest location.
+  Trajectory ToDiscrete(const Building& building) const;
+};
+
+/// Knobs of the generator; defaults follow §6.4.
+struct TrajectoryGenOptions {
+  Timestamp duration_ticks = 600;  ///< Trajectory length (1 tick = 1 s).
+  double min_speed = 1.0;          ///< m/s, lower bound of the per-leg speed.
+  double max_speed = 2.0;          ///< m/s, upper bound.
+  Timestamp min_stay = 30;         ///< Rest-point stay, lower bound (ticks).
+  Timestamp max_stay = 60;         ///< Rest-point stay, upper bound (ticks).
+  double rest_inset = 0.6;         ///< Rest points at least this far from walls.
+};
+
+/// The paper's synthetic trajectory generator (§6.4). Each iteration moves
+/// the object from its current room's entrance point to a random rest point
+/// inside the room (velocity uniform in [min_speed, max_speed]), lets it
+/// stay for a random latency in [min_stay, max_stay], then walks it to a
+/// uniformly chosen exit (door or staircase), which determines the next room
+/// and entrance point. The first room and position are drawn uniformly.
+///
+/// Movement is routed through per-door approach points so the polyline never
+/// crosses a wall outside a door gap; staircases take length/velocity
+/// seconds, spent at the two stairwells' centers.
+class TrajectoryGenerator {
+ public:
+  /// `building` must outlive the generator, have every location connected,
+  /// and rooms large enough for the rest inset.
+  explicit TrajectoryGenerator(const Building& building);
+
+  ContinuousTrajectory Generate(const TrajectoryGenOptions& options,
+                                Rng& rng) const;
+
+ private:
+  const Building* building_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEN_TRAJECTORY_GENERATOR_H_

@@ -1,0 +1,116 @@
+#include "geometry/grid.h"
+
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+OccupancyGrid::OccupancyGrid(const Rect& bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  RFID_CHECK_GT(cell_size, 0.0);
+  RFID_CHECK_GT(bounds.Width(), 0.0);
+  RFID_CHECK_GT(bounds.Height(), 0.0);
+  cols_ = static_cast<int>(std::ceil(bounds.Width() / cell_size - 1e-9));
+  rows_ = static_cast<int>(std::ceil(bounds.Height() / cell_size - 1e-9));
+  walkable_.assign(static_cast<std::size_t>(cols_) * rows_, false);
+}
+
+int OccupancyGrid::CellIndexAt(Vec2 p) const {
+  if (!bounds_.Contains(p)) return -1;
+  int col = static_cast<int>((p.x - bounds_.min.x) / cell_size_);
+  int row = static_cast<int>((p.y - bounds_.min.y) / cell_size_);
+  if (col >= cols_) col = cols_ - 1;  // Points exactly on the max edge.
+  if (row >= rows_) row = rows_ - 1;
+  return row * cols_ + col;
+}
+
+Vec2 OccupancyGrid::CellCenter(int index) const {
+  RFID_CHECK_GE(index, 0);
+  RFID_CHECK_LT(index, NumCells());
+  int row = index / cols_;
+  int col = index % cols_;
+  return {bounds_.min.x + (col + 0.5) * cell_size_,
+          bounds_.min.y + (row + 0.5) * cell_size_};
+}
+
+Rect OccupancyGrid::CellRect(int index) const {
+  Vec2 center = CellCenter(index);
+  double h = cell_size_ / 2;
+  return Rect{{center.x - h, center.y - h}, {center.x + h, center.y + h}};
+}
+
+void OccupancyGrid::SetWalkableInRect(const Rect& region, bool walkable) {
+  for (int index : CellsInRect(region)) walkable_[index] = walkable;
+}
+
+std::vector<int> OccupancyGrid::CellsInRect(const Rect& region) const {
+  std::vector<int> out;
+  for (int index = 0; index < NumCells(); ++index) {
+    if (region.Contains(CellCenter(index))) out.push_back(index);
+  }
+  return out;
+}
+
+void OccupancyGrid::AppendNeighbors(
+    int index, std::vector<std::pair<int, double>>* out) const {
+  if (!walkable_[index]) return;
+  const int row = index / cols_;
+  const int col = index % cols_;
+  const double diag = cell_size_ * std::sqrt(2.0);
+  auto walkable_at = [&](int r, int c) {
+    return r >= 0 && r < rows_ && c >= 0 && c < cols_ &&
+           walkable_[r * cols_ + c];
+  };
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      int r = row + dr;
+      int c = col + dc;
+      if (!walkable_at(r, c)) continue;
+      if (dr != 0 && dc != 0) {
+        // Diagonal moves must not squeeze between two wall cells.
+        if (!walkable_at(row, c) || !walkable_at(r, col)) continue;
+        out->emplace_back(r * cols_ + c, diag);
+      } else {
+        out->emplace_back(r * cols_ + c, cell_size_);
+      }
+    }
+  }
+}
+
+std::vector<double> OccupancyGrid::ShortestDistances(
+    const std::vector<int>& sources) const {
+  std::vector<double> dist(NumCells(), kInfiniteDistance);
+  using Entry = std::pair<double, int>;  // (distance, cell)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int s : sources) {
+    RFID_CHECK_GE(s, 0);
+    RFID_CHECK_LT(s, NumCells());
+    if (!walkable_[s]) continue;
+    if (dist[s] > 0.0) {
+      dist[s] = 0.0;
+      queue.emplace(0.0, s);
+    }
+  }
+  std::vector<std::pair<int, double>> neighbors;
+  while (!queue.empty()) {
+    auto [d, cell] = queue.top();
+    queue.pop();
+    if (d > dist[cell]) continue;
+    neighbors.clear();
+    AppendNeighbors(cell, &neighbors);
+    for (auto [next, step] : neighbors) {
+      double nd = d + step;
+      if (nd < dist[next]) {
+        dist[next] = nd;
+        queue.emplace(nd, next);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,77 @@
+#ifndef RFIDCLEAN_GEOMETRY_GRID_H_
+#define RFIDCLEAN_GEOMETRY_GRID_H_
+
+#include <limits>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+
+namespace rfidclean {
+
+/// Distance value used for unreachable cells.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::infinity();
+
+/// A regular square-cell partition of a floor, used for
+///  (a) the reader calibration matrix F[r,c] of §6.2 (one column per cell),
+///  (b) minimum walking distances feeding the traveling-time constraint
+///      inference of §6.3 (8-connected Dijkstra through walkable cells).
+///
+/// Cells are indexed row-major: index = row * cols + col, with cell (0,0) at
+/// the rectangle's min corner.
+class OccupancyGrid {
+ public:
+  /// Partitions `bounds` into square cells of side `cell_size` (the paper
+  /// uses 0.5 m). Cells start non-walkable.
+  OccupancyGrid(const Rect& bounds, double cell_size);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int NumCells() const { return cols_ * rows_; }
+  double cell_size() const { return cell_size_; }
+  const Rect& bounds() const { return bounds_; }
+
+  /// Index of the cell containing `p`, or -1 if outside the bounds.
+  int CellIndexAt(Vec2 p) const;
+
+  /// Center point of cell `index`.
+  Vec2 CellCenter(int index) const;
+
+  /// Geometric extent of cell `index`.
+  Rect CellRect(int index) const;
+
+  bool IsWalkable(int index) const { return walkable_[index]; }
+  void SetWalkable(int index, bool walkable) { walkable_[index] = walkable; }
+
+  /// Marks every cell whose center lies inside `region`.
+  void SetWalkableInRect(const Rect& region, bool walkable);
+
+  /// Indices of all cells whose center lies inside `region`.
+  std::vector<int> CellsInRect(const Rect& region) const;
+
+  /// Single-floor multi-source Dijkstra over walkable cells with
+  /// 8-connectivity (orthogonal step = cell_size, diagonal = cell_size * √2;
+  /// diagonals require both adjacent orthogonal cells to be walkable, so
+  /// paths cannot cut wall corners). Returns, for every cell, the walking
+  /// distance in meters from the nearest source (kInfiniteDistance when
+  /// unreachable). Non-walkable sources are ignored.
+  std::vector<double> ShortestDistances(const std::vector<int>& sources) const;
+
+  /// Neighbors of `index` with step costs, as (neighbor index, meters).
+  /// Exposed so multi-floor graphs (map/walking_distance) can reuse the
+  /// same connectivity.
+  void AppendNeighbors(int index,
+                       std::vector<std::pair<int, double>>* out) const;
+
+ private:
+  Rect bounds_;
+  double cell_size_;
+  int cols_;
+  int rows_;
+  std::vector<bool> walkable_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEOMETRY_GRID_H_

@@ -1,0 +1,62 @@
+#ifndef RFIDCLEAN_GEOMETRY_RECT_H_
+#define RFIDCLEAN_GEOMETRY_RECT_H_
+
+#include <algorithm>
+
+#include "geometry/vec2.h"
+
+namespace rfidclean {
+
+/// An axis-aligned rectangle given by its min (bottom-left) and max
+/// (top-right) corners. Rooms, corridors and reader coverage boxes are
+/// rectangles; this mirrors the paper's map input, which describes rooms by
+/// the coordinates of two opposite corners (§6.4).
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  static Rect FromCorners(Vec2 a, Vec2 b) {
+    return Rect{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                {std::max(a.x, b.x), std::max(a.y, b.y)}};
+  }
+
+  double Width() const { return max.x - min.x; }
+  double Height() const { return max.y - min.y; }
+  double Area() const { return Width() * Height(); }
+  Vec2 Center() const { return {(min.x + max.x) / 2, (min.y + max.y) / 2}; }
+
+  /// Point containment; boundaries inclusive.
+  bool Contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+
+  /// True when the closed rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return min.x <= other.max.x && other.min.x <= max.x &&
+           min.y <= other.max.y && other.min.y <= max.y;
+  }
+
+  /// Rectangle grown by `margin` on every side.
+  Rect Expanded(double margin) const {
+    return Rect{{min.x - margin, min.y - margin},
+                {max.x + margin, max.y + margin}};
+  }
+
+  /// Clamps `p` to the closest point inside the rectangle.
+  Vec2 ClosestPointTo(Vec2 p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min == b.min && a.max == b.max;
+  }
+};
+
+/// Euclidean distance from a point to a rectangle (0 if inside).
+inline double DistanceToRect(Vec2 p, const Rect& r) {
+  return Distance(p, r.ClosestPointTo(p));
+}
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEOMETRY_RECT_H_

@@ -1,0 +1,31 @@
+#ifndef RFIDCLEAN_GEOMETRY_VEC2_H_
+#define RFIDCLEAN_GEOMETRY_VEC2_H_
+
+#include <cmath>
+
+namespace rfidclean {
+
+/// A 2-D point / vector in metric floor coordinates (meters).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(Vec2 a, double s) { return {a.x * s, a.y * s}; }
+  friend Vec2 operator*(double s, Vec2 a) { return a * s; }
+  friend bool operator==(Vec2 a, Vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(x * x + y * y); }
+};
+
+/// Euclidean distance between two points.
+inline double Distance(Vec2 a, Vec2 b) { return (a - b).Norm(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline Vec2 Lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_GEOMETRY_VEC2_H_

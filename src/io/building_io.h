@@ -1,0 +1,30 @@
+#ifndef RFIDCLEAN_IO_BUILDING_IO_H_
+#define RFIDCLEAN_IO_BUILDING_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "map/building.h"
+
+namespace rfidclean {
+
+/// Serializes a building as a line-oriented text format (the "graph of
+/// locations" input of §6.4):
+///
+///   building <floors> <minx> <miny> <maxx> <maxy>
+///   location <name> <room|corridor|stairwell> <floor> <minx> <miny> <maxx> <maxy>
+///   door <name_a> <name_b> <x> <y> <width>
+///   stairs <name_lower> <name_upper> <length>
+///
+/// Lines starting with '#' and blank lines are ignored on input. Location
+/// names must not contain whitespace.
+void WriteBuilding(const Building& building, std::ostream& os);
+
+/// Parses the format written by WriteBuilding, running the full
+/// BuildingBuilder validation.
+Result<Building> ReadBuilding(std::istream& is);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_IO_BUILDING_IO_H_

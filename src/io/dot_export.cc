@@ -1,0 +1,51 @@
+#include "io/dot_export.h"
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+void WriteDot(const CtGraph& graph, std::ostream& os,
+              const Building* building, std::size_t max_nodes) {
+  os << "digraph ctgraph {\n  rankdir=LR;\n  node [shape=box];\n";
+  bool truncated = graph.NumNodes() > max_nodes;
+  std::size_t limit = truncated ? max_nodes : graph.NumNodes();
+  auto name_of = [building](LocationId location) {
+    if (building != nullptr && location >= 0 &&
+        static_cast<std::size_t>(location) < building->NumLocations()) {
+      return building->location(location).name;
+    }
+    return StrFormat("L%d", location);
+  };
+  for (Timestamp t = 0; t < graph.length(); ++t) {
+    os << "  { rank=same;";
+    for (NodeId id : graph.NodesAt(t)) {
+      if (static_cast<std::size_t>(id) < limit) os << " n" << id << ";";
+    }
+    os << " }\n";
+  }
+  for (std::size_t i = 0; i < limit; ++i) {
+    const CtGraph::Node& node = graph.node(static_cast<NodeId>(i));
+    std::string label =
+        StrFormat("t=%d\\n%s", node.time,
+                  name_of(node.key.location).c_str());
+    if (node.time == 0) {
+      label += StrFormat("\\np=%.3f", node.source_probability);
+    }
+    os << "  n" << i << " [label=\"" << label << "\"];\n";
+  }
+  for (std::size_t i = 0; i < limit; ++i) {
+    const CtGraph::Node& node = graph.node(static_cast<NodeId>(i));
+    for (const CtGraph::Edge& edge : node.out_edges) {
+      if (static_cast<std::size_t>(edge.to) >= limit) continue;
+      os << "  n" << i << " -> n" << edge.to
+         << StrFormat(" [label=\"%.3f\"];\n", edge.probability);
+    }
+  }
+  if (truncated) {
+    os << StrFormat("  // truncated: %zu of %zu nodes shown\n", limit,
+                    graph.NumNodes());
+  }
+  os << "}\n";
+}
+
+}  // namespace rfidclean

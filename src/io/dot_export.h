@@ -1,0 +1,22 @@
+#ifndef RFIDCLEAN_IO_DOT_EXPORT_H_
+#define RFIDCLEAN_IO_DOT_EXPORT_H_
+
+#include <ostream>
+
+#include "core/ct_graph.h"
+#include "map/building.h"
+
+namespace rfidclean {
+
+/// Renders a ct-graph in GraphViz DOT format, layered left-to-right by
+/// timestamp, edges labeled with their conditioned probabilities. With a
+/// building, nodes show location names; otherwise "L<id>". Intended for
+/// debugging and documentation of small graphs: emission is truncated (with
+/// a comment) beyond `max_nodes`.
+void WriteDot(const CtGraph& graph, std::ostream& os,
+              const Building* building = nullptr,
+              std::size_t max_nodes = 400);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_IO_DOT_EXPORT_H_

@@ -1,0 +1,73 @@
+#include "io/readings_io.h"
+
+#include <charconv>
+#include <string>
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+namespace {
+
+bool ParseInt(std::string_view text, long* out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+void WriteReadingsCsv(const RSequence& sequence, std::ostream& os) {
+  os << "time,readers\n";
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    os << t << ',';
+    const ReaderSet& readers = sequence.ReadersAt(t);
+    for (std::size_t i = 0; i < readers.size(); ++i) {
+      if (i > 0) os << ' ';
+      os << readers[i];
+    }
+    os << '\n';
+  }
+}
+
+Result<RSequence> ReadReadingsCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || StripWhitespace(line) != "time,readers") {
+    return InvalidArgumentError("missing 'time,readers' header");
+  }
+  std::vector<Reading> readings;
+  int line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::string_view content = StripWhitespace(line);
+    if (content.empty()) continue;
+    std::size_t comma = content.find(',');
+    if (comma == std::string_view::npos) {
+      return InvalidArgumentError(
+          StrFormat("line %d: expected 'time,readers'", line_number));
+    }
+    Reading reading;
+    long time = 0;
+    if (!ParseInt(StripWhitespace(content.substr(0, comma)), &time) ||
+        time < 0) {
+      return InvalidArgumentError(
+          StrFormat("line %d: invalid timestamp", line_number));
+    }
+    reading.time = static_cast<Timestamp>(time);
+    for (const std::string& token :
+         StrSplit(content.substr(comma + 1), ' ')) {
+      std::string_view id_text = StripWhitespace(token);
+      if (id_text.empty()) continue;
+      long id = 0;
+      if (!ParseInt(id_text, &id) || id < 0) {
+        return InvalidArgumentError(
+            StrFormat("line %d: invalid reader id", line_number));
+      }
+      reading.readers.push_back(static_cast<ReaderId>(id));
+    }
+    readings.push_back(std::move(reading));
+  }
+  return RSequence::Create(std::move(readings));
+}
+
+}  // namespace rfidclean

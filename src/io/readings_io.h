@@ -1,0 +1,28 @@
+#ifndef RFIDCLEAN_IO_READINGS_IO_H_
+#define RFIDCLEAN_IO_READINGS_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "common/result.h"
+#include "model/rsequence.h"
+
+namespace rfidclean {
+
+/// Serializes a reading sequence as CSV with header "time,readers", one row
+/// per time point, readers as space-separated ids (empty field = no
+/// detection):
+///
+///   time,readers
+///   0,3 7
+///   1,
+///   2,7
+void WriteReadingsCsv(const RSequence& sequence, std::ostream& os);
+
+/// Parses the format written by WriteReadingsCsv. Rows may appear in any
+/// order; timestamps must cover 0..n-1 exactly once.
+Result<RSequence> ReadReadingsCsv(std::istream& is);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_IO_READINGS_IO_H_

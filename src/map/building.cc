@@ -1,0 +1,204 @@
+#include "map/building.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+const char* LocationKindToString(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::kRoom:
+      return "room";
+    case LocationKind::kCorridor:
+      return "corridor";
+    case LocationKind::kStairwell:
+      return "stairwell";
+  }
+  return "unknown";
+}
+
+const Location& Building::location(LocationId id) const {
+  RFID_CHECK_GE(id, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(id), locations_.size());
+  return locations_[static_cast<std::size_t>(id)];
+}
+
+LocationId Building::FindLocationByName(std::string_view name) const {
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].name == name) return static_cast<LocationId>(i);
+  }
+  return kInvalidLocation;
+}
+
+LocationId Building::LocationAt(int floor, Vec2 p) const {
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    const Location& loc = locations_[i];
+    if (loc.floor == floor && loc.footprint.Contains(p)) {
+      return static_cast<LocationId>(i);
+    }
+  }
+  return kInvalidLocation;
+}
+
+LocationId Building::LocationNear(int floor, Vec2 p, double tolerance) const {
+  LocationId best = kInvalidLocation;
+  double best_distance = tolerance;
+  for (std::size_t i = 0; i < locations_.size(); ++i) {
+    const Location& loc = locations_[i];
+    if (loc.floor != floor) continue;
+    double d = DistanceToRect(p, loc.footprint);
+    if (d == 0.0) return static_cast<LocationId>(i);
+    if (d <= best_distance) {
+      best_distance = d;
+      best = static_cast<LocationId>(i);
+    }
+  }
+  return best;
+}
+
+bool Building::AreDirectlyConnected(LocationId a, LocationId b) const {
+  if (a == b) return true;
+  const auto& neighbors = Neighbors(a);
+  return std::find(neighbors.begin(), neighbors.end(), b) != neighbors.end();
+}
+
+const std::vector<LocationId>& Building::Neighbors(LocationId id) const {
+  RFID_CHECK_GE(id, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(id), neighbors_.size());
+  return neighbors_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Building::DoorsOf(LocationId id) const {
+  RFID_CHECK_GE(id, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(id), doors_of_.size());
+  return doors_of_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<int>& Building::StairsOf(LocationId id) const {
+  RFID_CHECK_GE(id, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(id), stairs_of_.size());
+  return stairs_of_[static_cast<std::size_t>(id)];
+}
+
+BuildingBuilder::BuildingBuilder(const Rect& floor_bounds) {
+  building_.floor_bounds_ = floor_bounds;
+}
+
+LocationId BuildingBuilder::AddLocation(std::string name, LocationKind kind,
+                                        int floor, const Rect& footprint) {
+  RFID_CHECK_GE(floor, 0);
+  Location loc;
+  loc.name = std::move(name);
+  loc.kind = kind;
+  loc.floor = floor;
+  loc.footprint = footprint;
+  building_.locations_.push_back(std::move(loc));
+  building_.num_floors_ = std::max(building_.num_floors_, floor + 1);
+  return static_cast<LocationId>(building_.locations_.size() - 1);
+}
+
+void BuildingBuilder::AddDoor(LocationId a, LocationId b, Vec2 position,
+                              double width) {
+  building_.doors_.push_back(Door{a, b, position, width});
+}
+
+void BuildingBuilder::AddStairs(LocationId lower, LocationId upper,
+                                double length) {
+  building_.stairs_.push_back(StairEdge{lower, upper, length});
+}
+
+Result<Building> BuildingBuilder::Build() {
+  Building& b = building_;
+  if (b.locations_.empty()) {
+    return InvalidArgumentError("building has no locations");
+  }
+  const std::size_t n = b.locations_.size();
+  // Unique names, in-bounds footprints.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Location& li = b.locations_[i];
+    if (li.footprint.Width() <= 0.0 || li.footprint.Height() <= 0.0) {
+      return InvalidArgumentError(
+          StrFormat("location '%s' has an empty footprint", li.name.c_str()));
+    }
+    if (!b.floor_bounds_.Contains(li.footprint.min) ||
+        !b.floor_bounds_.Contains(li.footprint.max)) {
+      return InvalidArgumentError(StrFormat(
+          "location '%s' exceeds the floor bounds", li.name.c_str()));
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Location& lj = b.locations_[j];
+      if (li.name == lj.name) {
+        return InvalidArgumentError(
+            StrFormat("duplicate location name '%s'", li.name.c_str()));
+      }
+      if (li.floor == lj.floor && li.footprint.Intersects(lj.footprint)) {
+        // Shared boundary points are fine; require positive-area overlap.
+        Rect overlap = Rect{{std::max(li.footprint.min.x, lj.footprint.min.x),
+                             std::max(li.footprint.min.y, lj.footprint.min.y)},
+                            {std::min(li.footprint.max.x, lj.footprint.max.x),
+                             std::min(li.footprint.max.y,
+                                      lj.footprint.max.y)}};
+        if (overlap.Width() > 0.0 && overlap.Height() > 0.0) {
+          return InvalidArgumentError(
+              StrFormat("locations '%s' and '%s' overlap", li.name.c_str(),
+                        lj.name.c_str()));
+        }
+      }
+    }
+  }
+  auto valid_id = [&](LocationId id) {
+    return id >= 0 && static_cast<std::size_t>(id) < n;
+  };
+  for (const Door& d : b.doors_) {
+    if (!valid_id(d.a) || !valid_id(d.b) || d.a == d.b) {
+      return InvalidArgumentError("door endpoints invalid");
+    }
+    if (b.locations_[d.a].floor != b.locations_[d.b].floor) {
+      return InvalidArgumentError(
+          "door connects locations on different floors");
+    }
+    if (d.width <= 0.0) return InvalidArgumentError("door width must be > 0");
+  }
+  for (const StairEdge& s : b.stairs_) {
+    if (!valid_id(s.lower) || !valid_id(s.upper) || s.lower == s.upper) {
+      return InvalidArgumentError("stair endpoints invalid");
+    }
+    if (b.locations_[s.upper].floor != b.locations_[s.lower].floor + 1) {
+      return InvalidArgumentError(
+          "stairs must connect consecutive floors (lower to upper)");
+    }
+    if (s.length <= 0.0) {
+      return InvalidArgumentError("stair length must be > 0");
+    }
+  }
+
+  // Adjacency indexes.
+  b.neighbors_.assign(n, {});
+  b.doors_of_.assign(n, {});
+  b.stairs_of_.assign(n, {});
+  auto link = [&](LocationId x, LocationId y) {
+    auto& v = b.neighbors_[static_cast<std::size_t>(x)];
+    if (std::find(v.begin(), v.end(), y) == v.end()) v.push_back(y);
+  };
+  for (std::size_t i = 0; i < b.doors_.size(); ++i) {
+    const Door& d = b.doors_[i];
+    link(d.a, d.b);
+    link(d.b, d.a);
+    b.doors_of_[static_cast<std::size_t>(d.a)].push_back(static_cast<int>(i));
+    b.doors_of_[static_cast<std::size_t>(d.b)].push_back(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < b.stairs_.size(); ++i) {
+    const StairEdge& s = b.stairs_[i];
+    link(s.lower, s.upper);
+    link(s.upper, s.lower);
+    b.stairs_of_[static_cast<std::size_t>(s.lower)].push_back(
+        static_cast<int>(i));
+    b.stairs_of_[static_cast<std::size_t>(s.upper)].push_back(
+        static_cast<int>(i));
+  }
+  return std::move(building_);
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,113 @@
+#ifndef RFIDCLEAN_MAP_BUILDING_H_
+#define RFIDCLEAN_MAP_BUILDING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geometry/rect.h"
+#include "map/location.h"
+
+namespace rfidclean {
+
+/// A doorway between two locations on the same floor. Doors are the edges of
+/// the paper's graph of locations, labeled with their coordinates (§6.4).
+struct Door {
+  LocationId a = kInvalidLocation;
+  LocationId b = kInvalidLocation;
+  Vec2 position;       ///< Center of the doorway, inside the wall gap.
+  double width = 1.0;  ///< Clear width in meters.
+};
+
+/// A staircase connecting the stairwell locations of two consecutive floors.
+/// Counts as a direct connection for reachability, like a door.
+struct StairEdge {
+  LocationId lower = kInvalidLocation;
+  LocationId upper = kInvalidLocation;
+  double length = 4.0;  ///< Walking length of the staircase in meters.
+};
+
+/// An immutable multi-floor indoor map: rectangular locations, doors, and
+/// staircases. Construct through BuildingBuilder, which validates geometry.
+class Building {
+ public:
+  int num_floors() const { return num_floors_; }
+  const Rect& floor_bounds() const { return floor_bounds_; }
+
+  std::size_t NumLocations() const { return locations_.size(); }
+  const Location& location(LocationId id) const;
+  const std::vector<Location>& locations() const { return locations_; }
+  const std::vector<Door>& doors() const { return doors_; }
+  const std::vector<StairEdge>& stairs() const { return stairs_; }
+
+  /// Id of the location with the given name, or kInvalidLocation.
+  LocationId FindLocationByName(std::string_view name) const;
+
+  /// Location whose footprint contains `p` on `floor`, or kInvalidLocation
+  /// (e.g., inside a wall or door gap).
+  LocationId LocationAt(int floor, Vec2 p) const;
+
+  /// Like LocationAt but, for points in walls/door gaps, falls back to the
+  /// nearest footprint within `tolerance` meters. Used to assign ground-truth
+  /// locations to continuous trajectory samples crossing doorways.
+  LocationId LocationNear(int floor, Vec2 p, double tolerance = 0.75) const;
+
+  /// True when a door or staircase directly connects `a` and `b`, or a == b.
+  bool AreDirectlyConnected(LocationId a, LocationId b) const;
+
+  /// Locations directly connected to `id` (excluding `id` itself).
+  const std::vector<LocationId>& Neighbors(LocationId id) const;
+
+  /// Doors incident to `id` (indices into doors()).
+  const std::vector<int>& DoorsOf(LocationId id) const;
+
+  /// Stair edges incident to `id` (indices into stairs()).
+  const std::vector<int>& StairsOf(LocationId id) const;
+
+ private:
+  friend class BuildingBuilder;
+  Building() = default;
+
+  int num_floors_ = 0;
+  Rect floor_bounds_;
+  std::vector<Location> locations_;
+  std::vector<Door> doors_;
+  std::vector<StairEdge> stairs_;
+  std::vector<std::vector<LocationId>> neighbors_;
+  std::vector<std::vector<int>> doors_of_;
+  std::vector<std::vector<int>> stairs_of_;
+};
+
+/// Incremental, validating Building constructor.
+class BuildingBuilder {
+ public:
+  /// `floor_bounds` is the common extent of every floor.
+  explicit BuildingBuilder(const Rect& floor_bounds);
+
+  /// Adds a location; returns its id. Footprint must lie inside the floor
+  /// bounds (validated in Build()).
+  LocationId AddLocation(std::string name, LocationKind kind, int floor,
+                         const Rect& footprint);
+
+  /// Adds a door between two previously added locations on the same floor.
+  void AddDoor(LocationId a, LocationId b, Vec2 position, double width = 1.0);
+
+  /// Adds a staircase between two stairwell locations on consecutive floors.
+  void AddStairs(LocationId lower, LocationId upper, double length = 4.0);
+
+  /// Validates and produces the Building:
+  ///  - at least one location; unique names;
+  ///  - footprints inside floor bounds and non-overlapping per floor;
+  ///  - doors connect distinct locations that share a floor;
+  ///  - stairs connect locations on consecutive floors.
+  Result<Building> Build();
+
+ private:
+  Building building_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MAP_BUILDING_H_

@@ -1,0 +1,107 @@
+#include "map/building_grid.h"
+
+#include <tuple>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+BuildingGrid BuildingGrid::Build(const Building& building, double cell_size) {
+  BuildingGrid grid;
+  grid.cell_size_ = cell_size;
+  grid.floor_grids_.reserve(static_cast<std::size_t>(building.num_floors()));
+  for (int floor = 0; floor < building.num_floors(); ++floor) {
+    grid.floor_grids_.emplace_back(building.floor_bounds(), cell_size);
+  }
+  grid.cells_per_floor_ = grid.floor_grids_[0].NumCells();
+  grid.total_cells_ = grid.cells_per_floor_ * building.num_floors();
+  grid.cell_location_.assign(static_cast<std::size_t>(grid.total_cells_),
+                             kInvalidLocation);
+  grid.location_cells_.assign(building.NumLocations(), {});
+
+  // Location interiors: walkable, owned by the location.
+  for (std::size_t id = 0; id < building.NumLocations(); ++id) {
+    const Location& loc = building.location(static_cast<LocationId>(id));
+    OccupancyGrid& fg = grid.floor_grids_[static_cast<std::size_t>(loc.floor)];
+    for (int local : fg.CellsInRect(loc.footprint)) {
+      fg.SetWalkable(local, true);
+      int global = loc.floor * grid.cells_per_floor_ + local;
+      grid.cell_location_[static_cast<std::size_t>(global)] =
+          static_cast<LocationId>(id);
+      grid.location_cells_[id].push_back(global);
+    }
+  }
+
+  // Door gaps: walkable but owned by no location. The carved square spans
+  // the wall thickness so the two rooms become grid-connected exactly at the
+  // doorway.
+  for (const Door& door : building.doors()) {
+    int floor = building.location(door.a).floor;
+    OccupancyGrid& fg = grid.floor_grids_[static_cast<std::size_t>(floor)];
+    double half = std::max(door.width / 2, cell_size);
+    Rect carve = Rect{{door.position.x - half, door.position.y - half},
+                      {door.position.x + half, door.position.y + half}};
+    fg.SetWalkableInRect(carve, true);
+  }
+
+  // Staircases: connect the cells nearest to each stairwell center.
+  for (const StairEdge& stair : building.stairs()) {
+    const Location& lower = building.location(stair.lower);
+    const Location& upper = building.location(stair.upper);
+    int lower_local =
+        grid.floor_grids_[static_cast<std::size_t>(lower.floor)].CellIndexAt(
+            lower.footprint.Center());
+    int upper_local =
+        grid.floor_grids_[static_cast<std::size_t>(upper.floor)].CellIndexAt(
+            upper.footprint.Center());
+    RFID_CHECK_GE(lower_local, 0);
+    RFID_CHECK_GE(upper_local, 0);
+    grid.stair_cell_edges_.emplace_back(
+        lower.floor * grid.cells_per_floor_ + lower_local,
+        upper.floor * grid.cells_per_floor_ + upper_local, stair.length);
+  }
+  return grid;
+}
+
+const OccupancyGrid& BuildingGrid::floor_grid(int floor) const {
+  RFID_CHECK_GE(floor, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(floor), floor_grids_.size());
+  return floor_grids_[static_cast<std::size_t>(floor)];
+}
+
+int BuildingGrid::GlobalCellAt(int floor, Vec2 p) const {
+  int local = floor_grid(floor).CellIndexAt(p);
+  if (local < 0) return -1;
+  return floor * cells_per_floor_ + local;
+}
+
+std::pair<int, int> BuildingGrid::Split(int global_cell) const {
+  RFID_CHECK_GE(global_cell, 0);
+  RFID_CHECK_LT(global_cell, total_cells_);
+  return {global_cell / cells_per_floor_, global_cell % cells_per_floor_};
+}
+
+Vec2 BuildingGrid::CellCenter(int global_cell) const {
+  auto [floor, local] = Split(global_cell);
+  return floor_grid(floor).CellCenter(local);
+}
+
+LocationId BuildingGrid::LocationOfCell(int global_cell) const {
+  RFID_CHECK_GE(global_cell, 0);
+  RFID_CHECK_LT(global_cell, total_cells_);
+  return cell_location_[static_cast<std::size_t>(global_cell)];
+}
+
+bool BuildingGrid::IsWalkable(int global_cell) const {
+  auto [floor, local] = Split(global_cell);
+  return floor_grid(floor).IsWalkable(local);
+}
+
+const std::vector<int>& BuildingGrid::CellsOfLocation(
+    LocationId location) const {
+  RFID_CHECK_GE(location, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(location), location_cells_.size());
+  return location_cells_[static_cast<std::size_t>(location)];
+}
+
+}  // namespace rfidclean

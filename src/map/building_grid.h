@@ -1,0 +1,75 @@
+#ifndef RFIDCLEAN_MAP_BUILDING_GRID_H_
+#define RFIDCLEAN_MAP_BUILDING_GRID_H_
+
+#include <utility>
+#include <vector>
+
+#include "geometry/grid.h"
+#include "map/building.h"
+
+namespace rfidclean {
+
+/// A building-wide regular-grid discretization (the paper's 0.5 m × 0.5 m
+/// cells, §6.2): one OccupancyGrid per floor plus a flat global cell index
+/// spanning all floors. Walkable cells are those inside a location footprint
+/// or inside a door gap; the global index is shared by
+///  - the reader detection-rate matrix F[r, c] (src/rfid),
+///  - the reading generator (src/gen),
+///  - the walking-distance computation (map/walking_distance).
+class BuildingGrid {
+ public:
+  /// Discretizes `building` with square cells of side `cell_size`.
+  static BuildingGrid Build(const Building& building, double cell_size = 0.5);
+
+  double cell_size() const { return cell_size_; }
+  int num_floors() const { return static_cast<int>(floor_grids_.size()); }
+  const OccupancyGrid& floor_grid(int floor) const;
+
+  /// Total number of cells across all floors.
+  int NumCells() const { return total_cells_; }
+
+  /// Number of cells in each floor grid (identical across floors).
+  int CellsPerFloor() const { return cells_per_floor_; }
+
+  /// Global cell index at a point, or -1 when outside the floor bounds.
+  int GlobalCellAt(int floor, Vec2 p) const;
+
+  /// Floor and in-floor cell index of a global cell.
+  std::pair<int, int> Split(int global_cell) const;
+
+  /// Floor of a global cell.
+  int FloorOfCell(int global_cell) const { return Split(global_cell).first; }
+
+  /// Center point of a global cell (floor implied by the index).
+  Vec2 CellCenter(int global_cell) const;
+
+  /// The location owning a cell's center, or kInvalidLocation for wall and
+  /// door-gap cells.
+  LocationId LocationOfCell(int global_cell) const;
+
+  bool IsWalkable(int global_cell) const;
+
+  /// Cells belonging to `location` — the paper's Cells(l).
+  const std::vector<int>& CellsOfLocation(LocationId location) const;
+
+  /// Inter-floor walk edges (global cell, global cell, meters), one per
+  /// staircase, connecting representative stairwell cells.
+  const std::vector<std::tuple<int, int, double>>& stair_cell_edges() const {
+    return stair_cell_edges_;
+  }
+
+ private:
+  BuildingGrid() = default;
+
+  double cell_size_ = 0.5;
+  int cells_per_floor_ = 0;
+  int total_cells_ = 0;
+  std::vector<OccupancyGrid> floor_grids_;
+  std::vector<LocationId> cell_location_;  // by global index
+  std::vector<std::vector<int>> location_cells_;
+  std::vector<std::tuple<int, int, double>> stair_cell_edges_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MAP_BUILDING_GRID_H_

@@ -1,0 +1,40 @@
+#ifndef RFIDCLEAN_MAP_LOCATION_H_
+#define RFIDCLEAN_MAP_LOCATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/rect.h"
+
+namespace rfidclean {
+
+/// Identifier of a location within a Building (dense, 0-based).
+using LocationId = std::int32_t;
+
+/// Sentinel for "no location" (e.g., a point inside a wall).
+inline constexpr LocationId kInvalidLocation = -1;
+
+/// The role of a location; corridors are exempt from latency constraints
+/// (§6.3) and stairwells link consecutive floors.
+enum class LocationKind {
+  kRoom,
+  kCorridor,
+  kStairwell,
+};
+
+/// Returns "room", "corridor" or "stairwell".
+const char* LocationKindToString(LocationKind kind);
+
+/// A named rectangular location on one floor of a building. This mirrors the
+/// paper's map input format, where rooms are described by the coordinates of
+/// their top-left and bottom-right corners (§6.4).
+struct Location {
+  std::string name;
+  LocationKind kind = LocationKind::kRoom;
+  int floor = 0;
+  Rect footprint;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MAP_LOCATION_H_

@@ -1,0 +1,112 @@
+#include "map/standard_buildings.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+Building MakeOfficeBuilding(int num_floors) {
+  RFID_CHECK_GE(num_floors, 1);
+  const Rect floor_bounds{{0.0, 0.0}, {20.0, 12.0}};
+  BuildingBuilder builder(floor_bounds);
+
+  std::vector<LocationId> stairwells;
+  for (int floor = 0; floor < num_floors; ++floor) {
+    auto name = [floor](const char* room) {
+      return StrFormat("F%d.%s", floor, room);
+    };
+    // Top row rooms.
+    LocationId a = builder.AddLocation(name("RoomA"), LocationKind::kRoom,
+                                       floor, {{0.5, 7.0}, {6.0, 11.5}});
+    LocationId b = builder.AddLocation(name("RoomB"), LocationKind::kRoom,
+                                       floor, {{6.5, 7.0}, {12.0, 11.5}});
+    LocationId c = builder.AddLocation(name("RoomC"), LocationKind::kRoom,
+                                       floor, {{12.5, 7.0}, {17.0, 11.5}});
+    // Bottom row rooms.
+    LocationId d = builder.AddLocation(name("RoomD"), LocationKind::kRoom,
+                                       floor, {{0.5, 0.5}, {6.0, 5.0}});
+    LocationId e = builder.AddLocation(name("RoomE"), LocationKind::kRoom,
+                                       floor, {{6.5, 0.5}, {12.0, 5.0}});
+    LocationId f = builder.AddLocation(name("RoomF"), LocationKind::kRoom,
+                                       floor, {{12.5, 0.5}, {17.0, 5.0}});
+    // Central corridor and stairwell.
+    LocationId h = builder.AddLocation(name("Corridor"),
+                                       LocationKind::kCorridor, floor,
+                                       {{0.5, 5.5}, {17.0, 6.5}});
+    LocationId s = builder.AddLocation(name("Stairs"),
+                                       LocationKind::kStairwell, floor,
+                                       {{17.5, 4.5}, {19.5, 7.5}});
+
+    // Room-corridor doors (wall gap y in [6.5, 7.0] above, [5.0, 5.5] below).
+    builder.AddDoor(a, h, {3.25, 6.75});
+    builder.AddDoor(b, h, {9.25, 6.75});
+    builder.AddDoor(c, h, {14.75, 6.75});
+    builder.AddDoor(d, h, {3.25, 5.25});
+    builder.AddDoor(e, h, {9.25, 5.25});
+    builder.AddDoor(f, h, {14.75, 5.25});
+    // Room-room doors that bypass the corridor.
+    builder.AddDoor(a, b, {6.25, 9.25});
+    builder.AddDoor(e, f, {12.25, 2.75});
+    // Corridor-stairwell door (wall gap x in [17.0, 17.5]).
+    builder.AddDoor(h, s, {17.25, 6.0});
+
+    stairwells.push_back(s);
+    if (floor > 0) {
+      builder.AddStairs(stairwells[static_cast<std::size_t>(floor) - 1], s,
+                        /*length=*/4.0);
+    }
+  }
+
+  Result<Building> result = builder.Build();
+  RFID_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Building MakeMuseumWing(int halls_per_row) {
+  RFID_CHECK_GE(halls_per_row, 2);
+  const double kHallWidth = 8.0;
+  const double kGap = 0.5;
+  const double kStride = kHallWidth + kGap;  // 8.5
+  const double max_x = 12.5 + (halls_per_row - 1) * kStride;
+  BuildingBuilder builder(Rect{{0.0, 0.0}, {max_x, 13.5}});
+
+  LocationId lobby = builder.AddLocation(
+      "Lobby", LocationKind::kCorridor, 0, {{0.5, 0.5}, {3.5, 6.5}});
+
+  std::vector<LocationId> row1;
+  std::vector<LocationId> row2;
+  for (int i = 0; i < halls_per_row; ++i) {
+    double x0 = 4.0 + i * kStride;
+    row1.push_back(builder.AddLocation(
+        StrFormat("Hall1%c", 'A' + i), LocationKind::kRoom, 0,
+        {{x0, 0.5}, {x0 + kHallWidth, 6.5}}));
+    row2.push_back(builder.AddLocation(
+        StrFormat("Hall2%c", 'A' + i), LocationKind::kRoom, 0,
+        {{x0, 7.0}, {x0 + kHallWidth, 13.0}}));
+  }
+
+  builder.AddDoor(lobby, row1[0], {3.75, 3.5});
+  for (int i = 0; i + 1 < halls_per_row; ++i) {
+    double door_x = 12.25 + i * kStride;  // Mid-gap between halls i, i+1.
+    builder.AddDoor(row1[static_cast<std::size_t>(i)],
+                    row1[static_cast<std::size_t>(i) + 1], {door_x, 3.5});
+    builder.AddDoor(row2[static_cast<std::size_t>(i)],
+                    row2[static_cast<std::size_t>(i) + 1], {door_x, 10.0});
+  }
+  // Join the rows at both ends, closing the visiting loop.
+  builder.AddDoor(row1.front(), row2.front(), {8.0, 6.75});
+  builder.AddDoor(row1.back(), row2.back(),
+                  {8.0 + (halls_per_row - 1) * kStride, 6.75});
+
+  Result<Building> result = builder.Build();
+  RFID_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+Building MakeSyn1Building() { return MakeOfficeBuilding(4); }
+
+Building MakeSyn2Building() { return MakeOfficeBuilding(8); }
+
+}  // namespace rfidclean

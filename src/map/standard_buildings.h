@@ -1,0 +1,56 @@
+#ifndef RFIDCLEAN_MAP_STANDARD_BUILDINGS_H_
+#define RFIDCLEAN_MAP_STANDARD_BUILDINGS_H_
+
+#include "map/building.h"
+
+namespace rfidclean {
+
+/// Builders for the evaluation buildings of §6.1. Each floor mirrors the
+/// topology of the paper's Fig. 1(a): six rooms flanking a central corridor,
+/// two room-to-room doors not passing through the corridor, and a stairwell
+/// at the corridor's end linking consecutive floors.
+///
+/// Floor layout (20 m x 12 m, 0.5 m walls, coordinates in meters):
+///
+///   y=11.5 +----------+ +----------+ +---------+
+///          |  RoomA   |=|  RoomB   | |  RoomC  |          = room-room door
+///   y= 7.0 +----==----+ +----==----+ +---==----+
+///   y= 6.5 +------------- Corridor ----------+ +-------+
+///   y= 5.5 +----------------------------------+==|Stairs|
+///   y= 5.0 +----==----+ +----==----+ +---==---+ +-------+
+///          |  RoomD   | |  RoomE   |=|  RoomF  |
+///   y= 0.5 +----------+ +----------+ +---------+
+///
+/// Per floor: 8 locations (6 rooms, 1 corridor, 1 stairwell), 9 doors.
+/// Location names are "F<floor>.<name>", e.g. "F2.RoomA", "F0.Corridor".
+
+/// A building with `num_floors` identical floors as drawn above.
+Building MakeOfficeBuilding(int num_floors);
+
+/// A single-floor museum wing: a 2 x `halls_per_row` grid of large
+/// exhibition halls connected in a visiting loop (each hall opens into its
+/// row neighbor, and the two rows are joined at both ends), plus an
+/// entrance lobby (corridor kind, no latency inferred) on the left:
+///
+///   +--------+ +--------+ +--------+
+///   | Hall2A |=| Hall2B |=| Hall2C |       = door
+///   +---||---+ +--------+ +---||---+       || door joining the rows
+///   +---||---+ +--------+ +---||---+
+///   | Hall1A |=| Hall1B |=| Hall1C |
+///   +--------+ +--------+ +--------+
+///      || Lobby attached to Hall1A
+///
+/// A different topology from the office preset (cycles instead of a
+/// corridor spine), used to check that nothing in the pipeline assumes
+/// tree-like maps. Requires halls_per_row >= 2.
+Building MakeMuseumWing(int halls_per_row);
+
+/// The SYN1 building: four floors (§6.1).
+Building MakeSyn1Building();
+
+/// The SYN2 building: eight floors (§6.1).
+Building MakeSyn2Building();
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MAP_STANDARD_BUILDINGS_H_

@@ -1,0 +1,108 @@
+#include "map/walking_distance.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+namespace {
+
+/// Adjacency over global cells: per-floor grid moves plus stair edges.
+class GlobalCellGraph {
+ public:
+  explicit GlobalCellGraph(const BuildingGrid& grid) : grid_(grid) {
+    for (auto [a, b, length] : grid.stair_cell_edges()) {
+      stair_out_[a].emplace_back(b, length);
+      stair_out_[b].emplace_back(a, length);
+    }
+  }
+
+  void AppendNeighbors(int global,
+                       std::vector<std::pair<int, double>>* out) const {
+    auto [floor, local] = grid_.Split(global);
+    scratch_.clear();
+    grid_.floor_grid(floor).AppendNeighbors(local, &scratch_);
+    int base = floor * grid_.CellsPerFloor();
+    for (auto [next_local, cost] : scratch_) {
+      out->emplace_back(base + next_local, cost);
+    }
+    auto it = stair_out_.find(global);
+    if (it != stair_out_.end()) {
+      for (auto [next, cost] : it->second) out->emplace_back(next, cost);
+    }
+  }
+
+ private:
+  const BuildingGrid& grid_;
+  std::unordered_map<int, std::vector<std::pair<int, double>>> stair_out_;
+  mutable std::vector<std::pair<int, double>> scratch_;
+};
+
+std::vector<double> DijkstraFrom(const GlobalCellGraph& graph,
+                                 const std::vector<int>& sources,
+                                 const BuildingGrid& grid) {
+  std::vector<double> dist(static_cast<std::size_t>(grid.NumCells()),
+                           kInfiniteDistance);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  for (int s : sources) {
+    if (!grid.IsWalkable(s)) continue;
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    queue.emplace(0.0, s);
+  }
+  std::vector<std::pair<int, double>> neighbors;
+  while (!queue.empty()) {
+    auto [d, cell] = queue.top();
+    queue.pop();
+    if (d > dist[static_cast<std::size_t>(cell)]) continue;
+    neighbors.clear();
+    graph.AppendNeighbors(cell, &neighbors);
+    for (auto [next, step] : neighbors) {
+      double nd = d + step;
+      if (nd < dist[static_cast<std::size_t>(next)]) {
+        dist[static_cast<std::size_t>(next)] = nd;
+        queue.emplace(nd, next);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+WalkingDistances WalkingDistances::Compute(const Building& building,
+                                           const BuildingGrid& grid) {
+  WalkingDistances result;
+  const std::size_t n = building.NumLocations();
+  result.num_locations_ = n;
+  result.matrix_.assign(n * n, kInfiniteDistance);
+  GlobalCellGraph graph(grid);
+  for (std::size_t a = 0; a < n; ++a) {
+    const auto& source_cells = grid.CellsOfLocation(static_cast<LocationId>(a));
+    std::vector<double> dist = DijkstraFrom(graph, source_cells, grid);
+    for (std::size_t b = 0; b < n; ++b) {
+      double best = kInfiniteDistance;
+      for (int cell : grid.CellsOfLocation(static_cast<LocationId>(b))) {
+        best = std::min(best, dist[static_cast<std::size_t>(cell)]);
+      }
+      result.matrix_[a * n + b] = (a == b) ? 0.0 : best;
+    }
+  }
+  return result;
+}
+
+double WalkingDistances::MetersBetween(LocationId a, LocationId b) const {
+  RFID_CHECK_GE(a, 0);
+  RFID_CHECK_GE(b, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(a), num_locations_);
+  RFID_CHECK_LT(static_cast<std::size_t>(b), num_locations_);
+  return matrix_[static_cast<std::size_t>(a) * num_locations_ +
+                 static_cast<std::size_t>(b)];
+}
+
+}  // namespace rfidclean

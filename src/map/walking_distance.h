@@ -1,0 +1,36 @@
+#ifndef RFIDCLEAN_MAP_WALKING_DISTANCE_H_
+#define RFIDCLEAN_MAP_WALKING_DISTANCE_H_
+
+#include <vector>
+
+#include "map/building.h"
+#include "map/building_grid.h"
+
+namespace rfidclean {
+
+/// Minimum walking distances between every pair of locations, computed on
+/// the building grid (per-floor 8-connected Dijkstra plus staircase edges).
+/// These distances feed the traveling-time constraint inference of §6.3:
+/// travelingTime(l1, l2, ceil(dist(l1, l2) / v_max)).
+class WalkingDistances {
+ public:
+  /// Runs one multi-source Dijkstra per location over the global cell graph.
+  static WalkingDistances Compute(const Building& building,
+                                  const BuildingGrid& grid);
+
+  /// Minimum walking distance in meters between any point of `a` and any
+  /// point of `b` (0 when a == b); kInfiniteDistance when disconnected.
+  double MetersBetween(LocationId a, LocationId b) const;
+
+  std::size_t NumLocations() const { return num_locations_; }
+
+ private:
+  WalkingDistances() = default;
+
+  std::size_t num_locations_ = 0;
+  std::vector<double> matrix_;  // row-major num_locations x num_locations
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MAP_WALKING_DISTANCE_H_

@@ -1,0 +1,56 @@
+#include "model/apriori.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+AprioriModel::AprioriModel(const Building& building, const BuildingGrid& grid,
+                           const CoverageMatrix& calibrated)
+    : building_(&building), grid_(&grid), coverage_(&calibrated) {
+  RFID_CHECK_EQ(calibrated.num_cells(), grid.NumCells());
+}
+
+const std::vector<double>& AprioriModel::Distribution(
+    const ReaderSet& readers) const {
+  auto it = cache_.find(readers);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(readers, ComputeDistribution(readers)).first->second;
+}
+
+double AprioriModel::Probability(LocationId location,
+                                 const ReaderSet& readers) const {
+  RFID_CHECK_GE(location, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(location), NumLocations());
+  return Distribution(readers)[static_cast<std::size_t>(location)];
+}
+
+std::vector<double> AprioriModel::ComputeDistribution(
+    const ReaderSet& readers) const {
+  const std::size_t num_locations = NumLocations();
+  std::vector<double> distribution(num_locations, 0.0);
+  double total = 0.0;
+  for (std::size_t l = 0; l < num_locations; ++l) {
+    double sum = 0.0;
+    for (int cell : grid_->CellsOfLocation(static_cast<LocationId>(l))) {
+      double weight = 1.0;
+      for (ReaderId r : readers) {
+        weight *= coverage_->Probability(r, cell);
+        if (weight == 0.0) break;
+      }
+      sum += weight;
+    }
+    distribution[l] = sum;
+    total += sum;
+  }
+  if (total <= 0.0) {
+    // No cell is compatible with this reader set: no a-priori knowledge,
+    // fall back to the uniform distribution over L (§6.2).
+    double uniform = 1.0 / static_cast<double>(num_locations);
+    for (double& p : distribution) p = uniform;
+    return distribution;
+  }
+  for (double& p : distribution) p /= total;
+  return distribution;
+}
+
+}  // namespace rfidclean

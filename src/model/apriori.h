@@ -1,0 +1,62 @@
+#ifndef RFIDCLEAN_MODEL_APRIORI_H_
+#define RFIDCLEAN_MODEL_APRIORI_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "map/building.h"
+#include "map/building_grid.h"
+#include "model/reading.h"
+#include "rfid/coverage_matrix.h"
+
+namespace rfidclean {
+
+/// The a-priori probability distribution p*(l | R) of §6.2, computed from a
+/// (calibrated) detection-rate matrix F:
+///
+///   p*(l | R) = 1 / |L|                                       if no cell c
+///               has Π_{r∈R} F[r,c] > 0 (no a-priori knowledge),
+///   p*(l | R) = Σ_{c∈Cells(l)} Π_{r∈R} F[r,c]
+///               / Σ_{c∈Cells(L)} Π_{r∈R} F[r,c]               otherwise,
+///
+/// where Cells(l) are the grid cells owned by location l and Cells(L) those
+/// owned by any location (door-gap cells, which belong to no location, are
+/// excluded from the denominator so that p*(· | R) is a proper distribution
+/// over L). For R = ∅ the products are 1 and the second branch yields the
+/// area-proportional distribution, as in the paper.
+///
+/// Distributions are memoized per reader set: a monitoring system observes
+/// few distinct reader sets compared to the number of readings.
+class AprioriModel {
+ public:
+  /// `calibrated` must have one column per cell of `grid`. Both referenced
+  /// objects must outlive the model.
+  AprioriModel(const Building& building, const BuildingGrid& grid,
+               const CoverageMatrix& calibrated);
+
+  std::size_t NumLocations() const { return building_->NumLocations(); }
+
+  /// p*(· | readers) over all locations (indexed by LocationId, sums to 1).
+  /// `readers` must be normalized. The reference is valid until the next
+  /// call that inserts a new set (copy if retaining).
+  const std::vector<double>& Distribution(const ReaderSet& readers) const;
+
+  /// p*(l | readers).
+  double Probability(LocationId location, const ReaderSet& readers) const;
+
+  /// Number of memoized reader sets (diagnostics).
+  std::size_t CacheSize() const { return cache_.size(); }
+
+ private:
+  std::vector<double> ComputeDistribution(const ReaderSet& readers) const;
+
+  const Building* building_;
+  const BuildingGrid* grid_;
+  const CoverageMatrix* coverage_;
+  mutable std::unordered_map<ReaderSet, std::vector<double>, ReaderSetHash>
+      cache_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_APRIORI_H_

@@ -1,0 +1,59 @@
+#include "model/group.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+Result<LSequence> CombineGroupReadings(
+    const std::vector<const RSequence*>& group, const AprioriModel& apriori,
+    GroupCombineStats* stats) {
+  if (group.empty()) {
+    return InvalidArgumentError("group must contain at least one object");
+  }
+  const Timestamp length = group[0]->length();
+  for (std::size_t o = 1; o < group.size(); ++o) {
+    if (group[o]->length() != length) {
+      return InvalidArgumentError(StrFormat(
+          "group member %zu covers %d ticks, expected %d", o,
+          group[o]->length(), length));
+    }
+  }
+  if (stats != nullptr) *stats = GroupCombineStats{};
+
+  const std::size_t num_locations = apriori.NumLocations();
+  std::vector<std::vector<Candidate>> combined(
+      static_cast<std::size_t>(length));
+  std::vector<double> product(num_locations);
+  std::vector<double> mixture(num_locations);
+  for (Timestamp t = 0; t < length; ++t) {
+    std::fill(product.begin(), product.end(), 1.0);
+    std::fill(mixture.begin(), mixture.end(), 0.0);
+    for (const RSequence* readings : group) {
+      const std::vector<double>& distribution =
+          apriori.Distribution(readings->ReadersAt(t));
+      for (std::size_t l = 0; l < num_locations; ++l) {
+        product[l] *= distribution[l];
+        mixture[l] += distribution[l];
+      }
+    }
+    double product_mass = 0.0;
+    for (double p : product) product_mass += p;
+    const std::vector<double>& chosen =
+        product_mass > 0.0 ? product : mixture;
+    if (product_mass <= 0.0 && stats != nullptr) ++stats->conflict_ticks;
+    double mass = 0.0;
+    for (double p : chosen) mass += p;
+    std::vector<Candidate>& at_t = combined[static_cast<std::size_t>(t)];
+    for (std::size_t l = 0; l < num_locations; ++l) {
+      if (chosen[l] > 0.0) {
+        at_t.push_back(
+            Candidate{static_cast<LocationId>(l), chosen[l] / mass});
+      }
+    }
+  }
+  return LSequence::Create(std::move(combined));
+}
+
+}  // namespace rfidclean

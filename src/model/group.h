@@ -1,0 +1,45 @@
+#ifndef RFIDCLEAN_MODEL_GROUP_H_
+#define RFIDCLEAN_MODEL_GROUP_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/apriori.h"
+#include "model/lsequence.h"
+#include "model/rsequence.h"
+
+namespace rfidclean {
+
+/// Group-movement correlation (the paper's §8 future work, motivated by
+/// supply-chain scenarios): when several tagged objects are known to move
+/// together — boxes on a pallet, a guided tour group — they share one
+/// trajectory, and their readings are independent evidence about it. The
+/// combined candidate distribution at each time point is therefore the
+/// normalized product of the per-object a-priori distributions:
+///
+///   p_group(l | R_1, ..., R_k)  ∝  Π_o p*(l | R_o)
+///
+/// which typically sharpens the interpretation dramatically before the
+/// ct-graph conditioning even starts (one object missed by all readers is
+/// covered by its group mates).
+///
+/// When the product vanishes everywhere at some time point — the readings
+/// genuinely conflict, e.g. two objects firmly detected on different floors
+/// — the group assumption is violated there; we fall back to the normalized
+/// *mixture* (average) of the per-object distributions at that time point,
+/// which keeps every individually-plausible location alive. The fallback
+/// count is reported so callers can flag suspect groups.
+struct GroupCombineStats {
+  /// Time points where the product vanished and the mixture fallback ran.
+  int conflict_ticks = 0;
+};
+
+/// Combines the reading sequences of a group into the l-sequence of their
+/// shared trajectory. All sequences must be non-empty and equally long.
+Result<LSequence> CombineGroupReadings(
+    const std::vector<const RSequence*>& group, const AprioriModel& apriori,
+    GroupCombineStats* stats = nullptr);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_GROUP_H_

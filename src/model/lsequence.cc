@@ -1,0 +1,109 @@
+#include "model/lsequence.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+Result<LSequence> LSequence::Create(
+    std::vector<std::vector<Candidate>> candidates) {
+  if (candidates.empty()) {
+    return InvalidArgumentError("l-sequence must not be empty");
+  }
+  for (std::size_t t = 0; t < candidates.size(); ++t) {
+    std::vector<Candidate>& at_t = candidates[t];
+    if (at_t.empty()) {
+      return InvalidArgumentError(
+          StrFormat("no candidate location at timestamp %zu", t));
+    }
+    double sum = 0.0;
+    for (const Candidate& candidate : at_t) {
+      if (candidate.location < 0) {
+        return InvalidArgumentError(
+            StrFormat("invalid location id at timestamp %zu", t));
+      }
+      if (candidate.probability <= 0.0) {
+        return InvalidArgumentError(StrFormat(
+            "non-positive candidate probability at timestamp %zu", t));
+      }
+      sum += candidate.probability;
+    }
+    if (std::abs(sum - 1.0) > 1e-6) {
+      return InvalidArgumentError(StrFormat(
+          "candidate probabilities at timestamp %zu sum to %f, not 1", t,
+          sum));
+    }
+    for (std::size_t i = 0; i < at_t.size(); ++i) {
+      for (std::size_t j = i + 1; j < at_t.size(); ++j) {
+        if (at_t[i].location == at_t[j].location) {
+          return InvalidArgumentError(StrFormat(
+              "duplicate candidate location at timestamp %zu", t));
+        }
+      }
+    }
+    for (Candidate& candidate : at_t) candidate.probability /= sum;
+  }
+  LSequence sequence;
+  sequence.candidates_ = std::move(candidates);
+  return sequence;
+}
+
+LSequence LSequence::FromReadings(const RSequence& readings,
+                                  const AprioriModel& apriori,
+                                  double min_probability) {
+  RFID_CHECK_GE(min_probability, 0.0);
+  LSequence sequence;
+  sequence.candidates_.resize(static_cast<std::size_t>(readings.length()));
+  for (Timestamp t = 0; t < readings.length(); ++t) {
+    const std::vector<double>& distribution =
+        apriori.Distribution(readings.ReadersAt(t));
+    std::vector<Candidate>& at_t =
+        sequence.candidates_[static_cast<std::size_t>(t)];
+    double kept = 0.0;
+    for (std::size_t l = 0; l < distribution.size(); ++l) {
+      if (distribution[l] > 0.0 && distribution[l] >= min_probability) {
+        at_t.push_back(
+            Candidate{static_cast<LocationId>(l), distribution[l]});
+        kept += distribution[l];
+      }
+    }
+    if (at_t.empty()) {
+      // Every candidate fell below the pruning threshold; keep the single
+      // most probable location so the sequence stays well formed.
+      std::size_t best = 0;
+      for (std::size_t l = 1; l < distribution.size(); ++l) {
+        if (distribution[l] > distribution[best]) best = l;
+      }
+      at_t.push_back(Candidate{static_cast<LocationId>(best), 1.0});
+      kept = 1.0;
+    }
+    for (Candidate& candidate : at_t) candidate.probability /= kept;
+  }
+  return sequence;
+}
+
+const std::vector<Candidate>& LSequence::CandidatesAt(Timestamp t) const {
+  RFID_CHECK_GE(t, 0);
+  RFID_CHECK_LT(t, length());
+  return candidates_[static_cast<std::size_t>(t)];
+}
+
+double LSequence::ProbabilityAt(Timestamp t, LocationId location) const {
+  for (const Candidate& candidate : CandidatesAt(t)) {
+    if (candidate.location == location) return candidate.probability;
+  }
+  return 0.0;
+}
+
+double LSequence::NumTrajectories() const {
+  double count = 1.0;
+  for (const auto& at_t : candidates_) {
+    count *= static_cast<double>(at_t.size());
+  }
+  return count;
+}
+
+}  // namespace rfidclean

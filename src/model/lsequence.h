@@ -1,0 +1,62 @@
+#ifndef RFIDCLEAN_MODEL_LSEQUENCE_H_
+#define RFIDCLEAN_MODEL_LSEQUENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "map/location.h"
+#include "model/apriori.h"
+#include "model/reading.h"
+#include "model/rsequence.h"
+
+namespace rfidclean {
+
+/// One alternative (location, probability) pair λ at a fixed time point.
+struct Candidate {
+  LocationId location = kInvalidLocation;
+  double probability = 0.0;
+};
+
+/// The probabilistic location sequence Γ = (Λ, p) of §2: for every time
+/// point of T, the locations compatible with the reading at that time, each
+/// with its a-priori probability (p sums to 1 per time point, zero-probability
+/// pairs are never materialized).
+class LSequence {
+ public:
+  /// An empty sequence (length 0); useful only as an assignment target.
+  LSequence() = default;
+
+  /// Validates the candidate lists: non-empty per time point, strictly
+  /// positive probabilities summing to 1 (within 1e-6; they are then
+  /// renormalized exactly), no duplicate locations.
+  static Result<LSequence> Create(
+      std::vector<std::vector<Candidate>> candidates);
+
+  /// Interprets a reading sequence through the a-priori model (the paper's
+  /// Γ corresponding to Θ according to p*(l|R)). Candidates with probability
+  /// below `min_probability` are pruned and the remainder renormalized;
+  /// the default 0 keeps every non-zero candidate, exactly as in the paper.
+  static LSequence FromReadings(const RSequence& readings,
+                                const AprioriModel& apriori,
+                                double min_probability = 0.0);
+
+  Timestamp length() const {
+    return static_cast<Timestamp>(candidates_.size());
+  }
+
+  const std::vector<Candidate>& CandidatesAt(Timestamp t) const;
+
+  /// Probability of (t, location), or 0 when the pair is not in Λ.
+  double ProbabilityAt(Timestamp t, LocationId location) const;
+
+  /// Number of trajectories over Γ: Π_t |candidates at t| (§2), as a double
+  /// since it overflows integers immediately.
+  double NumTrajectories() const;
+
+ private:
+  std::vector<std::vector<Candidate>> candidates_;  // indexed by timestamp
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_LSEQUENCE_H_

@@ -1,0 +1,23 @@
+#include "model/reading.h"
+
+#include <algorithm>
+
+namespace rfidclean {
+
+void NormalizeReaderSet(ReaderSet* readers) {
+  std::sort(readers->begin(), readers->end());
+  readers->erase(std::unique(readers->begin(), readers->end()),
+                 readers->end());
+}
+
+std::size_t ReaderSetHash::operator()(const ReaderSet& readers) const {
+  // FNV-1a over the id stream.
+  std::size_t hash = 1469598103934665603ULL;
+  for (ReaderId id : readers) {
+    hash ^= static_cast<std::size_t>(id) + 0x9e3779b97f4a7c15ULL;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,38 @@
+#ifndef RFIDCLEAN_MODEL_READING_H_
+#define RFIDCLEAN_MODEL_READING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "rfid/reader.h"
+
+namespace rfidclean {
+
+/// Discrete time point. The library's tick granularity is abstract; all the
+/// shipped generators and constraint inferencers use 1 tick = 1 second, as
+/// the paper's evaluation does.
+using Timestamp = std::int32_t;
+
+/// The set of readers that simultaneously detected a tag, kept sorted and
+/// deduplicated (see NormalizeReaderSet). The empty set is a valid reading:
+/// "detected by no reader" (false negatives, reader-free zones).
+using ReaderSet = std::vector<ReaderId>;
+
+/// Sorts and deduplicates `readers` in place.
+void NormalizeReaderSet(ReaderSet* readers);
+
+/// Hash functor for normalized reader sets (cache keys in AprioriModel).
+struct ReaderSetHash {
+  std::size_t operator()(const ReaderSet& readers) const;
+};
+
+/// One raw observation θ = (τ, R): at time τ the monitored object was
+/// detected by all and only the readers in R (§2).
+struct Reading {
+  Timestamp time = 0;
+  ReaderSet readers;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_READING_H_

@@ -1,0 +1,48 @@
+#include "model/rsequence.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+Result<RSequence> RSequence::Create(std::vector<Reading> readings) {
+  if (readings.empty()) {
+    return InvalidArgumentError("reading sequence must not be empty");
+  }
+  const Timestamp n = static_cast<Timestamp>(readings.size());
+  RSequence sequence;
+  sequence.readers_.resize(static_cast<std::size_t>(n));
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (Reading& reading : readings) {
+    if (reading.time < 0 || reading.time >= n) {
+      return InvalidArgumentError(StrFormat(
+          "reading timestamp %d outside [0, %d)", reading.time, n));
+    }
+    std::size_t index = static_cast<std::size_t>(reading.time);
+    if (seen[index]) {
+      return InvalidArgumentError(
+          StrFormat("duplicate reading at timestamp %d", reading.time));
+    }
+    seen[index] = true;
+    NormalizeReaderSet(&reading.readers);
+    sequence.readers_[index] = std::move(reading.readers);
+  }
+  return sequence;
+}
+
+RSequence RSequence::Empty(Timestamp length) {
+  RFID_CHECK_GT(length, 0);
+  RSequence sequence;
+  sequence.readers_.resize(static_cast<std::size_t>(length));
+  return sequence;
+}
+
+const ReaderSet& RSequence::ReadersAt(Timestamp t) const {
+  RFID_CHECK_GE(t, 0);
+  RFID_CHECK_LT(t, length());
+  return readers_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace rfidclean

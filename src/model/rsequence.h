@@ -1,0 +1,35 @@
+#ifndef RFIDCLEAN_MODEL_RSEQUENCE_H_
+#define RFIDCLEAN_MODEL_RSEQUENCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// A reading sequence Θ over T = [0, length): exactly one reading per time
+/// point (§2). Reader sets are normalized on construction.
+class RSequence {
+ public:
+  /// An empty sequence (length 0); useful only as an assignment target.
+  RSequence() = default;
+
+  /// Validates that `readings` covers 0..n-1 exactly once, in any order.
+  static Result<RSequence> Create(std::vector<Reading> readings);
+
+  /// Builds a sequence of `length` empty readings (no detections).
+  static RSequence Empty(Timestamp length);
+
+  Timestamp length() const { return static_cast<Timestamp>(readers_.size()); }
+
+  /// Reader set observed at time `t`.
+  const ReaderSet& ReadersAt(Timestamp t) const;
+
+ private:
+  std::vector<ReaderSet> readers_;  // indexed by timestamp
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_RSEQUENCE_H_

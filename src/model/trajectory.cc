@@ -1,0 +1,23 @@
+#include "model/trajectory.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+LocationId Trajectory::At(Timestamp t) const {
+  RFID_CHECK_GE(t, 0);
+  RFID_CHECK_LT(t, length());
+  return steps_[static_cast<std::size_t>(t)];
+}
+
+double Trajectory::AprioriProbability(const LSequence& sequence) const {
+  RFID_CHECK_EQ(sequence.length(), length());
+  double probability = 1.0;
+  for (Timestamp t = 0; t < length(); ++t) {
+    probability *= sequence.ProbabilityAt(t, At(t));
+    if (probability == 0.0) break;
+  }
+  return probability;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,44 @@
+#ifndef RFIDCLEAN_MODEL_TRAJECTORY_H_
+#define RFIDCLEAN_MODEL_TRAJECTORY_H_
+
+#include <vector>
+
+#include "map/location.h"
+#include "model/lsequence.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// A discrete trajectory over T = [0, length): one location per time point
+/// (Definition 1). Used both for interpretations of an l-sequence and for
+/// the ground truth produced by the synthetic generator.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<LocationId> steps)
+      : steps_(std::move(steps)) {}
+
+  Timestamp length() const { return static_cast<Timestamp>(steps_.size()); }
+  bool empty() const { return steps_.empty(); }
+
+  LocationId At(Timestamp t) const;
+  void Append(LocationId location) { steps_.push_back(location); }
+
+  const std::vector<LocationId>& steps() const { return steps_; }
+
+  /// A-priori probability p*(t) w.r.t. `sequence`: the product of the
+  /// candidate probabilities of its steps (0 when a step is not a candidate).
+  /// Requires matching lengths.
+  double AprioriProbability(const LSequence& sequence) const;
+
+  friend bool operator==(const Trajectory& a, const Trajectory& b) {
+    return a.steps_ == b.steps_;
+  }
+
+ private:
+  std::vector<LocationId> steps_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_MODEL_TRAJECTORY_H_

@@ -1,0 +1,25 @@
+#ifndef RFIDCLEAN_QUERY_FLOW_H_
+#define RFIDCLEAN_QUERY_FLOW_H_
+
+#include <vector>
+
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// Movement analytics over the conditioned distribution: the expected
+/// number of transitions between every pair of locations,
+///
+///   flow[a][b] = E[ #{ t : loc(t) = a ∧ loc(t+1) = b } ]
+///              = Σ_edges(a→b) marginal(from) · p(edge),
+///
+/// indexed [from * num_locations + to]. Diagonal entries count expected
+/// "stay" steps. Row/column sums relate to expected visit durations; the
+/// off-diagonal part is the door-traffic matrix a facility analyst reads
+/// off a cleaned dataset.
+std::vector<double> ExpectedTransitionCounts(const CtGraph& graph,
+                                             std::size_t num_locations);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_FLOW_H_

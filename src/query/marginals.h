@@ -1,0 +1,20 @@
+#ifndef RFIDCLEAN_QUERY_MARGINALS_H_
+#define RFIDCLEAN_QUERY_MARGINALS_H_
+
+#include <vector>
+
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// Probability that a random valid trajectory (under the conditioned
+/// distribution) passes through each node: α(source) = p_N(source),
+/// α(n) = Σ_{(n',n)} α(n') · p_E(n', n). Because every non-target node's
+/// outgoing PDF sums to 1, α(n) is exactly the node's marginal probability
+/// (every prefix extends to a probability-1 set of futures), so each layer's
+/// α values sum to 1.
+std::vector<double> NodeMarginals(const CtGraph& graph);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_MARGINALS_H_

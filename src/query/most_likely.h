@@ -1,0 +1,24 @@
+#ifndef RFIDCLEAN_QUERY_MOST_LIKELY_H_
+#define RFIDCLEAN_QUERY_MOST_LIKELY_H_
+
+#include <utility>
+
+#include "core/ct_graph.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// The single most probable valid trajectory under the conditioned
+/// distribution, with its probability — max-product (Viterbi) dynamic
+/// programming over the ct-graph. Log-space scores keep hour-long
+/// trajectories away from underflow. Ties are broken toward the earlier
+/// node in layer order (deterministic).
+///
+/// This is the cleaned counterpart of UncleanedModel::MostLikelyTrajectory:
+/// the argmax over *valid* trajectories of p*(t | Θ ∧ IC) instead of the
+/// per-instant independent argmax (which is usually not even valid).
+std::pair<Trajectory, double> MostLikelyTrajectory(const CtGraph& graph);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_MOST_LIKELY_H_

@@ -1,0 +1,89 @@
+#include "query/pattern.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+Result<Pattern> Pattern::Parse(std::string_view text,
+                               const NameResolver& resolver) {
+  std::vector<PatternItem> items;
+  std::size_t i = 0;
+  auto is_space = [](char c) { return c == ' ' || c == '\t'; };
+  while (i < text.size()) {
+    while (i < text.size() && is_space(text[i])) ++i;
+    if (i >= text.size()) break;
+    std::size_t start = i;
+    while (i < text.size() && !is_space(text[i])) ++i;
+    std::string_view token = text.substr(start, i - start);
+    if (token == "?") {
+      items.push_back(PatternItem::Wildcard());
+      continue;
+    }
+    std::string_view name = token;
+    Timestamp min_duration = 1;
+    std::size_t bracket = token.find('[');
+    if (bracket != std::string_view::npos) {
+      if (token.back() != ']' || bracket + 2 > token.size()) {
+        return InvalidArgumentError(
+            StrFormat("malformed condition '%.*s'",
+                      static_cast<int>(token.size()), token.data()));
+      }
+      name = token.substr(0, bracket);
+      std::string digits(token.substr(bracket + 1,
+                                      token.size() - bracket - 2));
+      char* end = nullptr;
+      long value = std::strtol(digits.c_str(), &end, 10);
+      if (end == digits.c_str() || *end != '\0' || value < 1) {
+        return InvalidArgumentError(
+            StrFormat("invalid duration in '%.*s'",
+                      static_cast<int>(token.size()), token.data()));
+      }
+      min_duration = static_cast<Timestamp>(value);
+    }
+    LocationId location = resolver(name);
+    if (location == kInvalidLocation) {
+      return NotFoundError(StrFormat("unknown location '%.*s'",
+                                     static_cast<int>(name.size()),
+                                     name.data()));
+    }
+    items.push_back(PatternItem::Condition(location, min_duration));
+  }
+  if (items.empty()) {
+    return InvalidArgumentError("empty pattern");
+  }
+  return Pattern(std::move(items));
+}
+
+Result<Pattern> Pattern::Parse(std::string_view text,
+                               const Building& building) {
+  return Parse(text, [&building](std::string_view name) {
+    return building.FindLocationByName(name);
+  });
+}
+
+std::size_t Pattern::NumConditions() const {
+  std::size_t count = 0;
+  for (const PatternItem& item : items_) {
+    if (!item.wildcard) ++count;
+  }
+  return count;
+}
+
+std::string Pattern::ToString() const {
+  std::string out;
+  for (const PatternItem& item : items_) {
+    if (!out.empty()) out += ' ';
+    if (item.wildcard) {
+      out += '?';
+    } else if (item.min_duration > 1) {
+      out += StrFormat("L%d[%d]", item.location, item.min_duration);
+    } else {
+      out += StrFormat("L%d", item.location);
+    }
+  }
+  return out;
+}
+
+}  // namespace rfidclean

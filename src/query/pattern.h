@@ -1,0 +1,68 @@
+#ifndef RFIDCLEAN_QUERY_PATTERN_H_
+#define RFIDCLEAN_QUERY_PATTERN_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "map/building.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// One element of a trajectory-query pattern (§6.6): either the wildcard
+/// `?` (any, possibly empty, sequence of locations) or a location condition
+/// `l[n]` (a stay at l of at least n consecutive time points; plain `l`
+/// means n = 1).
+struct PatternItem {
+  bool wildcard = false;
+  LocationId location = kInvalidLocation;  // Condition items only.
+  Timestamp min_duration = 1;              // Condition items only, >= 1.
+
+  static PatternItem Wildcard() { return PatternItem{true, kInvalidLocation, 1}; }
+  static PatternItem Condition(LocationId location,
+                               Timestamp min_duration = 1) {
+    return PatternItem{false, location, min_duration};
+  }
+};
+
+/// A trajectory-query pattern: a sequence of items whose expansions,
+/// concatenated, must produce exactly the location sequence of the
+/// trajectory. For instance "? A[3] ? B[2] ?" asks whether the object at
+/// some point stayed at A for at least 3 ticks and later at B for at least
+/// 2 ticks.
+class Pattern {
+ public:
+  /// Maps a location name to its id (kInvalidLocation when unknown).
+  using NameResolver = std::function<LocationId(std::string_view)>;
+
+  Pattern() = default;
+  explicit Pattern(std::vector<PatternItem> items)
+      : items_(std::move(items)) {}
+
+  /// Parses the textual form: whitespace-separated tokens, each either `?`
+  /// or `Name` or `Name[n]` with n >= 1.
+  static Result<Pattern> Parse(std::string_view text,
+                               const NameResolver& resolver);
+
+  /// Convenience overload resolving names against a building's locations.
+  static Result<Pattern> Parse(std::string_view text,
+                               const Building& building);
+
+  const std::vector<PatternItem>& items() const { return items_; }
+
+  /// Number of condition (non-wildcard) items — the paper's query length.
+  std::size_t NumConditions() const;
+
+  /// Textual form, e.g. "? L3[2] ?", using "L<id>" names.
+  std::string ToString() const;
+
+ private:
+  std::vector<PatternItem> items_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_PATTERN_H_

@@ -1,0 +1,155 @@
+#include "query/pattern_matcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+namespace {
+
+constexpr int kAnySymbol = -1;
+
+void SetBit(std::vector<std::uint64_t>* bits, int index) {
+  (*bits)[static_cast<std::size_t>(index) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(index) % 64);
+}
+
+bool Intersects(const std::vector<std::uint64_t>& a,
+                const std::vector<std::uint64_t>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & b[i]) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+PatternMatcher::PatternMatcher(const Pattern& pattern) {
+  RFID_CHECK(!pattern.items().empty());
+
+  // Reduced alphabet: pattern locations + "other" (symbol 0).
+  for (const PatternItem& item : pattern.items()) {
+    if (item.wildcard) continue;
+    bool known = false;
+    for (const auto& [location, symbol] : symbol_of_) {
+      if (location == item.location) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      symbol_of_.emplace_back(item.location, num_symbols_++);
+    }
+  }
+  std::sort(symbol_of_.begin(), symbol_of_.end());
+
+  // Thompson-style construction with a "frontier" in place of epsilon
+  // edges: the frontier holds the NFA states from which the next item's
+  // first symbol can be consumed; wildcards extend it (they may expand to
+  // the empty sequence), conditions replace it.
+  auto new_state = [this]() {
+    nfa_edges_.emplace_back();
+    return static_cast<int>(nfa_edges_.size()) - 1;
+  };
+  int start = new_state();
+  std::vector<int> frontier = {start};
+  for (const PatternItem& item : pattern.items()) {
+    if (item.wildcard) {
+      int w = new_state();
+      for (int f : frontier) {
+        nfa_edges_[static_cast<std::size_t>(f)].push_back(
+            NfaEdge{kAnySymbol, w});
+      }
+      nfa_edges_[static_cast<std::size_t>(w)].push_back(
+          NfaEdge{kAnySymbol, w});
+      frontier.push_back(w);
+    } else {
+      int symbol = SymbolOf(item.location);
+      RFID_CHECK_GT(symbol, 0);
+      int first = new_state();
+      for (int f : frontier) {
+        nfa_edges_[static_cast<std::size_t>(f)].push_back(
+            NfaEdge{symbol, first});
+      }
+      int last = first;
+      for (Timestamp k = 1; k < item.min_duration; ++k) {
+        int next = new_state();
+        nfa_edges_[static_cast<std::size_t>(last)].push_back(
+            NfaEdge{symbol, next});
+        last = next;
+      }
+      nfa_edges_[static_cast<std::size_t>(last)].push_back(
+          NfaEdge{symbol, last});
+      frontier = {last};
+    }
+  }
+  std::size_t words = (nfa_edges_.size() + 63) / 64;
+  nfa_accepting_.assign(words, 0);
+  for (int f : frontier) SetBit(&nfa_accepting_, f);
+
+  // Initial DFA state: the singleton {start}.
+  StateSet initial(words, 0);
+  SetBit(&initial, start);
+  start_state_ = InternSubset(initial);
+}
+
+int PatternMatcher::SymbolOf(LocationId location) const {
+  auto it = std::lower_bound(
+      symbol_of_.begin(), symbol_of_.end(), location,
+      [](const auto& entry, LocationId value) { return entry.first < value; });
+  if (it != symbol_of_.end() && it->first == location) return it->second;
+  return 0;  // "other"
+}
+
+int PatternMatcher::InternSubset(const StateSet& subset) {
+  auto it = subset_ids_.find(subset);
+  if (it != subset_ids_.end()) return it->second;
+  int id = static_cast<int>(subsets_.size());
+  subset_ids_.emplace(subset, id);
+  subsets_.push_back(subset);
+  dfa_transitions_.emplace_back(static_cast<std::size_t>(num_symbols_), -1);
+  dfa_accepting_.push_back(Intersects(subset, nfa_accepting_));
+  return id;
+}
+
+int PatternMatcher::Step(int state, LocationId location) {
+  RFID_CHECK_GE(state, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(state), dfa_transitions_.size());
+  int symbol = SymbolOf(location);
+  int& cached =
+      dfa_transitions_[static_cast<std::size_t>(state)]
+                      [static_cast<std::size_t>(symbol)];
+  if (cached >= 0) return cached;
+
+  const StateSet& current = subsets_[static_cast<std::size_t>(state)];
+  StateSet next(current.size(), 0);
+  for (std::size_t s = 0; s < nfa_edges_.size(); ++s) {
+    if ((current[s / 64] & (std::uint64_t{1} << (s % 64))) == 0) continue;
+    for (const NfaEdge& edge : nfa_edges_[s]) {
+      if (edge.symbol == kAnySymbol || edge.symbol == symbol) {
+        SetBit(&next, edge.target);
+      }
+    }
+  }
+  // The empty subset is a legal (dead, non-accepting) DFA state; interning
+  // it uniformly keeps the stepping code branch-free.
+  cached = InternSubset(next);
+  return cached;
+}
+
+bool PatternMatcher::IsAccepting(int state) const {
+  RFID_CHECK_GE(state, 0);
+  RFID_CHECK_LT(static_cast<std::size_t>(state), dfa_accepting_.size());
+  return dfa_accepting_[static_cast<std::size_t>(state)];
+}
+
+bool PatternMatcher::Matches(const Trajectory& trajectory) {
+  int state = StartState();
+  for (Timestamp t = 0; t < trajectory.length(); ++t) {
+    state = Step(state, trajectory.At(t));
+  }
+  return IsAccepting(state);
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,71 @@
+#ifndef RFIDCLEAN_QUERY_PATTERN_MATCHER_H_
+#define RFIDCLEAN_QUERY_PATTERN_MATCHER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "model/trajectory.h"
+#include "query/pattern.h"
+
+namespace rfidclean {
+
+/// Compiles a Pattern into a finite automaton over location sequences and
+/// exposes a *deterministic* stepping interface (lazy subset construction
+/// over the Thompson NFA). Determinism is what lets the trajectory-query
+/// evaluator sum path probabilities without double counting: every location
+/// sequence is in exactly one DFA state after each prefix.
+///
+/// The input alphabet is reduced to the locations named by the pattern plus
+/// a single "other" symbol, so the automaton is independent of the total
+/// number of locations.
+class PatternMatcher {
+ public:
+  explicit PatternMatcher(const Pattern& pattern);
+
+  /// DFA state before any symbol is consumed.
+  int StartState() const { return start_state_; }
+
+  /// Consumes one location. Lazily materializes missing transitions.
+  int Step(int state, LocationId location);
+
+  /// True when a sequence ending in `state` matches the pattern.
+  bool IsAccepting(int state) const;
+
+  /// Runs the automaton over a full trajectory.
+  bool Matches(const Trajectory& trajectory);
+
+  /// Materialized DFA states so far (diagnostics).
+  std::size_t NumDfaStates() const { return dfa_transitions_.size(); }
+
+  std::size_t NumNfaStates() const { return nfa_edges_.size(); }
+
+ private:
+  using StateSet = std::vector<std::uint64_t>;  // bitset over NFA states
+
+  /// Symbol index of a location: pattern locations get dense indices,
+  /// everything else maps to the shared "other" symbol.
+  int SymbolOf(LocationId location) const;
+
+  int InternSubset(const StateSet& subset);
+
+  struct NfaEdge {
+    int symbol = 0;  // -1 = any
+    int target = 0;
+  };
+
+  int num_symbols_ = 1;  // including "other"
+  std::vector<std::pair<LocationId, int>> symbol_of_;  // sorted by location
+  std::vector<std::vector<NfaEdge>> nfa_edges_;        // per NFA state
+  StateSet nfa_accepting_;
+
+  int start_state_ = 0;
+  std::map<StateSet, int> subset_ids_;
+  std::vector<StateSet> subsets_;
+  std::vector<std::vector<int>> dfa_transitions_;  // [state][symbol], -1 lazy
+  std::vector<bool> dfa_accepting_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_PATTERN_MATCHER_H_

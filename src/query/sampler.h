@@ -1,0 +1,29 @@
+#ifndef RFIDCLEAN_QUERY_SAMPLER_H_
+#define RFIDCLEAN_QUERY_SAMPLER_H_
+
+#include "common/rng.h"
+#include "core/ct_graph.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// Draws valid trajectories from the conditioned distribution represented
+/// by a ct-graph: pick a source node by p_N, then follow outgoing edges by
+/// p_E. Every sample is valid by construction — the point made in §7 about
+/// using ct-graphs as a basis for "sampling under constraints" with no
+/// rejection loop.
+class TrajectorySampler {
+ public:
+  /// `graph` must outlive the sampler.
+  explicit TrajectorySampler(const CtGraph& graph);
+
+  /// One sample; cost O(length · max out-degree).
+  Trajectory Sample(Rng& rng) const;
+
+ private:
+  const CtGraph* graph_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_SAMPLER_H_

@@ -1,0 +1,37 @@
+#ifndef RFIDCLEAN_QUERY_STAY_QUERY_H_
+#define RFIDCLEAN_QUERY_STAY_QUERY_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// Evaluates *stay queries* over a ct-graph (§6.6): "where was the monitored
+/// object at time τ?". The answer is the conditioned marginal distribution
+/// over locations at τ: each location gets the total probability of the
+/// represented trajectories whose τ-th step is at it.
+///
+/// Node marginals are computed once at construction; each query is then a
+/// single pass over the τ-th layer.
+class StayQueryEvaluator {
+ public:
+  /// `graph` must outlive the evaluator.
+  explicit StayQueryEvaluator(const CtGraph& graph);
+
+  /// Distribution over locations at time `t` (only locations with positive
+  /// probability, unordered). Probabilities sum to 1.
+  std::vector<std::pair<LocationId, double>> Evaluate(Timestamp t) const;
+
+  /// Probability that the object was at `location` at time `t`.
+  double Probability(Timestamp t, LocationId location) const;
+
+ private:
+  const CtGraph* graph_;
+  std::vector<double> marginals_;  // per node
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_STAY_QUERY_H_

@@ -1,0 +1,27 @@
+#ifndef RFIDCLEAN_QUERY_TOP_K_H_
+#define RFIDCLEAN_QUERY_TOP_K_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/ct_graph.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// The `k` most probable valid trajectories under the conditioned
+/// distribution, most probable first (fewer when the graph represents fewer
+/// trajectories). Generalizes MostLikelyTrajectory via k-best dynamic
+/// programming over the layered DAG (each graph node keeps its k best
+/// prefixes with back-pointers); every path corresponds to a distinct
+/// trajectory, so no deduplication is needed. Log-space scores avoid
+/// underflow. Cost O((nodes + edges) · k log k).
+///
+/// A forensic staple: "show me the three most plausible reconstructions
+/// and how much more likely the first is than the rest."
+std::vector<std::pair<Trajectory, double>> TopKTrajectories(
+    const CtGraph& graph, std::size_t k);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_TOP_K_H_

@@ -1,0 +1,22 @@
+#ifndef RFIDCLEAN_QUERY_TRAJECTORY_QUERY_H_
+#define RFIDCLEAN_QUERY_TRAJECTORY_QUERY_H_
+
+#include "core/ct_graph.h"
+#include "query/pattern.h"
+
+namespace rfidclean {
+
+/// Evaluates a *trajectory query* over a ct-graph (§6.6): the probability
+/// that the monitored object's trajectory matches `pattern`, i.e. the sum of
+/// the conditioned probabilities of the represented trajectories accepted by
+/// the pattern. The probabilistic answer is then (yes: p, no: 1 - p).
+///
+/// Implementation: dynamic programming over (graph node, DFA state) pairs —
+/// the mass of prefix paths ending at the node with the pattern automaton in
+/// that state. Determinism of PatternMatcher guarantees each path is counted
+/// exactly once. Cost O((nodes + edges) · active states).
+double EvaluateTrajectoryQuery(const CtGraph& graph, const Pattern& pattern);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_TRAJECTORY_QUERY_H_

@@ -1,0 +1,32 @@
+#ifndef RFIDCLEAN_QUERY_UNCERTAINTY_H_
+#define RFIDCLEAN_QUERY_UNCERTAINTY_H_
+
+#include <vector>
+
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// Uncertainty diagnostics of a conditioned trajectory distribution. These
+/// quantify how much ambiguity the cleaning left — the paper's motivation
+/// rendered measurable: compare the same readings under DU vs DU+LT+TT and
+/// watch the entropy drop.
+
+/// Shannon entropy (bits) of the conditioned location marginal at each time
+/// point: profile[t] = H(location at t). Zero where the position is certain.
+std::vector<double> LocationEntropyProfile(const CtGraph& graph);
+
+/// Shannon entropy (bits) of the full conditioned *trajectory* distribution
+/// H(T) = -Σ_t p(t) log2 p(t), computed exactly in one pass without
+/// enumeration: by the chain rule over the graph's layered factorization,
+/// H(T) = H(source) + Σ_n P(n) · H(out-edges of n),
+/// where P(n) is the node marginal. 2^H(T) is the "effective number of
+/// trajectories" the distribution still hesitates between.
+double TrajectoryEntropy(const CtGraph& graph);
+
+/// 2^TrajectoryEntropy — effective number of valid interpretations.
+double EffectiveTrajectories(const CtGraph& graph);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_UNCERTAINTY_H_

@@ -1,0 +1,34 @@
+#ifndef RFIDCLEAN_QUERY_WINDOW_QUERY_H_
+#define RFIDCLEAN_QUERY_WINDOW_QUERY_H_
+
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// Time-anchored queries over a ct-graph. Trajectory patterns (§6.6) are
+/// position-free ("at some point ..."); analysts also ask questions anchored
+/// to wall-clock intervals — "was the visitor in the vault *between 14:02
+/// and 14:05*?" — which these evaluators answer exactly on the conditioned
+/// distribution.
+
+/// Probability that the object was at `location` at *some* time point of
+/// the inclusive window [from, to]. Computed as 1 - P(avoids `location`
+/// throughout the window) by a forward pass that zeroes the avoided nodes
+/// inside the window. O(nodes + edges).
+double ProbabilityVisitedInWindow(const CtGraph& graph, LocationId location,
+                                  Timestamp from, Timestamp to);
+
+/// Expected number of time points of [from, to] (inclusive) the object
+/// spent at `location` — the sum of the per-instant conditioned marginals.
+double ExpectedTicksAtInWindow(const CtGraph& graph, LocationId location,
+                               Timestamp from, Timestamp to);
+
+/// Probability that the object stayed at `location` for the *entire*
+/// inclusive window [from, to].
+double ProbabilityStayedThroughWindow(const CtGraph& graph,
+                                      LocationId location, Timestamp from,
+                                      Timestamp to);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_QUERY_WINDOW_QUERY_H_

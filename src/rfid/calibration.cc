@@ -1,0 +1,26 @@
+#include "rfid/calibration.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+CoverageMatrix Calibrator::Calibrate(const CoverageMatrix& truth, int seconds,
+                                     Rng& rng) {
+  RFID_CHECK_GT(seconds, 0);
+  CoverageMatrix calibrated(truth.num_readers(), truth.num_cells());
+  for (ReaderId r = 0; r < truth.num_readers(); ++r) {
+    for (int c = 0; c < truth.num_cells(); ++c) {
+      double p = truth.Probability(r, c);
+      if (p <= 0.0) continue;
+      int detections = 0;
+      for (int s = 0; s < seconds; ++s) {
+        if (rng.Bernoulli(p)) ++detections;
+      }
+      calibrated.SetProbability(
+          r, c, static_cast<double>(detections) / seconds);
+    }
+  }
+  return calibrated;
+}
+
+}  // namespace rfidclean

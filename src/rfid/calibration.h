@@ -1,0 +1,25 @@
+#ifndef RFIDCLEAN_RFID_CALIBRATION_H_
+#define RFIDCLEAN_RFID_CALIBRATION_H_
+
+#include "common/rng.h"
+#include "rfid/coverage_matrix.h"
+
+namespace rfidclean {
+
+/// Simulates the empirical calibration procedure of §6.2: a tag is kept for
+/// `seconds` (the paper uses 30) inside each grid cell; each second, every
+/// reader independently detects it with its true per-second rate. The
+/// calibrated matrix holds the observed detection *rates* (count / seconds),
+/// the empirical estimate of the ground-truth matrix. The a-priori
+/// distribution p*(l | R) is then computed from this calibrated matrix —
+/// never from the ground truth — exactly as in the paper's methodology.
+class Calibrator {
+ public:
+  /// Runs the procedure against `truth` using `rng` for the detection draws.
+  static CoverageMatrix Calibrate(const CoverageMatrix& truth, int seconds,
+                                  Rng& rng);
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RFID_CALIBRATION_H_

@@ -1,0 +1,52 @@
+#include "rfid/coverage_matrix.h"
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+CoverageMatrix CoverageMatrix::FromModel(const std::vector<Reader>& readers,
+                                         const BuildingGrid& grid,
+                                         const DetectionModel& model) {
+  CoverageMatrix matrix(static_cast<int>(readers.size()), grid.NumCells());
+  for (std::size_t r = 0; r < readers.size(); ++r) {
+    for (int c = 0; c < grid.NumCells(); ++c) {
+      double p = model.DetectionProbability(readers[r], grid, c);
+      if (p > 0.0) {
+        matrix.SetProbability(static_cast<ReaderId>(r), c, p);
+      }
+    }
+  }
+  return matrix;
+}
+
+CoverageMatrix::CoverageMatrix(int num_readers, int num_cells)
+    : num_readers_(num_readers), num_cells_(num_cells) {
+  RFID_CHECK_GT(num_readers, 0);
+  RFID_CHECK_GT(num_cells, 0);
+  rates_.assign(static_cast<std::size_t>(num_readers) * num_cells, 0.0);
+}
+
+std::vector<ReaderId> CoverageMatrix::ReadersCovering(
+    const std::vector<int>& cells) const {
+  std::vector<ReaderId> out;
+  for (ReaderId r = 0; r < num_readers_; ++r) {
+    for (int c : cells) {
+      if (Probability(r, c) > 0.0) {
+        out.push_back(r);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t CoverageMatrix::Index(ReaderId reader, int cell) const {
+  RFID_CHECK_GE(reader, 0);
+  RFID_CHECK_LT(reader, num_readers_);
+  RFID_CHECK_GE(cell, 0);
+  RFID_CHECK_LT(cell, num_cells_);
+  return static_cast<std::size_t>(reader) * num_cells_ +
+         static_cast<std::size_t>(cell);
+}
+
+}  // namespace rfidclean

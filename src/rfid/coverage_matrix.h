@@ -1,0 +1,53 @@
+#ifndef RFIDCLEAN_RFID_COVERAGE_MATRIX_H_
+#define RFIDCLEAN_RFID_COVERAGE_MATRIX_H_
+
+#include <vector>
+
+#include "map/building_grid.h"
+#include "rfid/detection_model.h"
+#include "rfid/reader.h"
+
+namespace rfidclean {
+
+/// The paper's bi-dimensional array F: one row per reader, one column per
+/// grid cell, where F[r, c] is the per-second rate at which reader r detects
+/// a tag inside cell c (§6.2, §6.4). Two instances appear in the pipeline:
+///  - the *ground-truth* matrix derived from the physical DetectionModel,
+///    used by the reading generator;
+///  - the *calibrated* matrix estimated by the tag-in-cell procedure
+///    (rfid/calibration.h), used to build the a-priori p*(l | R).
+class CoverageMatrix {
+ public:
+  /// Builds the ground-truth matrix from the antenna model.
+  static CoverageMatrix FromModel(const std::vector<Reader>& readers,
+                                  const BuildingGrid& grid,
+                                  const DetectionModel& model);
+
+  /// Creates an all-zero matrix (used by the calibrator).
+  CoverageMatrix(int num_readers, int num_cells);
+
+  int num_readers() const { return num_readers_; }
+  int num_cells() const { return num_cells_; }
+
+  double Probability(ReaderId reader, int cell) const {
+    return rates_[Index(reader, cell)];
+  }
+  void SetProbability(ReaderId reader, int cell, double rate) {
+    rates_[Index(reader, cell)] = rate;
+  }
+
+  /// Readers with a non-zero rate somewhere in `cells` — the candidate
+  /// detectors of a location. Convenience for diagnostics and tests.
+  std::vector<ReaderId> ReadersCovering(const std::vector<int>& cells) const;
+
+ private:
+  std::size_t Index(ReaderId reader, int cell) const;
+
+  int num_readers_ = 0;
+  int num_cells_ = 0;
+  std::vector<double> rates_;  // row-major readers x cells
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RFID_COVERAGE_MATRIX_H_

@@ -1,0 +1,58 @@
+#include "rfid/detection_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rfidclean {
+
+DetectionModel::DetectionModel(const Params& params) : params_(params) {
+  RFID_CHECK_GT(params_.major_radius, 0.0);
+  RFID_CHECK_GE(params_.max_radius, params_.major_radius);
+  RFID_CHECK_GT(params_.major_rate, 0.0);
+  RFID_CHECK_LE(params_.major_rate, 1.0);
+  RFID_CHECK_GE(params_.wall_attenuation, 0.0);
+  RFID_CHECK_LE(params_.wall_attenuation, 1.0);
+}
+
+double DetectionModel::DetectionProbability(const Reader& reader,
+                                            const BuildingGrid& grid,
+                                            int global_cell) const {
+  if (grid.FloorOfCell(global_cell) != reader.floor) return 0.0;
+  Vec2 target = grid.CellCenter(global_cell);
+  double distance = Distance(reader.position, target);
+  double base;
+  if (distance <= params_.major_radius) {
+    base = params_.major_rate;
+  } else if (distance < params_.max_radius) {
+    double span = params_.max_radius - params_.major_radius;
+    base = params_.major_rate * (params_.max_radius - distance) / span;
+  } else {
+    return 0.0;
+  }
+  int walls = CountWallCells(grid, reader.floor, reader.position, target);
+  return base * std::pow(params_.wall_attenuation, walls);
+}
+
+int DetectionModel::CountWallCells(const BuildingGrid& grid, int floor,
+                                   Vec2 from, Vec2 to) const {
+  const OccupancyGrid& fg = grid.floor_grid(floor);
+  double length = Distance(from, to);
+  if (length == 0.0) return 0;
+  // Sample at half-cell resolution and count distinct non-walkable cells.
+  double step = fg.cell_size() / 2.0;
+  int samples = static_cast<int>(std::ceil(length / step));
+  int walls = 0;
+  int last_cell = -1;
+  for (int i = 0; i <= samples; ++i) {
+    Vec2 p = Lerp(from, to, static_cast<double>(i) / samples);
+    int cell = fg.CellIndexAt(p);
+    if (cell < 0 || cell == last_cell) continue;
+    last_cell = cell;
+    if (!fg.IsWalkable(cell)) ++walls;
+  }
+  return walls;
+}
+
+}  // namespace rfidclean

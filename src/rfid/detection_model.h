@@ -1,0 +1,47 @@
+#ifndef RFIDCLEAN_RFID_DETECTION_MODEL_H_
+#define RFIDCLEAN_RFID_DETECTION_MODEL_H_
+
+#include "map/building_grid.h"
+#include "rfid/reader.h"
+
+namespace rfidclean {
+
+/// Physical antenna model following the three-state shape of the paper's
+/// reference [4] (Chen et al.): a *major* detection region where the read
+/// rate is high and flat, a *minor* region where it decays linearly to zero,
+/// and no detection beyond the maximum radius. Radio paths crossing walls
+/// are attenuated multiplicatively per crossed wall cell; paths through open
+/// doorways are not, which is what makes readers near doors "leak" into the
+/// adjacent location and creates the reader/location ambiguity the cleaning
+/// framework targets.
+class DetectionModel {
+ public:
+  struct Params {
+    double major_radius = 2.0;      ///< Meters of flat high read rate.
+    double max_radius = 4.5;        ///< No detection beyond this.
+    double major_rate = 0.95;       ///< Read rate inside the major region.
+    double wall_attenuation = 0.3;  ///< Per-wall-cell multiplicative factor.
+  };
+
+  DetectionModel() : DetectionModel(Params()) {}
+  explicit DetectionModel(const Params& params);
+
+  const Params& params() const { return params_; }
+
+  /// Per-second probability that `reader` detects a tag located at the
+  /// center of `global_cell`. Zero across floors and beyond max_radius.
+  double DetectionProbability(const Reader& reader, const BuildingGrid& grid,
+                              int global_cell) const;
+
+ private:
+  /// Number of non-walkable (wall) cells crossed by the straight segment
+  /// from `from` to `to` on `floor`, estimated by sub-cell sampling.
+  int CountWallCells(const BuildingGrid& grid, int floor, Vec2 from,
+                     Vec2 to) const;
+
+  Params params_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RFID_DETECTION_MODEL_H_

@@ -1,0 +1,23 @@
+#ifndef RFIDCLEAN_RFID_READER_H_
+#define RFIDCLEAN_RFID_READER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/vec2.h"
+
+namespace rfidclean {
+
+/// Identifier of a reader within a deployment (dense, 0-based).
+using ReaderId = std::int32_t;
+
+/// An RFID reader antenna mounted at a fixed position on one floor.
+struct Reader {
+  std::string name;
+  int floor = 0;
+  Vec2 position;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RFID_READER_H_

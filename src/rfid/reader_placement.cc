@@ -1,0 +1,62 @@
+#include "rfid/reader_placement.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace rfidclean {
+
+namespace {
+
+/// A point `depth` meters inside `footprint` from the door, toward the
+/// footprint center.
+Vec2 InsideFromDoor(const Rect& footprint, Vec2 door_position, double depth) {
+  Vec2 entry = footprint.ClosestPointTo(door_position);
+  Vec2 toward = footprint.Center() - entry;
+  double norm = toward.Norm();
+  if (norm == 0.0) return entry;
+  double t = std::min(1.0, depth / norm);
+  return entry + toward * t;
+}
+
+}  // namespace
+
+std::vector<Reader> PlaceStandardReaders(const Building& building) {
+  std::vector<Reader> readers;
+  for (std::size_t i = 0; i < building.NumLocations(); ++i) {
+    const LocationId id = static_cast<LocationId>(i);
+    const Location& loc = building.location(id);
+    switch (loc.kind) {
+      case LocationKind::kRoom: {
+        const std::vector<int>& doors = building.DoorsOf(id);
+        RFID_CHECK(!doors.empty());
+        const Door& door = building.doors()[static_cast<std::size_t>(doors[0])];
+        Vec2 pos = InsideFromDoor(loc.footprint, door.position, 1.2);
+        readers.push_back(
+            Reader{StrFormat("r.%s", loc.name.c_str()), loc.floor, pos});
+        break;
+      }
+      case LocationKind::kCorridor: {
+        // Two readers along the major axis leave reader-free stretches.
+        const Rect& f = loc.footprint;
+        bool horizontal = f.Width() >= f.Height();
+        for (int k = 1; k <= 2; ++k) {
+          double t = static_cast<double>(k) / 3.0;
+          Vec2 pos = horizontal
+                         ? Vec2{f.min.x + t * f.Width(), f.Center().y}
+                         : Vec2{f.Center().x, f.min.y + t * f.Height()};
+          readers.push_back(Reader{
+              StrFormat("r.%s.%d", loc.name.c_str(), k), loc.floor, pos});
+        }
+        break;
+      }
+      case LocationKind::kStairwell: {
+        readers.push_back(Reader{StrFormat("r.%s", loc.name.c_str()),
+                                 loc.floor, loc.footprint.Center()});
+        break;
+      }
+    }
+  }
+  return readers;
+}
+
+}  // namespace rfidclean

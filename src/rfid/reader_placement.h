@@ -1,0 +1,24 @@
+#ifndef RFIDCLEAN_RFID_READER_PLACEMENT_H_
+#define RFIDCLEAN_RFID_READER_PLACEMENT_H_
+
+#include <vector>
+
+#include "map/building.h"
+#include "rfid/reader.h"
+
+namespace rfidclean {
+
+/// Places a standard reader deployment over a building, echoing the setup of
+/// Fig. 1(a):
+///  - one reader per room, mounted just inside the room's first door (so its
+///    range leaks through the doorway into the adjacent location);
+///  - two readers along each corridor (at 1/3 and 2/3 of its length);
+///  - one reader at each stairwell center.
+/// The resulting deployment leaves reader-free zones in the corridors and
+/// overlapping coverage near doors — the two sources of ambiguity the paper
+/// motivates (multiple locations per reader set, false negatives).
+std::vector<Reader> PlaceStandardReaders(const Building& building);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RFID_READER_PLACEMENT_H_

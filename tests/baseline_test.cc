@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "baseline/naive_cleaner.h"
+#include "baseline/uncleaned.h"
+#include "baseline/validity.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::kL4;
+using ::rfidclean::testing::kL5;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- IsValidTrajectory -----------------------------------------------------------
+
+TEST(ValidityTest, EmptyConstraintSetAcceptsEverything) {
+  ConstraintSet constraints(6);
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL2, kL3}), constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1}), constraints));
+}
+
+TEST(ValidityTest, EmptyTrajectoryIsInvalid) {
+  ConstraintSet constraints(6);
+  EXPECT_FALSE(IsValidTrajectory(Trajectory(), constraints));
+}
+
+TEST(ValidityTest, DirectUnreachabilityViolations) {
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL2);
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL1, kL2}), constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL2, kL1}), constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL1}), constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL3, kL2}), constraints));
+}
+
+TEST(ValidityTest, LatencyViolations) {
+  ConstraintSet constraints(6);
+  constraints.AddLatency(kL2, 3);
+  // 3-tick stay then leave: fine.
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL2, kL2, kL2, kL1}),
+                                constraints));
+  // 2-tick stay then leave: violation.
+  EXPECT_FALSE(
+      IsValidTrajectory(Trajectory({kL2, kL2, kL1, kL1}), constraints));
+  // Mid-trajectory short stay.
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL1, kL2, kL1}), constraints));
+}
+
+TEST(ValidityTest, LatencyTruncatedByWindowEndIsAllowed) {
+  ConstraintSet constraints(6);
+  constraints.AddLatency(kL2, 3);
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL1, kL2}), constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL2, kL2}), constraints));
+}
+
+TEST(ValidityTest, LatencyAppliesToInitialStay) {
+  ConstraintSet constraints(6);
+  constraints.AddLatency(kL2, 3);
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL2, kL1, kL1, kL1}),
+                                 constraints));
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL2, kL2, kL2, kL1}),
+                                constraints));
+}
+
+TEST(ValidityTest, TravelingTimeViolations) {
+  ConstraintSet constraints(6);
+  constraints.AddTravelingTime(kL1, kL3, 3);
+  // Gap 2 < 3 via L2: violation.
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL1, kL2, kL3}), constraints));
+  // Gap 3: fine.
+  EXPECT_TRUE(
+      IsValidTrajectory(Trajectory({kL1, kL2, kL2, kL3}), constraints));
+  // Reverse direction unconstrained.
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL3, kL2, kL1}), constraints));
+}
+
+TEST(ValidityTest, TravelingTimeUsesLatestOccurrence) {
+  ConstraintSet constraints(6);
+  constraints.AddTravelingTime(kL1, kL3, 3);
+  // L1 at t=0 and t=1; L3 at t=3. Gap from the later L1 is 2 < 3.
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL1, kL1, kL2, kL3}),
+                                 constraints));
+}
+
+TEST(ValidityTest, CombinedConstraints) {
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  EXPECT_TRUE(IsValidTrajectory(Trajectory({kL1, kL3, kL3}), constraints));
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL2, kL3, kL3}), constraints));
+  EXPECT_FALSE(IsValidTrajectory(Trajectory({kL1, kL3, kL5}), constraints));
+  EXPECT_FALSE(
+      IsValidTrajectory(Trajectory({kL1, kL4, kL5}), constraints));
+}
+
+// --- NaiveCleaner -----------------------------------------------------------------
+
+TEST(NaiveCleanerTest, ConditionsPaperExample) {
+  LSequence sequence = ::rfidclean::testing::PaperExampleSequence();
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  NaiveCleaner cleaner(constraints);
+  Result<std::vector<NaiveCleaner::Entry>> cleaned = cleaner.Clean(sequence);
+  ASSERT_TRUE(cleaned.ok());
+  ASSERT_EQ(cleaned.value().size(), 1u);
+  EXPECT_EQ(cleaned.value()[0].first, Trajectory({kL1, kL3, kL3}));
+  EXPECT_NEAR(cleaned.value()[0].second, 1.0, 1e-12);
+}
+
+TEST(NaiveCleanerTest, PreservesProbabilityRatios) {
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.75}, {kL2, 0.25}}, {{kL3, 2.0 / 3}, {kL4, 1.0 / 3}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL3);
+  constraints.AddUnreachable(kL2, kL4);
+  NaiveCleaner cleaner(constraints);
+  Result<std::vector<NaiveCleaner::Entry>> cleaned = cleaner.Clean(sequence);
+  ASSERT_TRUE(cleaned.ok());
+  ASSERT_EQ(cleaned.value().size(), 2u);
+  double p13 = 0.0;
+  double p14 = 0.0;
+  for (const auto& [trajectory, probability] : cleaned.value()) {
+    if (trajectory == Trajectory({kL1, kL3})) p13 = probability;
+    if (trajectory == Trajectory({kL1, kL4})) p14 = probability;
+  }
+  EXPECT_NEAR(p13 / p14, 2.0, 1e-9);  // Same ratio as a-priori 0.5 : 0.25.
+  EXPECT_NEAR(p13 + p14, 1.0, 1e-12);
+}
+
+TEST(NaiveCleanerTest, FailsWhenNothingIsValid) {
+  LSequence sequence = MakeLSequence({{{kL1, 1.0}}, {{kL2, 1.0}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL2);
+  NaiveCleaner cleaner(constraints);
+  Result<std::vector<NaiveCleaner::Entry>> cleaned = cleaner.Clean(sequence);
+  ASSERT_FALSE(cleaned.ok());
+  EXPECT_EQ(cleaned.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NaiveCleanerTest, RespectsTrajectoryCap) {
+  std::vector<std::vector<std::pair<LocationId, double>>> spec(
+      30, {{kL1, 0.5}, {kL2, 0.5}});
+  LSequence sequence = MakeLSequence(spec);  // 2^30 trajectories.
+  ConstraintSet constraints(6);
+  NaiveCleaner cleaner(constraints);
+  Result<std::vector<NaiveCleaner::Entry>> cleaned =
+      cleaner.Clean(sequence, /*max_trajectories=*/1000);
+  ASSERT_FALSE(cleaned.ok());
+  EXPECT_EQ(cleaned.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(NaiveCleanerTest, MarginalsSumToOnePerTimestamp) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.25}, {kL3, 0.75}}});
+  ConstraintSet constraints(6);
+  NaiveCleaner cleaner(constraints);
+  Result<std::vector<NaiveCleaner::Entry>> cleaned = cleaner.Clean(sequence);
+  ASSERT_TRUE(cleaned.ok());
+  auto marginals = NaiveCleaner::Marginals(cleaned.value(), 6);
+  for (const auto& at_t : marginals) {
+    double sum = 0.0;
+    for (double p : at_t) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(marginals[0][static_cast<std::size_t>(kL1)], 0.5, 1e-12);
+  EXPECT_NEAR(marginals[1][static_cast<std::size_t>(kL3)], 0.75, 1e-12);
+}
+
+// --- UncleanedModel ----------------------------------------------------------------
+
+TEST(UncleanedModelTest, StayProbabilityIsCandidateProbability) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.3}, {kL2, 0.7}}});
+  UncleanedModel model(sequence);
+  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL1), 0.3);
+  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL2), 0.7);
+  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL3), 0.0);
+}
+
+TEST(UncleanedModelTest, MostLikelyTrajectoryPicksArgmaxPerStep) {
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.3}, {kL2, 0.7}}, {{kL3, 0.9}, {kL4, 0.1}}});
+  UncleanedModel model(sequence);
+  EXPECT_EQ(model.MostLikelyTrajectory(), Trajectory({kL2, kL3}));
+}
+
+}  // namespace
+}  // namespace rfidclean

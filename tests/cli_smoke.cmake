@@ -1,0 +1,50 @@
+# Smoke test of the rfidclean_cli workflow: generate -> clean -> stay ->
+# pattern -> sample, each step checked for a zero exit code and the files it
+# promises. Invoked by ctest as
+#   cmake -DCLI=<path-to-binary> -DWORK_DIR=<scratch> -P cli_smoke.cmake
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+run_step(${CLI} generate --floors 2 --duration 90 --seed 5 --out ${WORK_DIR})
+foreach(artifact building.map readings.csv truth.txt)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "generate did not write ${artifact}")
+  endif()
+endforeach()
+
+run_step(${CLI} clean --dir ${WORK_DIR} --seed 5 --families DU+LT
+         --dot ${WORK_DIR}/graph.dot)
+if(NOT EXISTS ${WORK_DIR}/graph.ctg)
+  message(FATAL_ERROR "clean did not write graph.ctg")
+endif()
+if(NOT EXISTS ${WORK_DIR}/graph.dot)
+  message(FATAL_ERROR "clean did not write graph.dot")
+endif()
+
+run_step(${CLI} stay --dir ${WORK_DIR} --time 45)
+run_step(${CLI} pattern --dir ${WORK_DIR} --pattern "? F0.Corridor ?")
+run_step(${CLI} sample --dir ${WORK_DIR} --count 2 --seed 7)
+run_step(${CLI} report --dir ${WORK_DIR})
+
+# Error paths must fail cleanly, not crash.
+execute_process(COMMAND ${CLI} stay --dir ${WORK_DIR} --time 100000
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "out-of-range stay query should fail")
+endif()
+execute_process(COMMAND ${CLI} clean --dir ${WORK_DIR}/does-not-exist
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "clean on a missing directory should fail")
+endif()
+
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,390 @@
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/small_vector.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace rfidclean {
+namespace {
+
+// --- Status / Result ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("a"));
+  EXPECT_FALSE(InvalidArgumentError("a") == InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, StreamOperatorPrintsToString) {
+  std::ostringstream os;
+  os << NotFoundError("missing");
+  EXPECT_EQ(os.str(), "NOT_FOUND: missing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFoundError("nothing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result = std::string("payload");
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgumentError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  RFID_ASSIGN_OR_RETURN(int half, Half(x));
+  RFID_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd.
+  EXPECT_FALSE(Quarter(7).ok());
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicUnderSameSeed) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(RngTest, DistinctStreamsDiffer) {
+  Rng a(123, 1);
+  Rng b(123, 2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint32() == b.NextUint32()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremesAreDeterministic) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateIsRoughlyCorrect) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, UniformIndexStaysInRange) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformIndex(7), 7u);
+  }
+}
+
+// --- SmallVector ------------------------------------------------------------
+
+TEST(SmallVectorTest, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.HeapBytes(), 0u);
+}
+
+TEST(SmallVectorTest, InlineStorageHoldsUpToN) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.HeapBytes(), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVectorTest, SpillsToHeapBeyondN) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 6; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_GT(v.HeapBytes(), 0u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 10);
+  }
+}
+
+TEST(SmallVectorTest, PopBackAcrossBoundary) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.pop_back();
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.back(), 2);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 1);
+}
+
+TEST(SmallVectorTest, CopyPreservesElements) {
+  SmallVector<int, 2> v{1, 2, 3, 4};
+  SmallVector<int, 2> copy(v);
+  EXPECT_EQ(copy, v);
+  copy.push_back(5);
+  EXPECT_FALSE(copy == v);
+}
+
+TEST(SmallVectorTest, MoveLeavesSourceEmpty) {
+  SmallVector<int, 2> v{1, 2, 3};
+  SmallVector<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVectorTest, EqualityIsElementWise) {
+  SmallVector<int, 4> a{1, 2};
+  SmallVector<int, 4> b{1, 2};
+  SmallVector<int, 4> c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SmallVectorTest, ForEachVisitsAllElementsIncludingSpilled) {
+  SmallVector<int, 2> v{1, 2, 3, 4, 5};
+  int sum = 0;
+  v.ForEach([&sum](int x) { sum += x; });
+  EXPECT_EQ(sum, 15);
+}
+
+TEST(SmallVectorTest, IterationWorksWhileInline) {
+  SmallVector<int, 4> v{7, 8, 9};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 24);
+}
+
+TEST(SmallVectorTest, ClearResetsState) {
+  SmallVector<int, 2> v{1, 2, 3};
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
+}
+
+
+class SmallVectorPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmallVectorPropertyTest, BehavesLikeStdVector) {
+  // Reference-model property test: a random operation sequence applied to
+  // SmallVector and std::vector must stay observationally identical across
+  // the inline/heap boundary.
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/81);
+  SmallVector<int, 3> actual;
+  std::vector<int> expected;
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.UniformInt(0, 3)) {
+      case 0: {
+        int value = rng.UniformInt(-100, 100);
+        actual.push_back(value);
+        expected.push_back(value);
+        break;
+      }
+      case 1:
+        if (!expected.empty()) {
+          actual.pop_back();
+          expected.pop_back();
+        }
+        break;
+      case 2:
+        if (rng.Bernoulli(0.1)) {
+          actual.clear();
+          expected.clear();
+        }
+        break;
+      default: {
+        // Copy round trip must preserve contents.
+        SmallVector<int, 3> copy(actual);
+        ASSERT_EQ(copy, actual);
+        break;
+      }
+    }
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ(actual[i], expected[i]) << "index " << i;
+    }
+    int sum_actual = 0;
+    actual.ForEach([&sum_actual](int v) { sum_actual += v; });
+    int sum_expected = 0;
+    for (int v : expected) sum_expected += v;
+    ASSERT_EQ(sum_actual, sum_expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmallVectorPropertyTest,
+                         ::testing::Range(0, 15));
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = StrSplit("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleToken) {
+  auto parts = StrSplit("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(StrJoin(parts, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+TEST(StringsTest, HumanBytesScales) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(640 * 1024), "640.0 KiB");
+  EXPECT_EQ(HumanBytes(25 * 1024 * 1024), "25.0 MiB");
+}
+
+// --- Table ------------------------------------------------------------------
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+// --- Stopwatch ---------------------------------------------------------------
+
+TEST(StopwatchTest, ElapsedIsMonotonic) {
+  Stopwatch stopwatch;
+  double first = stopwatch.ElapsedMicros();
+  double second = stopwatch.ElapsedMicros();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  stopwatch.Reset();
+  EXPECT_GE(stopwatch.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,219 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "constraints/constraint_set.h"
+#include "constraints/inference.h"
+#include "map/standard_buildings.h"
+
+namespace rfidclean {
+namespace {
+
+// --- ConstraintSet ---------------------------------------------------------------
+
+TEST(ConstraintSetTest, StartsEmpty) {
+  ConstraintSet constraints(4);
+  EXPECT_EQ(constraints.TotalConstraints(), 0u);
+  EXPECT_FALSE(constraints.IsUnreachable(0, 1));
+  EXPECT_EQ(constraints.LatencyOf(2), 0);
+  EXPECT_EQ(constraints.MinTravelTicks(0, 3), 0);
+  EXPECT_FALSE(constraints.HasTravelingTimeFrom(0));
+  EXPECT_EQ(constraints.MaxTravelingTimeFrom(0), 0);
+}
+
+TEST(ConstraintSetTest, UnreachableIsDirectional) {
+  ConstraintSet constraints(4);
+  constraints.AddUnreachable(0, 1);
+  EXPECT_TRUE(constraints.IsUnreachable(0, 1));
+  EXPECT_FALSE(constraints.IsUnreachable(1, 0));
+  EXPECT_EQ(constraints.NumUnreachable(), 1u);
+  constraints.AddUnreachable(0, 1);  // Duplicate is a no-op.
+  EXPECT_EQ(constraints.NumUnreachable(), 1u);
+}
+
+TEST(ConstraintSetTest, VacuousBoundsAreIgnored) {
+  ConstraintSet constraints(4);
+  constraints.AddLatency(0, 1);
+  constraints.AddLatency(0, 0);
+  constraints.AddTravelingTime(0, 1, 1);
+  constraints.AddTravelingTime(0, 1, 0);
+  EXPECT_EQ(constraints.TotalConstraints(), 0u);
+  EXPECT_FALSE(constraints.HasLatency(0));
+}
+
+TEST(ConstraintSetTest, StrongestBoundWins) {
+  ConstraintSet constraints(4);
+  constraints.AddLatency(0, 3);
+  constraints.AddLatency(0, 5);
+  constraints.AddLatency(0, 2);
+  EXPECT_EQ(constraints.LatencyOf(0), 5);
+  EXPECT_EQ(constraints.NumLatency(), 1u);
+
+  constraints.AddTravelingTime(1, 2, 4);
+  constraints.AddTravelingTime(1, 2, 7);
+  constraints.AddTravelingTime(1, 2, 3);
+  EXPECT_EQ(constraints.MinTravelTicks(1, 2), 7);
+  EXPECT_EQ(constraints.NumTravelingTime(), 1u);
+  ASSERT_EQ(constraints.TravelingTimesFrom(1).size(), 1u);
+  EXPECT_EQ(constraints.TravelingTimesFrom(1)[0].min_ticks, 7);
+}
+
+TEST(ConstraintSetTest, MaxTravelingTimeTracksPerSource) {
+  ConstraintSet constraints(5);
+  constraints.AddTravelingTime(0, 1, 4);
+  constraints.AddTravelingTime(0, 2, 9);
+  constraints.AddTravelingTime(3, 2, 6);
+  EXPECT_EQ(constraints.MaxTravelingTimeFrom(0), 9);
+  EXPECT_EQ(constraints.MaxTravelingTimeFrom(3), 6);
+  EXPECT_EQ(constraints.MaxTravelingTimeFrom(2), 0);
+  EXPECT_TRUE(constraints.HasTravelingTimeFrom(0));
+  EXPECT_FALSE(constraints.HasTravelingTimeFrom(2));
+}
+
+TEST(ConstraintSetTest, TravelingTimesFromListsAllTargets) {
+  ConstraintSet constraints(5);
+  constraints.AddTravelingTime(0, 1, 2);
+  constraints.AddTravelingTime(0, 2, 3);
+  constraints.AddTravelingTime(0, 3, 4);
+  EXPECT_EQ(constraints.TravelingTimesFrom(0).size(), 3u);
+}
+
+// --- ConstraintFamilies labels -----------------------------------------------------
+
+TEST(ConstraintFamiliesTest, Labels) {
+  EXPECT_EQ(ConstraintFamiliesLabel(ConstraintFamilies::Du()), "DU");
+  EXPECT_EQ(ConstraintFamiliesLabel(ConstraintFamilies::DuLt()), "DU+LT");
+  EXPECT_EQ(ConstraintFamiliesLabel(ConstraintFamilies::DuLtTt()),
+            "DU+LT+TT");
+  EXPECT_EQ(ConstraintFamiliesLabel({false, false, true}), "TT");
+  EXPECT_EQ(ConstraintFamiliesLabel({false, false, false}), "none");
+}
+
+// --- Inference ---------------------------------------------------------------------
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  InferenceTest()
+      : building_(MakeSyn1Building()),
+        grid_(BuildingGrid::Build(building_, 0.5)),
+        distances_(WalkingDistances::Compute(building_, grid_)) {}
+
+  ConstraintSet Infer(const ConstraintFamilies& families) const {
+    InferenceOptions options;
+    options.families = families;
+    return InferConstraints(building_, distances_, options);
+  }
+
+  LocationId Find(const char* name) const {
+    LocationId id = building_.FindLocationByName(name);
+    RFID_CHECK_NE(id, kInvalidLocation);
+    return id;
+  }
+
+  Building building_;
+  BuildingGrid grid_;
+  WalkingDistances distances_;
+};
+
+TEST_F(InferenceTest, DuOnlyProducesNoLatencyOrTravelingTime) {
+  ConstraintSet constraints = Infer(ConstraintFamilies::Du());
+  EXPECT_GT(constraints.NumUnreachable(), 0u);
+  EXPECT_EQ(constraints.NumLatency(), 0u);
+  EXPECT_EQ(constraints.NumTravelingTime(), 0u);
+}
+
+TEST_F(InferenceTest, AdjacentPairsAreNotUnreachable) {
+  ConstraintSet constraints = Infer(ConstraintFamilies::Du());
+  EXPECT_FALSE(
+      constraints.IsUnreachable(Find("F0.RoomA"), Find("F0.Corridor")));
+  EXPECT_FALSE(constraints.IsUnreachable(Find("F0.RoomA"), Find("F0.RoomB")));
+  EXPECT_FALSE(constraints.IsUnreachable(Find("F0.Stairs"), Find("F1.Stairs")));
+}
+
+TEST_F(InferenceTest, NonAdjacentPairsAreUnreachable) {
+  ConstraintSet constraints = Infer(ConstraintFamilies::Du());
+  EXPECT_TRUE(constraints.IsUnreachable(Find("F0.RoomA"), Find("F0.RoomC")));
+  EXPECT_TRUE(constraints.IsUnreachable(Find("F0.RoomA"), Find("F1.RoomA")));
+  EXPECT_TRUE(constraints.IsUnreachable(Find("F0.Stairs"), Find("F2.Stairs")));
+}
+
+TEST_F(InferenceTest, LatencySkipsCorridors) {
+  InferenceOptions options;
+  options.families = ConstraintFamilies::DuLt();
+  options.latency_ticks = 5;
+  ConstraintSet constraints = InferConstraints(building_, distances_, options);
+  EXPECT_EQ(constraints.LatencyOf(Find("F0.RoomA")), 5);
+  EXPECT_EQ(constraints.LatencyOf(Find("F0.Stairs")), 5);
+  EXPECT_EQ(constraints.LatencyOf(Find("F0.Corridor")), 0);
+  EXPECT_EQ(constraints.LatencyOf(Find("F2.Corridor")), 0);
+}
+
+TEST_F(InferenceTest, TravelingTimeMatchesWalkingDistanceOverSpeed) {
+  InferenceOptions options;
+  options.families = ConstraintFamilies::DuLtTt();
+  options.max_speed = 2.0;
+  ConstraintSet constraints = InferConstraints(building_, distances_, options);
+  LocationId a = Find("F0.RoomA");
+  LocationId c = Find("F0.RoomC");
+  double meters = distances_.MetersBetween(a, c);
+  Timestamp expected = static_cast<Timestamp>(std::ceil(meters / 2.0));
+  if (expected >= 2) {
+    EXPECT_EQ(constraints.MinTravelTicks(a, c), expected);
+  }
+}
+
+TEST_F(InferenceTest, NoTravelingTimeForAdjacentPairs) {
+  ConstraintSet constraints = Infer(ConstraintFamilies::DuLtTt());
+  EXPECT_EQ(constraints.MinTravelTicks(Find("F0.RoomA"), Find("F0.RoomB")),
+            0);
+  EXPECT_EQ(
+      constraints.MinTravelTicks(Find("F0.RoomA"), Find("F0.Corridor")), 0);
+}
+
+TEST_F(InferenceTest, CrossFloorTravelingTimesGrowWithFloorGap) {
+  ConstraintSet constraints = Infer(ConstraintFamilies::DuLtTt());
+  LocationId a0 = Find("F0.RoomA");
+  Timestamp one_floor = constraints.MinTravelTicks(a0, Find("F1.RoomA"));
+  Timestamp three_floors = constraints.MinTravelTicks(a0, Find("F3.RoomA"));
+  EXPECT_GT(one_floor, 2);
+  EXPECT_GT(three_floors, one_floor);
+}
+
+TEST_F(InferenceTest, LowerSpeedGivesStrongerTravelingTimes) {
+  InferenceOptions fast;
+  fast.families = ConstraintFamilies::DuLtTt();
+  fast.max_speed = 2.0;
+  InferenceOptions slow = fast;
+  slow.max_speed = 1.0;
+  ConstraintSet fast_set = InferConstraints(building_, distances_, fast);
+  ConstraintSet slow_set = InferConstraints(building_, distances_, slow);
+  LocationId a = Find("F0.RoomA");
+  LocationId c = Find("F0.RoomC");
+  EXPECT_GE(slow_set.MinTravelTicks(a, c), fast_set.MinTravelTicks(a, c));
+  EXPECT_GE(slow_set.NumTravelingTime(), fast_set.NumTravelingTime());
+}
+
+TEST_F(InferenceTest, Syn2HasLongerMaxTravelingTimesThanSyn1) {
+  // The paper's §6.5 explanation of why SYN2 is slower: larger maps yield
+  // longer maximum traveling times.
+  Building syn2 = MakeSyn2Building();
+  BuildingGrid grid2 = BuildingGrid::Build(syn2, 0.5);
+  WalkingDistances distances2 = WalkingDistances::Compute(syn2, grid2);
+  InferenceOptions options;
+  options.families = ConstraintFamilies::DuLtTt();
+  ConstraintSet syn1_set = InferConstraints(building_, distances_, options);
+  ConstraintSet syn2_set = InferConstraints(syn2, distances2, options);
+
+  auto max_tt = [](const ConstraintSet& constraints) {
+    Timestamp best = 0;
+    for (std::size_t l = 0; l < constraints.num_locations(); ++l) {
+      best = std::max(best, constraints.MaxTravelingTimeFrom(
+                                static_cast<LocationId>(l)));
+    }
+    return best;
+  };
+  EXPECT_GT(max_tt(syn2_set), max_tt(syn1_set));
+}
+
+}  // namespace
+}  // namespace rfidclean

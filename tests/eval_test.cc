@@ -1,0 +1,166 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "eval/accuracy.h"
+#include "eval/experiment.h"
+#include "eval/workload.h"
+#include "map/standard_buildings.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- Workloads -----------------------------------------------------------------
+
+TEST(WorkloadTest, StayQueryTimesAreInRange) {
+  Rng rng(1);
+  std::vector<Timestamp> times = StayQueryWorkload(100, 50, rng);
+  EXPECT_EQ(times.size(), 50u);
+  for (Timestamp t : times) {
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 100);
+  }
+}
+
+TEST(WorkloadTest, RandomTrajectoryQueryShape) {
+  Building building = MakeSyn1Building();
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    Pattern pattern = RandomTrajectoryQuery(building, 3, rng);
+    EXPECT_EQ(pattern.NumConditions(), 3u);
+    // "? c ? c ? c ?": 7 items, alternating wildcard / condition.
+    ASSERT_EQ(pattern.items().size(), 7u);
+    for (std::size_t j = 0; j < pattern.items().size(); ++j) {
+      EXPECT_EQ(pattern.items()[j].wildcard, j % 2 == 0);
+    }
+  }
+}
+
+TEST(WorkloadTest, QueryDurationsComeFromPaperSet) {
+  Building building = MakeSyn1Building();
+  Rng rng(3);
+  std::set<Timestamp> durations;
+  for (int i = 0; i < 200; ++i) {
+    Pattern pattern = RandomTrajectoryQuery(building, 2, rng);
+    for (const PatternItem& item : pattern.items()) {
+      if (!item.wildcard) durations.insert(item.min_duration);
+    }
+  }
+  for (Timestamp d : durations) {
+    EXPECT_TRUE(d == 1 || d == 3 || d == 5 || d == 7 || d == 9) << d;
+  }
+  EXPECT_GE(durations.size(), 4u);
+}
+
+TEST(WorkloadTest, TrajectoryWorkloadMixesLengths) {
+  Building building = MakeSyn1Building();
+  Rng rng(4);
+  std::set<std::size_t> lengths;
+  for (const Pattern& pattern :
+       TrajectoryQueryWorkload(building, 60, rng)) {
+    lengths.insert(pattern.NumConditions());
+  }
+  EXPECT_EQ(lengths, (std::set<std::size_t>{2, 3, 4}));
+}
+
+// --- Accuracy helpers ------------------------------------------------------------
+
+TEST(AccuracyTest, TrajectoryQueryAccuracyDefinition) {
+  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.8, true), 0.8);
+  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.8, false), 0.2);
+  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.0, false), 1.0);
+}
+
+TEST(AccuracyTest, UncleanedStayAccuracyAveragesTruthProbability) {
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.3}, {kL2, 0.7}}, {{kL1, 0.9}, {kL3, 0.1}}});
+  UncleanedModel model(sequence);
+  Trajectory truth({kL2, kL1});
+  EXPECT_NEAR(UncleanedStayAccuracy(model, truth, {0, 1}), (0.7 + 0.9) / 2,
+              1e-12);
+  EXPECT_NEAR(UncleanedStayAccuracy(model, truth, {0, 0}), 0.7, 1e-12);
+}
+
+// --- Experiment drivers (tiny dataset) ---------------------------------------------
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static const Dataset& dataset() {
+    static const Dataset* dataset = [] {
+      DatasetOptions options = DatasetOptions::Syn1();
+      options.num_floors = 2;
+      options.durations_ticks = {30, 60};
+      options.trajectories_per_duration = 2;
+      options.seed = 5;
+      return Dataset::Build(options).release();
+    }();
+    return *dataset;
+  }
+
+  static ExperimentLimits SmallLimits() {
+    ExperimentLimits limits;
+    limits.max_items_per_duration = 2;
+    limits.stay_queries_per_trajectory = 5;
+    limits.trajectory_queries_per_trajectory = 3;
+    return limits;
+  }
+};
+
+TEST_F(ExperimentTest, CleaningCostProducesOneRowPerCell) {
+  std::vector<ConstraintFamilies> families = {ConstraintFamilies::Du(),
+                                              ConstraintFamilies::DuLtTt()};
+  auto rows = RunCleaningCost(dataset(), families, SmallLimits());
+  ASSERT_EQ(rows.size(), 4u);  // 2 families x 2 durations.
+  for (const CleaningCostRow& row : rows) {
+    EXPECT_EQ(row.trajectories, 2);
+    EXPECT_GE(row.avg_total_ms, 0.0);
+    EXPECT_GT(row.avg_final_nodes, 0.0);
+    EXPECT_GE(row.avg_peak_nodes, row.avg_final_nodes);
+    EXPECT_GT(row.avg_graph_bytes, 0.0);
+  }
+}
+
+TEST_F(ExperimentTest, QueryTimeRowsHavePositiveAverages) {
+  std::vector<ConstraintFamilies> families = {ConstraintFamilies::Du()};
+  auto rows = RunQueryTime(dataset(), families, SmallLimits());
+  ASSERT_EQ(rows.size(), 2u);
+  for (const QueryTimeRow& row : rows) {
+    EXPECT_GT(row.avg_stay_micros, 0.0);
+    EXPECT_GT(row.avg_pattern_micros, 0.0);
+  }
+}
+
+TEST_F(ExperimentTest, AccuracyRowsIncludeBaselineAndAreProbabilities) {
+  std::vector<ConstraintFamilies> families = {ConstraintFamilies::Du(),
+                                              ConstraintFamilies::DuLtTt()};
+  auto rows = RunAccuracy(dataset(), families, SmallLimits());
+  ASSERT_EQ(rows.size(), 3u);  // uncleaned + 2 families.
+  EXPECT_EQ(rows[0].families, "uncleaned");
+  for (const AccuracyRow& row : rows) {
+    EXPECT_GE(row.stay_accuracy, 0.0);
+    EXPECT_LE(row.stay_accuracy, 1.0);
+    EXPECT_GE(row.trajectory_accuracy, 0.0);
+    EXPECT_LE(row.trajectory_accuracy, 1.0);
+  }
+}
+
+TEST_F(ExperimentTest, AccuracyByLengthCoversTwoToFour) {
+  auto rows = RunAccuracyByQueryLength(
+      dataset(), ConstraintFamilies::DuLtTt(), SmallLimits());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].query_length, 2);
+  EXPECT_EQ(rows[2].query_length, 4);
+  for (const AccuracyByLengthRow& row : rows) {
+    EXPECT_GE(row.trajectory_accuracy, 0.0);
+    EXPECT_LE(row.trajectory_accuracy, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rfidclean

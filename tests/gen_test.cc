@@ -1,0 +1,224 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baseline/validity.h"
+#include "gen/dataset.h"
+#include "gen/reading_generator.h"
+#include "gen/trajectory_generator.h"
+#include "map/standard_buildings.h"
+#include "rfid/reader_placement.h"
+
+namespace rfidclean {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.num_floors = 2;
+  options.durations_ticks = {40, 80};
+  options.trajectories_per_duration = 2;
+  options.seed = 11;
+  return options;
+}
+
+// --- TrajectoryGenerator -----------------------------------------------------------
+
+class TrajectoryGeneratorTest : public ::testing::Test {
+ protected:
+  TrajectoryGeneratorTest()
+      : building_(MakeSyn1Building()), generator_(building_) {}
+
+  Building building_;
+  TrajectoryGenerator generator_;
+};
+
+TEST_F(TrajectoryGeneratorTest, ProducesRequestedLength) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 123;
+  Rng rng(1);
+  ContinuousTrajectory trajectory = generator_.Generate(options, rng);
+  EXPECT_EQ(trajectory.length(), 123);
+}
+
+TEST_F(TrajectoryGeneratorTest, SamplesStayNearLocations) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 400;
+  Rng rng(2);
+  ContinuousTrajectory trajectory = generator_.Generate(options, rng);
+  for (const PositionSample& sample : trajectory.samples) {
+    EXPECT_GE(sample.floor, 0);
+    EXPECT_LT(sample.floor, building_.num_floors());
+    EXPECT_TRUE(building_.floor_bounds().Contains(sample.position));
+    EXPECT_NE(building_.LocationNear(sample.floor, sample.position),
+              kInvalidLocation);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, DiscreteStepsFollowMapAdjacency) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 600;
+  Rng rng(3);
+  ContinuousTrajectory continuous = generator_.Generate(options, rng);
+  Trajectory trajectory = continuous.ToDiscrete(building_);
+  for (Timestamp t = 0; t + 1 < trajectory.length(); ++t) {
+    EXPECT_TRUE(
+        building_.AreDirectlyConnected(trajectory.At(t), trajectory.At(t + 1)))
+        << "step " << t << ": "
+        << building_.location(trajectory.At(t)).name << " -> "
+        << building_.location(trajectory.At(t + 1)).name;
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, VisitsMultipleLocations) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 900;
+  Rng rng(4);
+  Trajectory trajectory =
+      generator_.Generate(options, rng).ToDiscrete(building_);
+  std::set<LocationId> visited(trajectory.steps().begin(),
+                               trajectory.steps().end());
+  EXPECT_GT(visited.size(), 2u);
+}
+
+TEST_F(TrajectoryGeneratorTest, DeterministicUnderSeed) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 100;
+  Rng rng1(42, 7);
+  Rng rng2(42, 7);
+  ContinuousTrajectory a = generator_.Generate(options, rng1);
+  ContinuousTrajectory b = generator_.Generate(options, rng2);
+  ASSERT_EQ(a.length(), b.length());
+  for (Timestamp t = 0; t < a.length(); ++t) {
+    EXPECT_EQ(a.samples[static_cast<std::size_t>(t)].position,
+              b.samples[static_cast<std::size_t>(t)].position);
+  }
+}
+
+TEST_F(TrajectoryGeneratorTest, RestStaysLastAtLeastMinStay) {
+  TrajectoryGenOptions options;
+  options.duration_ticks = 500;
+  options.min_stay = 30;
+  options.max_stay = 60;
+  Rng rng(5);
+  Trajectory trajectory =
+      generator_.Generate(options, rng).ToDiscrete(building_);
+  // Maximal runs of a same location that end by a move: rooms (not door
+  // crossings) should hold runs of >= ~min_stay somewhere.
+  Timestamp longest = 0;
+  Timestamp current = 1;
+  for (Timestamp t = 1; t < trajectory.length(); ++t) {
+    if (trajectory.At(t) == trajectory.At(t - 1)) {
+      ++current;
+    } else {
+      longest = std::max(longest, current);
+      current = 1;
+    }
+  }
+  longest = std::max(longest, current);
+  EXPECT_GE(longest, options.min_stay);
+}
+
+// --- ReadingGenerator --------------------------------------------------------------
+
+TEST(ReadingGeneratorTest, ReadersFireOnlyNearTheObject) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  CoverageMatrix truth =
+      CoverageMatrix::FromModel(readers, grid, DetectionModel());
+  ReadingGenerator generator(grid, truth);
+
+  TrajectoryGenerator trajectories(building);
+  TrajectoryGenOptions options;
+  options.duration_ticks = 200;
+  Rng rng(6);
+  ContinuousTrajectory continuous = trajectories.Generate(options, rng);
+  RSequence readings = generator.Generate(continuous, rng);
+  ASSERT_EQ(readings.length(), 200);
+  for (Timestamp t = 0; t < readings.length(); ++t) {
+    const PositionSample& sample =
+        continuous.samples[static_cast<std::size_t>(t)];
+    for (ReaderId r : readings.ReadersAt(t)) {
+      const Reader& reader = readers[static_cast<std::size_t>(r)];
+      EXPECT_EQ(reader.floor, sample.floor);
+      EXPECT_LE(Distance(reader.position, sample.position), 4.5 + 1.0);
+    }
+  }
+}
+
+TEST(ReadingGeneratorTest, DeterministicUnderSeed) {
+  Building building = MakeOfficeBuilding(1);
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  CoverageMatrix truth =
+      CoverageMatrix::FromModel(readers, grid, DetectionModel());
+  ReadingGenerator generator(grid, truth);
+  TrajectoryGenerator trajectories(building);
+  TrajectoryGenOptions options;
+  options.duration_ticks = 50;
+  Rng gen_rng(7);
+  ContinuousTrajectory continuous = trajectories.Generate(options, gen_rng);
+  Rng a(9, 1);
+  Rng b(9, 1);
+  RSequence first = generator.Generate(continuous, a);
+  RSequence second = generator.Generate(continuous, b);
+  for (Timestamp t = 0; t < 50; ++t) {
+    EXPECT_EQ(first.ReadersAt(t), second.ReadersAt(t));
+  }
+}
+
+// --- Dataset ------------------------------------------------------------------------
+
+TEST(DatasetTest, BuildsAllRequestedItems) {
+  std::unique_ptr<Dataset> dataset = Dataset::Build(SmallOptions());
+  EXPECT_EQ(dataset->items().size(), 4u);
+  EXPECT_EQ(dataset->ItemsWithDuration(40).size(), 2u);
+  EXPECT_EQ(dataset->ItemsWithDuration(80).size(), 2u);
+  EXPECT_TRUE(dataset->ItemsWithDuration(999).empty());
+  for (const Dataset::Item& item : dataset->items()) {
+    EXPECT_EQ(item.continuous.length(), item.duration);
+    EXPECT_EQ(item.ground_truth.length(), item.duration);
+    EXPECT_EQ(item.readings.length(), item.duration);
+    EXPECT_EQ(item.lsequence.length(), item.duration);
+  }
+}
+
+TEST(DatasetTest, GroundTruthIsValidUnderInferredConstraints) {
+  std::unique_ptr<Dataset> dataset = Dataset::Build(SmallOptions());
+  for (const ConstraintFamilies& families :
+       {ConstraintFamilies::Du(), ConstraintFamilies::DuLtTt()}) {
+    ConstraintSet constraints = dataset->MakeConstraints(families);
+    for (const Dataset::Item& item : dataset->items()) {
+      EXPECT_TRUE(IsValidTrajectory(item.ground_truth, constraints))
+          << ConstraintFamiliesLabel(families);
+    }
+  }
+}
+
+TEST(DatasetTest, LSequencesAreProperDistributions) {
+  std::unique_ptr<Dataset> dataset = Dataset::Build(SmallOptions());
+  for (const Dataset::Item& item : dataset->items()) {
+    for (Timestamp t = 0; t < item.lsequence.length(); ++t) {
+      double sum = 0.0;
+      for (const Candidate& candidate : item.lsequence.CandidatesAt(t)) {
+        EXPECT_GT(candidate.probability, 0.0);
+        sum += candidate.probability;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(DatasetTest, MakeConstraintsRespectsFamilies) {
+  std::unique_ptr<Dataset> dataset = Dataset::Build(SmallOptions());
+  ConstraintSet du = dataset->MakeConstraints(ConstraintFamilies::Du());
+  EXPECT_GT(du.NumUnreachable(), 0u);
+  EXPECT_EQ(du.NumLatency(), 0u);
+  EXPECT_EQ(du.NumTravelingTime(), 0u);
+  ConstraintSet all = dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+  EXPECT_GT(all.NumLatency(), 0u);
+  EXPECT_GT(all.NumTravelingTime(), 0u);
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,212 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "geometry/grid.h"
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+
+namespace rfidclean {
+namespace {
+
+// --- Vec2 -------------------------------------------------------------------
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1, 2};
+  Vec2 b{3, 5};
+  EXPECT_EQ(a + b, (Vec2{4, 7}));
+  EXPECT_EQ(b - a, (Vec2{2, 3}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Vec2Test, Lerp) {
+  Vec2 a{0, 0};
+  Vec2 b{10, 20};
+  EXPECT_EQ(Lerp(a, b, 0.0), a);
+  EXPECT_EQ(Lerp(a, b, 1.0), b);
+  EXPECT_EQ(Lerp(a, b, 0.5), (Vec2{5, 10}));
+}
+
+// --- Rect -------------------------------------------------------------------
+
+TEST(RectTest, FromCornersNormalizes) {
+  Rect r = Rect::FromCorners({5, 1}, {2, 7});
+  EXPECT_EQ(r.min, (Vec2{2, 1}));
+  EXPECT_EQ(r.max, (Vec2{5, 7}));
+}
+
+TEST(RectTest, Dimensions) {
+  Rect r{{1, 2}, {4, 6}};
+  EXPECT_DOUBLE_EQ(r.Width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.Height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 12.0);
+  EXPECT_EQ(r.Center(), (Vec2{2.5, 4}));
+}
+
+TEST(RectTest, ContainsIsBoundaryInclusive) {
+  Rect r{{0, 0}, {2, 2}};
+  EXPECT_TRUE(r.Contains({1, 1}));
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({2, 2}));
+  EXPECT_FALSE(r.Contains({2.01, 1}));
+  EXPECT_FALSE(r.Contains({-0.01, 1}));
+}
+
+TEST(RectTest, Intersects) {
+  Rect a{{0, 0}, {2, 2}};
+  EXPECT_TRUE(a.Intersects(Rect{{1, 1}, {3, 3}}));
+  EXPECT_TRUE(a.Intersects(Rect{{2, 0}, {4, 2}}));  // Shared edge.
+  EXPECT_FALSE(a.Intersects(Rect{{2.1, 0}, {4, 2}}));
+}
+
+TEST(RectTest, ExpandedGrowsEachSide) {
+  Rect r = Rect{{1, 1}, {2, 2}}.Expanded(0.5);
+  EXPECT_EQ(r.min, (Vec2{0.5, 0.5}));
+  EXPECT_EQ(r.max, (Vec2{2.5, 2.5}));
+}
+
+TEST(RectTest, ClosestPointAndDistance) {
+  Rect r{{0, 0}, {2, 2}};
+  EXPECT_EQ(r.ClosestPointTo({1, 1}), (Vec2{1, 1}));
+  EXPECT_EQ(r.ClosestPointTo({5, 1}), (Vec2{2, 1}));
+  EXPECT_DOUBLE_EQ(DistanceToRect({5, 1}, r), 3.0);
+  EXPECT_DOUBLE_EQ(DistanceToRect({3, 3}, r), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(DistanceToRect({1, 1}, r), 0.0);
+}
+
+// --- OccupancyGrid ------------------------------------------------------------
+
+TEST(OccupancyGridTest, DimensionsFromBoundsAndCellSize) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 2}}, 0.5);
+  EXPECT_EQ(grid.cols(), 8);
+  EXPECT_EQ(grid.rows(), 4);
+  EXPECT_EQ(grid.NumCells(), 32);
+}
+
+TEST(OccupancyGridTest, CellIndexRoundTrip) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 2}}, 0.5);
+  for (int i = 0; i < grid.NumCells(); ++i) {
+    EXPECT_EQ(grid.CellIndexAt(grid.CellCenter(i)), i);
+  }
+}
+
+TEST(OccupancyGridTest, OutsidePointsMapToMinusOne) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 2}}, 0.5);
+  EXPECT_EQ(grid.CellIndexAt({-0.1, 1}), -1);
+  EXPECT_EQ(grid.CellIndexAt({1, 2.1}), -1);
+  // Max edge points clamp to the last cell.
+  EXPECT_EQ(grid.CellIndexAt({4.0, 2.0}), grid.NumCells() - 1);
+}
+
+TEST(OccupancyGridTest, CellRectContainsCenter) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 2}}, 0.5);
+  Rect rect = grid.CellRect(9);
+  EXPECT_TRUE(rect.Contains(grid.CellCenter(9)));
+  EXPECT_DOUBLE_EQ(rect.Width(), 0.5);
+}
+
+TEST(OccupancyGridTest, WalkableFlagsAndRectFill) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 2}}, 0.5);
+  EXPECT_FALSE(grid.IsWalkable(0));
+  grid.SetWalkableInRect(Rect{{0, 0}, {1, 1}}, true);
+  int walkable = 0;
+  for (int i = 0; i < grid.NumCells(); ++i) {
+    if (grid.IsWalkable(i)) ++walkable;
+  }
+  EXPECT_EQ(walkable, 4);  // 2x2 cells of 0.5m in a 1x1 rect.
+}
+
+TEST(OccupancyGridTest, StraightLineDistance) {
+  OccupancyGrid grid(Rect{{0, 0}, {10, 1}}, 0.5);
+  grid.SetWalkableInRect(Rect{{0, 0}, {10, 1}}, true);
+  int from = grid.CellIndexAt({0.25, 0.25});
+  int to = grid.CellIndexAt({9.75, 0.25});
+  auto dist = grid.ShortestDistances({from});
+  // 19 horizontal steps of 0.5 m.
+  EXPECT_NEAR(dist[static_cast<std::size_t>(to)], 9.5, 1e-9);
+}
+
+TEST(OccupancyGridTest, DiagonalCostsSqrt2) {
+  OccupancyGrid grid(Rect{{0, 0}, {5, 5}}, 1.0);
+  grid.SetWalkableInRect(Rect{{0, 0}, {5, 5}}, true);
+  int from = grid.CellIndexAt({0.5, 0.5});
+  int to = grid.CellIndexAt({4.5, 4.5});
+  auto dist = grid.ShortestDistances({from});
+  EXPECT_NEAR(dist[static_cast<std::size_t>(to)], 4 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(OccupancyGridTest, WallForcesDetour) {
+  // A vertical wall at x in [2, 2.5] with a gap at the top.
+  OccupancyGrid grid(Rect{{0, 0}, {5, 3}}, 0.5);
+  grid.SetWalkableInRect(Rect{{0, 0}, {5, 3}}, true);
+  for (int i = 0; i < grid.NumCells(); ++i) {
+    Vec2 c = grid.CellCenter(i);
+    if (c.x > 2.0 && c.x < 2.5 && c.y < 2.5) grid.SetWalkable(i, false);
+  }
+  int from = grid.CellIndexAt({0.25, 0.25});
+  int to = grid.CellIndexAt({4.75, 0.25});
+  auto dist = grid.ShortestDistances({from});
+  double direct = 4.5;
+  EXPECT_GT(dist[static_cast<std::size_t>(to)], direct + 2.0);
+  EXPECT_LT(dist[static_cast<std::size_t>(to)], kInfiniteDistance);
+}
+
+TEST(OccupancyGridTest, DiagonalCannotCutWallCorners) {
+  // Two walkable cells touching only at a corner, separated by walls.
+  OccupancyGrid grid(Rect{{0, 0}, {2, 2}}, 1.0);
+  // Walkable: (0,0) and (1,1); blocked: (0,1) and (1,0).
+  grid.SetWalkable(grid.CellIndexAt({0.5, 0.5}), true);
+  grid.SetWalkable(grid.CellIndexAt({1.5, 1.5}), true);
+  auto dist = grid.ShortestDistances({grid.CellIndexAt({0.5, 0.5})});
+  EXPECT_EQ(dist[static_cast<std::size_t>(grid.CellIndexAt({1.5, 1.5}))],
+            kInfiniteDistance);
+}
+
+TEST(OccupancyGridTest, UnreachableCellsAreInfinite) {
+  OccupancyGrid grid(Rect{{0, 0}, {4, 1}}, 0.5);
+  grid.SetWalkableInRect(Rect{{0, 0}, {1.5, 1}}, true);
+  grid.SetWalkableInRect(Rect{{2.5, 0}, {4, 1}}, true);
+  int from = grid.CellIndexAt({0.25, 0.25});
+  int to = grid.CellIndexAt({3.75, 0.25});
+  auto dist = grid.ShortestDistances({from});
+  EXPECT_EQ(dist[static_cast<std::size_t>(to)], kInfiniteDistance);
+}
+
+TEST(OccupancyGridTest, MultiSourceTakesNearest) {
+  OccupancyGrid grid(Rect{{0, 0}, {10, 1}}, 0.5);
+  grid.SetWalkableInRect(Rect{{0, 0}, {10, 1}}, true);
+  int a = grid.CellIndexAt({0.25, 0.25});
+  int b = grid.CellIndexAt({9.75, 0.25});
+  int middle = grid.CellIndexAt({5.25, 0.25});
+  auto dist = grid.ShortestDistances({a, b});
+  EXPECT_LT(dist[static_cast<std::size_t>(middle)], 5.0);
+  EXPECT_NEAR(dist[static_cast<std::size_t>(a)], 0.0, 1e-12);
+  EXPECT_NEAR(dist[static_cast<std::size_t>(b)], 0.0, 1e-12);
+}
+
+TEST(OccupancyGridTest, NonWalkableSourceIsIgnored) {
+  OccupancyGrid grid(Rect{{0, 0}, {2, 1}}, 0.5);
+  grid.SetWalkableInRect(Rect{{0, 0}, {2, 1}}, true);
+  int blocked = grid.CellIndexAt({0.25, 0.25});
+  grid.SetWalkable(blocked, false);
+  auto dist = grid.ShortestDistances({blocked});
+  for (int i = 0; i < grid.NumCells(); ++i) {
+    EXPECT_EQ(dist[static_cast<std::size_t>(i)], kInfiniteDistance);
+  }
+}
+
+TEST(OccupancyGridTest, CellsInRectMatchesCenters) {
+  OccupancyGrid grid(Rect{{0, 0}, {2, 2}}, 0.5);
+  auto cells = grid.CellsInRect(Rect{{0, 0}, {1, 2}});
+  EXPECT_EQ(cells.size(), 8u);  // 2 columns x 4 rows.
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "gen/dataset.h"
+#include "query/uncertainty.h"
+
+namespace rfidclean {
+namespace {
+
+/// Golden regression numbers for the full pipeline on a fixed seed. Every
+/// stochastic component draws from seeded PCG32 streams, so these values
+/// are reproducible run-to-run; a change means the *semantics* of some
+/// pipeline stage changed (generator, calibration, a-priori model,
+/// constraint inference, or the cleaning algorithm itself), which must be
+/// a conscious decision — update the constants together with DESIGN.md.
+/// (Node counts are integer-exact; entropies are compared with a loose
+/// tolerance to stay robust to compiler floating-point differences.)
+class GoldenPipelineTest : public ::testing::Test {
+ protected:
+  static const Dataset& dataset() {
+    static const Dataset* dataset = [] {
+      DatasetOptions options = DatasetOptions::Syn1();
+      options.num_floors = 2;
+      options.durations_ticks = {300};
+      options.trajectories_per_duration = 1;
+      options.seed = 12345;
+      return Dataset::Build(options).release();
+    }();
+    return *dataset;
+  }
+
+  struct Golden {
+    ConstraintFamilies families;
+    std::size_t peak_nodes;
+    std::size_t final_nodes;
+    std::size_t final_edges;
+    double entropy_bits;
+  };
+};
+
+TEST_F(GoldenPipelineTest, CandidateWidthsAreStable) {
+  const Dataset::Item& item = dataset().items()[0];
+  EXPECT_EQ(item.lsequence.CandidatesAt(0).size(), 5u);
+  EXPECT_EQ(item.lsequence.CandidatesAt(150).size(), 4u);
+}
+
+TEST_F(GoldenPipelineTest, GraphShapesAndEntropiesAreStable) {
+  const std::vector<Golden> goldens = {
+      {ConstraintFamilies::Du(), 1454, 1441, 4055, 270.202220},
+      {ConstraintFamilies::DuLt(), 5079, 4580, 6575, 53.854426},
+      {ConstraintFamilies::DuLtTt(), 137566, 123301, 232812, 53.829773},
+  };
+  const Dataset::Item& item = dataset().items()[0];
+  for (const Golden& golden : goldens) {
+    ConstraintSet constraints = dataset().MakeConstraints(golden.families);
+    CtGraphBuilder builder(constraints);
+    BuildStats stats;
+    Result<CtGraph> graph = builder.Build(item.lsequence, &stats);
+    ASSERT_TRUE(graph.ok()) << ConstraintFamiliesLabel(golden.families);
+    EXPECT_EQ(stats.peak_nodes, golden.peak_nodes)
+        << ConstraintFamiliesLabel(golden.families);
+    EXPECT_EQ(graph.value().NumNodes(), golden.final_nodes)
+        << ConstraintFamiliesLabel(golden.families);
+    EXPECT_EQ(graph.value().NumEdges(), golden.final_edges)
+        << ConstraintFamiliesLabel(golden.families);
+    EXPECT_NEAR(TrajectoryEntropy(graph.value()), golden.entropy_bits, 1e-3)
+        << ConstraintFamiliesLabel(golden.families);
+  }
+}
+
+}  // namespace
+}  // namespace rfidclean

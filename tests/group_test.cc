@@ -1,0 +1,178 @@
+#include "model/group.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "eval/accuracy.h"
+#include "eval/workload.h"
+#include "gen/dataset.h"
+#include "gen/reading_generator.h"
+#include "query/stay_query.h"
+
+namespace rfidclean {
+namespace {
+
+/// Shared fixture: a 2-floor building with one ground-truth trajectory and
+/// several independently generated tag readings for it (a "pallet").
+class GroupTest : public ::testing::Test {
+ protected:
+  static constexpr int kGroupSize = 4;
+
+  static const Dataset& dataset() {
+    static const Dataset* dataset = [] {
+      DatasetOptions options = DatasetOptions::Syn1();
+      options.num_floors = 2;
+      options.durations_ticks = {120};
+      options.trajectories_per_duration = 1;
+      options.seed = 99;
+      return Dataset::Build(options).release();
+    }();
+    return *dataset;
+  }
+
+  /// Readings of `count` tags attached to the dataset's single trajectory.
+  static std::vector<RSequence> GroupReadings(int count) {
+    ReadingGenerator generator(dataset().grid(),
+                               dataset().truth_coverage());
+    std::vector<RSequence> readings;
+    for (int tag = 0; tag < count; ++tag) {
+      Rng rng(4242, static_cast<std::uint64_t>(tag));
+      readings.push_back(generator.Generate(
+          dataset().items()[0].continuous, rng));
+    }
+    return readings;
+  }
+
+  static double Entropy(const std::vector<Candidate>& candidates) {
+    double h = 0.0;
+    for (const Candidate& candidate : candidates) {
+      h -= candidate.probability * std::log2(candidate.probability);
+    }
+    return h;
+  }
+};
+
+TEST_F(GroupTest, RejectsEmptyAndMismatchedGroups) {
+  EXPECT_FALSE(CombineGroupReadings({}, dataset().apriori()).ok());
+  RSequence a = RSequence::Empty(5);
+  RSequence b = RSequence::Empty(7);
+  EXPECT_FALSE(
+      CombineGroupReadings({&a, &b}, dataset().apriori()).ok());
+}
+
+TEST_F(GroupTest, SingleObjectGroupEqualsPlainInterpretation) {
+  std::vector<RSequence> readings = GroupReadings(1);
+  Result<LSequence> combined =
+      CombineGroupReadings({&readings[0]}, dataset().apriori());
+  ASSERT_TRUE(combined.ok());
+  LSequence plain =
+      LSequence::FromReadings(readings[0], dataset().apriori());
+  ASSERT_EQ(combined.value().length(), plain.length());
+  for (Timestamp t = 0; t < plain.length(); ++t) {
+    for (const Candidate& candidate : plain.CandidatesAt(t)) {
+      EXPECT_NEAR(
+          combined.value().ProbabilityAt(t, candidate.location),
+          candidate.probability, 1e-9);
+    }
+  }
+}
+
+TEST_F(GroupTest, CombiningSharpensTheDistribution) {
+  std::vector<RSequence> readings = GroupReadings(kGroupSize);
+  Result<LSequence> single =
+      CombineGroupReadings({&readings[0]}, dataset().apriori());
+  std::vector<const RSequence*> group;
+  for (const RSequence& sequence : readings) group.push_back(&sequence);
+  Result<LSequence> combined =
+      CombineGroupReadings(group, dataset().apriori());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(combined.ok());
+  double single_entropy = 0.0;
+  double combined_entropy = 0.0;
+  for (Timestamp t = 0; t < single.value().length(); ++t) {
+    single_entropy += Entropy(single.value().CandidatesAt(t));
+    combined_entropy += Entropy(combined.value().CandidatesAt(t));
+  }
+  EXPECT_LT(combined_entropy, single_entropy * 0.8);
+}
+
+TEST_F(GroupTest, ConflictFallbackKeepsBothInterpretations) {
+  // Two "group members" with irreconcilable detections: tags firmly seen
+  // by readers on different floors at the same instant. The product is
+  // zero everywhere only when no location explains both; the mixture
+  // fallback must keep each tag's locations alive.
+  ReaderId floor0 = 0;  // r.F0.RoomA by construction order.
+  ReaderId floor1 = -1;
+  for (std::size_t r = 0; r < dataset().readers().size(); ++r) {
+    if (dataset().readers()[r].floor == 1) {
+      floor1 = static_cast<ReaderId>(r);
+      break;
+    }
+  }
+  ASSERT_GE(floor1, 0);
+  Result<RSequence> a = RSequence::Create({{0, {floor0}}});
+  Result<RSequence> b = RSequence::Create({{0, {floor1}}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  GroupCombineStats stats;
+  Result<LSequence> combined = CombineGroupReadings(
+      {&a.value(), &b.value()}, dataset().apriori(), &stats);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(stats.conflict_ticks, 1);
+  // Both floors' rooms must appear among the candidates.
+  bool has_floor0 = false;
+  bool has_floor1 = false;
+  for (const Candidate& candidate : combined.value().CandidatesAt(0)) {
+    int floor = dataset().building().location(candidate.location).floor;
+    if (floor == 0) has_floor0 = true;
+    if (floor == 1) has_floor1 = true;
+  }
+  EXPECT_TRUE(has_floor0);
+  EXPECT_TRUE(has_floor1);
+}
+
+TEST_F(GroupTest, NoConflictsOnGenuineGroupData) {
+  std::vector<RSequence> readings = GroupReadings(kGroupSize);
+  std::vector<const RSequence*> group;
+  for (const RSequence& sequence : readings) group.push_back(&sequence);
+  GroupCombineStats stats;
+  Result<LSequence> combined =
+      CombineGroupReadings(group, dataset().apriori(), &stats);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ(stats.conflict_ticks, 0);
+}
+
+TEST_F(GroupTest, GroupCleaningBeatsSingleObjectCleaning) {
+  std::vector<RSequence> readings = GroupReadings(kGroupSize);
+  std::vector<const RSequence*> group;
+  for (const RSequence& sequence : readings) group.push_back(&sequence);
+  Result<LSequence> single =
+      CombineGroupReadings({&readings[0]}, dataset().apriori());
+  Result<LSequence> combined =
+      CombineGroupReadings(group, dataset().apriori());
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(combined.ok());
+
+  ConstraintSet constraints =
+      dataset().MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> single_graph = builder.Build(single.value());
+  Result<CtGraph> group_graph = builder.Build(combined.value());
+  ASSERT_TRUE(single_graph.ok());
+  ASSERT_TRUE(group_graph.ok());
+
+  Rng rng(7);
+  std::vector<Timestamp> times = StayQueryWorkload(120, 60, rng);
+  StayQueryEvaluator single_stay(single_graph.value());
+  StayQueryEvaluator group_stay(group_graph.value());
+  const Trajectory& truth = dataset().items()[0].ground_truth;
+  double single_accuracy = StayQueryAccuracy(single_stay, truth, times);
+  double group_accuracy = StayQueryAccuracy(group_stay, truth, times);
+  EXPECT_GT(group_accuracy, single_accuracy - 0.02);
+  EXPECT_GT(group_accuracy, 0.5);
+}
+
+}  // namespace
+}  // namespace rfidclean

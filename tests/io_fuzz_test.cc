@@ -1,0 +1,101 @@
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/builder.h"
+#include "io/building_io.h"
+#include "io/ctgraph_io.h"
+#include "io/readings_io.h"
+#include "map/standard_buildings.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+/// Robustness fuzzing of the text parsers: valid documents corrupted by
+/// random byte edits must be either parsed (if the corruption happens to be
+/// benign) or rejected with a Status — never crash, hang, or produce an
+/// object violating its invariants.
+class IoFuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static std::string Corrupt(const std::string& input, Rng& rng) {
+    std::string corrupted = input;
+    int edits = rng.UniformInt(1, 8);
+    for (int i = 0; i < edits && !corrupted.empty(); ++i) {
+      std::size_t at = rng.UniformIndex(corrupted.size());
+      switch (rng.UniformInt(0, 2)) {
+        case 0:  // Flip a byte to a random printable/control character.
+          corrupted[at] = static_cast<char>(rng.UniformInt(9, 126));
+          break;
+        case 1:  // Delete a byte.
+          corrupted.erase(at, 1);
+          break;
+        default:  // Duplicate a byte.
+          corrupted.insert(at, 1, corrupted[at]);
+          break;
+      }
+    }
+    return corrupted;
+  }
+};
+
+TEST_P(IoFuzzTest, BuildingParserNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/71);
+  std::ostringstream os;
+  WriteBuilding(MakeOfficeBuilding(2), os);
+  const std::string pristine = os.str();
+  for (int round = 0; round < 40; ++round) {
+    std::istringstream is(Corrupt(pristine, rng));
+    Result<Building> parsed = ReadBuilding(is);
+    if (parsed.ok()) {
+      // Whatever survived must still satisfy the builder invariants
+      // (Build() re-validated them); basic sanity:
+      EXPECT_GT(parsed.value().NumLocations(), 0u);
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, ReadingsParserNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/72);
+  Result<RSequence> sequence =
+      RSequence::Create({{0, {1, 2}}, {1, {}}, {2, {0}}, {3, {2, 4}}});
+  ASSERT_TRUE(sequence.ok());
+  std::ostringstream os;
+  WriteReadingsCsv(sequence.value(), os);
+  const std::string pristine = os.str();
+  for (int round = 0; round < 40; ++round) {
+    std::istringstream is(Corrupt(pristine, rng));
+    Result<RSequence> parsed = ReadReadingsCsv(is);
+    if (parsed.ok()) {
+      EXPECT_GT(parsed.value().length(), 0);
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, CtGraphParserNeverCrashesAndNeverReturnsInvalidGraphs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/73);
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph =
+      builder.Build(::rfidclean::testing::PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  std::ostringstream os;
+  WriteCtGraph(graph.value(), os);
+  const std::string pristine = os.str();
+  for (int round = 0; round < 40; ++round) {
+    std::istringstream is(Corrupt(pristine, rng));
+    Result<CtGraph> parsed = ReadCtGraph(is);
+    if (parsed.ok()) {
+      // Assemble re-validates every invariant, so an accepted graph is a
+      // real conditioned trajectory graph.
+      EXPECT_TRUE(parsed.value().CheckConsistency().ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace rfidclean

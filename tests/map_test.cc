@@ -1,0 +1,287 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "map/building.h"
+#include "map/building_grid.h"
+#include "map/standard_buildings.h"
+#include "map/walking_distance.h"
+
+namespace rfidclean {
+namespace {
+
+Building MakeTwoRoomBuilding() {
+  // Two rooms separated by a 0.5m wall with one door.
+  BuildingBuilder builder(Rect{{0, 0}, {10, 5}});
+  LocationId a = builder.AddLocation("A", LocationKind::kRoom, 0,
+                                     {{0.5, 0.5}, {4.5, 4.5}});
+  LocationId b = builder.AddLocation("B", LocationKind::kRoom, 0,
+                                     {{5.0, 0.5}, {9.5, 4.5}});
+  builder.AddDoor(a, b, {4.75, 2.5});
+  Result<Building> result = builder.Build();
+  RFID_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+// --- BuildingBuilder validation ----------------------------------------------
+
+TEST(BuildingBuilderTest, RejectsEmptyBuilding) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsOverlappingFootprints) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {5, 5}});
+  builder.AddLocation("B", LocationKind::kRoom, 0, {{4, 4}, {9, 9}});
+  Result<Building> result = builder.Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BuildingBuilderTest, AllowsTouchingFootprints) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {5, 5}});
+  builder.AddLocation("B", LocationKind::kRoom, 0, {{5, 0}, {10, 5}});
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, AllowsSameFootprintDifferentFloors) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {5, 5}});
+  builder.AddLocation("B", LocationKind::kRoom, 1, {{0, 0}, {5, 5}});
+  EXPECT_TRUE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsDuplicateNames) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {4, 4}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{5, 5}, {9, 9}});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsOutOfBoundsFootprint) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{5, 5}, {11, 9}});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsEmptyFootprint) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  builder.AddLocation("A", LocationKind::kRoom, 0, {{5, 5}, {5, 9}});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsCrossFloorDoor) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  LocationId a =
+      builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {4, 4}});
+  LocationId b =
+      builder.AddLocation("B", LocationKind::kRoom, 1, {{5, 5}, {9, 9}});
+  builder.AddDoor(a, b, {4.5, 4.5});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsSelfDoor) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  LocationId a =
+      builder.AddLocation("A", LocationKind::kRoom, 0, {{0, 0}, {4, 4}});
+  builder.AddDoor(a, a, {2, 2});
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(BuildingBuilderTest, RejectsNonConsecutiveStairs) {
+  BuildingBuilder builder(Rect{{0, 0}, {10, 10}});
+  LocationId a = builder.AddLocation("S0", LocationKind::kStairwell, 0,
+                                     {{0, 0}, {2, 2}});
+  LocationId b = builder.AddLocation("S2", LocationKind::kStairwell, 2,
+                                     {{0, 0}, {2, 2}});
+  builder.AddStairs(a, b);
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+// --- Building accessors --------------------------------------------------------
+
+TEST(BuildingTest, FindLocationByName) {
+  Building building = MakeTwoRoomBuilding();
+  EXPECT_EQ(building.FindLocationByName("A"), 0);
+  EXPECT_EQ(building.FindLocationByName("B"), 1);
+  EXPECT_EQ(building.FindLocationByName("C"), kInvalidLocation);
+}
+
+TEST(BuildingTest, LocationAt) {
+  Building building = MakeTwoRoomBuilding();
+  EXPECT_EQ(building.LocationAt(0, {2, 2}), 0);
+  EXPECT_EQ(building.LocationAt(0, {7, 2}), 1);
+  // Inside the wall gap between the rooms.
+  EXPECT_EQ(building.LocationAt(0, {4.75, 2.5}), kInvalidLocation);
+  // Wrong floor.
+  EXPECT_EQ(building.LocationAt(1, {2, 2}), kInvalidLocation);
+}
+
+TEST(BuildingTest, LocationNearResolvesDoorGaps) {
+  Building building = MakeTwoRoomBuilding();
+  LocationId near = building.LocationNear(0, {4.75, 2.5});
+  EXPECT_NE(near, kInvalidLocation);
+  // Far outside any footprint stays invalid.
+  EXPECT_EQ(building.LocationNear(0, {4.75, 2.5}, 0.1), kInvalidLocation);
+}
+
+TEST(BuildingTest, AdjacencyFollowsDoors) {
+  Building building = MakeTwoRoomBuilding();
+  EXPECT_TRUE(building.AreDirectlyConnected(0, 1));
+  EXPECT_TRUE(building.AreDirectlyConnected(1, 0));
+  EXPECT_TRUE(building.AreDirectlyConnected(0, 0));
+  EXPECT_EQ(building.Neighbors(0).size(), 1u);
+  EXPECT_EQ(building.DoorsOf(0).size(), 1u);
+}
+
+// --- Standard buildings --------------------------------------------------------
+
+TEST(StandardBuildingsTest, Syn1HasFourFloorsOfEight) {
+  Building syn1 = MakeSyn1Building();
+  EXPECT_EQ(syn1.num_floors(), 4);
+  EXPECT_EQ(syn1.NumLocations(), 32u);
+  EXPECT_EQ(syn1.stairs().size(), 3u);
+  EXPECT_EQ(syn1.doors().size(), 4u * 9u);
+}
+
+TEST(StandardBuildingsTest, Syn2HasEightFloors) {
+  Building syn2 = MakeSyn2Building();
+  EXPECT_EQ(syn2.num_floors(), 8);
+  EXPECT_EQ(syn2.NumLocations(), 64u);
+  EXPECT_EQ(syn2.stairs().size(), 7u);
+}
+
+TEST(StandardBuildingsTest, EveryRoomConnectsToCorridorOrRoom) {
+  Building building = MakeSyn1Building();
+  for (std::size_t i = 0; i < building.NumLocations(); ++i) {
+    EXPECT_FALSE(building.Neighbors(static_cast<LocationId>(i)).empty())
+        << building.location(static_cast<LocationId>(i)).name;
+  }
+}
+
+TEST(StandardBuildingsTest, RoomAConnectsToRoomBAndCorridor) {
+  Building building = MakeSyn1Building();
+  LocationId a = building.FindLocationByName("F0.RoomA");
+  LocationId b = building.FindLocationByName("F0.RoomB");
+  LocationId h = building.FindLocationByName("F0.Corridor");
+  LocationId c = building.FindLocationByName("F0.RoomC");
+  ASSERT_NE(a, kInvalidLocation);
+  EXPECT_TRUE(building.AreDirectlyConnected(a, b));
+  EXPECT_TRUE(building.AreDirectlyConnected(a, h));
+  EXPECT_FALSE(building.AreDirectlyConnected(a, c));
+}
+
+TEST(StandardBuildingsTest, StairwellsChainAcrossFloors) {
+  Building building = MakeSyn1Building();
+  LocationId s0 = building.FindLocationByName("F0.Stairs");
+  LocationId s1 = building.FindLocationByName("F1.Stairs");
+  LocationId s2 = building.FindLocationByName("F2.Stairs");
+  EXPECT_TRUE(building.AreDirectlyConnected(s0, s1));
+  EXPECT_TRUE(building.AreDirectlyConnected(s1, s2));
+  EXPECT_FALSE(building.AreDirectlyConnected(s0, s2));
+}
+
+// --- BuildingGrid ---------------------------------------------------------------
+
+TEST(BuildingGridTest, GlobalIndexingSpansFloors) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  EXPECT_EQ(grid.num_floors(), 4);
+  EXPECT_EQ(grid.NumCells(), grid.CellsPerFloor() * 4);
+  auto [floor, local] = grid.Split(grid.CellsPerFloor() + 5);
+  EXPECT_EQ(floor, 1);
+  EXPECT_EQ(local, 5);
+}
+
+TEST(BuildingGridTest, CellsOfLocationAreOwned) {
+  Building building = MakeTwoRoomBuilding();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  const auto& cells = grid.CellsOfLocation(0);
+  EXPECT_FALSE(cells.empty());
+  for (int cell : cells) {
+    EXPECT_EQ(grid.LocationOfCell(cell), 0);
+    EXPECT_TRUE(grid.IsWalkable(cell));
+  }
+}
+
+TEST(BuildingGridTest, WallCellsAreNotWalkableAndUnowned) {
+  Building building = MakeTwoRoomBuilding();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  // A wall point far from the door.
+  int wall = grid.GlobalCellAt(0, {4.75, 0.75});
+  ASSERT_GE(wall, 0);
+  EXPECT_FALSE(grid.IsWalkable(wall));
+  EXPECT_EQ(grid.LocationOfCell(wall), kInvalidLocation);
+}
+
+TEST(BuildingGridTest, DoorGapIsWalkableButUnowned) {
+  Building building = MakeTwoRoomBuilding();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  int door = grid.GlobalCellAt(0, {4.75, 2.5});
+  ASSERT_GE(door, 0);
+  EXPECT_TRUE(grid.IsWalkable(door));
+  EXPECT_EQ(grid.LocationOfCell(door), kInvalidLocation);
+}
+
+TEST(BuildingGridTest, StairEdgesLinkFloors) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  EXPECT_EQ(grid.stair_cell_edges().size(), 3u);
+  for (auto [a, b, length] : grid.stair_cell_edges()) {
+    EXPECT_EQ(grid.FloorOfCell(b), grid.FloorOfCell(a) + 1);
+    EXPECT_GT(length, 0.0);
+  }
+}
+
+// --- WalkingDistances --------------------------------------------------------------
+
+TEST(WalkingDistancesTest, AdjacentRoomsAreClose) {
+  Building building = MakeTwoRoomBuilding();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  WalkingDistances distances = WalkingDistances::Compute(building, grid);
+  EXPECT_DOUBLE_EQ(distances.MetersBetween(0, 0), 0.0);
+  double ab = distances.MetersBetween(0, 1);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 3.0);  // Rooms touch at the door; boundary cells are close.
+}
+
+TEST(WalkingDistancesTest, SameFloorDistantRoomsGoThroughCorridor) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  WalkingDistances distances = WalkingDistances::Compute(building, grid);
+  LocationId a = building.FindLocationByName("F0.RoomA");
+  LocationId c = building.FindLocationByName("F0.RoomC");
+  double ac = distances.MetersBetween(a, c);
+  EXPECT_GT(ac, 4.0);  // Must leave A, cross the corridor span, enter C.
+  EXPECT_LT(ac, 30.0);
+}
+
+TEST(WalkingDistancesTest, CrossFloorDistancesIncludeStairs) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  WalkingDistances distances = WalkingDistances::Compute(building, grid);
+  LocationId a0 = building.FindLocationByName("F0.RoomA");
+  LocationId a1 = building.FindLocationByName("F1.RoomA");
+  LocationId a3 = building.FindLocationByName("F3.RoomA");
+  double d1 = distances.MetersBetween(a0, a1);
+  double d3 = distances.MetersBetween(a0, a3);
+  EXPECT_GT(d1, distances.MetersBetween(
+                    a0, building.FindLocationByName("F0.RoomC")));
+  EXPECT_GT(d3, d1);  // More floors, longer walk.
+  EXPECT_LT(d3, kInfiniteDistance);
+}
+
+TEST(WalkingDistancesTest, RoughlySymmetric) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  WalkingDistances distances = WalkingDistances::Compute(building, grid);
+  LocationId a = building.FindLocationByName("F0.RoomA");
+  LocationId f = building.FindLocationByName("F0.RoomF");
+  EXPECT_NEAR(distances.MetersBetween(a, f), distances.MetersBetween(f, a),
+              1.5);
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,240 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "map/standard_buildings.h"
+#include "model/apriori.h"
+#include "model/lsequence.h"
+#include "model/reading.h"
+#include "model/rsequence.h"
+#include "model/trajectory.h"
+#include "rfid/calibration.h"
+#include "rfid/reader_placement.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- ReaderSet ----------------------------------------------------------------
+
+TEST(ReaderSetTest, NormalizeSortsAndDeduplicates) {
+  ReaderSet readers = {3, 1, 3, 2, 1};
+  NormalizeReaderSet(&readers);
+  EXPECT_EQ(readers, (ReaderSet{1, 2, 3}));
+}
+
+TEST(ReaderSetTest, HashIsOrderInsensitiveAfterNormalization) {
+  ReaderSet a = {3, 1, 2};
+  ReaderSet b = {2, 3, 1};
+  NormalizeReaderSet(&a);
+  NormalizeReaderSet(&b);
+  ReaderSetHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(ReaderSet{}));
+}
+
+// --- RSequence ---------------------------------------------------------------
+
+TEST(RSequenceTest, CreateAcceptsPermutedTimestamps) {
+  std::vector<Reading> readings = {{2, {1}}, {0, {}}, {1, {0, 2}}};
+  Result<RSequence> sequence = RSequence::Create(std::move(readings));
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence.value().length(), 3);
+  EXPECT_EQ(sequence.value().ReadersAt(0), ReaderSet{});
+  EXPECT_EQ(sequence.value().ReadersAt(1), (ReaderSet{0, 2}));
+  EXPECT_EQ(sequence.value().ReadersAt(2), ReaderSet{1});
+}
+
+TEST(RSequenceTest, CreateNormalizesReaderSets) {
+  std::vector<Reading> readings = {{0, {2, 1, 2}}};
+  Result<RSequence> sequence = RSequence::Create(std::move(readings));
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence.value().ReadersAt(0), (ReaderSet{1, 2}));
+}
+
+TEST(RSequenceTest, CreateRejectsGapsAndDuplicates) {
+  EXPECT_FALSE(RSequence::Create({{0, {}}, {2, {}}}).ok());  // Missing t=1.
+  EXPECT_FALSE(RSequence::Create({{0, {}}, {0, {}}}).ok());  // Duplicate.
+  EXPECT_FALSE(RSequence::Create({}).ok());                  // Empty.
+  EXPECT_FALSE(RSequence::Create({{-1, {}}, {0, {}}}).ok()); // Negative.
+}
+
+TEST(RSequenceTest, EmptyFactoryHasNoDetections) {
+  RSequence sequence = RSequence::Empty(5);
+  EXPECT_EQ(sequence.length(), 5);
+  for (Timestamp t = 0; t < 5; ++t) {
+    EXPECT_TRUE(sequence.ReadersAt(t).empty());
+  }
+}
+
+// --- AprioriModel --------------------------------------------------------------
+
+class AprioriModelTest : public ::testing::Test {
+ protected:
+  AprioriModelTest()
+      : building_(MakeSyn1Building()),
+        grid_(BuildingGrid::Build(building_, 0.5)),
+        readers_(PlaceStandardReaders(building_)),
+        truth_(CoverageMatrix::FromModel(readers_, grid_, DetectionModel())),
+        model_(building_, grid_, truth_) {}
+
+  ReaderId ReaderNamed(const std::string& name) const {
+    for (std::size_t i = 0; i < readers_.size(); ++i) {
+      if (readers_[i].name == name) return static_cast<ReaderId>(i);
+    }
+    return -1;
+  }
+
+  Building building_;
+  BuildingGrid grid_;
+  std::vector<Reader> readers_;
+  CoverageMatrix truth_;
+  AprioriModel model_;
+};
+
+TEST_F(AprioriModelTest, DistributionsSumToOne) {
+  ReaderId room_a = ReaderNamed("r.F0.RoomA");
+  ASSERT_GE(room_a, 0);
+  for (const ReaderSet& readers :
+       {ReaderSet{}, ReaderSet{room_a}, ReaderSet{room_a, room_a + 1}}) {
+    ReaderSet normalized = readers;
+    NormalizeReaderSet(&normalized);
+    const std::vector<double>& distribution = model_.Distribution(normalized);
+    double sum = 0.0;
+    for (double p : distribution) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(AprioriModelTest, EmptySetIsAreaProportional) {
+  const std::vector<double>& distribution = model_.Distribution({});
+  LocationId room = building_.FindLocationByName("F0.RoomA");
+  LocationId corridor = building_.FindLocationByName("F0.Corridor");
+  // RoomA (5.5 x 4.5) is much larger than the corridor (16.5 x 1).
+  EXPECT_GT(distribution[static_cast<std::size_t>(room)],
+            distribution[static_cast<std::size_t>(corridor)]);
+  // Same-size rooms on different floors get the same mass.
+  LocationId a0 = building_.FindLocationByName("F0.RoomA");
+  LocationId a1 = building_.FindLocationByName("F1.RoomA");
+  EXPECT_NEAR(distribution[static_cast<std::size_t>(a0)],
+              distribution[static_cast<std::size_t>(a1)], 1e-9);
+}
+
+TEST_F(AprioriModelTest, RoomReaderConcentratesMassInItsRoom) {
+  ReaderId reader = ReaderNamed("r.F0.RoomB");
+  ASSERT_GE(reader, 0);
+  LocationId room = building_.FindLocationByName("F0.RoomB");
+  EXPECT_GT(model_.Probability(room, {reader}), 0.5);
+}
+
+TEST_F(AprioriModelTest, ImpossibleReaderSetFallsBackToUniform) {
+  // Two readers on different floors can never fire together.
+  ReaderId r0 = ReaderNamed("r.F0.RoomA");
+  ReaderId r3 = ReaderNamed("r.F3.RoomA");
+  ASSERT_GE(r0, 0);
+  ASSERT_GE(r3, 0);
+  ReaderSet readers = {r0, r3};
+  NormalizeReaderSet(&readers);
+  const std::vector<double>& distribution = model_.Distribution(readers);
+  double uniform = 1.0 / static_cast<double>(building_.NumLocations());
+  for (double p : distribution) EXPECT_NEAR(p, uniform, 1e-12);
+}
+
+TEST_F(AprioriModelTest, CacheGrowsOncePerDistinctSet) {
+  ReaderId reader = ReaderNamed("r.F0.RoomA");
+  std::size_t before = model_.CacheSize();
+  model_.Distribution({reader});
+  model_.Distribution({reader});
+  model_.Distribution({reader});
+  EXPECT_EQ(model_.CacheSize(), before + 1);
+}
+
+TEST_F(AprioriModelTest, OverlappingReadersSplitMassAcrossLocations) {
+  // A reader near a door leaks into the corridor: detections by the RoomA
+  // reader alone still leave some corridor probability.
+  ReaderId reader = ReaderNamed("r.F0.RoomA");
+  LocationId corridor = building_.FindLocationByName("F0.Corridor");
+  double p = model_.Probability(corridor, {reader});
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.5);
+}
+
+// --- LSequence ------------------------------------------------------------------
+
+TEST(LSequenceTest, CreateValidatesInput) {
+  EXPECT_FALSE(LSequence::Create({}).ok());
+  EXPECT_FALSE(LSequence::Create({{}}).ok());  // Empty candidate list.
+  EXPECT_FALSE(
+      LSequence::Create({{{kL1, 0.5}, {kL2, 0.6}}}).ok());  // Sum != 1.
+  EXPECT_FALSE(
+      LSequence::Create({{{kL1, 0.5}, {kL1, 0.5}}}).ok());  // Duplicate.
+  EXPECT_FALSE(LSequence::Create({{{kL1, 0.0}, {kL2, 1.0}}}).ok());  // Zero.
+  EXPECT_FALSE(
+      LSequence::Create({{{kInvalidLocation, 1.0}}}).ok());  // Bad id.
+  EXPECT_TRUE(LSequence::Create({{{kL1, 1.0}}}).ok());
+}
+
+TEST(LSequenceTest, ProbabilityLookup) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.25}, {kL2, 0.75}}});
+  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL1), 0.25);
+  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL2), 0.75);
+  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL3), 0.0);
+}
+
+TEST(LSequenceTest, NumTrajectoriesIsProductOfWidths) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 1.0}},
+                                      {{kL1, 0.4}, {kL2, 0.3}, {kL3, 0.3}}});
+  EXPECT_DOUBLE_EQ(sequence.NumTrajectories(), 6.0);
+}
+
+TEST(LSequenceTest, FromReadingsPrunesAndRenormalizes) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  CoverageMatrix truth =
+      CoverageMatrix::FromModel(readers, grid, DetectionModel());
+  AprioriModel apriori(building, grid, truth);
+  RSequence readings = RSequence::Empty(3);
+
+  LSequence full = LSequence::FromReadings(readings, apriori);
+  LSequence pruned = LSequence::FromReadings(readings, apriori, 0.02);
+  EXPECT_GE(full.CandidatesAt(0).size(), pruned.CandidatesAt(0).size());
+  for (Timestamp t = 0; t < 3; ++t) {
+    double sum = 0.0;
+    for (const Candidate& candidate : pruned.CandidatesAt(t)) {
+      sum += candidate.probability;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// --- Trajectory ------------------------------------------------------------------
+
+TEST(TrajectoryTest, AprioriProbabilityIsProductOfSteps) {
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.5}, {kL2, 0.5}}, {{kL1, 0.25}, {kL3, 0.75}}});
+  EXPECT_DOUBLE_EQ(Trajectory({kL1, kL3}).AprioriProbability(sequence),
+                   0.375);
+  EXPECT_DOUBLE_EQ(Trajectory({kL2, kL1}).AprioriProbability(sequence),
+                   0.125);
+  EXPECT_DOUBLE_EQ(Trajectory({kL3, kL1}).AprioriProbability(sequence), 0.0);
+}
+
+TEST(TrajectoryTest, EqualityAndAccessors) {
+  Trajectory trajectory({kL1, kL2});
+  EXPECT_EQ(trajectory.length(), 2);
+  EXPECT_EQ(trajectory.At(1), kL2);
+  EXPECT_EQ(trajectory, Trajectory({kL1, kL2}));
+  EXPECT_FALSE(trajectory == Trajectory({kL2, kL1}));
+  trajectory.Append(kL3);
+  EXPECT_EQ(trajectory.length(), 3);
+}
+
+}  // namespace
+}  // namespace rfidclean

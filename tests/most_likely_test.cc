@@ -1,0 +1,123 @@
+#include "query/most_likely.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_cleaner.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+TEST(MostLikelyTrajectoryTest, GoldenExampleHasUniqueAnswer) {
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph =
+      builder.Build(::rfidclean::testing::PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  auto [trajectory, probability] = MostLikelyTrajectory(graph.value());
+  EXPECT_EQ(trajectory, Trajectory({kL1, kL3, kL3}));
+  EXPECT_NEAR(probability, 1.0, 1e-12);
+}
+
+TEST(MostLikelyTrajectoryTest, UnconstrainedPicksPerStepArgmax) {
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.7}, {kL2, 0.3}}, {{kL1, 0.2}, {kL3, 0.8}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  auto [trajectory, probability] = MostLikelyTrajectory(graph.value());
+  EXPECT_EQ(trajectory, Trajectory({kL1, kL3}));
+  EXPECT_NEAR(probability, 0.56, 1e-12);
+}
+
+TEST(MostLikelyTrajectoryTest, ConstraintsCanOverrideTheIndependentArgmax) {
+  // Per-step argmax is L1 L3, but unreachable(L1, L3) invalidates it.
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.6}, {kL2, 0.4}}, {{kL3, 0.9}, {kL1, 0.1}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL3);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  auto [trajectory, probability] = MostLikelyTrajectory(graph.value());
+  // Survivors: L2 L3 (0.36), L1 L1 (0.06), L2 L1 (0.04); winner L2 L3.
+  EXPECT_EQ(trajectory, Trajectory({kL2, kL3}));
+  EXPECT_NEAR(probability, 0.36 / 0.46, 1e-9);
+}
+
+class MostLikelyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MostLikelyPropertyTest, MatchesExhaustiveArgmax) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/31);
+  // Random instance (smaller than the main property suite: we need the
+  // argmax to be numerically unambiguous most of the time).
+  const std::size_t num_locations = 4;
+  const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 6));
+  std::vector<std::vector<Candidate>> spec;
+  for (Timestamp t = 0; t < length; ++t) {
+    int k = rng.UniformInt(1, 3);
+    std::vector<Candidate> at_t;
+    double total = 0.0;
+    for (int i = 0; i < k; ++i) {
+      at_t.push_back(Candidate{static_cast<LocationId>(
+                                   (rng.UniformInt(0, 3) + i * 7) % 4),
+                               rng.UniformDouble(0.1, 1.0)});
+    }
+    // Deduplicate locations.
+    std::vector<Candidate> unique;
+    for (const Candidate& candidate : at_t) {
+      bool seen = false;
+      for (const Candidate& u : unique) {
+        if (u.location == candidate.location) seen = true;
+      }
+      if (!seen) unique.push_back(candidate);
+    }
+    for (const Candidate& candidate : unique) total += candidate.probability;
+    for (Candidate& candidate : unique) candidate.probability /= total;
+    spec.push_back(std::move(unique));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(spec));
+  ASSERT_TRUE(sequence.ok());
+
+  ConstraintSet constraints(num_locations);
+  for (std::size_t a = 0; a < num_locations; ++a) {
+    for (std::size_t b = 0; b < num_locations; ++b) {
+      if (a != b && rng.Bernoulli(0.2)) {
+        constraints.AddUnreachable(static_cast<LocationId>(a),
+                                   static_cast<LocationId>(b));
+      }
+    }
+  }
+
+  NaiveCleaner oracle(constraints);
+  auto expected = oracle.Clean(sequence.value());
+  CtGraphBuilder builder(constraints);
+  auto graph = builder.Build(sequence.value());
+  if (!expected.ok()) {
+    EXPECT_FALSE(graph.ok());
+    return;
+  }
+  ASSERT_TRUE(graph.ok());
+  double best = 0.0;
+  for (const auto& [trajectory, probability] : expected.value()) {
+    best = std::max(best, probability);
+  }
+  auto [trajectory, probability] = MostLikelyTrajectory(graph.value());
+  EXPECT_NEAR(probability, best, 1e-9);
+  EXPECT_NEAR(graph.value().TrajectoryProbability(trajectory), probability,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MostLikelyPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace rfidclean

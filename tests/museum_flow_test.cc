@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "constraints/inference.h"
+#include "core/builder.h"
+#include "gen/reading_generator.h"
+#include "gen/trajectory_generator.h"
+#include "map/standard_buildings.h"
+#include "map/walking_distance.h"
+#include "model/apriori.h"
+#include "query/flow.h"
+#include "rfid/calibration.h"
+#include "rfid/reader_placement.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- MakeMuseumWing ---------------------------------------------------------------
+
+TEST(MuseumWingTest, StructureCounts) {
+  Building museum = MakeMuseumWing(3);
+  EXPECT_EQ(museum.num_floors(), 1);
+  EXPECT_EQ(museum.NumLocations(), 7u);  // Lobby + 2x3 halls.
+  // Lobby door + 2 per-row pairs x 2 rows + 2 row joins = 1 + 4 + 2.
+  EXPECT_EQ(museum.doors().size(), 7u);
+  EXPECT_TRUE(museum.stairs().empty());
+}
+
+TEST(MuseumWingTest, VisitingLoopIsClosed) {
+  Building museum = MakeMuseumWing(3);
+  LocationId h1a = museum.FindLocationByName("Hall1A");
+  LocationId h2a = museum.FindLocationByName("Hall2A");
+  LocationId h1c = museum.FindLocationByName("Hall1C");
+  LocationId h2c = museum.FindLocationByName("Hall2C");
+  ASSERT_NE(h1a, kInvalidLocation);
+  // Both row ends join the rows; the middle does not.
+  EXPECT_TRUE(museum.AreDirectlyConnected(h1a, h2a));
+  EXPECT_TRUE(museum.AreDirectlyConnected(h1c, h2c));
+  EXPECT_FALSE(museum.AreDirectlyConnected(
+      museum.FindLocationByName("Hall1B"),
+      museum.FindLocationByName("Hall2B")));
+  EXPECT_TRUE(museum.AreDirectlyConnected(
+      museum.FindLocationByName("Lobby"), h1a));
+}
+
+TEST(MuseumWingTest, WalkingDistancesAreFiniteAndLoopAware) {
+  Building museum = MakeMuseumWing(4);
+  BuildingGrid grid = BuildingGrid::Build(museum, 0.5);
+  WalkingDistances distances = WalkingDistances::Compute(museum, grid);
+  for (std::size_t a = 0; a < museum.NumLocations(); ++a) {
+    for (std::size_t b = 0; b < museum.NumLocations(); ++b) {
+      EXPECT_LT(distances.MetersBetween(static_cast<LocationId>(a),
+                                        static_cast<LocationId>(b)),
+                kInfiniteDistance);
+    }
+  }
+  // The loop makes the two row-mates reachable without traversing a full
+  // row twice: Hall1B -> Hall2B is bounded by going around either end.
+  LocationId h1b = museum.FindLocationByName("Hall1B");
+  LocationId h2b = museum.FindLocationByName("Hall2B");
+  EXPECT_LT(distances.MetersBetween(h1b, h2b), 40.0);
+}
+
+TEST(MuseumWingTest, FullPipelineRunsOnTheLoopTopology) {
+  Building museum = MakeMuseumWing(3);
+  BuildingGrid grid = BuildingGrid::Build(museum, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(museum);
+  CoverageMatrix truth =
+      CoverageMatrix::FromModel(readers, grid, DetectionModel());
+  Rng calibration_rng(5);
+  CoverageMatrix calibrated =
+      Calibrator::Calibrate(truth, 30, calibration_rng);
+  AprioriModel apriori(museum, grid, calibrated);
+
+  TrajectoryGenerator trajectories(museum);
+  TrajectoryGenOptions motion;
+  motion.duration_ticks = 150;
+  Rng rng(6);
+  ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
+  ReadingGenerator reading_generator(grid, truth);
+  RSequence readings = reading_generator.Generate(continuous, rng);
+  LSequence sequence = LSequence::FromReadings(readings, apriori);
+
+  WalkingDistances distances = WalkingDistances::Compute(museum, grid);
+  InferenceOptions inference;
+  ConstraintSet constraints = InferConstraints(museum, distances, inference);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_TRUE(graph.value().CheckConsistency().ok());
+}
+
+// --- ExpectedTransitionCounts --------------------------------------------------------
+
+TEST(FlowTest, DeterministicPathYieldsUnitFlows) {
+  LSequence sequence =
+      MakeLSequence({{{kL1, 1.0}}, {{kL2, 1.0}}, {{kL2, 1.0}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> flow = ExpectedTransitionCounts(graph.value(), 6);
+  EXPECT_NEAR(flow[static_cast<std::size_t>(kL1) * 6 + kL2], 1.0, 1e-12);
+  EXPECT_NEAR(flow[static_cast<std::size_t>(kL2) * 6 + kL2], 1.0, 1e-12);
+  EXPECT_NEAR(flow[static_cast<std::size_t>(kL2) * 6 + kL1], 0.0, 1e-12);
+}
+
+TEST(FlowTest, TotalFlowEqualsLengthMinusOne) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.4}, {kL3, 0.6}},
+                                      {{kL2, 0.5}, {kL3, 0.5}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL3);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> flow = ExpectedTransitionCounts(graph.value(), 6);
+  double total = 0.0;
+  for (double f : flow) total += f;
+  EXPECT_NEAR(total, 2.0, 1e-9);  // One transition per step pair.
+}
+
+TEST(FlowTest, MatchesExhaustiveExpectation) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.4}, {kL3, 0.6}},
+                                      {{kL1, 0.7}, {kL2, 0.3}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL3, kL2);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  std::vector<double> expected(36, 0.0);
+  for (const auto& [trajectory, probability] :
+       graph.value().EnumerateTrajectories()) {
+    for (Timestamp t = 0; t + 1 < trajectory.length(); ++t) {
+      expected[static_cast<std::size_t>(trajectory.At(t)) * 6 +
+               static_cast<std::size_t>(trajectory.At(t + 1))] +=
+          probability;
+    }
+  }
+  std::vector<double> flow = ExpectedTransitionCounts(graph.value(), 6);
+  for (std::size_t i = 0; i < flow.size(); ++i) {
+    EXPECT_NEAR(flow[i], expected[i], 1e-9) << "pair " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rfidclean

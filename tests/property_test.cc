@@ -1,0 +1,249 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_cleaner.h"
+#include "baseline/validity.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "eval/accuracy.h"
+#include "query/marginals.h"
+#include "query/pattern_matcher.h"
+#include "query/sampler.h"
+#include "query/stay_query.h"
+#include "query/trajectory_query.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+/// Randomized cross-validation of the ct-graph algorithm against the
+/// exhaustive Definition-2 oracle: for random l-sequences and random
+/// constraint sets, the graph must represent exactly the valid trajectories
+/// with exactly the conditioned probabilities, and every query evaluator
+/// must agree with brute force.
+class ConditioningPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  struct Instance {
+    LSequence sequence;
+    ConstraintSet constraints{1};
+    std::size_t num_locations = 0;
+  };
+
+  static Instance MakeRandomInstance(Rng& rng) {
+    Instance instance;
+    const std::size_t num_locations =
+        static_cast<std::size_t>(rng.UniformInt(3, 5));
+    const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 7));
+    instance.num_locations = num_locations;
+
+    std::vector<std::vector<Candidate>> candidates;
+    for (Timestamp t = 0; t < length; ++t) {
+      int k = rng.UniformInt(1, 3);
+      std::vector<LocationId> locations(num_locations);
+      for (std::size_t i = 0; i < num_locations; ++i) {
+        locations[i] = static_cast<LocationId>(i);
+      }
+      // Partial Fisher-Yates pick of k distinct locations.
+      std::vector<Candidate> at_t;
+      double total = 0.0;
+      for (int i = 0; i < k; ++i) {
+        std::size_t j = i + rng.UniformIndex(locations.size() - i);
+        std::swap(locations[static_cast<std::size_t>(i)], locations[j]);
+        double weight = rng.UniformDouble(0.1, 1.0);
+        at_t.push_back(
+            Candidate{locations[static_cast<std::size_t>(i)], weight});
+        total += weight;
+      }
+      for (Candidate& candidate : at_t) candidate.probability /= total;
+      candidates.push_back(std::move(at_t));
+    }
+    Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+    RFID_CHECK(sequence.ok());
+    instance.sequence = std::move(sequence).value();
+
+    ConstraintSet constraints(num_locations);
+    for (std::size_t a = 0; a < num_locations; ++a) {
+      for (std::size_t b = 0; b < num_locations; ++b) {
+        if (a == b) continue;
+        if (rng.Bernoulli(0.25)) {
+          constraints.AddUnreachable(static_cast<LocationId>(a),
+                                     static_cast<LocationId>(b));
+        } else if (rng.Bernoulli(0.2)) {
+          constraints.AddTravelingTime(static_cast<LocationId>(a),
+                                       static_cast<LocationId>(b),
+                                       static_cast<Timestamp>(
+                                           rng.UniformInt(2, 4)));
+        }
+      }
+      if (rng.Bernoulli(0.3)) {
+        constraints.AddLatency(static_cast<LocationId>(a),
+                               static_cast<Timestamp>(rng.UniformInt(2, 3)));
+      }
+    }
+    instance.constraints = std::move(constraints);
+    return instance;
+  }
+};
+
+TEST_P(ConditioningPropertyTest, CtGraphMatchesExhaustiveConditioning) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/11);
+  Instance instance = MakeRandomInstance(rng);
+
+  NaiveCleaner oracle(instance.constraints);
+  Result<std::vector<NaiveCleaner::Entry>> expected =
+      oracle.Clean(instance.sequence);
+
+  // Both successor modes must represent exactly the valid trajectories with
+  // exactly the conditioned probabilities (the reachability-aware TL
+  // pruning is an internal representation change only).
+  for (bool pruning : {true, false}) {
+    SuccessorOptions options;
+    options.reachability_tl_pruning = pruning;
+    CtGraphBuilder builder(instance.constraints, options);
+    Result<CtGraph> graph = builder.Build(instance.sequence);
+
+    if (!expected.ok()) {
+      ASSERT_EQ(expected.status().code(), StatusCode::kFailedPrecondition);
+      ASSERT_FALSE(graph.ok());
+      EXPECT_EQ(graph.status().code(), StatusCode::kFailedPrecondition);
+      continue;
+    }
+    ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+    ASSERT_TRUE(graph.value().CheckConsistency().ok())
+        << graph.value().CheckConsistency().ToString();
+
+    // Same trajectory set, same probabilities.
+    auto actual = graph.value().EnumerateTrajectories();
+    ASSERT_EQ(actual.size(), expected.value().size());
+    for (const auto& [trajectory, probability] : expected.value()) {
+      EXPECT_NEAR(graph.value().TrajectoryProbability(trajectory),
+                  probability, 1e-9)
+          << "trajectory probability mismatch (pruning=" << pruning << ")";
+    }
+    double total = 0.0;
+    for (const auto& [trajectory, probability] : actual) total += probability;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(ConditioningPropertyTest, StayMarginalsMatchExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/12);
+  Instance instance = MakeRandomInstance(rng);
+
+  NaiveCleaner oracle(instance.constraints);
+  Result<std::vector<NaiveCleaner::Entry>> expected =
+      oracle.Clean(instance.sequence);
+  CtGraphBuilder builder(instance.constraints);
+  Result<CtGraph> graph = builder.Build(instance.sequence);
+  if (!expected.ok()) {
+    ASSERT_FALSE(graph.ok());
+    return;
+  }
+  ASSERT_TRUE(graph.ok());
+
+  auto marginals =
+      NaiveCleaner::Marginals(expected.value(), instance.num_locations);
+  StayQueryEvaluator evaluator(graph.value());
+  for (Timestamp t = 0; t < instance.sequence.length(); ++t) {
+    double layer_total = 0.0;
+    for (std::size_t l = 0; l < instance.num_locations; ++l) {
+      double actual =
+          evaluator.Probability(t, static_cast<LocationId>(l));
+      EXPECT_NEAR(actual, marginals[static_cast<std::size_t>(t)][l], 1e-9)
+          << "t=" << t << " l=" << l;
+      layer_total += actual;
+    }
+    EXPECT_NEAR(layer_total, 1.0, 1e-9);
+  }
+}
+
+TEST_P(ConditioningPropertyTest, TrajectoryQueriesMatchExhaustive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/13);
+  Instance instance = MakeRandomInstance(rng);
+
+  NaiveCleaner oracle(instance.constraints);
+  Result<std::vector<NaiveCleaner::Entry>> expected =
+      oracle.Clean(instance.sequence);
+  CtGraphBuilder builder(instance.constraints);
+  Result<CtGraph> graph = builder.Build(instance.sequence);
+  if (!expected.ok()) return;
+  ASSERT_TRUE(graph.ok());
+
+  for (int q = 0; q < 8; ++q) {
+    // Random pattern: 1-3 conditions with durations 1-3, random wildcards.
+    std::vector<PatternItem> items;
+    int conditions = rng.UniformInt(1, 3);
+    if (rng.Bernoulli(0.7)) items.push_back(PatternItem::Wildcard());
+    for (int i = 0; i < conditions; ++i) {
+      items.push_back(PatternItem::Condition(
+          static_cast<LocationId>(rng.UniformIndex(instance.num_locations)),
+          static_cast<Timestamp>(rng.UniformInt(1, 3))));
+      if (rng.Bernoulli(0.7)) items.push_back(PatternItem::Wildcard());
+    }
+    Pattern pattern(std::move(items));
+    PatternMatcher matcher(pattern);
+
+    double brute = 0.0;
+    for (const auto& [trajectory, probability] : expected.value()) {
+      if (matcher.Matches(trajectory)) brute += probability;
+    }
+    EXPECT_NEAR(EvaluateTrajectoryQuery(graph.value(), pattern), brute, 1e-9)
+        << "pattern " << pattern.ToString();
+  }
+}
+
+TEST_P(ConditioningPropertyTest, UncleanedQueryMatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/14);
+  Instance instance = MakeRandomInstance(rng);
+
+  // Enumerate all trajectories with their a-priori probabilities.
+  ConstraintSet empty(instance.num_locations);
+  NaiveCleaner enumerator(empty);
+  Result<std::vector<NaiveCleaner::Entry>> all =
+      enumerator.Clean(instance.sequence);
+  ASSERT_TRUE(all.ok());
+
+  for (int q = 0; q < 4; ++q) {
+    std::vector<PatternItem> items;
+    items.push_back(PatternItem::Wildcard());
+    items.push_back(PatternItem::Condition(
+        static_cast<LocationId>(rng.UniformIndex(instance.num_locations)),
+        static_cast<Timestamp>(rng.UniformInt(1, 2))));
+    items.push_back(PatternItem::Wildcard());
+    Pattern pattern(std::move(items));
+    PatternMatcher matcher(pattern);
+    double brute = 0.0;
+    for (const auto& [trajectory, probability] : all.value()) {
+      if (matcher.Matches(trajectory)) brute += probability;
+    }
+    EXPECT_NEAR(
+        UncleanedTrajectoryQueryProbability(instance.sequence, pattern),
+        brute, 1e-9);
+  }
+}
+
+TEST_P(ConditioningPropertyTest, SamplerProducesOnlyValidTrajectories) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/15);
+  Instance instance = MakeRandomInstance(rng);
+  CtGraphBuilder builder(instance.constraints);
+  Result<CtGraph> graph = builder.Build(instance.sequence);
+  if (!graph.ok()) return;
+
+  TrajectorySampler sampler(graph.value());
+  Rng sample_rng(99, static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 50; ++i) {
+    Trajectory sample = sampler.Sample(sample_rng);
+    EXPECT_EQ(sample.length(), instance.sequence.length());
+    EXPECT_TRUE(IsValidTrajectory(sample, instance.constraints));
+    EXPECT_GT(graph.value().TrajectoryProbability(sample), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditioningPropertyTest,
+                         ::testing::Range(0, 60));
+
+}  // namespace
+}  // namespace rfidclean

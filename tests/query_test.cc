@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "query/marginals.h"
+#include "query/pattern.h"
+#include "query/pattern_matcher.h"
+#include "query/sampler.h"
+#include "query/stay_query.h"
+#include "query/trajectory_query.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::kL4;
+using ::rfidclean::testing::kL5;
+using ::rfidclean::testing::MakeLSequence;
+
+Pattern::NameResolver NumericResolver() {
+  return [](std::string_view name) -> LocationId {
+    if (name.size() < 2 || name[0] != 'L') return kInvalidLocation;
+    LocationId id = 0;
+    for (char c : name.substr(1)) {
+      if (c < '0' || c > '9') return kInvalidLocation;
+      id = id * 10 + (c - '0');
+    }
+    return id;
+  };
+}
+
+// --- Pattern parsing -----------------------------------------------------------
+
+TEST(PatternTest, ParsesWildcardsAndConditions) {
+  Result<Pattern> pattern = Pattern::Parse("? L1[3] ? L2 ?",
+                                           NumericResolver());
+  ASSERT_TRUE(pattern.ok());
+  const auto& items = pattern.value().items();
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_TRUE(items[0].wildcard);
+  EXPECT_FALSE(items[1].wildcard);
+  EXPECT_EQ(items[1].location, kL1);
+  EXPECT_EQ(items[1].min_duration, 3);
+  EXPECT_EQ(items[3].location, kL2);
+  EXPECT_EQ(items[3].min_duration, 1);
+  EXPECT_EQ(pattern.value().NumConditions(), 2u);
+}
+
+TEST(PatternTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Pattern::Parse("", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("   ", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("L1[0]", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("L1[x]", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("L1[3", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("Unknown", NumericResolver()).ok());
+}
+
+TEST(PatternTest, ToStringRoundTrips) {
+  Result<Pattern> pattern = Pattern::Parse("? L1[3] ? L2 ?",
+                                           NumericResolver());
+  ASSERT_TRUE(pattern.ok());
+  EXPECT_EQ(pattern.value().ToString(), "? L1[3] ? L2 ?");
+}
+
+// --- PatternMatcher --------------------------------------------------------------
+
+bool Matches(const char* pattern_text, std::vector<LocationId> steps) {
+  Result<Pattern> pattern = Pattern::Parse(pattern_text, NumericResolver());
+  RFID_CHECK(pattern.ok());
+  PatternMatcher matcher(pattern.value());
+  return matcher.Matches(Trajectory(std::move(steps)));
+}
+
+TEST(PatternMatcherTest, SingleConditionMatchesPureStay) {
+  EXPECT_TRUE(Matches("L1", {kL1}));
+  EXPECT_TRUE(Matches("L1", {kL1, kL1, kL1}));
+  EXPECT_FALSE(Matches("L1", {kL1, kL2, kL1}));
+  EXPECT_FALSE(Matches("L1", {kL2}));
+}
+
+TEST(PatternMatcherTest, DurationRequiresMinimumStay) {
+  EXPECT_FALSE(Matches("? L1[3] ?", {kL2, kL1, kL1, kL2}));
+  EXPECT_TRUE(Matches("? L1[3] ?", {kL2, kL1, kL1, kL1, kL2}));
+  EXPECT_TRUE(Matches("? L1[3] ?", {kL1, kL1, kL1}));
+  EXPECT_TRUE(Matches("? L1[3] ?", {kL1, kL1, kL1, kL1}));
+}
+
+TEST(PatternMatcherTest, WildcardExpandsToEmpty) {
+  EXPECT_TRUE(Matches("? L1 ?", {kL1}));
+  EXPECT_TRUE(Matches("? L1 ?", {kL2, kL1}));
+  EXPECT_TRUE(Matches("? L1 ?", {kL1, kL2}));
+}
+
+TEST(PatternMatcherTest, OrderedConditions) {
+  EXPECT_TRUE(Matches("? L1 ? L2 ?", {kL1, kL3, kL2}));
+  EXPECT_FALSE(Matches("? L1 ? L2 ?", {kL2, kL3, kL1}));
+  // A single L1-L2... wait, adjacent conditions concatenate directly.
+  EXPECT_TRUE(Matches("? L1 ? L2 ?", {kL1, kL2}));
+}
+
+TEST(PatternMatcherTest, AdjacentConditionsConcatenate) {
+  EXPECT_TRUE(Matches("L1 L2", {kL1, kL2}));
+  EXPECT_TRUE(Matches("L1 L2", {kL1, kL1, kL2, kL2}));
+  EXPECT_FALSE(Matches("L1 L2", {kL1, kL3, kL2}));
+  EXPECT_FALSE(Matches("L1 L2", {kL1}));
+}
+
+TEST(PatternMatcherTest, RepeatedConditionNeedsInterveningVisit) {
+  // "? L1 ? L2 ? L1 ?": L1, then L2, then L1 again.
+  EXPECT_TRUE(Matches("? L1 ? L2 ? L1 ?", {kL1, kL2, kL1}));
+  EXPECT_FALSE(Matches("? L1 ? L2 ? L1 ?", {kL1, kL2, kL2}));
+}
+
+TEST(PatternMatcherTest, ReducedAlphabetTreatsUnnamedLocationsAsOther) {
+  EXPECT_TRUE(Matches("? L1 ?", {kL4, kL5, kL1, kL3}));
+  EXPECT_FALSE(Matches("? L1 ?", {kL4, kL5, kL3}));
+}
+
+TEST(PatternMatcherTest, LazyDfaStatesAreBounded) {
+  Result<Pattern> pattern =
+      Pattern::Parse("? L1[9] ? L2[9] ? L3[9] ? L4[9] ?", NumericResolver());
+  ASSERT_TRUE(pattern.ok());
+  PatternMatcher matcher(pattern.value());
+  std::vector<LocationId> steps;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (LocationId l : {kL1, kL2, kL3, kL4}) {
+      for (int i = 0; i < 10; ++i) steps.push_back(l);
+    }
+  }
+  EXPECT_TRUE(matcher.Matches(Trajectory(steps)));
+  EXPECT_LT(matcher.NumDfaStates(), 200u);
+}
+
+// --- Stay queries over the golden example --------------------------------------
+
+class GoldenGraphTest : public ::testing::Test {
+ protected:
+  GoldenGraphTest()
+      : constraints_(::rfidclean::testing::PaperExampleConstraints()),
+        builder_(constraints_) {
+    Result<CtGraph> result =
+        builder_.Build(::rfidclean::testing::PaperExampleSequence());
+    RFID_CHECK(result.ok());
+    graph_ = std::move(result).value();
+  }
+
+  ConstraintSet constraints_;
+  CtGraphBuilder builder_;
+  CtGraph graph_;
+};
+
+TEST_F(GoldenGraphTest, StayQueriesAreDeterministicHere) {
+  StayQueryEvaluator evaluator(graph_);
+  EXPECT_NEAR(evaluator.Probability(0, kL1), 1.0, 1e-12);
+  EXPECT_NEAR(evaluator.Probability(1, kL3), 1.0, 1e-12);
+  EXPECT_NEAR(evaluator.Probability(2, kL3), 1.0, 1e-12);
+  EXPECT_EQ(evaluator.Probability(0, kL2), 0.0);
+  EXPECT_EQ(evaluator.Probability(2, kL5), 0.0);
+}
+
+TEST_F(GoldenGraphTest, EvaluateReturnsFullDistribution) {
+  StayQueryEvaluator evaluator(graph_);
+  auto answer = evaluator.Evaluate(1);
+  ASSERT_EQ(answer.size(), 1u);
+  EXPECT_EQ(answer[0].first, kL3);
+  EXPECT_NEAR(answer[0].second, 1.0, 1e-12);
+}
+
+TEST_F(GoldenGraphTest, TrajectoryQueriesOnGolden) {
+  Result<Pattern> yes = Pattern::Parse("? L3[2] ?", NumericResolver());
+  Result<Pattern> no = Pattern::Parse("? L5 ?", NumericResolver());
+  ASSERT_TRUE(yes.ok());
+  ASSERT_TRUE(no.ok());
+  EXPECT_NEAR(EvaluateTrajectoryQuery(graph_, yes.value()), 1.0, 1e-12);
+  EXPECT_NEAR(EvaluateTrajectoryQuery(graph_, no.value()), 0.0, 1e-12);
+}
+
+TEST_F(GoldenGraphTest, NodeMarginalsSumToOnePerLayer) {
+  std::vector<double> marginals = NodeMarginals(graph_);
+  for (Timestamp t = 0; t < graph_.length(); ++t) {
+    double sum = 0.0;
+    for (NodeId id : graph_.NodesAt(t)) {
+      sum += marginals[static_cast<std::size_t>(id)];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST_F(GoldenGraphTest, SamplerReturnsTheUniqueTrajectory) {
+  TrajectorySampler sampler(graph_);
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.Sample(rng), Trajectory({kL1, kL3, kL3}));
+  }
+}
+
+// --- Stay queries on a branching graph ------------------------------------------
+
+TEST(StayQueryTest, MergesProbabilityAcrossNodesOfSameLocation) {
+  // Unconstrained: marginals equal the a-priori candidate probabilities.
+  LSequence sequence = MakeLSequence({{{kL1, 0.6}, {kL2, 0.4}},
+                                      {{kL1, 0.3}, {kL3, 0.7}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  StayQueryEvaluator evaluator(graph.value());
+  EXPECT_NEAR(evaluator.Probability(0, kL1), 0.6, 1e-12);
+  EXPECT_NEAR(evaluator.Probability(1, kL3), 0.7, 1e-12);
+}
+
+TEST(TrajectoryQueryTest, SumsOnlyMatchingPaths) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.6}, {kL2, 0.4}},
+                                      {{kL1, 0.3}, {kL3, 0.7}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  Result<Pattern> pattern = Pattern::Parse("? L3 ?", NumericResolver());
+  ASSERT_TRUE(pattern.ok());
+  // P(visits L3) = P(second step is L3) = 0.7.
+  EXPECT_NEAR(EvaluateTrajectoryQuery(graph.value(), pattern.value()), 0.7,
+              1e-12);
+
+  Result<Pattern> both = Pattern::Parse("L1 L3", NumericResolver());
+  ASSERT_TRUE(both.ok());
+  // Exactly L1 then L3: 0.6 * 0.7.
+  EXPECT_NEAR(EvaluateTrajectoryQuery(graph.value(), both.value()), 0.42,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace rfidclean

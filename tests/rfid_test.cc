@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "map/standard_buildings.h"
+#include "rfid/calibration.h"
+#include "rfid/coverage_matrix.h"
+#include "rfid/detection_model.h"
+#include "rfid/reader_placement.h"
+
+namespace rfidclean {
+namespace {
+
+class DetectionModelTest : public ::testing::Test {
+ protected:
+  DetectionModelTest()
+      : building_(MakeSyn1Building()),
+        grid_(BuildingGrid::Build(building_, 0.5)) {}
+
+  Building building_;
+  BuildingGrid grid_;
+};
+
+TEST_F(DetectionModelTest, FullRateInsideMajorRegion) {
+  DetectionModel model;
+  LocationId a = building_.FindLocationByName("F0.RoomA");
+  Vec2 center = building_.location(a).footprint.Center();
+  Reader reader{"r", 0, center};
+  int cell = grid_.GlobalCellAt(0, center);
+  EXPECT_NEAR(model.DetectionProbability(reader, grid_, cell), 0.95, 1e-9);
+}
+
+TEST_F(DetectionModelTest, RateDecaysInMinorRegion) {
+  DetectionModel model;
+  Vec2 center = {3.0, 9.0};  // Inside F0.RoomA.
+  Reader reader{"r", 0, center};
+  int near = grid_.GlobalCellAt(0, {3.0 + 1.0, 9.0});
+  int mid = grid_.GlobalCellAt(0, {3.0 + 3.0, 9.0});  // Still inside RoomA.
+  double p_near = model.DetectionProbability(reader, grid_, near);
+  double p_mid = model.DetectionProbability(reader, grid_, mid);
+  EXPECT_GT(p_near, p_mid);
+  EXPECT_GT(p_mid, 0.0);
+  EXPECT_LT(p_mid, 0.95);
+}
+
+TEST_F(DetectionModelTest, NoDetectionBeyondMaxRadius) {
+  DetectionModel model;
+  Reader reader{"r", 0, {3.0, 9.0}};
+  int far = grid_.GlobalCellAt(0, {16.0, 1.0});
+  EXPECT_EQ(model.DetectionProbability(reader, grid_, far), 0.0);
+}
+
+TEST_F(DetectionModelTest, NoDetectionAcrossFloors) {
+  DetectionModel model;
+  Vec2 center = {3.0, 9.0};
+  Reader reader{"r", 0, center};
+  int same_spot_floor1 = grid_.GlobalCellAt(1, center);
+  EXPECT_EQ(model.DetectionProbability(reader, grid_, same_spot_floor1), 0.0);
+}
+
+TEST_F(DetectionModelTest, WallsAttenuate) {
+  DetectionModel model;
+  // Reader in RoomA near the A|B wall; compare a same-distance cell inside
+  // RoomA vs across the wall in RoomB (away from the A-B door at y=9.25).
+  Reader reader{"r", 0, {5.5, 8.0}};
+  int in_a = grid_.GlobalCellAt(0, {3.6, 8.0});   // ~1.9m, same room.
+  int in_b = grid_.GlobalCellAt(0, {7.4, 8.0});   // ~1.9m, across the wall.
+  double p_a = model.DetectionProbability(reader, grid_, in_a);
+  double p_b = model.DetectionProbability(reader, grid_, in_b);
+  EXPECT_GT(p_a, 0.5);
+  EXPECT_GT(p_a, 2.0 * p_b);
+  EXPECT_GT(p_b, 0.0);  // Attenuated, not eliminated.
+}
+
+TEST_F(DetectionModelTest, DoorwayDoesNotAttenuate) {
+  DetectionModel model;
+  // Reader right at RoomA's corridor door: line of sight into the corridor
+  // passes through the carved door gap.
+  Reader reader{"r", 0, {3.25, 7.3}};
+  int corridor_cell = grid_.GlobalCellAt(0, {3.25, 6.1});
+  double p = model.DetectionProbability(reader, grid_, corridor_cell);
+  EXPECT_GT(p, 0.5);  // Short distance, no wall on the path.
+}
+
+TEST(CoverageMatrixTest, FromModelMatchesPointQueries) {
+  Building building = MakeSyn1Building();
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  DetectionModel model;
+  std::vector<Reader> readers = {{"r0", 0, {3.0, 9.0}},
+                                 {"r1", 1, {3.0, 9.0}}};
+  CoverageMatrix matrix = CoverageMatrix::FromModel(readers, grid, model);
+  EXPECT_EQ(matrix.num_readers(), 2);
+  EXPECT_EQ(matrix.num_cells(), grid.NumCells());
+  int cell = grid.GlobalCellAt(0, {3.0, 9.0});
+  EXPECT_DOUBLE_EQ(matrix.Probability(0, cell),
+                   model.DetectionProbability(readers[0], grid, cell));
+  EXPECT_EQ(matrix.Probability(1, cell), 0.0);  // Reader on another floor.
+}
+
+TEST(CoverageMatrixTest, ReadersCoveringFiltersZeroRows) {
+  CoverageMatrix matrix(3, 4);
+  matrix.SetProbability(0, 1, 0.5);
+  matrix.SetProbability(2, 3, 0.1);
+  auto covering = matrix.ReadersCovering({1, 2});
+  ASSERT_EQ(covering.size(), 1u);
+  EXPECT_EQ(covering[0], 0);
+}
+
+TEST(CalibratorTest, EstimatesRatesWithinSamplingError) {
+  CoverageMatrix truth(1, 3);
+  truth.SetProbability(0, 0, 0.9);
+  truth.SetProbability(0, 1, 0.2);
+  Rng rng(42);
+  CoverageMatrix calibrated = Calibrator::Calibrate(truth, 3000, rng);
+  EXPECT_NEAR(calibrated.Probability(0, 0), 0.9, 0.05);
+  EXPECT_NEAR(calibrated.Probability(0, 1), 0.2, 0.05);
+  EXPECT_EQ(calibrated.Probability(0, 2), 0.0);  // True zero stays zero.
+}
+
+TEST(CalibratorTest, RatesAreMultiplesOfOneOverSeconds) {
+  CoverageMatrix truth(1, 1);
+  truth.SetProbability(0, 0, 0.5);
+  Rng rng(1);
+  CoverageMatrix calibrated = Calibrator::Calibrate(truth, 30, rng);
+  double rate = calibrated.Probability(0, 0);
+  double scaled = rate * 30.0;
+  EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+}
+
+TEST(ReaderPlacementTest, StandardDeploymentCounts) {
+  Building building = MakeSyn1Building();
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  // Per floor: 6 room readers + 2 corridor + 1 stairwell = 9.
+  EXPECT_EQ(readers.size(), 4u * 9u);
+  for (const Reader& reader : readers) {
+    EXPECT_GE(reader.floor, 0);
+    EXPECT_LT(reader.floor, 4);
+    EXPECT_TRUE(building.floor_bounds().Contains(reader.position));
+    EXPECT_FALSE(reader.name.empty());
+  }
+}
+
+TEST(ReaderPlacementTest, RoomReadersSitInsideTheirRoom) {
+  Building building = MakeSyn1Building();
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  for (const Reader& reader : readers) {
+    if (reader.name.find("Room") != std::string::npos) {
+      LocationId at = building.LocationAt(reader.floor, reader.position);
+      ASSERT_NE(at, kInvalidLocation) << reader.name;
+      EXPECT_EQ("r." + building.location(at).name, reader.name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "baseline/hmm.h"
+#include "baseline/smurf.h"
+#include "core/builder.h"
+#include "query/stay_query.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- SMURF ---------------------------------------------------------------------
+
+RSequence MakeRaw(std::vector<ReaderSet> per_tick) {
+  std::vector<Reading> readings;
+  for (std::size_t t = 0; t < per_tick.size(); ++t) {
+    readings.push_back(
+        Reading{static_cast<Timestamp>(t), std::move(per_tick[t])});
+  }
+  Result<RSequence> sequence = RSequence::Create(std::move(readings));
+  RFID_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+TEST(SmurfTest, FillsIsolatedFalseNegatives) {
+  // Reader 0 sees the tag at every epoch except t=3 (a dropout).
+  RSequence raw = MakeRaw({{0}, {0}, {0}, {}, {0}, {0}, {0}});
+  SmurfSmoother smoother;
+  RSequence smoothed = smoother.Smooth(raw, /*num_readers=*/1);
+  for (Timestamp t = 0; t < smoothed.length(); ++t) {
+    EXPECT_EQ(smoothed.ReadersAt(t), ReaderSet{0}) << "t=" << t;
+  }
+}
+
+TEST(SmurfTest, DoesNotInventDistantDetections) {
+  // A single detection at t=0 must not smear across the whole sequence.
+  RSequence raw = MakeRaw({{0}, {}, {}, {}, {}, {}, {}, {}, {}, {}});
+  SmurfSmoother smoother;
+  RSequence smoothed = smoother.Smooth(raw, 1);
+  EXPECT_EQ(smoothed.ReadersAt(0), ReaderSet{0});
+  EXPECT_TRUE(smoothed.ReadersAt(9).empty());
+}
+
+TEST(SmurfTest, ReadersAreSmoothedIndependently) {
+  RSequence raw = MakeRaw({{0}, {1}, {0}, {1}});
+  SmurfSmoother smoother;
+  RSequence smoothed = smoother.Smooth(raw, 2);
+  // With the default 3-epoch window both readers cover the middle epochs.
+  EXPECT_EQ(smoothed.ReadersAt(1), (ReaderSet{0, 1}));
+  EXPECT_EQ(smoothed.ReadersAt(2), (ReaderSet{0, 1}));
+}
+
+TEST(SmurfTest, EmptyInputStaysEmpty) {
+  RSequence raw = RSequence::Empty(5);
+  SmurfSmoother smoother;
+  RSequence smoothed = smoother.Smooth(raw, 3);
+  for (Timestamp t = 0; t < 5; ++t) {
+    EXPECT_TRUE(smoothed.ReadersAt(t).empty());
+  }
+}
+
+TEST(SmurfTest, PreservesLength) {
+  RSequence raw = MakeRaw({{0}, {}, {0, 1}});
+  SmurfSmoother smoother;
+  EXPECT_EQ(smoother.Smooth(raw, 2).length(), 3);
+}
+
+// --- HMM -----------------------------------------------------------------------
+
+TEST(HmmTest, PosteriorsAreDistributions) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.4}, {kL3, 0.6}},
+                                      {{kL3, 1.0}}});
+  ConstraintSet constraints(6);
+  HmmSmoother smoother(constraints);
+  auto posterior = smoother.Smooth(sequence);
+  ASSERT_EQ(posterior.size(), 3u);
+  for (const auto& row : posterior) {
+    double total = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(HmmTest, SmoothingPullsTowardTemporalConsistency) {
+  // Noisy middle reading: L1 L? L1 with the middle instant split between
+  // L1 and a location unreachable from L1. Smoothing should favor L1.
+  LSequence sequence = MakeLSequence({{{kL1, 1.0}},
+                                      {{kL1, 0.5}, {kL3, 0.5}},
+                                      {{kL1, 1.0}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL3);
+  constraints.AddUnreachable(kL3, kL1);
+  HmmSmoother smoother(constraints);
+  auto posterior = smoother.Smooth(sequence);
+  EXPECT_GT(posterior[1][static_cast<std::size_t>(kL1)], 0.95);
+}
+
+TEST(HmmTest, DeterministicEvidenceIsRespected) {
+  LSequence sequence = MakeLSequence({{{kL2, 1.0}}, {{kL3, 1.0}}});
+  ConstraintSet constraints(6);
+  HmmSmoother smoother(constraints);
+  auto posterior = smoother.Smooth(sequence);
+  EXPECT_NEAR(posterior[0][static_cast<std::size_t>(kL2)], 1.0, 1e-9);
+  EXPECT_NEAR(posterior[1][static_cast<std::size_t>(kL3)], 1.0, 1e-9);
+}
+
+TEST(HmmTest, CannotExpressLatencyConstraints) {
+  // Documents the baseline's limitation: latency(L2, 3) makes a 1-tick
+  // visit to L2 invalid, so exact conditioning gives it probability
+  // exactly 0 at t=1; the first-order HMM (whose state cannot remember
+  // stay durations) merely down-weights it and leaves positive mass.
+  LSequence sequence = MakeLSequence({{{kL1, 1.0}},
+                                      {{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 1.0}}});
+  ConstraintSet constraints(6);
+  constraints.AddLatency(kL2, 3);
+  HmmSmoother smoother(constraints);
+  auto posterior = smoother.Smooth(sequence);
+  EXPECT_GT(posterior[1][static_cast<std::size_t>(kL2)], 0.0);
+
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  StayQueryEvaluator exact(graph.value());
+  EXPECT_EQ(exact.Probability(1, kL2), 0.0);
+}
+
+}  // namespace
+}  // namespace rfidclean

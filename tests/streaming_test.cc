@@ -1,0 +1,274 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/builder.h"
+#include "gen/dataset.h"
+#include "query/stay_query.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+Status PushAll(StreamingCleaner& cleaner, const LSequence& sequence) {
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    RFID_RETURN_IF_ERROR(cleaner.Push(sequence.CandidatesAt(t)));
+  }
+  return Status::Ok();
+}
+
+TEST(StreamingCleanerTest, FinishEqualsBatchOnGoldenExample) {
+  LSequence sequence = ::rfidclean::testing::PaperExampleSequence();
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(PushAll(cleaner, sequence).ok());
+  Result<CtGraph> streamed = std::move(cleaner).Finish();
+  ASSERT_TRUE(streamed.ok());
+
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> batch = builder.Build(sequence);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(streamed.value().NumNodes(), batch.value().NumNodes());
+  EXPECT_EQ(streamed.value().NumEdges(), batch.value().NumEdges());
+  auto expected = batch.value().EnumerateTrajectories();
+  for (const auto& [trajectory, probability] : expected) {
+    EXPECT_NEAR(streamed.value().TrajectoryProbability(trajectory),
+                probability, 1e-12);
+  }
+}
+
+TEST(StreamingCleanerTest, CurrentDistributionIsFiltered) {
+  // After the first tick the filtered estimate equals the candidates; the
+  // second tick redistributes by constraint-compatible continuations.
+  LSequence sequence = MakeLSequence(
+      {{{kL1, 0.5}, {kL2, 0.5}}, {{kL3, 1.0}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL3);
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(cleaner.Push(sequence.CandidatesAt(0)).ok());
+  auto first = cleaner.CurrentDistribution();
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_TRUE(cleaner.Push(sequence.CandidatesAt(1)).ok());
+  auto second = cleaner.CurrentDistribution();
+  // Only the L1 branch can continue to L3.
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].first, kL3);
+  EXPECT_NEAR(second[0].second, 1.0, 1e-12);
+  EXPECT_EQ(cleaner.TicksSeen(), 2);
+}
+
+TEST(StreamingCleanerTest, DistributionsAlwaysSumToOne) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.4}, {kL2, 0.6}},
+                                      {{kL1, 0.5}, {kL3, 0.5}},
+                                      {{kL2, 0.3}, {kL3, 0.7}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL1);
+  StreamingCleaner cleaner(constraints);
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    ASSERT_TRUE(cleaner.Push(sequence.CandidatesAt(t)).ok());
+    double sum = 0.0;
+    for (const auto& [location, probability] :
+         cleaner.CurrentDistribution()) {
+      EXPECT_GT(probability, 0.0);
+      sum += probability;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(StreamingCleanerTest, DeadEndFailsAndStaysFailed) {
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL2);
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(cleaner.Push({{kL1, 1.0}}).ok());
+  Status dead = cleaner.Push({{kL2, 1.0}});
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.code(), StatusCode::kFailedPrecondition);
+  // Previous state is intact and inspectable; further pushes are rejected.
+  EXPECT_EQ(cleaner.TicksSeen(), 1);
+  EXPECT_EQ(cleaner.CurrentDistribution()[0].first, kL1);
+  EXPECT_FALSE(cleaner.Push({{kL1, 1.0}}).ok());
+}
+
+TEST(StreamingCleanerTest, RejectsMalformedTicks) {
+  ConstraintSet constraints(6);
+  StreamingCleaner cleaner(constraints);
+  EXPECT_FALSE(cleaner.Push({}).ok());
+  EXPECT_FALSE(cleaner.Push({{kL1, 0.5}}).ok());            // Sum != 1.
+  EXPECT_FALSE(cleaner.Push({{kL1, 0.0}, {kL2, 1.0}}).ok());  // Zero prob.
+  EXPECT_FALSE(cleaner.Push({{kInvalidLocation, 1.0}}).ok());
+  // Valid tick still accepted afterwards (validation failures don't poison).
+  EXPECT_TRUE(cleaner.Push({{kL1, 1.0}}).ok());
+}
+
+class StreamingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamingPropertyTest, StreamedGraphEqualsBatchGraph) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/51);
+  const std::size_t num_locations = 4;
+  const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 8));
+  std::vector<std::vector<Candidate>> spec;
+  for (Timestamp t = 0; t < length; ++t) {
+    std::vector<Candidate> at_t;
+    double total = 0.0;
+    for (LocationId l = 0; l < static_cast<LocationId>(num_locations); ++l) {
+      if (rng.Bernoulli(0.5)) {
+        at_t.push_back(Candidate{l, rng.UniformDouble(0.1, 1.0)});
+      }
+    }
+    if (at_t.empty()) at_t.push_back(Candidate{0, 1.0});
+    for (const Candidate& candidate : at_t) total += candidate.probability;
+    for (Candidate& candidate : at_t) candidate.probability /= total;
+    spec.push_back(std::move(at_t));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(spec));
+  ASSERT_TRUE(sequence.ok());
+  ConstraintSet constraints(num_locations);
+  for (std::size_t a = 0; a < num_locations; ++a) {
+    for (std::size_t b = 0; b < num_locations; ++b) {
+      if (a != b && rng.Bernoulli(0.25)) {
+        constraints.AddUnreachable(static_cast<LocationId>(a),
+                                   static_cast<LocationId>(b));
+      }
+    }
+    if (rng.Bernoulli(0.25)) {
+      constraints.AddLatency(static_cast<LocationId>(a), 2);
+    }
+    for (std::size_t b = 0; b < num_locations; ++b) {
+      if (a != b && rng.Bernoulli(0.15)) {
+        constraints.AddTravelingTime(static_cast<LocationId>(a),
+                                     static_cast<LocationId>(b),
+                                     static_cast<Timestamp>(
+                                         rng.UniformInt(2, 4)));
+      }
+    }
+  }
+
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> batch = builder.Build(sequence.value());
+  StreamingCleaner cleaner(constraints);
+  Status streamed_status = PushAll(cleaner, sequence.value());
+  if (!batch.ok()) {
+    // The stream must fail at some tick (possibly only at Finish when the
+    // last layers die retroactively — filtering cannot foresee the future,
+    // so acceptance of every tick does not contradict batch failure).
+    if (streamed_status.ok()) {
+      Result<CtGraph> finished = std::move(cleaner).Finish();
+      EXPECT_FALSE(finished.ok());
+    }
+    return;
+  }
+  ASSERT_TRUE(streamed_status.ok()) << streamed_status.ToString();
+  Result<CtGraph> streamed = std::move(cleaner).Finish();
+  ASSERT_TRUE(streamed.ok());
+  ASSERT_TRUE(streamed.value().CheckConsistency().ok());
+  EXPECT_EQ(streamed.value().NumNodes(), batch.value().NumNodes());
+  EXPECT_EQ(streamed.value().NumEdges(), batch.value().NumEdges());
+  auto expected = batch.value().EnumerateTrajectories();
+  for (const auto& [trajectory, probability] : expected) {
+    EXPECT_NEAR(streamed.value().TrajectoryProbability(trajectory),
+                probability, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingPropertyTest,
+                         ::testing::Range(0, 40));
+
+TEST(StreamingCleanerTest, WorksOnRealPipelineData) {
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.num_floors = 2;
+  options.durations_ticks = {90};
+  options.trajectories_per_duration = 1;
+  options.seed = 77;
+  std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+  const Dataset::Item& item = dataset->items()[0];
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(PushAll(cleaner, item.lsequence).ok());
+  Result<CtGraph> streamed = std::move(cleaner).Finish();
+  ASSERT_TRUE(streamed.ok());
+
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> batch = builder.Build(item.lsequence);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(streamed.value().NumNodes(), batch.value().NumNodes());
+  EXPECT_EQ(streamed.value().NumEdges(), batch.value().NumEdges());
+  // Identical stay marginals.
+  StayQueryEvaluator a(streamed.value());
+  StayQueryEvaluator b(batch.value());
+  for (Timestamp t = 0; t < 90; t += 9) {
+    for (const auto& [location, probability] : b.Evaluate(t)) {
+      EXPECT_NEAR(a.Probability(t, location), probability, 1e-9);
+    }
+  }
+}
+
+
+class FilteringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilteringPropertyTest, CurrentDistributionEqualsPrefixGraphMarginal) {
+  // The filtered distribution after k ticks must equal the conditioned
+  // marginal at the *last* layer of the ct-graph built on the k-tick
+  // prefix: suffix conditioning beyond the frontier does not exist yet, so
+  // filtering and smoothing coincide exactly there.
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/52);
+  const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 7));
+  std::vector<std::vector<Candidate>> spec;
+  for (Timestamp t = 0; t < length; ++t) {
+    std::vector<Candidate> at_t;
+    double total = 0.0;
+    for (LocationId l = 0; l < 4; ++l) {
+      if (rng.Bernoulli(0.6)) {
+        at_t.push_back(Candidate{l, rng.UniformDouble(0.1, 1.0)});
+      }
+    }
+    if (at_t.empty()) at_t.push_back(Candidate{0, 1.0});
+    for (const Candidate& candidate : at_t) total += candidate.probability;
+    for (Candidate& candidate : at_t) candidate.probability /= total;
+    spec.push_back(std::move(at_t));
+  }
+  ConstraintSet constraints(4);
+  for (LocationId a = 0; a < 4; ++a) {
+    for (LocationId b = 0; b < 4; ++b) {
+      if (a != b && rng.Bernoulli(0.2)) constraints.AddUnreachable(a, b);
+    }
+    if (rng.Bernoulli(0.2)) constraints.AddLatency(a, 2);
+  }
+
+  StreamingCleaner cleaner(constraints);
+  CtGraphBuilder builder(constraints);
+  for (Timestamp k = 1; k <= length; ++k) {
+    Status pushed = cleaner.Push(spec[static_cast<std::size_t>(k) - 1]);
+    std::vector<std::vector<Candidate>> prefix(spec.begin(),
+                                               spec.begin() + k);
+    Result<LSequence> prefix_sequence = LSequence::Create(std::move(prefix));
+    ASSERT_TRUE(prefix_sequence.ok());
+    Result<CtGraph> prefix_graph = builder.Build(prefix_sequence.value());
+    if (!pushed.ok()) {
+      EXPECT_FALSE(prefix_graph.ok());
+      return;
+    }
+    ASSERT_TRUE(prefix_graph.ok());
+    StayQueryEvaluator evaluator(prefix_graph.value());
+    for (const auto& [location, probability] :
+         cleaner.CurrentDistribution()) {
+      EXPECT_NEAR(evaluator.Probability(k - 1, location), probability,
+                  1e-9)
+          << "k=" << k << " location=" << location;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilteringPropertyTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace rfidclean

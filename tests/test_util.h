@@ -1,0 +1,64 @@
+#ifndef RFIDCLEAN_TESTS_TEST_UTIL_H_
+#define RFIDCLEAN_TESTS_TEST_UTIL_H_
+
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "constraints/constraint_set.h"
+#include "model/lsequence.h"
+#include "model/trajectory.h"
+
+namespace rfidclean::testing {
+
+/// Builds an l-sequence from per-timestamp (location, probability) lists.
+/// Probabilities at each timestamp must sum to 1 (validated by Create).
+inline LSequence MakeLSequence(
+    std::vector<std::vector<std::pair<LocationId, double>>> spec) {
+  std::vector<std::vector<Candidate>> candidates;
+  for (auto& at_t : spec) {
+    std::vector<Candidate> list;
+    for (auto& [location, probability] : at_t) {
+      list.push_back(Candidate{location, probability});
+    }
+    candidates.push_back(std::move(list));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+  RFID_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+/// The running example of the paper (Examples 4-12), reconstructed from the
+/// numeric traces of Examples 10-12:
+///   t=0: L1 with 6/10, L2 with 4/10
+///   t=1: L3 with 1/3,  L4 with 2/3
+///   t=2: L3 with 2/3,  L5 with 1/3
+/// Constraints: latency(L3, 2), unreachable(L2, L3), unreachable(L4, L3),
+/// unreachable(L4, L5), travelingTime(L1, L5, 3).
+/// The unique valid trajectory is L1 L3 L3 with conditioned probability 1.
+inline constexpr LocationId kL1 = 1;
+inline constexpr LocationId kL2 = 2;
+inline constexpr LocationId kL3 = 3;
+inline constexpr LocationId kL4 = 4;
+inline constexpr LocationId kL5 = 5;
+
+inline LSequence PaperExampleSequence() {
+  return MakeLSequence({{{kL1, 0.6}, {kL2, 0.4}},
+                        {{kL3, 1.0 / 3}, {kL4, 2.0 / 3}},
+                        {{kL3, 2.0 / 3}, {kL5, 1.0 / 3}}});
+}
+
+inline ConstraintSet PaperExampleConstraints() {
+  ConstraintSet constraints(6);
+  constraints.AddLatency(kL3, 2);
+  constraints.AddUnreachable(kL2, kL3);
+  constraints.AddUnreachable(kL4, kL3);
+  constraints.AddUnreachable(kL4, kL5);
+  constraints.AddTravelingTime(kL1, kL5, 3);
+  return constraints;
+}
+
+}  // namespace rfidclean::testing
+
+#endif  // RFIDCLEAN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,187 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_cleaner.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "query/most_likely.h"
+#include "query/top_k.h"
+#include "query/uncertainty.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+// --- TopKTrajectories ------------------------------------------------------------
+
+TEST(TopKTest, GoldenExampleHasSingleEntry) {
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph =
+      builder.Build(::rfidclean::testing::PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  auto top = TopKTrajectories(graph.value(), 5);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, Trajectory({kL1, kL3, kL3}));
+  EXPECT_NEAR(top[0].second, 1.0, 1e-12);
+}
+
+TEST(TopKTest, OrderedAndConsistentWithEnumeration) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.4}, {kL3, 0.6}},
+                                      {{kL1, 0.7}, {kL2, 0.3}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL1);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+
+  auto all = graph.value().EnumerateTrajectories();
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  for (std::size_t k : {std::size_t{1}, std::size_t{3}, all.size(),
+                        all.size() + 5}) {
+    auto top = TopKTrajectories(graph.value(), k);
+    ASSERT_EQ(top.size(), std::min(k, all.size()));
+    for (std::size_t i = 0; i < top.size(); ++i) {
+      EXPECT_NEAR(top[i].second, all[i].second, 1e-9) << "rank " << i;
+      if (i > 0) {
+        EXPECT_LE(top[i].second, top[i - 1].second + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TopKTest, FirstEntryMatchesMostLikelyTrajectory) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.6}, {kL2, 0.4}},
+                                      {{kL1, 0.2}, {kL3, 0.8}},
+                                      {{kL2, 0.5}, {kL3, 0.5}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  auto top = TopKTrajectories(graph.value(), 1);
+  auto [viterbi, probability] = MostLikelyTrajectory(graph.value());
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, viterbi);
+  EXPECT_NEAR(top[0].second, probability, 1e-12);
+}
+
+class TopKPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TopKPropertyTest, MatchesSortedExhaustiveEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/61);
+  const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 6));
+  std::vector<std::vector<Candidate>> spec;
+  for (Timestamp t = 0; t < length; ++t) {
+    std::vector<Candidate> at_t;
+    double total = 0.0;
+    for (LocationId l = 0; l < 4; ++l) {
+      if (rng.Bernoulli(0.6)) {
+        at_t.push_back(Candidate{l, rng.UniformDouble(0.1, 1.0)});
+      }
+    }
+    if (at_t.empty()) at_t.push_back(Candidate{0, 1.0});
+    for (const Candidate& candidate : at_t) total += candidate.probability;
+    for (Candidate& candidate : at_t) candidate.probability /= total;
+    spec.push_back(std::move(at_t));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(spec));
+  ASSERT_TRUE(sequence.ok());
+  ConstraintSet constraints(4);
+  for (LocationId a = 0; a < 4; ++a) {
+    for (LocationId b = 0; b < 4; ++b) {
+      if (a != b && rng.Bernoulli(0.2)) constraints.AddUnreachable(a, b);
+    }
+  }
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence.value());
+  if (!graph.ok()) return;
+  auto all = graph.value().EnumerateTrajectories();
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  std::size_t k = static_cast<std::size_t>(rng.UniformInt(1, 6));
+  auto top = TopKTrajectories(graph.value(), k);
+  ASSERT_EQ(top.size(), std::min(k, all.size()));
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_NEAR(top[i].second, all[i].second, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopKPropertyTest, ::testing::Range(0, 30));
+
+// --- Uncertainty -------------------------------------------------------------------
+
+TEST(UncertaintyTest, CertainGraphHasZeroEntropy) {
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph =
+      builder.Build(::rfidclean::testing::PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(TrajectoryEntropy(graph.value()), 0.0, 1e-12);
+  EXPECT_NEAR(EffectiveTrajectories(graph.value()), 1.0, 1e-9);
+  for (double h : LocationEntropyProfile(graph.value())) {
+    EXPECT_NEAR(h, 0.0, 1e-12);
+  }
+}
+
+TEST(UncertaintyTest, UniformBranchGivesOneBit) {
+  LSequence sequence = MakeLSequence({{{kL1, 1.0}}, {{kL2, 0.5}, {kL3, 0.5}}});
+  ConstraintSet constraints(6);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_NEAR(TrajectoryEntropy(graph.value()), 1.0, 1e-12);
+  EXPECT_NEAR(EffectiveTrajectories(graph.value()), 2.0, 1e-9);
+  auto profile = LocationEntropyProfile(graph.value());
+  EXPECT_NEAR(profile[0], 0.0, 1e-12);
+  EXPECT_NEAR(profile[1], 1.0, 1e-12);
+}
+
+TEST(UncertaintyTest, TrajectoryEntropyMatchesBruteForce) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.4}, {kL3, 0.6}},
+                                      {{kL2, 0.3}, {kL3, 0.7}}});
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL1);
+  constraints.AddUnreachable(kL3, kL2);
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(sequence);
+  ASSERT_TRUE(graph.ok());
+  double brute = 0.0;
+  for (const auto& [trajectory, probability] :
+       graph.value().EnumerateTrajectories()) {
+    brute -= probability * std::log2(probability);
+  }
+  EXPECT_NEAR(TrajectoryEntropy(graph.value()), brute, 1e-9);
+}
+
+TEST(UncertaintyTest, StrongerConstraintsReduceEntropy) {
+  LSequence sequence = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                                      {{kL1, 0.5}, {kL3, 0.5}},
+                                      {{kL1, 0.5}, {kL3, 0.5}}});
+  ConstraintSet loose(6);
+  ConstraintSet tight(6);
+  tight.AddUnreachable(kL2, kL1);
+  tight.AddUnreachable(kL1, kL3);
+  CtGraphBuilder loose_builder(loose);
+  CtGraphBuilder tight_builder(tight);
+  Result<CtGraph> loose_graph = loose_builder.Build(sequence);
+  Result<CtGraph> tight_graph = tight_builder.Build(sequence);
+  ASSERT_TRUE(loose_graph.ok());
+  ASSERT_TRUE(tight_graph.ok());
+  EXPECT_LT(TrajectoryEntropy(tight_graph.value()),
+            TrajectoryEntropy(loose_graph.value()));
+}
+
+}  // namespace
+}  // namespace rfidclean

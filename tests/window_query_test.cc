@@ -1,0 +1,202 @@
+#include "query/window_query.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_cleaner.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "query/pattern_matcher.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::MakeLSequence;
+
+class WindowQueryTest : public ::testing::Test {
+ protected:
+  WindowQueryTest() {
+    // Unconstrained 4-step sequence with a branching interpretation.
+    sequence_ = MakeLSequence({{{kL1, 0.5}, {kL2, 0.5}},
+                               {{kL1, 0.4}, {kL3, 0.6}},
+                               {{kL1, 0.7}, {kL2, 0.3}},
+                               {{kL3, 1.0}}});
+    ConstraintSet constraints(6);
+    CtGraphBuilder builder(constraints);
+    Result<CtGraph> graph = builder.Build(sequence_);
+    RFID_CHECK(graph.ok());
+    graph_ = std::move(graph).value();
+  }
+
+  LSequence sequence_;
+  CtGraph graph_;
+};
+
+TEST_F(WindowQueryTest, VisitedMatchesBruteForce) {
+  ConstraintSet empty(6);
+  NaiveCleaner enumerator(empty);
+  auto all = enumerator.Clean(sequence_);
+  ASSERT_TRUE(all.ok());
+  for (Timestamp from = 0; from < 4; ++from) {
+    for (Timestamp to = from; to < 4; ++to) {
+      for (LocationId location : {kL1, kL2, kL3}) {
+        double brute = 0.0;
+        for (const auto& [trajectory, probability] : all.value()) {
+          for (Timestamp t = from; t <= to; ++t) {
+            if (trajectory.At(t) == location) {
+              brute += probability;
+              break;
+            }
+          }
+        }
+        EXPECT_NEAR(
+            ProbabilityVisitedInWindow(graph_, location, from, to), brute,
+            1e-9)
+            << "L" << location << " [" << from << "," << to << "]";
+      }
+    }
+  }
+}
+
+TEST_F(WindowQueryTest, StayedThroughMatchesBruteForce) {
+  ConstraintSet empty(6);
+  NaiveCleaner enumerator(empty);
+  auto all = enumerator.Clean(sequence_);
+  ASSERT_TRUE(all.ok());
+  for (Timestamp from = 0; from < 4; ++from) {
+    for (Timestamp to = from; to < 4; ++to) {
+      for (LocationId location : {kL1, kL2, kL3}) {
+        double brute = 0.0;
+        for (const auto& [trajectory, probability] : all.value()) {
+          bool stayed = true;
+          for (Timestamp t = from; t <= to; ++t) {
+            if (trajectory.At(t) != location) {
+              stayed = false;
+              break;
+            }
+          }
+          if (stayed) brute += probability;
+        }
+        EXPECT_NEAR(
+            ProbabilityStayedThroughWindow(graph_, location, from, to),
+            brute, 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(WindowQueryTest, ExpectedTicksMatchesMarginalSum) {
+  // Whole-window expectation at L1 = sum of its per-instant marginals:
+  // 0.5 + 0.4 + 0.7 + 0 (unconstrained graph keeps a-priori marginals).
+  EXPECT_NEAR(ExpectedTicksAtInWindow(graph_, kL1, 0, 3), 1.6, 1e-9);
+  EXPECT_NEAR(ExpectedTicksAtInWindow(graph_, kL3, 3, 3), 1.0, 1e-9);
+  EXPECT_NEAR(ExpectedTicksAtInWindow(graph_, kL2, 1, 1), 0.0, 1e-9);
+}
+
+TEST_F(WindowQueryTest, SingleInstantWindowEqualsStayMarginal) {
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph_, kL1, 2, 2), 0.7, 1e-9);
+  EXPECT_NEAR(ProbabilityStayedThroughWindow(graph_, kL1, 2, 2), 0.7, 1e-9);
+}
+
+TEST_F(WindowQueryTest, CertainAndImpossibleWindows) {
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph_, kL3, 3, 3), 1.0, 1e-12);
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph_, kL2, 3, 3), 0.0, 1e-12);
+}
+
+TEST(WindowQueryGoldenTest, PaperExample) {
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph =
+      builder.Build(::rfidclean::testing::PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  // The only valid trajectory is L1 L3 L3.
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph.value(), kL3, 0, 2), 1.0,
+              1e-12);
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph.value(), kL3, 0, 0), 0.0,
+              1e-12);
+  EXPECT_NEAR(ProbabilityStayedThroughWindow(graph.value(), kL3, 1, 2), 1.0,
+              1e-12);
+  EXPECT_NEAR(ExpectedTicksAtInWindow(graph.value(), kL3, 0, 2), 2.0, 1e-12);
+}
+
+class WindowPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowPropertyTest, AgreesWithOracleUnderConstraints) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/41);
+  // Random constrained instance, compared against exhaustive enumeration.
+  const std::size_t num_locations = 4;
+  const Timestamp length = static_cast<Timestamp>(rng.UniformInt(3, 6));
+  std::vector<std::vector<Candidate>> spec;
+  for (Timestamp t = 0; t < length; ++t) {
+    std::vector<Candidate> at_t;
+    double total = 0.0;
+    int k = rng.UniformInt(1, 3);
+    for (LocationId l = 0; l < static_cast<LocationId>(num_locations) && k > 0;
+         ++l) {
+      if (rng.Bernoulli(0.6)) {
+        at_t.push_back(Candidate{l, rng.UniformDouble(0.1, 1.0)});
+        --k;
+      }
+    }
+    if (at_t.empty()) at_t.push_back(Candidate{0, 1.0});
+    for (const Candidate& candidate : at_t) total += candidate.probability;
+    for (Candidate& candidate : at_t) candidate.probability /= total;
+    spec.push_back(std::move(at_t));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(spec));
+  ASSERT_TRUE(sequence.ok());
+  ConstraintSet constraints(num_locations);
+  for (std::size_t a = 0; a < num_locations; ++a) {
+    for (std::size_t b = 0; b < num_locations; ++b) {
+      if (a != b && rng.Bernoulli(0.2)) {
+        constraints.AddUnreachable(static_cast<LocationId>(a),
+                                   static_cast<LocationId>(b));
+      }
+    }
+    if (rng.Bernoulli(0.2)) {
+      constraints.AddLatency(static_cast<LocationId>(a), 2);
+    }
+  }
+
+  NaiveCleaner oracle(constraints);
+  auto expected = oracle.Clean(sequence.value());
+  CtGraphBuilder builder(constraints);
+  auto graph = builder.Build(sequence.value());
+  if (!expected.ok()) {
+    EXPECT_FALSE(graph.ok());
+    return;
+  }
+  ASSERT_TRUE(graph.ok());
+
+  Timestamp from = static_cast<Timestamp>(rng.UniformInt(0, length - 1));
+  Timestamp to = static_cast<Timestamp>(rng.UniformInt(from, length - 1));
+  LocationId location = static_cast<LocationId>(rng.UniformInt(0, 3));
+  double brute_visited = 0.0;
+  double brute_stayed = 0.0;
+  for (const auto& [trajectory, probability] : expected.value()) {
+    bool visited = false;
+    bool stayed = true;
+    for (Timestamp t = from; t <= to; ++t) {
+      if (trajectory.At(t) == location) {
+        visited = true;
+      } else {
+        stayed = false;
+      }
+    }
+    if (visited) brute_visited += probability;
+    if (stayed) brute_stayed += probability;
+  }
+  EXPECT_NEAR(ProbabilityVisitedInWindow(graph.value(), location, from, to),
+              brute_visited, 1e-9);
+  EXPECT_NEAR(
+      ProbabilityStayedThroughWindow(graph.value(), location, from, to),
+      brute_stayed, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowPropertyTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace rfidclean

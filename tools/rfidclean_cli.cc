@@ -1,0 +1,376 @@
+// rfidclean_cli — command-line front end for the library's file formats.
+//
+//   rfidclean_cli generate --floors 4 --duration 600 --seed 1 --out DIR
+//       Simulates a monitored object: writes DIR/building.map,
+//       DIR/readings.csv and DIR/truth.txt (ground-truth locations).
+//
+//   rfidclean_cli clean --dir DIR [--families DU|DU+LT|DU+LT+TT]
+//                       [--seed 1] [--dot graph.dot]
+//       Cleans DIR/readings.csv against DIR/building.map and writes
+//       DIR/graph.ctg (plus an optional GraphViz rendering).
+//
+//   rfidclean_cli stay --dir DIR --time T
+//       Conditioned location distribution at time T from DIR/graph.ctg.
+//
+//   rfidclean_cli pattern --dir DIR --pattern "? F0.RoomA[5] ?"
+//       Probability that the trajectory matches the pattern.
+//
+//   rfidclean_cli sample --dir DIR --count N --seed 7
+//       Draws N valid trajectories, printed as itineraries.
+//
+// The reader deployment and calibration are re-derived deterministically
+// from the building and the seed (PlaceStandardReaders + DetectionModel +
+// Calibrator), matching what `generate` used; a production deployment would
+// load its own calibrated coverage instead.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/builder.h"
+#include "io/building_io.h"
+#include "io/ctgraph_io.h"
+#include "io/dot_export.h"
+#include "io/readings_io.h"
+#include "constraints/inference.h"
+#include "gen/reading_generator.h"
+#include "gen/trajectory_generator.h"
+#include "map/building_grid.h"
+#include "map/standard_buildings.h"
+#include "map/walking_distance.h"
+#include "model/apriori.h"
+#include "query/flow.h"
+#include "query/pattern.h"
+#include "query/sampler.h"
+#include "query/stay_query.h"
+#include "query/top_k.h"
+#include "query/trajectory_query.h"
+#include "query/uncertainty.h"
+#include "rfid/calibration.h"
+#include "rfid/reader_placement.h"
+
+namespace rfidclean::cli {
+namespace {
+
+/// Trivial "--key value" argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+int Fail(const char* message) {
+  std::fprintf(stderr, "error: %s\n", message);
+  return 1;
+}
+
+Result<Building> LoadBuilding(const std::string& dir) {
+  std::ifstream is(dir + "/building.map");
+  if (!is) return NotFoundError("cannot open " + dir + "/building.map");
+  return ReadBuilding(is);
+}
+
+Result<RSequence> LoadReadings(const std::string& dir) {
+  std::ifstream is(dir + "/readings.csv");
+  if (!is) return NotFoundError("cannot open " + dir + "/readings.csv");
+  return ReadReadingsCsv(is);
+}
+
+Result<CtGraph> LoadGraph(const std::string& dir) {
+  std::ifstream is(dir + "/graph.ctg");
+  if (!is) {
+    return NotFoundError("cannot open " + dir +
+                         "/graph.ctg (run 'clean' first)");
+  }
+  return ReadCtGraph(is);
+}
+
+/// The deterministic deployment + calibration shared by generate and clean.
+struct Deployment {
+  BuildingGrid grid;
+  std::vector<Reader> readers;
+  CoverageMatrix truth;
+  CoverageMatrix calibrated;
+};
+
+Deployment MakeDeployment(const Building& building, std::uint64_t seed) {
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  DetectionModel model;
+  CoverageMatrix truth = CoverageMatrix::FromModel(readers, grid, model);
+  Rng rng(seed, /*stream=*/0xCA11B);
+  CoverageMatrix calibrated = Calibrator::Calibrate(truth, 30, rng);
+  return Deployment{std::move(grid), std::move(readers), std::move(truth),
+                    std::move(calibrated)};
+}
+
+int Generate(const Args& args) {
+  const int floors = args.GetInt("floors", 4);
+  const Timestamp duration =
+      static_cast<Timestamp>(args.GetInt("duration", 600));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::string dir = args.Get("out", ".");
+
+  Building building = MakeOfficeBuilding(floors);
+  Deployment deployment = MakeDeployment(building, seed);
+
+  TrajectoryGenerator trajectories(building);
+  TrajectoryGenOptions motion;
+  motion.duration_ticks = duration;
+  Rng rng(seed, /*stream=*/1);
+  ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
+  Trajectory truth = continuous.ToDiscrete(building);
+  ReadingGenerator readings(deployment.grid, deployment.truth);
+  RSequence sequence = readings.Generate(continuous, rng);
+
+  {
+    std::ofstream os(dir + "/building.map");
+    if (!os) return Fail("cannot write building.map");
+    WriteBuilding(building, os);
+  }
+  {
+    std::ofstream os(dir + "/readings.csv");
+    if (!os) return Fail("cannot write readings.csv");
+    WriteReadingsCsv(sequence, os);
+  }
+  {
+    std::ofstream os(dir + "/truth.txt");
+    if (!os) return Fail("cannot write truth.txt");
+    for (Timestamp t = 0; t < truth.length(); ++t) {
+      os << t << ' ' << building.location(truth.At(t)).name << '\n';
+    }
+  }
+  std::printf("wrote %s/building.map, readings.csv, truth.txt (%d ticks)\n",
+              dir.c_str(), duration);
+  return 0;
+}
+
+int Clean(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+  Result<RSequence> readings = LoadReadings(dir);
+  if (!readings.ok()) return Fail(readings.status());
+
+  Deployment deployment = MakeDeployment(building.value(), seed);
+  AprioriModel apriori(building.value(), deployment.grid,
+                       deployment.calibrated);
+  LSequence sequence = LSequence::FromReadings(readings.value(), apriori);
+
+  ConstraintFamilies families = ConstraintFamilies::DuLtTt();
+  std::string requested = args.Get("families", "DU+LT+TT");
+  if (requested == "DU") {
+    families = ConstraintFamilies::Du();
+  } else if (requested == "DU+LT") {
+    families = ConstraintFamilies::DuLt();
+  } else if (requested != "DU+LT+TT") {
+    return Fail("--families must be DU, DU+LT or DU+LT+TT");
+  }
+  WalkingDistances walking =
+      WalkingDistances::Compute(building.value(), deployment.grid);
+  InferenceOptions inference;
+  inference.families = families;
+  ConstraintSet constraints =
+      InferConstraints(building.value(), walking, inference);
+
+  CtGraphBuilder builder(constraints);
+  BuildStats stats;
+  Result<CtGraph> graph = builder.Build(sequence, &stats);
+  if (!graph.ok()) return Fail(graph.status());
+  {
+    std::ofstream os(dir + "/graph.ctg");
+    if (!os) return Fail("cannot write graph.ctg");
+    WriteCtGraph(graph.value(), os);
+  }
+  std::string dot = args.Get("dot", "");
+  if (!dot.empty()) {
+    std::ofstream os(dot);
+    if (!os) return Fail("cannot write dot file");
+    WriteDot(graph.value(), os, &building.value());
+  }
+  std::printf(
+      "cleaned %d ticks under %s in %.1f ms: %zu nodes, %zu edges -> "
+      "%s/graph.ctg\n",
+      sequence.length(), ConstraintFamiliesLabel(families).c_str(),
+      stats.TotalMillis(), graph.value().NumNodes(),
+      graph.value().NumEdges(), dir.c_str());
+  return 0;
+}
+
+int Stay(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+  Result<CtGraph> graph = LoadGraph(dir);
+  if (!graph.ok()) return Fail(graph.status());
+  Timestamp time = static_cast<Timestamp>(args.GetInt("time", 0));
+  if (time < 0 || time >= graph.value().length()) {
+    return Fail("--time outside the monitored interval");
+  }
+  StayQueryEvaluator evaluator(graph.value());
+  std::printf("P(location at t=%d):\n", time);
+  for (const auto& [location, probability] : evaluator.Evaluate(time)) {
+    std::printf("  %-16s %.4f\n",
+                building.value().location(location).name.c_str(),
+                probability);
+  }
+  return 0;
+}
+
+int PatternQuery(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+  Result<CtGraph> graph = LoadGraph(dir);
+  if (!graph.ok()) return Fail(graph.status());
+  std::string text = args.Get("pattern", "");
+  if (text.empty()) return Fail("missing --pattern");
+  Result<Pattern> pattern = Pattern::Parse(text, building.value());
+  if (!pattern.ok()) return Fail(pattern.status());
+  std::printf("P(trajectory matches \"%s\") = %.6f\n", text.c_str(),
+              EvaluateTrajectoryQuery(graph.value(), pattern.value()));
+  return 0;
+}
+
+int Sample(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+  Result<CtGraph> graph = LoadGraph(dir);
+  if (!graph.ok()) return Fail(graph.status());
+  TrajectorySampler sampler(graph.value());
+  Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 7)));
+  int count = args.GetInt("count", 3);
+  for (int i = 0; i < count; ++i) {
+    Trajectory sample = sampler.Sample(rng);
+    std::printf("#%d:", i + 1);
+    LocationId last = kInvalidLocation;
+    for (Timestamp t = 0; t < sample.length(); ++t) {
+      if (sample.At(t) != last) {
+        last = sample.At(t);
+        std::printf(" %s", building.value().location(last).name.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+
+int Report(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+  Result<CtGraph> graph = LoadGraph(dir);
+  if (!graph.ok()) return Fail(graph.status());
+  const CtGraph& g = graph.value();
+
+  std::printf("ct-graph: %d ticks, %zu nodes, %zu edges, ~%s\n",
+              g.length(), g.NumNodes(), g.NumEdges(),
+              HumanBytes(g.ApproximateBytes()).c_str());
+  std::printf("residual uncertainty: %.2f bits (%.3g effective "
+              "trajectories)\n",
+              TrajectoryEntropy(g), EffectiveTrajectories(g));
+
+  auto top = TopKTrajectories(g, 3);
+  std::printf("top-%zu reconstructions:\n", top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    std::printf("  p=%-10.3g", top[i].second);
+    LocationId last = kInvalidLocation;
+    int printed = 0;
+    for (Timestamp t = 0; t < top[i].first.length() && printed < 10; ++t) {
+      if (top[i].first.At(t) != last) {
+        last = top[i].first.At(t);
+        std::printf(" %s", building.value().location(last).name.c_str());
+        ++printed;
+      }
+    }
+    std::printf(printed >= 10 ? " ...\n" : "\n");
+  }
+
+  // Busiest expected transitions (door traffic).
+  std::size_t n = building.value().NumLocations();
+  std::vector<double> flow = ExpectedTransitionCounts(g, n);
+  std::printf("busiest transitions (expected counts):\n");
+  for (int shown = 0; shown < 5; ++shown) {
+    std::size_t best = 0;
+    double best_flow = 0.0;
+    for (std::size_t i = 0; i < flow.size(); ++i) {
+      if (i / n != i % n && flow[i] > best_flow) {
+        best_flow = flow[i];
+        best = i;
+      }
+    }
+    if (best_flow <= 0.0) break;
+    std::printf("  %-14s -> %-14s %.2f\n",
+                building.value()
+                    .location(static_cast<LocationId>(best / n))
+                    .name.c_str(),
+                building.value()
+                    .location(static_cast<LocationId>(best % n))
+                    .name.c_str(),
+                best_flow);
+    flow[best] = 0.0;
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rfidclean_cli <generate|clean|stay|pattern|sample> [--key "
+      "value ...]\n"
+      "  generate --floors N --duration T --seed S --out DIR\n"
+      "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F]\n"
+      "  stay     --dir DIR --time T\n"
+      "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
+      "  sample   --dir DIR --count N --seed S\n"
+      "  report   --dir DIR\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args(argc, argv, 2);
+  std::string command = argv[1];
+  if (command == "generate") return Generate(args);
+  if (command == "clean") return Clean(args);
+  if (command == "stay") return Stay(args);
+  if (command == "pattern") return PatternQuery(args);
+  if (command == "sample") return Sample(args);
+  if (command == "report") return Report(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rfidclean::cli
+
+int main(int argc, char** argv) { return rfidclean::cli::Main(argc, argv); }
