@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_cleaning_time_syn1.dir/fig8a_cleaning_time_syn1.cc.o"
+  "CMakeFiles/fig8a_cleaning_time_syn1.dir/fig8a_cleaning_time_syn1.cc.o.d"
+  "fig8a_cleaning_time_syn1"
+  "fig8a_cleaning_time_syn1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_cleaning_time_syn1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

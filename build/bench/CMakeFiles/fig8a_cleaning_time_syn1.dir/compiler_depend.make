@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8a_cleaning_time_syn1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_cleaning_time_syn2.dir/fig8b_cleaning_time_syn2.cc.o"
+  "CMakeFiles/fig8b_cleaning_time_syn2.dir/fig8b_cleaning_time_syn2.cc.o.d"
+  "fig8b_cleaning_time_syn2"
+  "fig8b_cleaning_time_syn2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_cleaning_time_syn2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

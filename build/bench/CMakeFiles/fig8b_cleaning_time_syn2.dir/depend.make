@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8b_cleaning_time_syn2.
+# This may be replaced when dependencies are built.

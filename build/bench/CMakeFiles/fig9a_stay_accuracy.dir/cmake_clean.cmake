@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_stay_accuracy.dir/fig9a_stay_accuracy.cc.o"
+  "CMakeFiles/fig9a_stay_accuracy.dir/fig9a_stay_accuracy.cc.o.d"
+  "fig9a_stay_accuracy"
+  "fig9a_stay_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_stay_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

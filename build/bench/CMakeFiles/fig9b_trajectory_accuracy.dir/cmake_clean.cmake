@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_trajectory_accuracy.dir/fig9b_trajectory_accuracy.cc.o"
+  "CMakeFiles/fig9b_trajectory_accuracy.dir/fig9b_trajectory_accuracy.cc.o.d"
+  "fig9b_trajectory_accuracy"
+  "fig9b_trajectory_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_trajectory_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_accuracy_vs_query_length.dir/fig9c_accuracy_vs_query_length.cc.o"
+  "CMakeFiles/fig9c_accuracy_vs_query_length.dir/fig9c_accuracy_vs_query_length.cc.o.d"
+  "fig9c_accuracy_vs_query_length"
+  "fig9c_accuracy_vs_query_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_accuracy_vs_query_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_comparison.dir/sampling_comparison.cc.o"
+  "CMakeFiles/sampling_comparison.dir/sampling_comparison.cc.o.d"
+  "sampling_comparison"
+  "sampling_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

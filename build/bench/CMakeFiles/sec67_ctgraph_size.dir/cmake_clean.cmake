@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec67_ctgraph_size.dir/sec67_ctgraph_size.cc.o"
+  "CMakeFiles/sec67_ctgraph_size.dir/sec67_ctgraph_size.cc.o.d"
+  "sec67_ctgraph_size"
+  "sec67_ctgraph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec67_ctgraph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

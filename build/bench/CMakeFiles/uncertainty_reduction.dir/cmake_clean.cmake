@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_reduction.dir/uncertainty_reduction.cc.o"
+  "CMakeFiles/uncertainty_reduction.dir/uncertainty_reduction.cc.o.d"
+  "uncertainty_reduction"
+  "uncertainty_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

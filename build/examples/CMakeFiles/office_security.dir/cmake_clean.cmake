@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office_security.dir/office_security.cpp.o"
+  "CMakeFiles/office_security.dir/office_security.cpp.o.d"
+  "office_security"
+  "office_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/hmm.cc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/hmm.cc.o" "gcc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/hmm.cc.o.d"
+  "/root/repo/src/baseline/naive_cleaner.cc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/naive_cleaner.cc.o" "gcc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/naive_cleaner.cc.o.d"
+  "/root/repo/src/baseline/smurf.cc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/smurf.cc.o" "gcc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/smurf.cc.o.d"
+  "/root/repo/src/baseline/uncleaned.cc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/uncleaned.cc.o" "gcc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/uncleaned.cc.o.d"
+  "/root/repo/src/baseline/validity.cc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/validity.cc.o" "gcc" "src/baseline/CMakeFiles/rfidclean_baseline.dir/validity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_baseline.dir/hmm.cc.o"
+  "CMakeFiles/rfidclean_baseline.dir/hmm.cc.o.d"
+  "CMakeFiles/rfidclean_baseline.dir/naive_cleaner.cc.o"
+  "CMakeFiles/rfidclean_baseline.dir/naive_cleaner.cc.o.d"
+  "CMakeFiles/rfidclean_baseline.dir/smurf.cc.o"
+  "CMakeFiles/rfidclean_baseline.dir/smurf.cc.o.d"
+  "CMakeFiles/rfidclean_baseline.dir/uncleaned.cc.o"
+  "CMakeFiles/rfidclean_baseline.dir/uncleaned.cc.o.d"
+  "CMakeFiles/rfidclean_baseline.dir/validity.cc.o"
+  "CMakeFiles/rfidclean_baseline.dir/validity.cc.o.d"
+  "librfidclean_baseline.a"
+  "librfidclean_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_common.dir/rng.cc.o"
+  "CMakeFiles/rfidclean_common.dir/rng.cc.o.d"
+  "CMakeFiles/rfidclean_common.dir/status.cc.o"
+  "CMakeFiles/rfidclean_common.dir/status.cc.o.d"
+  "CMakeFiles/rfidclean_common.dir/strings.cc.o"
+  "CMakeFiles/rfidclean_common.dir/strings.cc.o.d"
+  "CMakeFiles/rfidclean_common.dir/table.cc.o"
+  "CMakeFiles/rfidclean_common.dir/table.cc.o.d"
+  "librfidclean_common.a"
+  "librfidclean_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

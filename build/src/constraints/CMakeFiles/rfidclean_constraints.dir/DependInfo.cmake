@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint_set.cc" "src/constraints/CMakeFiles/rfidclean_constraints.dir/constraint_set.cc.o" "gcc" "src/constraints/CMakeFiles/rfidclean_constraints.dir/constraint_set.cc.o.d"
+  "/root/repo/src/constraints/inference.cc" "src/constraints/CMakeFiles/rfidclean_constraints.dir/inference.cc.o" "gcc" "src/constraints/CMakeFiles/rfidclean_constraints.dir/inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

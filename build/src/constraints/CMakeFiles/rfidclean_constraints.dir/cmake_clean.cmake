@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_constraints.dir/constraint_set.cc.o"
+  "CMakeFiles/rfidclean_constraints.dir/constraint_set.cc.o.d"
+  "CMakeFiles/rfidclean_constraints.dir/inference.cc.o"
+  "CMakeFiles/rfidclean_constraints.dir/inference.cc.o.d"
+  "librfidclean_constraints.a"
+  "librfidclean_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/builder.cc" "src/core/CMakeFiles/rfidclean_core.dir/builder.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/builder.cc.o.d"
+  "/root/repo/src/core/ct_graph.cc" "src/core/CMakeFiles/rfidclean_core.dir/ct_graph.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/ct_graph.cc.o.d"
+  "/root/repo/src/core/location_node.cc" "src/core/CMakeFiles/rfidclean_core.dir/location_node.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/location_node.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/rfidclean_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/successor.cc" "src/core/CMakeFiles/rfidclean_core.dir/successor.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/successor.cc.o.d"
+  "/root/repo/src/core/work_graph.cc" "src/core/CMakeFiles/rfidclean_core.dir/work_graph.cc.o" "gcc" "src/core/CMakeFiles/rfidclean_core.dir/work_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

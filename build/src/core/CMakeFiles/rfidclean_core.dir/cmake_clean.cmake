@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_core.dir/builder.cc.o"
+  "CMakeFiles/rfidclean_core.dir/builder.cc.o.d"
+  "CMakeFiles/rfidclean_core.dir/ct_graph.cc.o"
+  "CMakeFiles/rfidclean_core.dir/ct_graph.cc.o.d"
+  "CMakeFiles/rfidclean_core.dir/location_node.cc.o"
+  "CMakeFiles/rfidclean_core.dir/location_node.cc.o.d"
+  "CMakeFiles/rfidclean_core.dir/streaming.cc.o"
+  "CMakeFiles/rfidclean_core.dir/streaming.cc.o.d"
+  "CMakeFiles/rfidclean_core.dir/successor.cc.o"
+  "CMakeFiles/rfidclean_core.dir/successor.cc.o.d"
+  "CMakeFiles/rfidclean_core.dir/work_graph.cc.o"
+  "CMakeFiles/rfidclean_core.dir/work_graph.cc.o.d"
+  "librfidclean_core.a"
+  "librfidclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

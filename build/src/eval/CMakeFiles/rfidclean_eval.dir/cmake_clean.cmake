@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_eval.dir/accuracy.cc.o"
+  "CMakeFiles/rfidclean_eval.dir/accuracy.cc.o.d"
+  "CMakeFiles/rfidclean_eval.dir/experiment.cc.o"
+  "CMakeFiles/rfidclean_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/rfidclean_eval.dir/workload.cc.o"
+  "CMakeFiles/rfidclean_eval.dir/workload.cc.o.d"
+  "librfidclean_eval.a"
+  "librfidclean_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/dataset.cc" "src/gen/CMakeFiles/rfidclean_gen.dir/dataset.cc.o" "gcc" "src/gen/CMakeFiles/rfidclean_gen.dir/dataset.cc.o.d"
+  "/root/repo/src/gen/reading_generator.cc" "src/gen/CMakeFiles/rfidclean_gen.dir/reading_generator.cc.o" "gcc" "src/gen/CMakeFiles/rfidclean_gen.dir/reading_generator.cc.o.d"
+  "/root/repo/src/gen/trajectory_generator.cc" "src/gen/CMakeFiles/rfidclean_gen.dir/trajectory_generator.cc.o" "gcc" "src/gen/CMakeFiles/rfidclean_gen.dir/trajectory_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_gen.dir/dataset.cc.o"
+  "CMakeFiles/rfidclean_gen.dir/dataset.cc.o.d"
+  "CMakeFiles/rfidclean_gen.dir/reading_generator.cc.o"
+  "CMakeFiles/rfidclean_gen.dir/reading_generator.cc.o.d"
+  "CMakeFiles/rfidclean_gen.dir/trajectory_generator.cc.o"
+  "CMakeFiles/rfidclean_gen.dir/trajectory_generator.cc.o.d"
+  "librfidclean_gen.a"
+  "librfidclean_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

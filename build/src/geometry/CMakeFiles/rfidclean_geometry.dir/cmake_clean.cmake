@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_geometry.dir/grid.cc.o"
+  "CMakeFiles/rfidclean_geometry.dir/grid.cc.o.d"
+  "librfidclean_geometry.a"
+  "librfidclean_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/building_io.cc" "src/io/CMakeFiles/rfidclean_io.dir/building_io.cc.o" "gcc" "src/io/CMakeFiles/rfidclean_io.dir/building_io.cc.o.d"
+  "/root/repo/src/io/ctgraph_io.cc" "src/io/CMakeFiles/rfidclean_io.dir/ctgraph_io.cc.o" "gcc" "src/io/CMakeFiles/rfidclean_io.dir/ctgraph_io.cc.o.d"
+  "/root/repo/src/io/dot_export.cc" "src/io/CMakeFiles/rfidclean_io.dir/dot_export.cc.o" "gcc" "src/io/CMakeFiles/rfidclean_io.dir/dot_export.cc.o.d"
+  "/root/repo/src/io/readings_io.cc" "src/io/CMakeFiles/rfidclean_io.dir/readings_io.cc.o" "gcc" "src/io/CMakeFiles/rfidclean_io.dir/readings_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfidclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

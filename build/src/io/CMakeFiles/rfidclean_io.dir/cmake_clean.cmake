@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_io.dir/building_io.cc.o"
+  "CMakeFiles/rfidclean_io.dir/building_io.cc.o.d"
+  "CMakeFiles/rfidclean_io.dir/ctgraph_io.cc.o"
+  "CMakeFiles/rfidclean_io.dir/ctgraph_io.cc.o.d"
+  "CMakeFiles/rfidclean_io.dir/dot_export.cc.o"
+  "CMakeFiles/rfidclean_io.dir/dot_export.cc.o.d"
+  "CMakeFiles/rfidclean_io.dir/readings_io.cc.o"
+  "CMakeFiles/rfidclean_io.dir/readings_io.cc.o.d"
+  "librfidclean_io.a"
+  "librfidclean_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

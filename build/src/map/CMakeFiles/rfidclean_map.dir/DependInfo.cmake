@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/building.cc" "src/map/CMakeFiles/rfidclean_map.dir/building.cc.o" "gcc" "src/map/CMakeFiles/rfidclean_map.dir/building.cc.o.d"
+  "/root/repo/src/map/building_grid.cc" "src/map/CMakeFiles/rfidclean_map.dir/building_grid.cc.o" "gcc" "src/map/CMakeFiles/rfidclean_map.dir/building_grid.cc.o.d"
+  "/root/repo/src/map/standard_buildings.cc" "src/map/CMakeFiles/rfidclean_map.dir/standard_buildings.cc.o" "gcc" "src/map/CMakeFiles/rfidclean_map.dir/standard_buildings.cc.o.d"
+  "/root/repo/src/map/walking_distance.cc" "src/map/CMakeFiles/rfidclean_map.dir/walking_distance.cc.o" "gcc" "src/map/CMakeFiles/rfidclean_map.dir/walking_distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_map.dir/building.cc.o"
+  "CMakeFiles/rfidclean_map.dir/building.cc.o.d"
+  "CMakeFiles/rfidclean_map.dir/building_grid.cc.o"
+  "CMakeFiles/rfidclean_map.dir/building_grid.cc.o.d"
+  "CMakeFiles/rfidclean_map.dir/standard_buildings.cc.o"
+  "CMakeFiles/rfidclean_map.dir/standard_buildings.cc.o.d"
+  "CMakeFiles/rfidclean_map.dir/walking_distance.cc.o"
+  "CMakeFiles/rfidclean_map.dir/walking_distance.cc.o.d"
+  "librfidclean_map.a"
+  "librfidclean_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/apriori.cc" "src/model/CMakeFiles/rfidclean_model.dir/apriori.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/apriori.cc.o.d"
+  "/root/repo/src/model/group.cc" "src/model/CMakeFiles/rfidclean_model.dir/group.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/group.cc.o.d"
+  "/root/repo/src/model/lsequence.cc" "src/model/CMakeFiles/rfidclean_model.dir/lsequence.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/lsequence.cc.o.d"
+  "/root/repo/src/model/reading.cc" "src/model/CMakeFiles/rfidclean_model.dir/reading.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/reading.cc.o.d"
+  "/root/repo/src/model/rsequence.cc" "src/model/CMakeFiles/rfidclean_model.dir/rsequence.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/rsequence.cc.o.d"
+  "/root/repo/src/model/trajectory.cc" "src/model/CMakeFiles/rfidclean_model.dir/trajectory.cc.o" "gcc" "src/model/CMakeFiles/rfidclean_model.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

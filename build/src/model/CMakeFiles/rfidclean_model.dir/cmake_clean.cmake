@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_model.dir/apriori.cc.o"
+  "CMakeFiles/rfidclean_model.dir/apriori.cc.o.d"
+  "CMakeFiles/rfidclean_model.dir/group.cc.o"
+  "CMakeFiles/rfidclean_model.dir/group.cc.o.d"
+  "CMakeFiles/rfidclean_model.dir/lsequence.cc.o"
+  "CMakeFiles/rfidclean_model.dir/lsequence.cc.o.d"
+  "CMakeFiles/rfidclean_model.dir/reading.cc.o"
+  "CMakeFiles/rfidclean_model.dir/reading.cc.o.d"
+  "CMakeFiles/rfidclean_model.dir/rsequence.cc.o"
+  "CMakeFiles/rfidclean_model.dir/rsequence.cc.o.d"
+  "CMakeFiles/rfidclean_model.dir/trajectory.cc.o"
+  "CMakeFiles/rfidclean_model.dir/trajectory.cc.o.d"
+  "librfidclean_model.a"
+  "librfidclean_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

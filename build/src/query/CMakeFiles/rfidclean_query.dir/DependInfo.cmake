@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/flow.cc" "src/query/CMakeFiles/rfidclean_query.dir/flow.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/flow.cc.o.d"
+  "/root/repo/src/query/marginals.cc" "src/query/CMakeFiles/rfidclean_query.dir/marginals.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/marginals.cc.o.d"
+  "/root/repo/src/query/most_likely.cc" "src/query/CMakeFiles/rfidclean_query.dir/most_likely.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/most_likely.cc.o.d"
+  "/root/repo/src/query/pattern.cc" "src/query/CMakeFiles/rfidclean_query.dir/pattern.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/pattern.cc.o.d"
+  "/root/repo/src/query/pattern_matcher.cc" "src/query/CMakeFiles/rfidclean_query.dir/pattern_matcher.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/pattern_matcher.cc.o.d"
+  "/root/repo/src/query/sampler.cc" "src/query/CMakeFiles/rfidclean_query.dir/sampler.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/sampler.cc.o.d"
+  "/root/repo/src/query/stay_query.cc" "src/query/CMakeFiles/rfidclean_query.dir/stay_query.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/stay_query.cc.o.d"
+  "/root/repo/src/query/top_k.cc" "src/query/CMakeFiles/rfidclean_query.dir/top_k.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/top_k.cc.o.d"
+  "/root/repo/src/query/trajectory_query.cc" "src/query/CMakeFiles/rfidclean_query.dir/trajectory_query.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/trajectory_query.cc.o.d"
+  "/root/repo/src/query/uncertainty.cc" "src/query/CMakeFiles/rfidclean_query.dir/uncertainty.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/uncertainty.cc.o.d"
+  "/root/repo/src/query/window_query.cc" "src/query/CMakeFiles/rfidclean_query.dir/window_query.cc.o" "gcc" "src/query/CMakeFiles/rfidclean_query.dir/window_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfidclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

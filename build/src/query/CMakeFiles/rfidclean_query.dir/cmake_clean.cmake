@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_query.dir/flow.cc.o"
+  "CMakeFiles/rfidclean_query.dir/flow.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/marginals.cc.o"
+  "CMakeFiles/rfidclean_query.dir/marginals.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/most_likely.cc.o"
+  "CMakeFiles/rfidclean_query.dir/most_likely.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/pattern.cc.o"
+  "CMakeFiles/rfidclean_query.dir/pattern.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/pattern_matcher.cc.o"
+  "CMakeFiles/rfidclean_query.dir/pattern_matcher.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/sampler.cc.o"
+  "CMakeFiles/rfidclean_query.dir/sampler.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/stay_query.cc.o"
+  "CMakeFiles/rfidclean_query.dir/stay_query.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/top_k.cc.o"
+  "CMakeFiles/rfidclean_query.dir/top_k.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/trajectory_query.cc.o"
+  "CMakeFiles/rfidclean_query.dir/trajectory_query.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/uncertainty.cc.o"
+  "CMakeFiles/rfidclean_query.dir/uncertainty.cc.o.d"
+  "CMakeFiles/rfidclean_query.dir/window_query.cc.o"
+  "CMakeFiles/rfidclean_query.dir/window_query.cc.o.d"
+  "librfidclean_query.a"
+  "librfidclean_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

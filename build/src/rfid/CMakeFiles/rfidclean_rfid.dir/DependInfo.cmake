@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfid/calibration.cc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/calibration.cc.o" "gcc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/calibration.cc.o.d"
+  "/root/repo/src/rfid/coverage_matrix.cc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/coverage_matrix.cc.o" "gcc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/coverage_matrix.cc.o.d"
+  "/root/repo/src/rfid/detection_model.cc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/detection_model.cc.o" "gcc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/detection_model.cc.o.d"
+  "/root/repo/src/rfid/reader_placement.cc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/reader_placement.cc.o" "gcc" "src/rfid/CMakeFiles/rfidclean_rfid.dir/reader_placement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_rfid.dir/calibration.cc.o"
+  "CMakeFiles/rfidclean_rfid.dir/calibration.cc.o.d"
+  "CMakeFiles/rfidclean_rfid.dir/coverage_matrix.cc.o"
+  "CMakeFiles/rfidclean_rfid.dir/coverage_matrix.cc.o.d"
+  "CMakeFiles/rfidclean_rfid.dir/detection_model.cc.o"
+  "CMakeFiles/rfidclean_rfid.dir/detection_model.cc.o.d"
+  "CMakeFiles/rfidclean_rfid.dir/reader_placement.cc.o"
+  "CMakeFiles/rfidclean_rfid.dir/reader_placement.cc.o.d"
+  "librfidclean_rfid.a"
+  "librfidclean_rfid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_rfid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

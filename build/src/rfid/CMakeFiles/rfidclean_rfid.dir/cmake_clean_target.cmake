@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfidclean_rfid.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_builder_test.cc" "tests/CMakeFiles/core_builder_test.dir/core_builder_test.cc.o" "gcc" "tests/CMakeFiles/core_builder_test.dir/core_builder_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/rfidclean_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/rfidclean_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/rfidclean_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rfidclean_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/rfidclean_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rfidclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/rfidclean_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rfidclean_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfid/CMakeFiles/rfidclean_rfid.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/rfidclean_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/rfidclean_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfidclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_node_test.dir/core_node_test.cc.o"
+  "CMakeFiles/core_node_test.dir/core_node_test.cc.o.d"
+  "core_node_test"
+  "core_node_test.pdb"
+  "core_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ct_graph_test.dir/ct_graph_test.cc.o"
+  "CMakeFiles/ct_graph_test.dir/ct_graph_test.cc.o.d"
+  "ct_graph_test"
+  "ct_graph_test.pdb"
+  "ct_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ct_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

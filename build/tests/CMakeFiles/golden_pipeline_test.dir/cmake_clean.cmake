@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_pipeline_test.dir/golden_pipeline_test.cc.o"
+  "CMakeFiles/golden_pipeline_test.dir/golden_pipeline_test.cc.o.d"
+  "golden_pipeline_test"
+  "golden_pipeline_test.pdb"
+  "golden_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

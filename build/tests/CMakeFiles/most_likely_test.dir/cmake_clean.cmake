@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/most_likely_test.dir/most_likely_test.cc.o"
+  "CMakeFiles/most_likely_test.dir/most_likely_test.cc.o.d"
+  "most_likely_test"
+  "most_likely_test.pdb"
+  "most_likely_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/most_likely_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

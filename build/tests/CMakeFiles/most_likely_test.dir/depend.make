@@ -1,0 +1,2 @@
+# Empty dependencies file for most_likely_test.
+# This may be replaced when dependencies are built.

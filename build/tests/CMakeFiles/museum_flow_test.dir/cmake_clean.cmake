@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_flow_test.dir/museum_flow_test.cc.o"
+  "CMakeFiles/museum_flow_test.dir/museum_flow_test.cc.o.d"
+  "museum_flow_test"
+  "museum_flow_test.pdb"
+  "museum_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smurf_hmm_test.dir/smurf_hmm_test.cc.o"
+  "CMakeFiles/smurf_hmm_test.dir/smurf_hmm_test.cc.o.d"
+  "smurf_hmm_test"
+  "smurf_hmm_test.pdb"
+  "smurf_hmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smurf_hmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/core_builder_test[1]_include.cmake")
+include("/root/repo/build/tests/core_node_test[1]_include.cmake")
+include("/root/repo/build/tests/ct_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/group_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/io_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/map_test[1]_include.cmake")
+include("/root/repo/build/tests/most_likely_test[1]_include.cmake")
+include("/root/repo/build/tests/museum_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/model_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/rfid_test[1]_include.cmake")
+include("/root/repo/build/tests/smurf_hmm_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+include("/root/repo/build/tests/top_k_uncertainty_test[1]_include.cmake")
+include("/root/repo/build/tests/window_query_test[1]_include.cmake")
+add_test(cli_smoke "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/rfidclean_cli" "-DWORK_DIR=/root/repo/build/tests/cli_smoke_work" "-P" "/root/repo/tests/cli_smoke.cmake")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;39;add_test;/root/repo/tests/CMakeLists.txt;0;")

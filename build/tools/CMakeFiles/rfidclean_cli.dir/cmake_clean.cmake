@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfidclean_cli.dir/rfidclean_cli.cc.o"
+  "CMakeFiles/rfidclean_cli.dir/rfidclean_cli.cc.o.d"
+  "rfidclean_cli"
+  "rfidclean_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfidclean_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
