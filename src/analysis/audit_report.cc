@@ -1,0 +1,99 @@
+#include "analysis/audit_report.h"
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+const char* AuditCheckName(AuditCheck check) {
+  switch (check) {
+    case AuditCheck::kEdgeTargetRange:
+      return "edge-target-range";
+    case AuditCheck::kLayering:
+      return "layering";
+    case AuditCheck::kAcyclicity:
+      return "acyclicity";
+    case AuditCheck::kLayerNonEmpty:
+      return "layer-non-empty";
+    case AuditCheck::kReachability:
+      return "reachability";
+    case AuditCheck::kTermination:
+      return "termination";
+    case AuditCheck::kFiniteProbabilities:
+      return "finite-probabilities";
+    case AuditCheck::kEdgeNormalization:
+      return "edge-normalization";
+    case AuditCheck::kSourceNormalization:
+      return "source-normalization";
+    case AuditCheck::kPathMass:
+      return "path-mass";
+  }
+  return "unknown";
+}
+
+std::string AuditViolation::ToString() const {
+  std::string where;
+  if (node != kInvalidNode && time >= 0) {
+    where = StrFormat(" node %d @t=%d", node, time);
+  } else if (node != kInvalidNode) {
+    where = StrFormat(" node %d", node);
+  } else if (time >= 0) {
+    where = StrFormat(" @t=%d", time);
+  }
+  return StrFormat("[%s]%s: %s", AuditCheckName(check), where.c_str(),
+                   message.c_str());
+}
+
+std::size_t AuditReport::CountOf(AuditCheck check) const {
+  std::size_t count = 0;
+  for (const AuditViolation& violation : violations) {
+    if (violation.check == check) ++count;
+  }
+  return count;
+}
+
+std::string AuditReport::ToString() const {
+  std::string out = StrFormat(
+      "audit: %zu violation(s)%s over %zu nodes, %zu edges, %d ticks "
+      "(path mass %.12f)",
+      violations.size(), truncated ? " [truncated]" : "", nodes_checked,
+      edges_checked, length, path_mass);
+  for (const AuditViolation& violation : violations) {
+    out += "\n  ";
+    out += violation.ToString();
+  }
+  return out;
+}
+
+Status AuditReport::ToStatus() const {
+  if (ok()) return Status::Ok();
+  // Carry the first violations only: a corrupt graph can produce one
+  // violation per node, and the point of the status is to fail the build
+  // with a diagnosable message, not to transcribe the full report.
+  constexpr std::size_t kMaxInMessage = 3;
+  std::string message = StrFormat("ct-graph audit found %zu violation(s)",
+                                  violations.size());
+  for (std::size_t i = 0; i < violations.size() && i < kMaxInMessage; ++i) {
+    message += "; ";
+    message += violations[i].ToString();
+  }
+  if (violations.size() > kMaxInMessage) {
+    message +=
+        StrFormat("; and %zu more", violations.size() - kMaxInMessage);
+  }
+  return InternalError(std::move(message));
+}
+
+namespace internal_audit {
+
+bool AppendViolation(const AuditOptions& options, AuditReport* report,
+                     AuditViolation violation) {
+  if (report->violations.size() >= options.max_violations) {
+    report->truncated = true;
+    return false;
+  }
+  report->violations.push_back(std::move(violation));
+  return true;
+}
+
+}  // namespace internal_audit
+}  // namespace rfidclean

@@ -1,0 +1,122 @@
+#ifndef RFIDCLEAN_ANALYSIS_AUDIT_REPORT_H_
+#define RFIDCLEAN_ANALYSIS_AUDIT_REPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/ct_graph.h"
+#include "model/trajectory.h"
+
+namespace rfidclean {
+
+/// \file
+/// Structured result of a ct-graph audit (see graph_audit.h). Unlike
+/// RFID_CHECK / CtGraph::CheckConsistency, an audit never aborts and does
+/// not stop at the first problem: it collects every violation (up to a cap)
+/// with enough context — node, timestamp, offending value — to diagnose
+/// which construction step drifted.
+
+/// The individual invariants the auditor verifies, each traceable to the
+/// paper (see docs/ALGORITHM.md, "Invariants").
+enum class AuditCheck {
+  /// Every edge references a node index inside the graph.
+  kEdgeTargetRange,
+  /// Every edge advances the timestamp by exactly one (layered DAG,
+  /// Definition 4).
+  kLayering,
+  /// The edge relation admits a topological order (no cycles), even when
+  /// the per-node timestamps are themselves corrupt.
+  kAcyclicity,
+  /// Every layer [0, length) holds at least one node.
+  kLayerNonEmpty,
+  /// Every node is forward-reachable from a source and backward-reachable
+  /// from a target: source→target paths are exactly the valid trajectories
+  /// (Definition 4 / Proposition 1).
+  kReachability,
+  /// Target nodes have no outgoing edges; non-target nodes have at least
+  /// one (dead branches are pruned by the backward phase, Algorithm 1).
+  kTermination,
+  /// No probability is NaN, infinite, negative, zero, or greater than one.
+  kFiniteProbabilities,
+  /// Outgoing edge probabilities of every non-target node sum to 1 after
+  /// conditioning (Definition 5).
+  kEdgeNormalization,
+  /// Source node probabilities sum to 1 after conditioning (Definition 5).
+  kSourceNormalization,
+  /// Total conditioned path mass, via a backward suffix-mass sweep, is 1:
+  /// the graph encodes a probability distribution over trajectories
+  /// (Definition 3).
+  kPathMass,
+};
+
+/// Stable identifier for messages and test assertions.
+const char* AuditCheckName(AuditCheck check);
+
+/// One detected invariant violation, anchored to a node when applicable.
+struct AuditViolation {
+  AuditCheck check = AuditCheck::kAcyclicity;
+  /// The offending node, or kInvalidNode for graph-global violations
+  /// (e.g. total path mass).
+  NodeId node = kInvalidNode;
+  /// Timestamp of the offending node/layer, or -1 when not applicable.
+  Timestamp time = -1;
+  std::string message;
+
+  /// "[edge-normalization] node 7 @t=3: outgoing probabilities sum to ...".
+  std::string ToString() const;
+};
+
+/// Tuning knobs of an audit pass.
+struct AuditOptions {
+  /// Tolerance for the normalization and path-mass checks. The default
+  /// matches CtGraph::CheckConsistency.
+  double epsilon = 1e-9;
+  /// Collection stops (and `truncated` is set) after this many violations;
+  /// a corrupt graph can otherwise produce one violation per node.
+  std::size_t max_violations = 64;
+};
+
+/// Everything a caller needs to act on an audit: the violations plus the
+/// coverage counters proving what was inspected.
+struct AuditReport {
+  std::vector<AuditViolation> violations;
+  /// True when max_violations was reached and collection stopped early.
+  bool truncated = false;
+
+  /// Coverage of the pass.
+  std::size_t nodes_checked = 0;
+  std::size_t edges_checked = 0;
+  Timestamp length = 0;
+  /// Total conditioned path mass from the backward sweep; meaningful only
+  /// when the structural checks passed (NaN propagates otherwise).
+  double path_mass = 0.0;
+
+  bool ok() const { return violations.empty() && !truncated; }
+
+  /// Number of violations of a specific check.
+  std::size_t CountOf(AuditCheck check) const;
+
+  /// Multi-line human-readable report (one line per violation plus a
+  /// summary header).
+  std::string ToString() const;
+
+  /// Ok when the audit passed; otherwise an InternalError carrying the
+  /// first violations, for propagation through Result<> pipelines.
+  Status ToStatus() const;
+};
+
+namespace internal_audit {
+
+/// Appends `violation` unless the report already holds
+/// options.max_violations entries, in which case it marks the report
+/// truncated instead. Returns whether the violation was recorded.
+bool AppendViolation(const AuditOptions& options, AuditReport* report,
+                     AuditViolation violation);
+
+}  // namespace internal_audit
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_ANALYSIS_AUDIT_REPORT_H_

@@ -1,0 +1,44 @@
+#ifndef RFIDCLEAN_ANALYSIS_GRAPH_AUDIT_H_
+#define RFIDCLEAN_ANALYSIS_GRAPH_AUDIT_H_
+
+#include "analysis/audit_report.h"
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// \file
+/// Structural audit of a ct-graph: does the graph have the *shape* required
+/// by Definition 4 — a layered DAG whose source→target paths are exactly
+/// the valid trajectories? Numeric properties (normalization, path mass)
+/// live in numeric_audit.h; AuditGraph runs both.
+///
+/// The auditor is defensive: it never dereferences an out-of-range node id
+/// and never aborts, so it can be pointed at graphs produced by buggy
+/// builders, corrupted serialized files, or deliberately broken test
+/// fixtures (CtGraph::AssembleUnchecked).
+
+/// Appends structural violations of `graph` to `report`: edge target
+/// ranges, layering, acyclicity (Kahn topological sort over the raw edge
+/// relation), empty layers, source/target termination, and forward+backward
+/// reachability.
+void AuditStructure(const CtGraph& graph, const AuditOptions& options,
+                    AuditReport* report);
+
+/// Full audit: structure first, then numerics. The one-stop entry point
+/// used by the CLI `--audit` flag and the self-audit hook.
+AuditReport AuditGraph(const CtGraph& graph,
+                       const AuditOptions& options = AuditOptions());
+
+/// Installs the core self-audit hook (core/self_audit.h) so that every
+/// CtGraphBuilder::Build and StreamingCleaner::Finish re-audits its result
+/// with `options` and fails with InternalError on any violation. Turns the
+/// construction paths into their own tripwire; intended for tests, the CLI
+/// and debug deployments — a full audit is O(nodes + edges) per build.
+void EnableSelfAudit(const AuditOptions& options = AuditOptions());
+
+/// Removes the hook installed by EnableSelfAudit.
+void DisableSelfAudit();
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_ANALYSIS_GRAPH_AUDIT_H_

@@ -1,0 +1,32 @@
+#ifndef RFIDCLEAN_ANALYSIS_NUMERIC_AUDIT_H_
+#define RFIDCLEAN_ANALYSIS_NUMERIC_AUDIT_H_
+
+#include "analysis/audit_report.h"
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// \file
+/// Numeric audit of a ct-graph: are the probabilities on a structurally
+/// sound graph actually a conditioned distribution (Definitions 3 and 5)?
+/// Catches the silent-drift failure mode — a graph that still looks like a
+/// DAG but whose masses no longer sum to 1 — before it corrupts every
+/// downstream query answer.
+
+/// Appends numeric violations of `graph` to `report`: NaN/Inf/negative/
+/// zero/above-one probabilities, per-node outgoing normalization, source
+/// normalization, and the total conditioned path mass computed by
+/// TotalPathMass. Assumes edge targets are in range (run AuditStructure
+/// first; AuditGraph does); out-of-range edges are skipped defensively.
+void AuditNumerics(const CtGraph& graph, const AuditOptions& options,
+                   AuditReport* report);
+
+/// Total conditioned path mass Σ_paths p(path) via a backward suffix-mass
+/// sweep: S(target) = 1, S(n) = Σ_e p(e)·S(e.to), returning
+/// Σ_source p_N(s)·S(s). Exactly 1 for a correctly conditioned graph; the
+/// sweep is O(nodes + edges), unlike path enumeration.
+double TotalPathMass(const CtGraph& graph);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_ANALYSIS_NUMERIC_AUDIT_H_

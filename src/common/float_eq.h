@@ -1,0 +1,43 @@
+#ifndef RFIDCLEAN_COMMON_FLOAT_EQ_H_
+#define RFIDCLEAN_COMMON_FLOAT_EQ_H_
+
+/// \file
+/// Epsilon comparisons for probabilities and masses. Exact `==` on a
+/// *computed* probability is a bug waiting for a rounding change; use
+/// these helpers (or an explicit tolerance) instead. Exact comparisons
+/// remain correct for short-circuits on structural zeros — a product that
+/// multiplied an exact 0.0 stays exactly 0.0 — and such sites should keep
+/// `== 0.0` deliberately.
+
+namespace rfidclean {
+
+/// Absolute tolerance used for "this mass should be 0/1" checks across the
+/// library (ct-graph consistency, audits, tests). Matches the historical
+/// CtGraph::CheckConsistency default.
+inline constexpr double kProbabilityEpsilon = 1e-9;
+
+/// Looser tolerance for *user-supplied* distributions (candidate lists
+/// parsed from files), which may come from lower-precision producers.
+inline constexpr double kInputProbabilityEpsilon = 1e-6;
+
+/// |a - b| <= epsilon, without calling into <cmath>; false for NaN.
+constexpr bool ApproxEqual(double a, double b,
+                           double epsilon = kProbabilityEpsilon) {
+  const double diff = a >= b ? a - b : b - a;
+  return diff <= epsilon;
+}
+
+/// |x| <= epsilon; false for NaN.
+constexpr bool ApproxZero(double x, double epsilon = kProbabilityEpsilon) {
+  return ApproxEqual(x, 0.0, epsilon);
+}
+
+/// |x - 1| <= epsilon; false for NaN. The canonical "is this normalized"
+/// test.
+constexpr bool ApproxOne(double x, double epsilon = kProbabilityEpsilon) {
+  return ApproxEqual(x, 1.0, epsilon);
+}
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_COMMON_FLOAT_EQ_H_

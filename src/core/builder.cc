@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/self_audit.h"
 #include "core/successor.h"
 #include "core/work_graph.h"
 
@@ -87,7 +88,12 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
     stats->peak_edges = work.edges.size();
   }
 
-  return internal_core::ConditionAndCompact(std::move(work), stats);
+  Result<CtGraph> graph =
+      internal_core::ConditionAndCompact(std::move(work), stats);
+  if (graph.ok()) {
+    RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
+  }
+  return graph;
 }
 
 }  // namespace rfidclean

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/float_eq.h"
 #include "common/strings.h"
 
 namespace rfidclean {
@@ -31,6 +32,21 @@ Result<CtGraph> CtGraph::Assemble(std::vector<Node> nodes,
   }
   graph.nodes_ = std::move(nodes);
   RFID_RETURN_IF_ERROR(graph.CheckConsistency());
+  return graph;
+}
+
+CtGraph CtGraph::AssembleUnchecked(std::vector<Node> nodes,
+                                   Timestamp length) {
+  RFID_CHECK_GT(length, 0);
+  CtGraph graph;
+  graph.nodes_by_time_.resize(static_cast<std::size_t>(length));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    RFID_CHECK_GE(nodes[i].time, 0);
+    RFID_CHECK_LT(nodes[i].time, length);
+    graph.nodes_by_time_[static_cast<std::size_t>(nodes[i].time)].push_back(
+        static_cast<NodeId>(i));
+  }
+  graph.nodes_ = std::move(nodes);
   return graph;
 }
 
@@ -106,7 +122,7 @@ Status CtGraph::CheckConsistency(double tolerance) const {
   if (nodes_by_time_.empty()) return InternalError("empty ct-graph");
   double source_sum = 0.0;
   for (NodeId id : SourceNodes()) source_sum += node(id).source_probability;
-  if (std::abs(source_sum - 1.0) > tolerance) {
+  if (!ApproxOne(source_sum, tolerance)) {
     return InternalError(
         StrFormat("source probabilities sum to %.12f", source_sum));
   }
@@ -130,7 +146,7 @@ Status CtGraph::CheckConsistency(double tolerance) const {
         has_in_edge[static_cast<std::size_t>(edge.to)] = true;
         out_sum += edge.probability;
       }
-      if (std::abs(out_sum - 1.0) > tolerance) {
+      if (!ApproxOne(out_sum, tolerance)) {
         return InternalError(StrFormat(
             "outgoing probabilities of node %zu sum to %.12f", i, out_sum));
       }

@@ -51,6 +51,15 @@ class CtGraph {
   /// via CheckConsistency.
   static Result<CtGraph> Assemble(std::vector<Node> nodes, Timestamp length);
 
+  /// Assembles WITHOUT validating any invariant: edges may dangle, layers
+  /// may be empty, probabilities may be NaN or unnormalized. Exists so the
+  /// auditor (analysis/graph_audit.h) can be exercised against corrupted
+  /// graphs that the checked paths refuse to construct; never use it to
+  /// build graphs for queries. Node timestamps must still lie in
+  /// [0, length) (RFID_CHECK) so the per-layer index can be built.
+  static CtGraph AssembleUnchecked(std::vector<Node> nodes,
+                                   Timestamp length);
+
   /// Number of time points spanned (T = [0, length)).
   Timestamp length() const {
     return static_cast<Timestamp>(nodes_by_time_.size());

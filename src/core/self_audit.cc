@@ -1,0 +1,27 @@
+#include "core/self_audit.h"
+
+#include <atomic>
+
+namespace rfidclean {
+
+namespace {
+
+std::atomic<CtGraphAuditFn> g_audit_hook{nullptr};
+
+}  // namespace
+
+void SetCtGraphAuditHook(CtGraphAuditFn hook) {
+  g_audit_hook.store(hook, std::memory_order_release);
+}
+
+CtGraphAuditFn GetCtGraphAuditHook() {
+  return g_audit_hook.load(std::memory_order_acquire);
+}
+
+Status RunCtGraphAuditHook(const CtGraph& graph) {
+  CtGraphAuditFn hook = GetCtGraphAuditHook();
+  if (hook == nullptr) return Status::Ok();
+  return hook(graph);
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,36 @@
+#ifndef RFIDCLEAN_CORE_SELF_AUDIT_H_
+#define RFIDCLEAN_CORE_SELF_AUDIT_H_
+
+#include "common/status.h"
+#include "core/ct_graph.h"
+
+namespace rfidclean {
+
+/// \file
+/// Post-construction audit hook. CtGraphBuilder::Build and
+/// StreamingCleaner::Finish invoke the registered hook (if any) on every
+/// graph they produce and propagate its error, turning each build into a
+/// self-checking step without making core depend on the analysis layer:
+/// analysis installs its full auditor here (EnableSelfAudit in
+/// analysis/graph_audit.h), the same way log sinks or allocation hooks are
+/// injected upward. No hook is installed by default — batch production
+/// builds pay nothing.
+
+/// Signature of a post-construction audit: Ok to accept the graph, any
+/// error to fail the build that produced it.
+using CtGraphAuditFn = Status (*)(const CtGraph& graph);
+
+/// Installs `hook` process-wide; nullptr uninstalls. Thread-safe with
+/// respect to concurrent RunCtGraphAuditHook calls, but intended to be set
+/// once at startup (CLI flag, test fixture SetUp).
+void SetCtGraphAuditHook(CtGraphAuditFn hook);
+
+/// The currently installed hook, or nullptr.
+CtGraphAuditFn GetCtGraphAuditHook();
+
+/// Runs the installed hook on `graph`; Ok when no hook is installed.
+Status RunCtGraphAuditHook(const CtGraph& graph);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_CORE_SELF_AUDIT_H_

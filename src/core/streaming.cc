@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/float_eq.h"
 #include "common/strings.h"
+#include "core/self_audit.h"
 
 namespace rfidclean {
 
@@ -26,7 +28,7 @@ Status ValidateCandidates(const std::vector<Candidate>& candidates) {
     }
     sum += candidate.probability;
   }
-  if (std::abs(sum - 1.0) > 1e-6) {
+  if (!ApproxOne(sum, kInputProbabilityEpsilon)) {
     return InvalidArgumentError(
         StrFormat("candidate probabilities sum to %f, not 1", sum));
   }
@@ -158,7 +160,12 @@ Result<CtGraph> StreamingCleaner::Finish(BuildStats* stats) && {
     stats->peak_nodes = work_.nodes.size();
     stats->peak_edges = work_.edges.size();
   }
-  return internal_core::ConditionAndCompact(std::move(work_), stats);
+  Result<CtGraph> graph =
+      internal_core::ConditionAndCompact(std::move(work_), stats);
+  if (graph.ok()) {
+    RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
+  }
+  return graph;
 }
 
 }  // namespace rfidclean

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/float_eq.h"
 #include "common/strings.h"
 
 namespace rfidclean {
@@ -31,7 +32,7 @@ Result<LSequence> LSequence::Create(
       }
       sum += candidate.probability;
     }
-    if (std::abs(sum - 1.0) > 1e-6) {
+    if (!ApproxOne(sum, kInputProbabilityEpsilon)) {
       return InvalidArgumentError(StrFormat(
           "candidate probabilities at timestamp %zu sum to %f, not 1", t,
           sum));

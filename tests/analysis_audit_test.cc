@@ -1,0 +1,247 @@
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_audit.h"
+#include "analysis/numeric_audit.h"
+#include "core/builder.h"
+#include "core/self_audit.h"
+#include "core/streaming.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::PaperExampleConstraints;
+using ::rfidclean::testing::PaperExampleSequence;
+
+using Node = CtGraph::Node;
+using Edge = CtGraph::Edge;
+
+Node MakeNode(Timestamp time, LocationId location, double source_probability,
+              std::vector<Edge> out_edges) {
+  Node node;
+  node.time = time;
+  node.key.location = location;
+  node.source_probability = source_probability;
+  node.out_edges = std::move(out_edges);
+  return node;
+}
+
+/// A minimal healthy graph: two sources, two targets, one edge each.
+///   0:(t0,L1,p=0.6) -> 2:(t1,L1)      1:(t0,L2,p=0.4) -> 3:(t1,L2)
+std::vector<Node> HealthyNodes() {
+  std::vector<Node> nodes;
+  nodes.push_back(MakeNode(0, kL1, 0.6, {Edge{2, 1.0}}));
+  nodes.push_back(MakeNode(0, kL2, 0.4, {Edge{3, 1.0}}));
+  nodes.push_back(MakeNode(1, kL1, 0.0, {}));
+  nodes.push_back(MakeNode(1, kL2, 0.0, {}));
+  return nodes;
+}
+
+TEST(GraphAuditTest, HealthyGraphIsClean) {
+  CtGraph graph = CtGraph::AssembleUnchecked(HealthyNodes(), 2);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.nodes_checked, 4u);
+  EXPECT_EQ(report.edges_checked, 2u);
+  EXPECT_PROB_NEAR(report.path_mass, 1.0);
+  EXPECT_TRUE(report.ToStatus().ok());
+}
+
+TEST(GraphAuditTest, BuilderOutputPassesAudit) {
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  AuditReport report = AuditGraph(graph.value());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_PROB_NEAR(report.path_mass, 1.0);
+}
+
+TEST(GraphAuditTest, BrokenEdgeNormalizationIsReported) {
+  std::vector<Node> nodes = HealthyNodes();
+  nodes[0].out_edges[0].probability = 0.9;  // Sums to 0.9, not 1.
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  ASSERT_EQ(report.CountOf(AuditCheck::kEdgeNormalization), 1u)
+      << report.ToString();
+  // The violation carries the offending node and its timestamp.
+  for (const AuditViolation& violation : report.violations) {
+    if (violation.check != AuditCheck::kEdgeNormalization) continue;
+    EXPECT_EQ(violation.node, 0);
+    EXPECT_EQ(violation.time, 0);
+  }
+  // The missing 0.06 of path mass is detected by the backward sweep too.
+  EXPECT_EQ(report.CountOf(AuditCheck::kPathMass), 1u);
+  EXPECT_PROB_NEAR(report.path_mass, 0.94);
+  EXPECT_FALSE(report.ToStatus().ok());
+}
+
+TEST(GraphAuditTest, InjectedCycleIsReported) {
+  // 2 -> 3 -> 2 within layer t=1, plus 3 -> 0 backwards to t=0.
+  std::vector<Node> nodes = HealthyNodes();
+  nodes[2].out_edges.push_back(Edge{3, 1.0});
+  nodes[3].out_edges.push_back(Edge{2, 0.5});
+  nodes[3].out_edges.push_back(Edge{0, 0.5});
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_GE(report.CountOf(AuditCheck::kAcyclicity), 1u)
+      << report.ToString();
+  // Every cycle edge also violates the +1 layering discipline.
+  EXPECT_GE(report.CountOf(AuditCheck::kLayering), 3u);
+}
+
+TEST(GraphAuditTest, NanAndNegativeProbabilitiesAreReported) {
+  std::vector<Node> nodes = HealthyNodes();
+  nodes[0].out_edges[0].probability =
+      std::numeric_limits<double>::quiet_NaN();
+  nodes[1].source_probability = -0.4;
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_EQ(report.CountOf(AuditCheck::kFiniteProbabilities), 2u)
+      << report.ToString();
+  // NaN poisons the source sum and the path-mass sweep as well.
+  EXPECT_GE(report.CountOf(AuditCheck::kSourceNormalization), 1u);
+  EXPECT_GE(report.CountOf(AuditCheck::kPathMass), 1u);
+  EXPECT_TRUE(std::isnan(report.path_mass));
+}
+
+TEST(GraphAuditTest, OrphanNodeIsReported) {
+  // Node 4 sits at t=1 with no incoming edge: not reachable from any
+  // source. Its out-degree is irrelevant (targets need none).
+  std::vector<Node> nodes = HealthyNodes();
+  nodes.push_back(MakeNode(1, kL1 + 10, 0.0, {}));
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  ASSERT_EQ(report.CountOf(AuditCheck::kReachability), 1u)
+      << report.ToString();
+  for (const AuditViolation& violation : report.violations) {
+    if (violation.check != AuditCheck::kReachability) continue;
+    EXPECT_EQ(violation.node, 4);
+    EXPECT_EQ(violation.time, 1);
+  }
+}
+
+TEST(GraphAuditTest, DeadBranchIsReported) {
+  // Node 2 at t=0 of a length-3 graph has no outgoing edge: a dead branch
+  // the backward phase should have pruned. It also reaches no target.
+  std::vector<Node> nodes;
+  nodes.push_back(MakeNode(0, kL1, 0.5, {Edge{2, 1.0}}));
+  nodes.push_back(MakeNode(0, kL2, 0.5, {}));
+  nodes.push_back(MakeNode(1, kL1, 0.0, {Edge{3, 1.0}}));
+  nodes.push_back(MakeNode(2, kL1, 0.0, {}));
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 3);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_EQ(report.CountOf(AuditCheck::kTermination), 1u)
+      << report.ToString();
+  EXPECT_EQ(report.CountOf(AuditCheck::kReachability), 1u);
+  EXPECT_EQ(report.CountOf(AuditCheck::kPathMass), 1u);
+  EXPECT_PROB_NEAR(report.path_mass, 0.5);
+}
+
+TEST(GraphAuditTest, DanglingEdgeIsReported) {
+  std::vector<Node> nodes = HealthyNodes();
+  nodes[1].out_edges[0].to = 42;  // No such node.
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_EQ(report.CountOf(AuditCheck::kEdgeTargetRange), 1u)
+      << report.ToString();
+}
+
+TEST(GraphAuditTest, EmptyLayerIsReported) {
+  // Both t=1 nodes deleted: layer 1 of 2 is empty, every source is a dead
+  // branch. The auditor must not crash on the empty target layer.
+  std::vector<Node> nodes;
+  nodes.push_back(MakeNode(0, kL1, 1.0, {}));
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditReport report = AuditGraph(graph);
+  EXPECT_EQ(report.CountOf(AuditCheck::kLayerNonEmpty), 1u)
+      << report.ToString();
+}
+
+TEST(GraphAuditTest, ViolationListTruncatesAtMax) {
+  // Every node of a wide layer breaks normalization; collection must stop
+  // at max_violations and flag truncation rather than ballooning.
+  std::vector<Node> nodes;
+  constexpr int kWidth = 16;
+  for (int i = 0; i < kWidth; ++i) {
+    nodes.push_back(MakeNode(0, static_cast<LocationId>(i), 1.0 / kWidth,
+                             {Edge{kWidth, 0.5}}));
+  }
+  nodes.push_back(MakeNode(1, kL1, 0.0, {}));
+  CtGraph graph = CtGraph::AssembleUnchecked(std::move(nodes), 2);
+  AuditOptions options;
+  options.max_violations = 4;
+  AuditReport report = AuditGraph(graph, options);
+  EXPECT_EQ(report.violations.size(), 4u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.ToStatus().ok());
+}
+
+TEST(GraphAuditTest, TotalPathMassMatchesEnumeration) {
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  double enumerated = 0.0;
+  for (const auto& [trajectory, probability] :
+       graph.value().EnumerateTrajectories()) {
+    enumerated += probability;
+  }
+  EXPECT_PROB_NEAR(TotalPathMass(graph.value()), enumerated);
+}
+
+class SelfAuditTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetCtGraphAuditHook(nullptr); }
+};
+
+TEST_F(SelfAuditTest, EnabledSelfAuditAcceptsHealthyBuilds) {
+  EnableSelfAudit();
+  ASSERT_NE(GetCtGraphAuditHook(), nullptr);
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  EXPECT_TRUE(builder.Build(PaperExampleSequence()).ok());
+
+  StreamingCleaner cleaner(constraints);
+  const LSequence sequence = PaperExampleSequence();
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    ASSERT_TRUE(cleaner.Push(sequence.CandidatesAt(t)).ok());
+  }
+  EXPECT_TRUE(std::move(cleaner).Finish().ok());
+
+  DisableSelfAudit();
+  EXPECT_EQ(GetCtGraphAuditHook(), nullptr);
+}
+
+Status RejectEverything(const CtGraph&) {
+  return InternalError("rejected by test hook");
+}
+
+TEST_F(SelfAuditTest, FailingHookFailsBatchAndStreamingBuilds) {
+  SetCtGraphAuditHook(&RejectEverything);
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(PaperExampleSequence());
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInternal);
+
+  StreamingCleaner cleaner(constraints);
+  const LSequence sequence = PaperExampleSequence();
+  for (Timestamp t = 0; t < sequence.length(); ++t) {
+    ASSERT_TRUE(cleaner.Push(sequence.CandidatesAt(t)).ok());
+  }
+  Result<CtGraph> streamed = std::move(cleaner).Finish();
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace rfidclean

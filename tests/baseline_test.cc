@@ -172,9 +172,9 @@ TEST(NaiveCleanerTest, MarginalsSumToOnePerTimestamp) {
 TEST(UncleanedModelTest, StayProbabilityIsCandidateProbability) {
   LSequence sequence = MakeLSequence({{{kL1, 0.3}, {kL2, 0.7}}});
   UncleanedModel model(sequence);
-  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL1), 0.3);
-  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL2), 0.7);
-  EXPECT_DOUBLE_EQ(model.StayProbability(0, kL3), 0.0);
+  EXPECT_PROB_NEAR(model.StayProbability(0, kL1), 0.3);
+  EXPECT_PROB_NEAR(model.StayProbability(0, kL2), 0.7);
+  EXPECT_PROB_NEAR(model.StayProbability(0, kL3), 0.0);
 }
 
 TEST(UncleanedModelTest, MostLikelyTrajectoryPicksArgmaxPerStep) {

@@ -22,7 +22,7 @@ foreach(artifact building.map readings.csv truth.txt)
 endforeach()
 
 run_step(${CLI} clean --dir ${WORK_DIR} --seed 5 --families DU+LT
-         --dot ${WORK_DIR}/graph.dot)
+         --dot ${WORK_DIR}/graph.dot --audit)
 if(NOT EXISTS ${WORK_DIR}/graph.ctg)
   message(FATAL_ERROR "clean did not write graph.ctg")
 endif()
@@ -33,7 +33,7 @@ endif()
 run_step(${CLI} stay --dir ${WORK_DIR} --time 45)
 run_step(${CLI} pattern --dir ${WORK_DIR} --pattern "? F0.Corridor ?")
 run_step(${CLI} sample --dir ${WORK_DIR} --count 2 --seed 7)
-run_step(${CLI} report --dir ${WORK_DIR})
+run_step(${CLI} report --dir ${WORK_DIR} --audit)
 
 # Error paths must fail cleanly, not crash.
 execute_process(COMMAND ${CLI} stay --dir ${WORK_DIR} --time 100000

@@ -89,9 +89,9 @@ TEST(CtGraphBuilderTest, PaperRunningExampleTrajectoryProbabilities) {
   EXPECT_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL3, kL3})), 1.0,
               1e-12);
   // Invalid or unrepresented trajectories have probability 0.
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL3, kL5})), 0.0);
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL2, kL4, kL5})), 0.0);
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL3})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL3, kL5})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL2, kL4, kL5})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL3})), 0.0);
 }
 
 TEST(CtGraphBuilderTest, NoConstraintsReproducesIndependentDistribution) {
@@ -158,7 +158,7 @@ TEST(CtGraphBuilderTest, ConditioningPreservesProbabilityRatios) {
               1e-12);
   EXPECT_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL4})), 1.0 / 3,
               1e-12);
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL2, kL3})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL2, kL3})), 0.0);
 }
 
 TEST(CtGraphBuilderTest, LatencyCreatesDistinctDeltaNodes) {
@@ -181,7 +181,7 @@ TEST(CtGraphBuilderTest, LatencyCreatesDistinctDeltaNodes) {
               0.5, 1e-12);
   EXPECT_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL1, kL1, kL1})),
               0.5, 1e-12);
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL2, kL2})),
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL2, kL2})),
             0.0);
 }
 
@@ -200,7 +200,7 @@ TEST(CtGraphBuilderTest, LatencyTruncatedByWindowEndIsNotViolated) {
   EXPECT_GT(graph.TrajectoryProbability(Trajectory({kL1, kL1, kL2})), 0.0);
   EXPECT_GT(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL2})), 0.0);
   // But leaving L2 after a 1-tick stay mid-window is a violation.
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL1})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL1})), 0.0);
 }
 
 TEST(CtGraphBuilderTest, TravelingTimeBlocksFastIndirectMoves) {
@@ -216,7 +216,7 @@ TEST(CtGraphBuilderTest, TravelingTimeBlocksFastIndirectMoves) {
   ASSERT_TRUE(result.ok());
   const CtGraph& graph = result.value();
   // L1 L2 L3 L3 violates (gap 2 < 3); L1 L2 L2 L3 satisfies (gap 3).
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL3, kL3})),
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL3, kL3})),
             0.0);
   EXPECT_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL2, kL2, kL3})),
               1.0, 1e-12);
@@ -236,7 +236,7 @@ TEST(CtGraphBuilderTest, DirectMoveUnderTravelingTimeConstraintIsInvalid) {
   ASSERT_TRUE(result.ok());
   const CtGraph& graph = result.value();
   // The move L1@1 -> L2@2 has gap 1 < 2 in both shapes below.
-  EXPECT_EQ(graph.TrajectoryProbability(Trajectory({kL1, kL1, kL2})), 0.0);
+  EXPECT_PROB_NEAR(graph.TrajectoryProbability(Trajectory({kL1, kL1, kL2})), 0.0);
   // L1@0 -> L2@2 via L3 has gap 2: valid.
   EXPECT_GT(graph.TrajectoryProbability(Trajectory({kL1, kL3, kL2})), 0.0);
   EXPECT_GT(graph.TrajectoryProbability(Trajectory({kL1, kL3, kL3})), 0.0);

@@ -100,7 +100,7 @@ TEST(CtGraphTest, TrajectoryProbabilityRejectsWrongLength) {
   Result<CtGraph> graph =
       builder.Build(MakeLSequence({{{kL1, 1.0}}, {{kL2, 1.0}}}));
   ASSERT_TRUE(graph.ok());
-  EXPECT_EQ(graph.value().TrajectoryProbability(Trajectory({kL1})), 0.0);
+  EXPECT_PROB_NEAR(graph.value().TrajectoryProbability(Trajectory({kL1})), 0.0);
   EXPECT_EQ(
       graph.value().TrajectoryProbability(Trajectory({kL1, kL2, kL2})),
       0.0);

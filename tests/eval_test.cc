@@ -72,9 +72,9 @@ TEST(WorkloadTest, TrajectoryWorkloadMixesLengths) {
 // --- Accuracy helpers ------------------------------------------------------------
 
 TEST(AccuracyTest, TrajectoryQueryAccuracyDefinition) {
-  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.8, true), 0.8);
-  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.8, false), 0.2);
-  EXPECT_DOUBLE_EQ(TrajectoryQueryAccuracy(0.0, false), 1.0);
+  EXPECT_PROB_NEAR(TrajectoryQueryAccuracy(0.8, true), 0.8);
+  EXPECT_PROB_NEAR(TrajectoryQueryAccuracy(0.8, false), 0.2);
+  EXPECT_PROB_NEAR(TrajectoryQueryAccuracy(0.0, false), 1.0);
 }
 
 TEST(AccuracyTest, UncleanedStayAccuracyAveragesTruthProbability) {

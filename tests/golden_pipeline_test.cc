@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "analysis/graph_audit.h"
 #include "core/builder.h"
 #include "gen/dataset.h"
 #include "query/uncertainty.h"
@@ -65,6 +66,9 @@ TEST_F(GoldenPipelineTest, GraphShapesAndEntropiesAreStable) {
         << ConstraintFamiliesLabel(golden.families);
     EXPECT_NEAR(TrajectoryEntropy(graph.value()), golden.entropy_bits, 1e-3)
         << ConstraintFamiliesLabel(golden.families);
+    AuditReport audit = AuditGraph(graph.value());
+    EXPECT_TRUE(audit.ok()) << ConstraintFamiliesLabel(golden.families)
+                            << ": " << audit.ToString();
   }
 }
 

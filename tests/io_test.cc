@@ -204,7 +204,7 @@ TEST(CtGraphIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(parsed.value().length(), original.value().length());
   auto expected = original.value().EnumerateTrajectories();
   for (const auto& [trajectory, probability] : expected) {
-    EXPECT_DOUBLE_EQ(parsed.value().TrajectoryProbability(trajectory),
+    EXPECT_PROB_NEAR(parsed.value().TrajectoryProbability(trajectory),
                      probability);
   }
 }

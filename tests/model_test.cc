@@ -181,9 +181,9 @@ TEST(LSequenceTest, CreateValidatesInput) {
 
 TEST(LSequenceTest, ProbabilityLookup) {
   LSequence sequence = MakeLSequence({{{kL1, 0.25}, {kL2, 0.75}}});
-  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL1), 0.25);
-  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL2), 0.75);
-  EXPECT_DOUBLE_EQ(sequence.ProbabilityAt(0, kL3), 0.0);
+  EXPECT_PROB_NEAR(sequence.ProbabilityAt(0, kL1), 0.25);
+  EXPECT_PROB_NEAR(sequence.ProbabilityAt(0, kL2), 0.75);
+  EXPECT_PROB_NEAR(sequence.ProbabilityAt(0, kL3), 0.0);
 }
 
 TEST(LSequenceTest, NumTrajectoriesIsProductOfWidths) {
@@ -219,11 +219,11 @@ TEST(LSequenceTest, FromReadingsPrunesAndRenormalizes) {
 TEST(TrajectoryTest, AprioriProbabilityIsProductOfSteps) {
   LSequence sequence = MakeLSequence(
       {{{kL1, 0.5}, {kL2, 0.5}}, {{kL1, 0.25}, {kL3, 0.75}}});
-  EXPECT_DOUBLE_EQ(Trajectory({kL1, kL3}).AprioriProbability(sequence),
+  EXPECT_PROB_NEAR(Trajectory({kL1, kL3}).AprioriProbability(sequence),
                    0.375);
-  EXPECT_DOUBLE_EQ(Trajectory({kL2, kL1}).AprioriProbability(sequence),
+  EXPECT_PROB_NEAR(Trajectory({kL2, kL1}).AprioriProbability(sequence),
                    0.125);
-  EXPECT_DOUBLE_EQ(Trajectory({kL3, kL1}).AprioriProbability(sequence), 0.0);
+  EXPECT_PROB_NEAR(Trajectory({kL3, kL1}).AprioriProbability(sequence), 0.0);
 }
 
 TEST(TrajectoryTest, EqualityAndAccessors) {

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/graph_audit.h"
 #include "baseline/naive_cleaner.h"
 #include "baseline/validity.h"
 #include "common/rng.h"
@@ -114,6 +115,8 @@ TEST_P(ConditioningPropertyTest, CtGraphMatchesExhaustiveConditioning) {
     ASSERT_TRUE(graph.ok()) << graph.status().ToString();
     ASSERT_TRUE(graph.value().CheckConsistency().ok())
         << graph.value().CheckConsistency().ToString();
+    AuditReport audit = AuditGraph(graph.value());
+    EXPECT_TRUE(audit.ok()) << audit.ToString();
 
     // Same trajectory set, same probabilities.
     auto actual = graph.value().EnumerateTrajectories();

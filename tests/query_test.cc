@@ -156,8 +156,8 @@ TEST_F(GoldenGraphTest, StayQueriesAreDeterministicHere) {
   EXPECT_NEAR(evaluator.Probability(0, kL1), 1.0, 1e-12);
   EXPECT_NEAR(evaluator.Probability(1, kL3), 1.0, 1e-12);
   EXPECT_NEAR(evaluator.Probability(2, kL3), 1.0, 1e-12);
-  EXPECT_EQ(evaluator.Probability(0, kL2), 0.0);
-  EXPECT_EQ(evaluator.Probability(2, kL5), 0.0);
+  EXPECT_PROB_NEAR(evaluator.Probability(0, kL2), 0.0);
+  EXPECT_PROB_NEAR(evaluator.Probability(2, kL5), 0.0);
 }
 
 TEST_F(GoldenGraphTest, EvaluateReturnsFullDistribution) {

@@ -5,6 +5,7 @@
 #include "rfid/coverage_matrix.h"
 #include "rfid/detection_model.h"
 #include "rfid/reader_placement.h"
+#include "test_util.h"
 
 namespace rfidclean {
 namespace {
@@ -45,7 +46,7 @@ TEST_F(DetectionModelTest, NoDetectionBeyondMaxRadius) {
   DetectionModel model;
   Reader reader{"r", 0, {3.0, 9.0}};
   int far = grid_.GlobalCellAt(0, {16.0, 1.0});
-  EXPECT_EQ(model.DetectionProbability(reader, grid_, far), 0.0);
+  EXPECT_PROB_NEAR(model.DetectionProbability(reader, grid_, far), 0.0);
 }
 
 TEST_F(DetectionModelTest, NoDetectionAcrossFloors) {
@@ -53,7 +54,7 @@ TEST_F(DetectionModelTest, NoDetectionAcrossFloors) {
   Vec2 center = {3.0, 9.0};
   Reader reader{"r", 0, center};
   int same_spot_floor1 = grid_.GlobalCellAt(1, center);
-  EXPECT_EQ(model.DetectionProbability(reader, grid_, same_spot_floor1), 0.0);
+  EXPECT_PROB_NEAR(model.DetectionProbability(reader, grid_, same_spot_floor1), 0.0);
 }
 
 TEST_F(DetectionModelTest, WallsAttenuate) {
@@ -90,9 +91,9 @@ TEST(CoverageMatrixTest, FromModelMatchesPointQueries) {
   EXPECT_EQ(matrix.num_readers(), 2);
   EXPECT_EQ(matrix.num_cells(), grid.NumCells());
   int cell = grid.GlobalCellAt(0, {3.0, 9.0});
-  EXPECT_DOUBLE_EQ(matrix.Probability(0, cell),
+  EXPECT_PROB_NEAR(matrix.Probability(0, cell),
                    model.DetectionProbability(readers[0], grid, cell));
-  EXPECT_EQ(matrix.Probability(1, cell), 0.0);  // Reader on another floor.
+  EXPECT_PROB_NEAR(matrix.Probability(1, cell), 0.0);  // Reader on another floor.
 }
 
 TEST(CoverageMatrixTest, ReadersCoveringFiltersZeroRows) {
@@ -112,7 +113,7 @@ TEST(CalibratorTest, EstimatesRatesWithinSamplingError) {
   CoverageMatrix calibrated = Calibrator::Calibrate(truth, 3000, rng);
   EXPECT_NEAR(calibrated.Probability(0, 0), 0.9, 0.05);
   EXPECT_NEAR(calibrated.Probability(0, 1), 0.2, 0.05);
-  EXPECT_EQ(calibrated.Probability(0, 2), 0.0);  // True zero stays zero.
+  EXPECT_PROB_NEAR(calibrated.Probability(0, 2), 0.0);  // True zero stays zero.
 }
 
 TEST(CalibratorTest, RatesAreMultiplesOfOneOverSeconds) {

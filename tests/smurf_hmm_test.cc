@@ -131,7 +131,7 @@ TEST(HmmTest, CannotExpressLatencyConstraints) {
   Result<CtGraph> graph = builder.Build(sequence);
   ASSERT_TRUE(graph.ok());
   StayQueryEvaluator exact(graph.value());
-  EXPECT_EQ(exact.Probability(1, kL2), 0.0);
+  EXPECT_PROB_NEAR(exact.Probability(1, kL2), 0.0);
 }
 
 }  // namespace

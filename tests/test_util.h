@@ -6,9 +6,18 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/float_eq.h"
 #include "constraints/constraint_set.h"
 #include "model/lsequence.h"
 #include "model/trajectory.h"
+
+/// Compares two probabilities/masses with the library-wide tolerance
+/// (kProbabilityEpsilon). Use instead of EXPECT_EQ / EXPECT_DOUBLE_EQ on
+/// anything that went through floating-point arithmetic: exact equality on
+/// computed masses is a regression waiting for any change in summation
+/// order.
+#define EXPECT_PROB_NEAR(actual, expected) \
+  EXPECT_NEAR((actual), (expected), ::rfidclean::kProbabilityEpsilon)
 
 namespace rfidclean::testing {
 

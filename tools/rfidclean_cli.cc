@@ -29,6 +29,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/graph_audit.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "core/builder.h"
@@ -56,13 +57,20 @@
 namespace rfidclean::cli {
 namespace {
 
-/// Trivial "--key value" argument map.
+/// Trivial "--key value" argument map; a "--key" directly followed by
+/// another "--option" (or nothing) is a bare boolean flag, e.g. "--audit".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
-        values_[argv[i] + 2] = argv[i + 1];
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_.insert_or_assign(argv[i] + 2, argv[i + 1]);
+        ++i;
+      } else {
+        // The explicit std::string sidesteps a GCC 12 -Wrestrict false
+        // positive (PR105329) on assignment from a short string literal.
+        values_.insert_or_assign(argv[i] + 2, std::string("1"));
       }
     }
   }
@@ -74,6 +82,11 @@ class Args {
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second != "0" && it->second != "false";
   }
 
  private:
@@ -201,10 +214,19 @@ int Clean(const Args& args) {
   ConstraintSet constraints =
       InferConstraints(building.value(), walking, inference);
 
+  const bool audit = args.GetBool("audit", false);
+  if (audit) {
+    // Fails the build itself on any invariant violation (self-audit hook
+    // inside CtGraphBuilder), and prints the full report below.
+    EnableSelfAudit();
+  }
   CtGraphBuilder builder(constraints);
   BuildStats stats;
   Result<CtGraph> graph = builder.Build(sequence, &stats);
   if (!graph.ok()) return Fail(graph.status());
+  if (audit) {
+    std::printf("%s\n", AuditGraph(graph.value()).ToString().c_str());
+  }
   {
     std::ofstream os(dir + "/graph.ctg");
     if (!os) return Fail("cannot write graph.ctg");
@@ -293,6 +315,12 @@ int Report(const Args& args) {
   if (!graph.ok()) return Fail(graph.status());
   const CtGraph& g = graph.value();
 
+  if (args.GetBool("audit", false)) {
+    AuditReport audit = AuditGraph(g);
+    std::printf("%s\n", audit.ToString().c_str());
+    if (!audit.ok()) return 1;
+  }
+
   std::printf("ct-graph: %d ticks, %zu nodes, %zu edges, ~%s\n",
               g.length(), g.NumNodes(), g.NumEdges(),
               HumanBytes(g.ApproximateBytes()).c_str());
@@ -349,11 +377,12 @@ int Usage() {
       "usage: rfidclean_cli <generate|clean|stay|pattern|sample> [--key "
       "value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR\n"
-      "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F]\n"
+      "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
+      "[--audit]\n"
       "  stay     --dir DIR --time T\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
-      "  report   --dir DIR\n");
+      "  report   --dir DIR [--audit]\n");
   return 2;
 }
 
