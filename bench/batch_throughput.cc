@@ -1,0 +1,224 @@
+// Multi-tag batch cleaning throughput (runtime/batch_cleaner.h): cleans the
+// same N-tag workload at jobs ∈ {1, 2, 4, 8} and emits BENCH_batch.json
+// with tags/sec, wall time and peak RSS per job count, plus a digest of the
+// result payload (statuses + serialized graphs). The digest is timing-free
+// and scheduling-free, so two runs with the same workload and seed must
+// produce byte-identical digests at every job count — enforced by the
+// `bench_batch_determinism` ctest entry.
+//
+//   batch_throughput [--tags N] [--ticks T] [--seed S]
+//                    [--jobs 1,2,4,8] [--out BENCH_batch.json] [--paper]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "constraints/inference.h"
+#include "gen/reading_generator.h"
+#include "gen/trajectory_generator.h"
+#include "io/ctgraph_io.h"
+#include "map/building_grid.h"
+#include "map/standard_buildings.h"
+#include "map/walking_distance.h"
+#include "model/apriori.h"
+#include "rfid/calibration.h"
+#include "rfid/reader_placement.h"
+#include "runtime/batch_cleaner.h"
+
+namespace rfidclean::bench {
+namespace {
+
+/// Process-wide peak resident set in bytes (VmHWM). Monotone over the
+/// process lifetime, so per-job values report the peak *so far*, not the
+/// increment of one job count.
+std::size_t PeakRssBytes() {
+#if defined(__linux__)
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+#endif
+#if defined(__unix__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
+std::uint64_t Fnv1a(std::uint64_t hash, const std::string& text) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Timing-free digest of a batch result: statuses and full graph
+/// serializations, in outcome order.
+std::uint64_t DigestOutcomes(const std::vector<TagOutcome>& outcomes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const TagOutcome& outcome : outcomes) {
+    hash = Fnv1a(hash, StrFormat("tag=%lld;",
+                                 static_cast<long long>(outcome.tag)));
+    if (!outcome.graph.ok()) {
+      hash = Fnv1a(hash, outcome.graph.status().ToString());
+      continue;
+    }
+    std::ostringstream os;
+    WriteCtGraph(outcome.graph.value(), os);
+    hash = Fnv1a(hash, os.str());
+  }
+  return hash;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::FromArgs(argc, argv);
+  const char* tags_arg = FlagValue(argc, argv, "--tags");
+  const char* ticks_arg = FlagValue(argc, argv, "--ticks");
+  const char* seed_arg = FlagValue(argc, argv, "--seed");
+  const char* jobs_arg = FlagValue(argc, argv, "--jobs");
+  const char* out_arg = FlagValue(argc, argv, "--out");
+  const int num_tags =
+      tags_arg != nullptr ? std::atoi(tags_arg) : (scale.paper ? 128 : 32);
+  const Timestamp ticks = static_cast<Timestamp>(
+      ticks_arg != nullptr ? std::atoi(ticks_arg) : (scale.paper ? 600 : 120));
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      seed_arg != nullptr ? std::atoll(seed_arg) : 1);
+  const std::string out = out_arg != nullptr ? out_arg : "BENCH_batch.json";
+  std::vector<int> job_counts;
+  for (const std::string& token :
+       StrSplit(jobs_arg != nullptr ? jobs_arg : "1,2,4,8", ',')) {
+    if (!token.empty()) job_counts.push_back(std::atoi(token.c_str()));
+  }
+
+  PrintHeader("batch_throughput",
+              "Multi-tag batch cleaning: tags/sec and peak RSS vs jobs",
+              scale);
+
+  // One building, one deployment, N independent tags — the CLI's multi-tag
+  // generate/clean pipeline, inlined.
+  Building building = MakeOfficeBuilding(2);
+  BuildingGrid grid = BuildingGrid::Build(building, 0.5);
+  std::vector<Reader> readers = PlaceStandardReaders(building);
+  DetectionModel model;
+  CoverageMatrix truth_coverage = CoverageMatrix::FromModel(readers, grid, model);
+  Rng calibration_rng(seed, /*stream=*/0xCA11B);
+  CoverageMatrix calibrated =
+      Calibrator::Calibrate(truth_coverage, 30, calibration_rng);
+  WalkingDistances walking = WalkingDistances::Compute(building, grid);
+  InferenceOptions inference;
+  ConstraintSet constraints = InferConstraints(building, walking, inference);
+  AprioriModel apriori(building, grid, calibrated);
+
+  TrajectoryGenerator trajectories(building);
+  TrajectoryGenOptions motion;
+  motion.duration_ticks = ticks;
+  ReadingGenerator reading_gen(grid, truth_coverage);
+  std::vector<TagWorkload> workloads;
+  for (int k = 0; k < num_tags; ++k) {
+    Rng rng(seed, /*stream=*/1000 + static_cast<std::uint64_t>(k));
+    ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
+    workloads.push_back(TagWorkload{
+        static_cast<TagId>(k),
+        LSequence::FromReadings(reading_gen.Generate(continuous, rng),
+                                apriori)});
+  }
+
+  Table table({"jobs", "millis", "tags/s", "peak RSS", "digest"});
+  std::string results_json;
+  for (std::size_t i = 0; i < job_counts.size(); ++i) {
+    BatchOptions options;
+    options.jobs = job_counts[i];
+    BatchCleaner cleaner(constraints, options);
+    Stopwatch watch;
+    std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
+    const double millis = watch.ElapsedMillis();
+    const double tags_per_sec =
+        millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
+                   : 0.0;
+    const std::size_t rss = PeakRssBytes();
+    const std::uint64_t digest = DigestOutcomes(outcomes);
+    std::size_t ok_tags = 0;
+    std::size_t total_nodes = 0;
+    for (const TagOutcome& outcome : outcomes) {
+      if (!outcome.graph.ok()) continue;
+      ++ok_tags;
+      total_nodes += outcome.graph.value().NumNodes();
+    }
+    table.AddRow({StrFormat("%d", cleaner.jobs()),
+                  StrFormat("%.1f", millis), StrFormat("%.1f", tags_per_sec),
+                  HumanBytes(rss), StrFormat("%016llx",
+                                             static_cast<unsigned long long>(
+                                                 digest))});
+    results_json += StrFormat(
+        "    {\n"
+        "      \"jobs\": %d,\n"
+        "      \"millis\": %.3f,\n"
+        "      \"tags_per_sec\": %.3f,\n"
+        "      \"peak_rss_bytes\": %zu,\n"
+        "      \"ok_tags\": %zu,\n"
+        "      \"failed_tags\": %zu,\n"
+        "      \"total_nodes\": %zu,\n"
+        "      \"digest\": \"%016llx\"\n"
+        "    }%s\n",
+        cleaner.jobs(), millis, tags_per_sec, rss, ok_tags,
+        outcomes.size() - ok_tags, total_nodes,
+        static_cast<unsigned long long>(digest),
+        i + 1 < job_counts.size() ? "," : "");
+  }
+  table.Print(std::cout);
+
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  os << StrFormat(
+            "{\n"
+            "  \"bench\": \"batch_throughput\",\n"
+            "  \"mode\": \"%s\",\n"
+            "  \"tags\": %d,\n"
+            "  \"ticks\": %d,\n"
+            "  \"seed\": %llu,\n"
+            "  \"results\": [\n",
+            scale.Label(), num_tags, ticks,
+            static_cast<unsigned long long>(seed))
+     << results_json << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) {
+  return rfidclean::bench::Main(argc, argv);
+}

@@ -41,6 +41,15 @@ StreamingCleaner::StreamingCleaner(const ConstraintSet& constraints,
                                    const SuccessorOptions& options)
     : constraints_(&constraints), successors_(constraints, options) {}
 
+void StreamingCleaner::ReserveCapacity(std::size_t nodes, std::size_t edges,
+                                       Timestamp ticks) {
+  work_.nodes.reserve(nodes);
+  work_.edges.reserve(edges);
+  if (ticks > 0) {
+    work_.by_time.reserve(static_cast<std::size_t>(ticks));
+  }
+}
+
 Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   if (failed_) {
     return FailedPreconditionError(

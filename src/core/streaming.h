@@ -38,6 +38,15 @@ class StreamingCleaner {
       const ConstraintSet& constraints,
       const SuccessorOptions& options = SuccessorOptions());
 
+  /// Pre-reserves the internal node/edge/layer storage. Purely an
+  /// allocation hint: results are bit-identical with or without it. Batch
+  /// drivers (runtime/batch_cleaner.h) recycle the high-water marks of the
+  /// cleanings a worker already ran through this, so steady-state cleaning
+  /// skips the geometric regrowth of the node arena. Call before the first
+  /// Push; later calls only ever grow capacity.
+  void ReserveCapacity(std::size_t nodes, std::size_t edges,
+                       Timestamp ticks);
+
   /// Appends the candidate interpretation of the next tick (location,
   /// probability pairs summing to 1, as produced by AprioriModel /
   /// LSequence). Fails with FailedPrecondition when the new tick leaves no

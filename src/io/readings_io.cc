@@ -1,8 +1,11 @@
 #include "io/readings_io.h"
 
 #include <charconv>
+#include <map>
 #include <string>
+#include <unordered_set>
 
+#include "common/check.h"
 #include "common/strings.h"
 
 namespace rfidclean {
@@ -15,17 +18,55 @@ bool ParseInt(std::string_view text, long* out) {
   return ec == std::errc() && ptr == text.data() + text.size();
 }
 
+bool ParseInt64(std::string_view text, long long* out) {
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+void WriteReaderSet(const ReaderSet& readers, std::ostream& os) {
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << readers[i];
+  }
+}
+
+/// Parses "<time>,<space-separated readers>" into `reading` (shared tail of
+/// the single-tag and multi-tag row grammars).
+Status ParseTimeAndReaders(std::string_view content, int line_number,
+                           Reading* reading) {
+  std::size_t comma = content.find(',');
+  if (comma == std::string_view::npos) {
+    return InvalidArgumentError(
+        StrFormat("line %d: expected 'time,readers'", line_number));
+  }
+  long time = 0;
+  if (!ParseInt(StripWhitespace(content.substr(0, comma)), &time) ||
+      time < 0) {
+    return InvalidArgumentError(
+        StrFormat("line %d: invalid timestamp", line_number));
+  }
+  reading->time = static_cast<Timestamp>(time);
+  for (const std::string& token : StrSplit(content.substr(comma + 1), ' ')) {
+    std::string_view id_text = StripWhitespace(token);
+    if (id_text.empty()) continue;
+    long id = 0;
+    if (!ParseInt(id_text, &id) || id < 0) {
+      return InvalidArgumentError(
+          StrFormat("line %d: invalid reader id", line_number));
+    }
+    reading->readers.push_back(static_cast<ReaderId>(id));
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 void WriteReadingsCsv(const RSequence& sequence, std::ostream& os) {
   os << "time,readers\n";
   for (Timestamp t = 0; t < sequence.length(); ++t) {
     os << t << ',';
-    const ReaderSet& readers = sequence.ReadersAt(t);
-    for (std::size_t i = 0; i < readers.size(); ++i) {
-      if (i > 0) os << ' ';
-      os << readers[i];
-    }
+    WriteReaderSet(sequence.ReadersAt(t), os);
     os << '\n';
   }
 }
@@ -41,33 +82,73 @@ Result<RSequence> ReadReadingsCsv(std::istream& is) {
     ++line_number;
     std::string_view content = StripWhitespace(line);
     if (content.empty()) continue;
-    std::size_t comma = content.find(',');
-    if (comma == std::string_view::npos) {
-      return InvalidArgumentError(
-          StrFormat("line %d: expected 'time,readers'", line_number));
-    }
     Reading reading;
-    long time = 0;
-    if (!ParseInt(StripWhitespace(content.substr(0, comma)), &time) ||
-        time < 0) {
-      return InvalidArgumentError(
-          StrFormat("line %d: invalid timestamp", line_number));
-    }
-    reading.time = static_cast<Timestamp>(time);
-    for (const std::string& token :
-         StrSplit(content.substr(comma + 1), ' ')) {
-      std::string_view id_text = StripWhitespace(token);
-      if (id_text.empty()) continue;
-      long id = 0;
-      if (!ParseInt(id_text, &id) || id < 0) {
-        return InvalidArgumentError(
-            StrFormat("line %d: invalid reader id", line_number));
-      }
-      reading.readers.push_back(static_cast<ReaderId>(id));
-    }
+    RFID_RETURN_IF_ERROR(ParseTimeAndReaders(content, line_number, &reading));
     readings.push_back(std::move(reading));
   }
   return RSequence::Create(std::move(readings));
+}
+
+void WriteMultiTagReadingsCsv(const std::vector<TagReadings>& tags,
+                              std::ostream& os) {
+  std::unordered_set<TagId> seen;
+  os << kMultiTagReadingsHeader << '\n';
+  for (const TagReadings& tag : tags) {
+    RFID_CHECK(seen.insert(tag.tag).second);  // distinct tag ids
+    for (Timestamp t = 0; t < tag.readings.length(); ++t) {
+      os << tag.tag << ',' << t << ',';
+      WriteReaderSet(tag.readings.ReadersAt(t), os);
+      os << '\n';
+    }
+  }
+}
+
+Result<std::vector<TagReadings>> ReadMultiTagReadingsCsv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      StripWhitespace(line) != kMultiTagReadingsHeader) {
+    return InvalidArgumentError("missing 'tag,time,readers' header");
+  }
+  // std::map: tags come out sorted by id, independent of row order.
+  std::map<TagId, std::vector<Reading>> by_tag;
+  int line_number = 1;
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::string_view content = StripWhitespace(line);
+    if (content.empty()) continue;
+    std::size_t comma = content.find(',');
+    if (comma == std::string_view::npos) {
+      return InvalidArgumentError(
+          StrFormat("line %d: expected 'tag,time,readers'", line_number));
+    }
+    long long tag = 0;
+    if (!ParseInt64(StripWhitespace(content.substr(0, comma)), &tag) ||
+        tag < 0) {
+      return InvalidArgumentError(
+          StrFormat("line %d: invalid tag id", line_number));
+    }
+    Reading reading;
+    RFID_RETURN_IF_ERROR(ParseTimeAndReaders(content.substr(comma + 1),
+                                             line_number, &reading));
+    by_tag[static_cast<TagId>(tag)].push_back(std::move(reading));
+  }
+  if (by_tag.empty()) {
+    return InvalidArgumentError("multi-tag readings file has no data rows");
+  }
+  std::vector<TagReadings> tags;
+  tags.reserve(by_tag.size());
+  for (auto& [tag, readings] : by_tag) {
+    // RSequence::Create enforces the per-tag 0..n-1 coverage, rejecting
+    // duplicate (tag, time) rows and gaps; prefix its message with the tag.
+    Result<RSequence> sequence = RSequence::Create(std::move(readings));
+    if (!sequence.ok()) {
+      return Status(sequence.status().code(),
+                    StrFormat("tag %lld: %s", static_cast<long long>(tag),
+                              sequence.status().message().c_str()));
+    }
+    tags.push_back(TagReadings{tag, std::move(sequence).value()});
+  }
+  return tags;
 }
 
 }  // namespace rfidclean

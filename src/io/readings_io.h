@@ -3,8 +3,10 @@
 
 #include <istream>
 #include <ostream>
+#include <vector>
 
 #include "common/result.h"
+#include "model/reading.h"
 #include "model/rsequence.h"
 
 namespace rfidclean {
@@ -22,6 +24,37 @@ void WriteReadingsCsv(const RSequence& sequence, std::ostream& os);
 /// Parses the format written by WriteReadingsCsv. Rows may appear in any
 /// order; timestamps must cover 0..n-1 exactly once.
 Result<RSequence> ReadReadingsCsv(std::istream& is);
+
+/// One tag's reading sequence within a multi-tag file.
+struct TagReadings {
+  TagId tag = 0;
+  RSequence readings;
+};
+
+/// Header line distinguishing the multi-tag format from the single-tag one;
+/// callers sniff the first line of a file to pick the parser (see
+/// rfidclean_cli clean --jobs).
+inline constexpr char kMultiTagReadingsHeader[] = "tag,time,readers";
+
+/// Serializes many tags' reading sequences as CSV with header
+/// "tag,time,readers", one row per (tag, time) pair:
+///
+///   tag,time,readers
+///   2,0,3 7
+///   2,1,
+///   5,0,1
+///
+/// Tags are written in the given order and must have distinct ids
+/// (RFID_CHECK). Per-tag sequence lengths may differ.
+void WriteMultiTagReadingsCsv(const std::vector<TagReadings>& tags,
+                              std::ostream& os);
+
+/// Parses the format written by WriteMultiTagReadingsCsv. Rows may
+/// interleave tags and timestamps arbitrarily; per tag, timestamps must
+/// cover 0..n_tag-1 exactly once. Duplicate (tag, time) rows, negative
+/// ids, and files with no data rows are errors. Tags are returned sorted
+/// by ascending id, so the result is independent of row order.
+Result<std::vector<TagReadings>> ReadMultiTagReadingsCsv(std::istream& is);
 
 }  // namespace rfidclean
 

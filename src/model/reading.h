@@ -13,6 +13,12 @@ namespace rfidclean {
 /// the paper's evaluation does.
 using Timestamp = std::int32_t;
 
+/// Identifier of one monitored object (the tag's EPC). The paper cleans a
+/// single object at a time, so the single-tag pipeline never materializes
+/// one; multi-tag containers (io/readings_io.h, runtime/batch_cleaner.h)
+/// key their per-object streams by TagId.
+using TagId = std::int64_t;
+
 /// The set of readers that simultaneously detected a tag, kept sorted and
 /// deduplicated (see NormalizeReaderSet). The empty set is a valid reading:
 /// "detected by no reader" (false negatives, reader-free zones).

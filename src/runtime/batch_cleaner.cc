@@ -1,0 +1,110 @@
+#include "runtime/batch_cleaner.h"
+
+#include <exception>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+#include "runtime/arena.h"
+#include "runtime/shard_queue.h"
+
+namespace rfidclean {
+
+namespace {
+
+/// Cleans one workload with the worker's recycled capacity hints. All
+/// error messages are deterministic functions of the workload, so outcomes
+/// compare bit-identical across job counts and runs.
+TagOutcome CleanOne(const ConstraintSet& constraints,
+                    const SuccessorOptions& successor,
+                    const TagWorkload& workload,
+                    runtime::WorkerArena* arena) {
+  BuildStats stats;
+  Result<CtGraph> graph = [&]() -> Result<CtGraph> {
+    if (workload.sequence.length() == 0) {
+      return InvalidArgumentError(
+          StrFormat("tag %lld has an empty stream",
+                    static_cast<long long>(workload.tag)));
+    }
+    StreamingCleaner cleaner(constraints, successor);
+    arena->Prepare(&cleaner, workload.sequence.length());
+    for (Timestamp t = 0; t < workload.sequence.length(); ++t) {
+      Status pushed = cleaner.Push(workload.sequence.CandidatesAt(t));
+      if (!pushed.ok()) return pushed;
+    }
+    return std::move(cleaner).Finish(&stats);
+  }();
+  if (graph.ok()) arena->Observe(stats, workload.sequence.length());
+  return TagOutcome{workload.tag, std::move(graph), stats};
+}
+
+}  // namespace
+
+BatchCleaner::BatchCleaner(const ConstraintSet& constraints,
+                           BatchOptions options)
+    : constraints_(&constraints), options_(std::move(options)) {
+  if (options_.jobs < 1) options_.jobs = 1;
+}
+
+std::vector<TagOutcome> BatchCleaner::CleanAll(
+    const std::vector<TagWorkload>& workloads) const {
+  std::vector<std::optional<TagOutcome>> slots(workloads.size());
+  if (!workloads.empty()) {
+    const std::size_t num_workers =
+        std::min(static_cast<std::size_t>(options_.jobs), workloads.size());
+    runtime::ShardQueue queue(workloads.size(), num_workers);
+
+    // Each worker owns slot writes for the shards it pops (shards are
+    // handed out exactly once), so no synchronization beyond the queue and
+    // the final joins is needed.
+    auto run_worker = [&](std::size_t worker) {
+      runtime::WorkerArena arena;
+      std::size_t shard = 0;
+      while (queue.Pop(worker, &shard)) {
+        try {
+          if (options_.before_tag) options_.before_tag(shard);
+          slots[shard].emplace(
+              CleanOne(*constraints_, options_.successor, workloads[shard],
+                       &arena));
+        } catch (const std::exception& e) {
+          slots[shard].emplace(TagOutcome{
+              workloads[shard].tag,
+              InternalError(StrFormat(
+                  "uncaught exception while cleaning tag %lld: %s",
+                  static_cast<long long>(workloads[shard].tag), e.what())),
+              BuildStats{}});
+        } catch (...) {
+          slots[shard].emplace(TagOutcome{
+              workloads[shard].tag,
+              InternalError(StrFormat(
+                  "uncaught exception while cleaning tag %lld",
+                  static_cast<long long>(workloads[shard].tag))),
+              BuildStats{}});
+        }
+      }
+    };
+
+    if (num_workers == 1) {
+      run_worker(0);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(num_workers);
+      for (std::size_t w = 0; w < num_workers; ++w) {
+        workers.emplace_back(run_worker, w);
+      }
+      for (std::thread& worker : workers) worker.join();
+    }
+  }
+
+  std::vector<TagOutcome> outcomes;
+  outcomes.reserve(slots.size());
+  for (std::optional<TagOutcome>& slot : slots) {
+    RFID_CHECK(slot.has_value());
+    outcomes.push_back(std::move(*slot));
+  }
+  return outcomes;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,83 @@
+#ifndef RFIDCLEAN_RUNTIME_BATCH_CLEANER_H_
+#define RFIDCLEAN_RUNTIME_BATCH_CLEANER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint_set.h"
+#include "core/builder.h"
+#include "core/ct_graph.h"
+#include "core/streaming.h"
+#include "model/lsequence.h"
+#include "model/reading.h"
+
+namespace rfidclean {
+
+/// One tag's interpreted reading stream, ready for cleaning. Tags are
+/// independent given the map and the constraint set (the per-tag factoring
+/// of Cao et al.'s distributed RFID inference), so a batch of workloads is
+/// embarrassingly parallel.
+struct TagWorkload {
+  TagId tag = 0;
+  LSequence sequence;
+};
+
+/// The per-tag result: either the conditioned trajectory graph or the error
+/// that tag's stream produced (an inconsistent stream yields
+/// FailedPrecondition exactly as StreamingCleaner::Push does; an empty
+/// stream yields InvalidArgument). One tag failing never affects another.
+struct TagOutcome {
+  TagId tag = 0;
+  Result<CtGraph> graph;
+  BuildStats stats;
+};
+
+struct BatchOptions {
+  /// Worker threads. Values < 1 are clamped to 1; jobs == 1 cleans on the
+  /// calling thread without spawning. More jobs than tags is fine — the
+  /// surplus workers drain by stealing and exit.
+  int jobs = 1;
+  SuccessorOptions successor;
+  /// Instrumentation/test hook run in the owning worker right before shard
+  /// `index` (the workload's position) is cleaned. Must be thread-safe; an
+  /// exception it throws is converted into an Internal outcome for that
+  /// tag only.
+  std::function<void(std::size_t index)> before_tag;
+};
+
+/// Cleans N independent tag streams concurrently on a fixed-size pool of
+/// `jobs` workers: a work-stealing queue (runtime/shard_queue.h) balances
+/// per-tag shards across workers, each worker recycles its allocation
+/// high-water marks across tags (runtime/arena.h), and every outcome lands
+/// in the slot of its workload, so the result order — and every byte of
+/// every result — is independent of scheduling. Per tag the engine is the
+/// StreamingCleaner itself, which makes "parallel ≡ sequential" exact:
+/// BatchCleaner output is bit-identical to looping StreamingCleaner over
+/// the same workloads (enforced by tests/batch_differential_test.cc).
+///
+/// Thread-safety inputs: ConstraintSet is immutable after construction and
+/// the self-audit hook (core/self_audit.h) is an atomic read, so workers
+/// share both without synchronization.
+class BatchCleaner {
+ public:
+  /// The constraint set must outlive the cleaner.
+  explicit BatchCleaner(const ConstraintSet& constraints,
+                        BatchOptions options = BatchOptions());
+
+  /// Cleans every workload; outcomes are returned in workload order
+  /// regardless of jobs and scheduling. An empty batch returns an empty
+  /// vector without spawning workers.
+  std::vector<TagOutcome> CleanAll(
+      const std::vector<TagWorkload>& workloads) const;
+
+  int jobs() const { return options_.jobs; }
+
+ private:
+  const ConstraintSet* constraints_;
+  BatchOptions options_;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_RUNTIME_BATCH_CLEANER_H_

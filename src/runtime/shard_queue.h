@@ -1,0 +1,53 @@
+#ifndef RFIDCLEAN_RUNTIME_SHARD_QUEUE_H_
+#define RFIDCLEAN_RUNTIME_SHARD_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rfidclean::runtime {
+
+/// Work-stealing distributor of shard indices [0, num_shards) across
+/// `num_workers` workers. Shards are dealt round-robin into per-worker
+/// lanes at construction; Pop(worker) serves the worker's own lane in FIFO
+/// order and, once that lane drains, steals from the back of the most
+/// loaded other lane. Round-robin dealing gives each worker an even share
+/// when shards are uniform; stealing rebalances skewed shard sizes (one
+/// giant tag among hundreds of short ones) and workers that outnumber
+/// shards simply drain by theft.
+///
+/// The lanes are mutex-guarded — per-shard work (cleaning one tag) is
+/// orders of magnitude coarser than a lock, so a lock-free deque would buy
+/// nothing — with a relaxed per-lane size counter for victim selection
+/// only. All methods are thread-safe.
+class ShardQueue {
+ public:
+  ShardQueue(std::size_t num_shards, std::size_t num_workers);
+
+  ShardQueue(const ShardQueue&) = delete;
+  ShardQueue& operator=(const ShardQueue&) = delete;
+
+  /// Delivers the next shard for `worker` (own lane first, then theft).
+  /// Returns false only when every lane is empty: the queue is drained.
+  bool Pop(std::size_t worker, std::size_t* shard);
+
+  std::size_t num_workers() const { return lanes_.size(); }
+
+ private:
+  struct Lane {
+    std::mutex mu;
+    std::deque<std::size_t> shards;
+    /// Approximate size for victim selection; the mutex is authoritative.
+    std::atomic<std::size_t> approx_size{0};
+  };
+
+  /// unique_ptr because Lane (mutex + atomic) is not movable.
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+}  // namespace rfidclean::runtime
+
+#endif  // RFIDCLEAN_RUNTIME_SHARD_QUEUE_H_

@@ -1,5 +1,8 @@
+#include <cstddef>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -70,6 +73,81 @@ TEST_P(IoFuzzTest, ReadingsParserNeverCrashes) {
     Result<RSequence> parsed = ReadReadingsCsv(is);
     if (parsed.ok()) {
       EXPECT_GT(parsed.value().length(), 0);
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, MultiTagReadingsParserNeverCrashes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/74);
+  // Hand-built pristine document with interleaved tags and unordered
+  // per-tag timestamps, so corruptions hit the interesting parse paths
+  // (tag column, grouping, per-tag coverage check) and not only the
+  // writer's canonical grouped layout.
+  const std::string pristine =
+      "tag,time,readers\n"
+      "12,1,3\n"
+      "7,0,1 2\n"
+      "12,0,\n"
+      "7,2,4\n"
+      "12,2,3 5\n"
+      "7,1,\n";
+  {
+    std::istringstream is(pristine);
+    ASSERT_TRUE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  for (int round = 0; round < 40; ++round) {
+    std::istringstream is(Corrupt(pristine, rng));
+    Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(is);
+    if (parsed.ok()) {
+      // An accepted document yields well-formed, id-sorted tag streams.
+      ASSERT_FALSE(parsed.value().empty());
+      for (std::size_t i = 0; i < parsed.value().size(); ++i) {
+        EXPECT_GE(parsed.value()[i].tag, 0);
+        EXPECT_GT(parsed.value()[i].readings.length(), 0);
+        if (i > 0) {
+          EXPECT_LT(parsed.value()[i - 1].tag, parsed.value()[i].tag);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(IoFuzzTest, MultiTagReadingsParserSurvivesStructuralMutations) {
+  // Row-level mutations the byte fuzzer rarely composes: duplicated rows
+  // (duplicate (tag,time) pairs), deleted rows (timestamp gaps), rows with
+  // the tag field emptied, and shuffled row order. Every mutant must parse
+  // or fail with a Status — never crash.
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/75);
+  const std::vector<std::string> rows = {
+      "12,1,3", "7,0,1 2", "12,0,", "7,2,4", "12,2,3 5", "7,1,"};
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::string> mutated = rows;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:  // Duplicate a row -> duplicate (tag, time).
+        mutated.push_back(mutated[rng.UniformIndex(mutated.size())]);
+        break;
+      case 1:  // Drop a row -> per-tag timestamp gap or vanished tag.
+        mutated.erase(mutated.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          rng.UniformIndex(mutated.size())));
+        break;
+      case 2: {  // Empty the tag field of one row.
+        std::string& row = mutated[rng.UniformIndex(mutated.size())];
+        row = row.substr(row.find(','));
+        break;
+      }
+      default:  // Shuffle rows (must still parse: order is irrelevant).
+        for (std::size_t i = mutated.size(); i > 1; --i) {
+          std::swap(mutated[i - 1], mutated[rng.UniformIndex(i)]);
+        }
+        break;
+    }
+    std::string doc = "tag,time,readers\n";
+    for (const std::string& row : mutated) doc += row + "\n";
+    std::istringstream is(doc);
+    Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(is);
+    if (parsed.ok()) {
+      EXPECT_FALSE(parsed.value().empty());
     }
   }
 }

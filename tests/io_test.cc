@@ -71,6 +71,80 @@ TEST(ReadingsIoTest, RejectsMalformedInput) {
   }
 }
 
+// --- Multi-tag readings CSV -------------------------------------------------
+
+std::vector<TagReadings> MakeTwoTagFixture() {
+  Result<RSequence> first = RSequence::Create({{0, {1, 2}}, {1, {}}});
+  Result<RSequence> second = RSequence::Create({{0, {}}, {1, {3}}, {2, {1}}});
+  RFID_CHECK(first.ok() && second.ok());
+  return {TagReadings{7, std::move(first).value()},
+          TagReadings{3, std::move(second).value()}};
+}
+
+TEST(MultiTagReadingsIoTest, RoundTripSortsTagsAscending) {
+  std::stringstream stream;
+  WriteMultiTagReadingsCsv(MakeTwoTagFixture(), stream);
+  Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(stream);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].tag, 3);
+  EXPECT_EQ(parsed.value()[0].readings.length(), 3);
+  EXPECT_EQ(parsed.value()[0].readings.ReadersAt(1), ReaderSet{3});
+  EXPECT_EQ(parsed.value()[1].tag, 7);
+  EXPECT_EQ(parsed.value()[1].readings.length(), 2);
+  EXPECT_EQ(parsed.value()[1].readings.ReadersAt(0), (ReaderSet{1, 2}));
+}
+
+TEST(MultiTagReadingsIoTest, ParsesInterleavedRows) {
+  // Rows from different tags interleaved and per-tag timestamps unordered:
+  // grouping is by the tag column, not by row adjacency.
+  std::istringstream is(
+      "tag,time,readers\n5,1,\n9,0,2\n5,0,1 4\n9,1,\n9,2,7\n");
+  Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0].tag, 5);
+  EXPECT_EQ(parsed.value()[0].readings.ReadersAt(0), (ReaderSet{1, 4}));
+  EXPECT_EQ(parsed.value()[1].tag, 9);
+  EXPECT_EQ(parsed.value()[1].readings.ReadersAt(2), ReaderSet{7});
+}
+
+TEST(MultiTagReadingsIoTest, WriteFormatIsStable) {
+  std::ostringstream os;
+  WriteMultiTagReadingsCsv(MakeTwoTagFixture(), os);
+  EXPECT_EQ(os.str(),
+            "tag,time,readers\n7,0,1 2\n7,1,\n3,0,\n3,1,3\n3,2,1\n");
+}
+
+TEST(MultiTagReadingsIoTest, RejectsMalformedInput) {
+  {
+    std::istringstream is("time,readers\n0,1\n");  // Single-tag header.
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  {
+    std::istringstream is("tag,time,readers\n");  // No data rows.
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  {
+    // Duplicate (tag, time) pair.
+    std::istringstream is("tag,time,readers\n1,0,2\n1,0,3\n");
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  {
+    std::istringstream is("tag,time,readers\n,0,1\n");  // Empty tag field.
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  {
+    std::istringstream is("tag,time,readers\n-4,0,1\n");  // Negative tag.
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+  {
+    // Tag 2's timestamps have a gap (0 then 2): not a valid stream.
+    std::istringstream is("tag,time,readers\n2,0,1\n2,2,1\n");
+    EXPECT_FALSE(ReadMultiTagReadingsCsv(is).ok());
+  }
+}
+
 // --- Building text format ------------------------------------------------------
 
 TEST(BuildingIoTest, RoundTripPreservesStructure) {

@@ -1,13 +1,19 @@
 // rfidclean_cli — command-line front end for the library's file formats.
 //
 //   rfidclean_cli generate --floors 4 --duration 600 --seed 1 --out DIR
+//                          [--tags N]
 //       Simulates a monitored object: writes DIR/building.map,
 //       DIR/readings.csv and DIR/truth.txt (ground-truth locations).
+//       With --tags N it simulates N independent objects instead,
+//       writing the multi-tag readings format and truth_<tag>.txt files.
 //
 //   rfidclean_cli clean --dir DIR [--families DU|DU+LT|DU+LT+TT]
-//                       [--seed 1] [--dot graph.dot]
+//                       [--seed 1] [--dot graph.dot] [--jobs N]
 //       Cleans DIR/readings.csv against DIR/building.map and writes
-//       DIR/graph.ctg (plus an optional GraphViz rendering).
+//       DIR/graph.ctg (plus an optional GraphViz rendering). A multi-tag
+//       readings file (header "tag,time,readers") is cleaned as a batch
+//       on N worker threads (runtime/batch_cleaner.h), one
+//       DIR/graph_<tag>.ctg per tag.
 //
 //   rfidclean_cli stay --dir DIR --time T
 //       Conditioned location distribution at time T from DIR/graph.ctg.
@@ -31,6 +37,7 @@
 
 #include "analysis/graph_audit.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "core/builder.h"
 #include "io/building_io.h"
@@ -53,6 +60,7 @@
 #include "query/uncertainty.h"
 #include "rfid/calibration.h"
 #include "rfid/reader_placement.h"
+#include "runtime/batch_cleaner.h"
 
 namespace rfidclean::cli {
 namespace {
@@ -149,39 +157,161 @@ int Generate(const Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const std::string dir = args.Get("out", ".");
+  const int num_tags = args.GetInt("tags", 0);  // 0 = single-tag format
 
   Building building = MakeOfficeBuilding(floors);
   Deployment deployment = MakeDeployment(building, seed);
-
   TrajectoryGenerator trajectories(building);
   TrajectoryGenOptions motion;
   motion.duration_ticks = duration;
-  Rng rng(seed, /*stream=*/1);
-  ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
-  Trajectory truth = continuous.ToDiscrete(building);
   ReadingGenerator readings(deployment.grid, deployment.truth);
-  RSequence sequence = readings.Generate(continuous, rng);
 
   {
     std::ofstream os(dir + "/building.map");
     if (!os) return Fail("cannot write building.map");
     WriteBuilding(building, os);
   }
-  {
-    std::ofstream os(dir + "/readings.csv");
-    if (!os) return Fail("cannot write readings.csv");
-    WriteReadingsCsv(sequence, os);
-  }
-  {
-    std::ofstream os(dir + "/truth.txt");
-    if (!os) return Fail("cannot write truth.txt");
+
+  auto write_truth = [&](const Trajectory& truth, const std::string& name) {
+    std::ofstream os(dir + "/" + name);
+    if (!os) return false;
     for (Timestamp t = 0; t < truth.length(); ++t) {
       os << t << ' ' << building.location(truth.At(t)).name << '\n';
     }
+    return true;
+  };
+
+  if (num_tags <= 0) {
+    Rng rng(seed, /*stream=*/1);
+    ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
+    RSequence sequence = readings.Generate(continuous, rng);
+    {
+      std::ofstream os(dir + "/readings.csv");
+      if (!os) return Fail("cannot write readings.csv");
+      WriteReadingsCsv(sequence, os);
+    }
+    if (!write_truth(continuous.ToDiscrete(building), "truth.txt")) {
+      return Fail("cannot write truth.txt");
+    }
+    std::printf(
+        "wrote %s/building.map, readings.csv, truth.txt (%d ticks)\n",
+        dir.c_str(), duration);
+    return 0;
   }
-  std::printf("wrote %s/building.map, readings.csv, truth.txt (%d ticks)\n",
-              dir.c_str(), duration);
+
+  // Multi-tag: every tag is an independent object in the same building,
+  // with its own deterministic rng stream.
+  std::vector<TagReadings> tags;
+  for (int k = 0; k < num_tags; ++k) {
+    Rng rng(seed, /*stream=*/1000 + static_cast<std::uint64_t>(k));
+    ContinuousTrajectory continuous = trajectories.Generate(motion, rng);
+    if (!write_truth(continuous.ToDiscrete(building),
+                     StrFormat("truth_%d.txt", k))) {
+      return Fail("cannot write truth file");
+    }
+    tags.push_back(TagReadings{static_cast<TagId>(k),
+                               readings.Generate(continuous, rng)});
+  }
+  {
+    std::ofstream os(dir + "/readings.csv");
+    if (!os) return Fail("cannot write readings.csv");
+    WriteMultiTagReadingsCsv(tags, os);
+  }
+  std::printf(
+      "wrote %s/building.map, readings.csv (multi-tag), truth_<tag>.txt "
+      "(%d tags x %d ticks)\n",
+      dir.c_str(), num_tags, duration);
   return 0;
+}
+
+/// True when DIR/readings.csv starts with the multi-tag header.
+bool HasMultiTagReadings(const std::string& dir) {
+  std::ifstream is(dir + "/readings.csv");
+  std::string line;
+  return is && std::getline(is, line) &&
+         StripWhitespace(line) == kMultiTagReadingsHeader;
+}
+
+Result<ConstraintSet> MakeCliConstraints(const Args& args,
+                                         const Building& building,
+                                         const Deployment& deployment,
+                                         ConstraintFamilies* families_out) {
+  ConstraintFamilies families = ConstraintFamilies::DuLtTt();
+  std::string requested = args.Get("families", "DU+LT+TT");
+  if (requested == "DU") {
+    families = ConstraintFamilies::Du();
+  } else if (requested == "DU+LT") {
+    families = ConstraintFamilies::DuLt();
+  } else if (requested != "DU+LT+TT") {
+    return InvalidArgumentError("--families must be DU, DU+LT or DU+LT+TT");
+  }
+  *families_out = families;
+  WalkingDistances walking =
+      WalkingDistances::Compute(building, deployment.grid);
+  InferenceOptions inference;
+  inference.families = families;
+  return InferConstraints(building, walking, inference);
+}
+
+/// The multi-tag batch path of `clean`: every tag cleaned concurrently on
+/// --jobs workers, one graph_<tag>.ctg per successfully cleaned tag.
+int CleanBatch(const Args& args, const std::string& dir,
+               const Building& building, const Deployment& deployment,
+               const ConstraintSet& constraints, ConstraintFamilies families,
+               bool audit) {
+  std::ifstream is(dir + "/readings.csv");
+  if (!is) return Fail("cannot open readings.csv");
+  Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
+  if (!tags.ok()) return Fail(tags.status());
+
+  // The a-priori interpretation stays sequential: AprioriModel memoizes per
+  // reader set behind a non-synchronized cache. The conditioning dominates
+  // anyway and is what the batch engine parallelizes.
+  AprioriModel apriori(building, deployment.grid, deployment.calibrated);
+  std::vector<TagWorkload> workloads;
+  workloads.reserve(tags.value().size());
+  for (const TagReadings& tag : tags.value()) {
+    workloads.push_back(TagWorkload{
+        tag.tag, LSequence::FromReadings(tag.readings, apriori)});
+  }
+
+  BatchOptions options;
+  options.jobs = args.GetInt("jobs", 1);
+  BatchCleaner cleaner(constraints, options);
+  Stopwatch watch;
+  std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
+  const double millis = watch.ElapsedMillis();
+
+  int failures = 0;
+  std::size_t nodes = 0;
+  for (const TagOutcome& outcome : outcomes) {
+    if (!outcome.graph.ok()) {
+      ++failures;
+      std::fprintf(stderr, "tag %lld: %s\n",
+                   static_cast<long long>(outcome.tag),
+                   outcome.graph.status().ToString().c_str());
+      continue;
+    }
+    if (audit) {
+      std::printf("tag %lld:\n%s\n", static_cast<long long>(outcome.tag),
+                  AuditGraph(outcome.graph.value()).ToString().c_str());
+    }
+    nodes += outcome.graph.value().NumNodes();
+    std::ofstream os(
+        dir + StrFormat("/graph_%lld.ctg",
+                        static_cast<long long>(outcome.tag)));
+    if (!os) return Fail("cannot write per-tag graph file");
+    WriteCtGraph(outcome.graph.value(), os);
+  }
+  std::printf(
+      "cleaned %zu/%zu tags under %s with %d jobs in %.1f ms "
+      "(%.1f tags/s, %zu total nodes) -> %s/graph_<tag>.ctg\n",
+      outcomes.size() - static_cast<std::size_t>(failures), outcomes.size(),
+      ConstraintFamiliesLabel(families).c_str(), cleaner.jobs(), millis,
+      millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
+                 : 0.0,
+      nodes, dir.c_str());
+  return failures == 0 ? 0 : 1;
 }
 
 int Clean(const Args& args) {
@@ -190,29 +320,12 @@ int Clean(const Args& args) {
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
   Result<Building> building = LoadBuilding(dir);
   if (!building.ok()) return Fail(building.status());
-  Result<RSequence> readings = LoadReadings(dir);
-  if (!readings.ok()) return Fail(readings.status());
 
   Deployment deployment = MakeDeployment(building.value(), seed);
-  AprioriModel apriori(building.value(), deployment.grid,
-                       deployment.calibrated);
-  LSequence sequence = LSequence::FromReadings(readings.value(), apriori);
-
   ConstraintFamilies families = ConstraintFamilies::DuLtTt();
-  std::string requested = args.Get("families", "DU+LT+TT");
-  if (requested == "DU") {
-    families = ConstraintFamilies::Du();
-  } else if (requested == "DU+LT") {
-    families = ConstraintFamilies::DuLt();
-  } else if (requested != "DU+LT+TT") {
-    return Fail("--families must be DU, DU+LT or DU+LT+TT");
-  }
-  WalkingDistances walking =
-      WalkingDistances::Compute(building.value(), deployment.grid);
-  InferenceOptions inference;
-  inference.families = families;
-  ConstraintSet constraints =
-      InferConstraints(building.value(), walking, inference);
+  Result<ConstraintSet> constraints =
+      MakeCliConstraints(args, building.value(), deployment, &families);
+  if (!constraints.ok()) return Fail(constraints.status());
 
   const bool audit = args.GetBool("audit", false);
   if (audit) {
@@ -220,7 +333,19 @@ int Clean(const Args& args) {
     // inside CtGraphBuilder), and prints the full report below.
     EnableSelfAudit();
   }
-  CtGraphBuilder builder(constraints);
+
+  if (HasMultiTagReadings(dir)) {
+    return CleanBatch(args, dir, building.value(), deployment,
+                      constraints.value(), families, audit);
+  }
+
+  Result<RSequence> readings = LoadReadings(dir);
+  if (!readings.ok()) return Fail(readings.status());
+  AprioriModel apriori(building.value(), deployment.grid,
+                       deployment.calibrated);
+  LSequence sequence = LSequence::FromReadings(readings.value(), apriori);
+
+  CtGraphBuilder builder(constraints.value());
   BuildStats stats;
   Result<CtGraph> graph = builder.Build(sequence, &stats);
   if (!graph.ok()) return Fail(graph.status());
@@ -376,9 +501,9 @@ int Usage() {
       stderr,
       "usage: rfidclean_cli <generate|clean|stay|pattern|sample> [--key "
       "value ...]\n"
-      "  generate --floors N --duration T --seed S --out DIR\n"
+      "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
-      "[--audit]\n"
+      "[--audit] [--jobs N]\n"
       "  stay     --dir DIR --time T\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
