@@ -13,15 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
-
-#if defined(__unix__)
-#include <sys/resource.h>
-#endif
 
 #include "bench_util.h"
 #include "common/rng.h"
@@ -41,30 +36,6 @@
 
 namespace rfidclean::bench {
 namespace {
-
-/// Process-wide peak resident set in bytes (VmHWM). Monotone over the
-/// process lifetime, so per-job values report the peak *so far*, not the
-/// increment of one job count.
-std::size_t PeakRssBytes() {
-#if defined(__linux__)
-  std::ifstream is("/proc/self/status");
-  std::string line;
-  while (std::getline(is, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      return static_cast<std::size_t>(
-                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
-             1024;
-    }
-  }
-#endif
-#if defined(__unix__)
-  struct rusage usage;
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
-  }
-#endif
-  return 0;
-}
 
 std::uint64_t Fnv1a(std::uint64_t hash, const std::string& text) {
   for (unsigned char c : text) {
@@ -153,7 +124,11 @@ int Main(int argc, char** argv) {
   }
 
   Table table({"jobs", "millis", "tags/s", "peak RSS", "digest"});
-  std::string results_json;
+  BenchJson report("batch_throughput", scale.Label());
+  report.params()
+      .Add("tags", num_tags)
+      .Add("ticks", static_cast<int>(ticks))
+      .Add("seed", static_cast<long long>(seed));
   for (std::size_t i = 0; i < job_counts.size(); ++i) {
     BatchOptions options;
     options.jobs = job_counts[i];
@@ -178,40 +153,19 @@ int Main(int argc, char** argv) {
                   HumanBytes(rss), StrFormat("%016llx",
                                              static_cast<unsigned long long>(
                                                  digest))});
-    results_json += StrFormat(
-        "    {\n"
-        "      \"jobs\": %d,\n"
-        "      \"millis\": %.3f,\n"
-        "      \"tags_per_sec\": %.3f,\n"
-        "      \"peak_rss_bytes\": %zu,\n"
-        "      \"ok_tags\": %zu,\n"
-        "      \"failed_tags\": %zu,\n"
-        "      \"total_nodes\": %zu,\n"
-        "      \"digest\": \"%016llx\"\n"
-        "    }%s\n",
-        cleaner.jobs(), millis, tags_per_sec, rss, ok_tags,
-        outcomes.size() - ok_tags, total_nodes,
-        static_cast<unsigned long long>(digest),
-        i + 1 < job_counts.size() ? "," : "");
+    report.AddResult()
+        .Add("jobs", cleaner.jobs())
+        .Add("millis", millis)
+        .Add("tags_per_sec", tags_per_sec)
+        .Add("peak_rss_bytes", rss)
+        .Add("ok_tags", ok_tags)
+        .Add("failed_tags", outcomes.size() - ok_tags)
+        .Add("total_nodes", total_nodes)
+        .AddHex64("digest", digest);
   }
   table.Print(std::cout);
 
-  std::ofstream os(out);
-  if (!os) {
-    std::fprintf(stderr, "cannot write %s\n", out.c_str());
-    return 1;
-  }
-  os << StrFormat(
-            "{\n"
-            "  \"bench\": \"batch_throughput\",\n"
-            "  \"mode\": \"%s\",\n"
-            "  \"tags\": %d,\n"
-            "  \"ticks\": %d,\n"
-            "  \"seed\": %llu,\n"
-            "  \"results\": [\n",
-            scale.Label(), num_tags, ticks,
-            static_cast<unsigned long long>(seed))
-     << results_json << "  ]\n}\n";
+  if (!report.WriteFile(out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());
   return 0;
 }

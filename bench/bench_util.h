@@ -1,9 +1,19 @@
 #ifndef RFIDCLEAN_BENCH_BENCH_UTIL_H_
 #define RFIDCLEAN_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <fstream>
+#include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
 
 #include "common/strings.h"
 #include "common/table.h"
@@ -71,6 +81,152 @@ inline std::vector<ConstraintFamilies> AllFamilies() {
   return {ConstraintFamilies::Du(), ConstraintFamilies::DuLt(),
           ConstraintFamilies::DuLtTt()};
 }
+
+/// Process-wide peak resident set in bytes (VmHWM on Linux, ru_maxrss
+/// elsewhere). Monotone over the process lifetime: values sampled after a
+/// measurement report the peak *so far*, not the increment of one phase.
+inline std::size_t PeakRssBytes() {
+#if defined(__linux__)
+  std::ifstream is("/proc/self/status");
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+#endif
+#if defined(__unix__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
+/// Emitter of the shared bench JSON schema. Every bench that writes a
+/// BENCH_*.json produces the same shape, so the CI regression checker
+/// (tools/check_bench_regression.py) and downstream tooling parse one
+/// format:
+///
+///   {
+///     "bench": "<name>",
+///     "mode": "quick" | "paper",
+///     "params": { ...workload knobs... },
+///     "results": [ { ...one measured point... }, ... ]
+///   }
+///
+/// Fields keep insertion order and print one per line (the determinism
+/// ctest strips timing-dependent lines with a line-oriented regex).
+class BenchJson {
+ public:
+  class Object {
+   public:
+    Object& Add(const char* key, double value, int decimals = 3) {
+      return AddRaw(key,
+                    StrFormat("%.*f", decimals, value));
+    }
+    Object& Add(const char* key, int value) {
+      return AddRaw(key, StrFormat("%d", value));
+    }
+    Object& Add(const char* key, long long value) {
+      return AddRaw(key, StrFormat("%lld", value));
+    }
+    Object& Add(const char* key, std::size_t value) {
+      return AddRaw(key, StrFormat("%zu", value));
+    }
+    Object& Add(const char* key, const std::string& value) {
+      return AddRaw(key, Quote(value));
+    }
+    Object& Add(const char* key, const char* value) {
+      return AddRaw(key, Quote(value));
+    }
+    Object& AddHex64(const char* key, std::uint64_t value) {
+      return AddRaw(key,
+                    StrFormat("\"%016llx\"",
+                              static_cast<unsigned long long>(value)));
+    }
+
+   private:
+    friend class BenchJson;
+
+    Object& AddRaw(const char* key, std::string json) {
+      fields_.emplace_back(key, std::move(json));
+      return *this;
+    }
+
+    static std::string Quote(const std::string& text) {
+      std::string out = "\"";
+      for (char c : text) {
+        if (c == '"' || c == '\\') {
+          out += '\\';
+          out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+      }
+      out += '"';
+      return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  BenchJson(const char* bench, const char* mode)
+      : bench_(bench), mode_(mode) {}
+
+  /// Workload parameters (tags, ticks, seed, ...), printed once.
+  Object& params() { return params_; }
+
+  /// Appends one measured point; the reference stays valid (deque).
+  Object& AddResult() { return results_.emplace_back(); }
+
+  void WriteTo(std::ostream& os) const {
+    os << "{\n";
+    os << "  \"bench\": " << Object::Quote(bench_) << ",\n";
+    os << "  \"mode\": " << Object::Quote(mode_) << ",\n";
+    os << "  \"params\": {\n";
+    WriteFields(os, params_, "    ");
+    os << "  },\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      os << "    {\n";
+      WriteFields(os, results_[i], "      ");
+      os << "    }" << (i + 1 < results_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+  }
+
+  /// Writes the report to `path`; complains on stderr and returns false on
+  /// failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    WriteTo(os);
+    return true;
+  }
+
+ private:
+  static void WriteFields(std::ostream& os, const Object& object,
+                          const char* indent) {
+    for (std::size_t i = 0; i < object.fields_.size(); ++i) {
+      os << indent << '"' << object.fields_[i].first
+         << "\": " << object.fields_[i].second
+         << (i + 1 < object.fields_.size() ? "," : "") << "\n";
+    }
+  }
+
+  std::string bench_;
+  std::string mode_;
+  Object params_;
+  std::deque<Object> results_;
+};
 
 }  // namespace rfidclean::bench
 

@@ -1,0 +1,166 @@
+// Single-tag ct-graph construction throughput (the per-tag hot path every
+// BatchCleaner worker and every query ultimately pays for): builds the
+// ct-graph of one fig8a-style SYN1 trajectory at T = 100 / 1 000 / 10 000
+// ticks under DU+LT+TT constraints and emits BENCH_core.json with the
+// median build time, ns per timestamp, forward-phase node+edge throughput
+// and peak RSS per point, plus an FNV digest of the serialized graph so
+// perf runs double as a semantic cross-check (the digest is timing-free
+// and must be stable across core refactors).
+//
+//   core_build [--ticks 100,1000,10000] [--reps N] [--seed S]
+//              [--out BENCH_core.json] [--paper]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/builder.h"
+#include "io/ctgraph_io.h"
+
+namespace rfidclean::bench {
+namespace {
+
+std::uint64_t Fnv1a(std::uint64_t hash, const std::string& text) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::FromArgs(argc, argv);
+  const char* ticks_arg = FlagValue(argc, argv, "--ticks");
+  const char* reps_arg = FlagValue(argc, argv, "--reps");
+  const char* seed_arg = FlagValue(argc, argv, "--seed");
+  const char* out_arg = FlagValue(argc, argv, "--out");
+  const std::uint64_t seed = static_cast<std::uint64_t>(
+      seed_arg != nullptr ? std::atoll(seed_arg) : 1);
+  const std::string out = out_arg != nullptr ? out_arg : "BENCH_core.json";
+  std::vector<Timestamp> durations;
+  for (const std::string& token :
+       StrSplit(ticks_arg != nullptr ? ticks_arg : "100,1000,10000", ',')) {
+    if (!token.empty()) {
+      durations.push_back(static_cast<Timestamp>(std::atoi(token.c_str())));
+    }
+  }
+
+  PrintHeader("core_build",
+              "Single-tag ct-graph construction: median build time and "
+              "forward-phase throughput vs trajectory duration (SYN1, "
+              "DU+LT+TT)",
+              scale);
+
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.durations_ticks = durations;
+  options.trajectories_per_duration = 1;
+  options.seed = seed;
+  std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder builder(constraints);
+
+  BenchJson json("core_build", scale.Label());
+  json.params()
+      .Add("dataset", "SYN1")
+      .Add("families", "DU+LT+TT")
+      .Add("seed", static_cast<long long>(seed));
+
+  Table table({"ticks", "reps", "median ms", "fwd ms", "bwd ms",
+               "ns/timestamp", "nodes+edges/s", "peak nodes", "peak edges",
+               "final nodes", "peak RSS", "digest"});
+  for (const Dataset::Item& item : dataset->items()) {
+    const Timestamp ticks = item.duration;
+    // Repetitions: aim for a fixed time budget per point so short builds
+    // average away scheduling noise; --reps overrides, --paper triples.
+    int reps = reps_arg != nullptr
+                   ? std::atoi(reps_arg)
+                   : std::max(3, static_cast<int>(30000 / std::max<Timestamp>(
+                                                              ticks, 1)));
+    if (scale.paper) reps *= 3;
+
+    BuildStats stats;
+    std::vector<double> millis;
+    millis.reserve(static_cast<std::size_t>(reps));
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    for (int r = 0; r < reps; ++r) {
+      BuildStats run_stats;
+      Stopwatch watch;
+      Result<CtGraph> graph = builder.Build(item.lsequence, &run_stats);
+      const double elapsed = watch.ElapsedMillis();
+      RFID_CHECK(graph.ok());
+      millis.push_back(elapsed);
+      stats = run_stats;
+      if (r == 0) {
+        std::ostringstream os;
+        WriteCtGraph(graph.value(), os);
+        digest = Fnv1a(digest, os.str());
+      }
+    }
+    std::sort(millis.begin(), millis.end());
+    const double median = millis[millis.size() / 2];
+    const double ns_per_timestamp = median * 1e6 / static_cast<double>(ticks);
+    const double nodes_edges_per_sec =
+        median > 0 ? 1000.0 *
+                         static_cast<double>(stats.peak_nodes +
+                                             stats.peak_edges) /
+                         median
+                   : 0.0;
+    const std::size_t rss = PeakRssBytes();
+
+    table.AddRow({StrFormat("%d", ticks), StrFormat("%d", reps),
+                  StrFormat("%.2f", median),
+                  StrFormat("%.2f", stats.forward_millis),
+                  StrFormat("%.2f", stats.backward_millis),
+                  StrFormat("%.0f", ns_per_timestamp),
+                  StrFormat("%.0f", nodes_edges_per_sec),
+                  StrFormat("%zu", stats.peak_nodes),
+                  StrFormat("%zu", stats.peak_edges),
+                  StrFormat("%zu", stats.final_nodes), HumanBytes(rss),
+                  StrFormat("%016llx",
+                            static_cast<unsigned long long>(digest))});
+    json.AddResult()
+        .Add("ticks", static_cast<long long>(ticks))
+        .Add("reps", reps)
+        .Add("millis", median)
+        .Add("forward_millis", stats.forward_millis)
+        .Add("backward_millis", stats.backward_millis)
+        .Add("ns_per_timestamp", ns_per_timestamp)
+        .Add("nodes_edges_per_sec", nodes_edges_per_sec, 1)
+        .Add("peak_nodes", stats.peak_nodes)
+        .Add("peak_edges", stats.peak_edges)
+        .Add("final_nodes", stats.final_nodes)
+        .Add("final_edges", stats.final_edges)
+        .Add("peak_rss_bytes", rss)
+        .AddHex64("digest", digest);
+  }
+  table.Print(std::cout);
+
+  if (!json.WriteFile(out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace rfidclean::bench
+
+int main(int argc, char** argv) {
+  return rfidclean::bench::Main(argc, argv);
+}

@@ -26,6 +26,14 @@ const char* AuditCheckName(AuditCheck check) {
       return "source-normalization";
     case AuditCheck::kPathMass:
       return "path-mass";
+    case AuditCheck::kCsrLayerOffsets:
+      return "csr-layer-offsets";
+    case AuditCheck::kCsrEdgeSlices:
+      return "csr-edge-slices";
+    case AuditCheck::kCsrKeyInterning:
+      return "csr-key-interning";
+    case AuditCheck::kCsrProbabilities:
+      return "csr-probabilities";
   }
   return "unknown";
 }

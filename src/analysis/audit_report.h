@@ -49,6 +49,21 @@ enum class AuditCheck {
   /// the graph encodes a probability distribution over trajectories
   /// (Definition 3).
   kPathMass,
+
+  // Checks of the in-construction CSR work graph (work_graph_audit.h).
+
+  /// layer_begin starts at 0, is monotone, and its last entry equals the
+  /// node count (layers are contiguous ascending id ranges).
+  kCsrLayerOffsets,
+  /// Expanded nodes own consecutive, non-overlapping edge slices that
+  /// together cover the whole edge array; frontier nodes own none yet.
+  kCsrEdgeSlices,
+  /// Every node's key id indexes the arena, and within an expanded layer
+  /// no two nodes share a key (per-layer interning).
+  kCsrKeyInterning,
+  /// Forward-phase probability labels: edges carry a-priori masses in
+  /// (0, 1], sources carry positive candidate masses, later layers none.
+  kCsrProbabilities,
 };
 
 /// Stable identifier for messages and test assertions.

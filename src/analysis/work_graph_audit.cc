@@ -1,0 +1,197 @@
+#include "analysis/work_graph_audit.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace rfidclean {
+
+namespace {
+
+using internal_audit::AppendViolation;
+using internal_core::WorkEdge;
+using internal_core::WorkGraph;
+using internal_core::WorkNode;
+
+void Append(const AuditOptions& options, AuditReport* report,
+            AuditCheck check, NodeId node, Timestamp time,
+            std::string message) {
+  AuditViolation violation;
+  violation.check = check;
+  violation.node = node;
+  violation.time = time;
+  violation.message = std::move(message);
+  AppendViolation(options, report, std::move(violation));
+}
+
+/// Layer offsets must be checkable before anything that indexes through
+/// them; returns whether they are usable.
+bool CheckLayerOffsets(const WorkGraph& graph, const AuditOptions& options,
+                       AuditReport* report) {
+  const auto& offsets = graph.layer_begin;
+  if (offsets.empty()) {
+    if (!graph.nodes.empty() || !graph.edges.empty()) {
+      Append(options, report, AuditCheck::kCsrLayerOffsets, kInvalidNode, -1,
+             StrFormat("no layers recorded but %zu nodes and %zu edges "
+                       "exist",
+                       graph.nodes.size(), graph.edges.size()));
+      return false;
+    }
+    return true;
+  }
+  bool usable = true;
+  if (offsets.front() != 0) {
+    Append(options, report, AuditCheck::kCsrLayerOffsets, kInvalidNode, 0,
+           StrFormat("layer_begin starts at %d, want 0", offsets.front()));
+    usable = false;
+  }
+  for (std::size_t t = 0; t + 1 < offsets.size(); ++t) {
+    if (offsets[t] > offsets[t + 1]) {
+      Append(options, report, AuditCheck::kCsrLayerOffsets, kInvalidNode,
+             static_cast<Timestamp>(t),
+             StrFormat("layer_begin decreases: %d then %d", offsets[t],
+                       offsets[t + 1]));
+      usable = false;
+    }
+  }
+  if (offsets.back() < 0 ||
+      static_cast<std::size_t>(offsets.back()) != graph.nodes.size()) {
+    Append(options, report, AuditCheck::kCsrLayerOffsets, kInvalidNode,
+           static_cast<Timestamp>(offsets.size()) - 1,
+           StrFormat("layer_begin ends at %d, want the node count %zu",
+                     offsets.back(), graph.nodes.size()));
+    usable = false;
+  }
+  return usable;
+}
+
+}  // namespace
+
+void AuditWorkGraphStructure(const WorkGraph& graph,
+                             const AuditOptions& options,
+                             AuditReport* report) {
+  report->nodes_checked += graph.nodes.size();
+  report->edges_checked += graph.edges.size();
+  report->length = graph.num_layers();
+
+  const bool offsets_usable = CheckLayerOffsets(graph, options, report);
+
+  // Key ids must index the arena regardless of layer structure.
+  const std::size_t num_keys = graph.keys.size();
+  for (std::size_t i = 0; i < graph.nodes.size(); ++i) {
+    const WorkNode& node = graph.nodes[i];
+    if (node.key_id < 0 ||
+        static_cast<std::size_t>(node.key_id) >= num_keys) {
+      Append(options, report, AuditCheck::kCsrKeyInterning,
+             static_cast<NodeId>(i), node.time,
+             StrFormat("key id %d outside the arena of %zu keys",
+                       node.key_id, num_keys));
+    }
+  }
+  if (!offsets_usable) return;
+
+  const Timestamp length = graph.num_layers();
+  const std::size_t num_edges = graph.edges.size();
+  std::int32_t expected_edge_begin = 0;
+  std::unordered_set<std::int32_t> layer_keys;
+  for (Timestamp t = 0; t < length; ++t) {
+    const std::int32_t begin = graph.layer_begin[static_cast<std::size_t>(t)];
+    const std::int32_t end =
+        graph.layer_begin[static_cast<std::size_t>(t) + 1];
+    // A layer is "expanded" when a later layer exists: AdvanceLayer gave
+    // each of its nodes a definitive CSR slice. The final (frontier) layer
+    // owns no edges yet.
+    const bool expanded = t + 1 < length;
+    const std::int32_t target_begin =
+        expanded ? graph.layer_begin[static_cast<std::size_t>(t) + 1] : 0;
+    const std::int32_t target_end =
+        expanded ? graph.layer_begin[static_cast<std::size_t>(t) + 2] : 0;
+    layer_keys.clear();
+    for (std::int32_t id = begin; id < end; ++id) {
+      const WorkNode& node = graph.nodes[static_cast<std::size_t>(id)];
+      if (node.time != t) {
+        Append(options, report, AuditCheck::kLayering, id, t,
+               StrFormat("node records time %d but sits in layer %d",
+                         node.time, t));
+      }
+      // The source layer intentionally holds one node per candidate
+      // reading (no dedup), so equal keys are legal there.
+      if (t > 0 && node.key_id >= 0 &&
+          static_cast<std::size_t>(node.key_id) < num_keys &&
+          !layer_keys.insert(node.key_id).second) {
+        Append(options, report, AuditCheck::kCsrKeyInterning, id, t,
+               StrFormat("key id %d appears twice in one layer",
+                         node.key_id));
+      }
+      if (t == 0) {
+        const double p = node.source_probability;
+        if (!std::isfinite(p) || p <= 0.0 || p > 1.0) {
+          Append(options, report, AuditCheck::kCsrProbabilities, id, t,
+                 StrFormat("source probability %g outside (0, 1]", p));
+        }
+      } else if (node.source_probability != 0.0) {
+        Append(options, report, AuditCheck::kCsrProbabilities, id, t,
+               StrFormat("non-source node carries source probability %g",
+                         node.source_probability));
+      }
+      if (!expanded) {
+        if (node.edge_count != 0) {
+          Append(options, report, AuditCheck::kCsrEdgeSlices, id, t,
+                 StrFormat("frontier node owns %d edges before expansion",
+                           node.edge_count));
+        }
+        continue;
+      }
+      if (node.edge_begin != expected_edge_begin || node.edge_count < 0) {
+        Append(options, report, AuditCheck::kCsrEdgeSlices, id, t,
+               StrFormat("edge slice [%d, %d) does not continue the CSR "
+                         "stream at %d",
+                         node.edge_begin, node.edge_begin + node.edge_count,
+                         expected_edge_begin));
+        // Resynchronize on the node's own claim when sane, else stop.
+        if (node.edge_begin < 0 || node.edge_count < 0 ||
+            static_cast<std::size_t>(node.edge_begin) +
+                    static_cast<std::size_t>(node.edge_count) >
+                num_edges) {
+          return;
+        }
+      }
+      expected_edge_begin = node.edge_begin + node.edge_count;
+      const WorkEdge* out =
+          graph.edges.data() + static_cast<std::size_t>(node.edge_begin);
+      for (std::int32_t k = 0; k < node.edge_count; ++k) {
+        const WorkEdge& edge = out[k];
+        if (edge.to < target_begin || edge.to >= target_end) {
+          Append(options, report, AuditCheck::kEdgeTargetRange, id, t,
+                 StrFormat("edge target %d outside the next layer "
+                           "[%d, %d)",
+                           edge.to, target_begin, target_end));
+        }
+        if (!std::isfinite(edge.probability) || edge.probability <= 0.0 ||
+            edge.probability > 1.0) {
+          Append(options, report, AuditCheck::kCsrProbabilities, id, t,
+                 StrFormat("edge a-priori probability %g outside (0, 1]",
+                           edge.probability));
+        }
+      }
+    }
+  }
+  if (length > 0 &&
+      static_cast<std::size_t>(expected_edge_begin) != num_edges) {
+    Append(options, report, AuditCheck::kCsrEdgeSlices, kInvalidNode,
+           length - 1,
+           StrFormat("node slices cover %d edges but the edge array holds "
+                     "%zu",
+                     expected_edge_begin, num_edges));
+  }
+}
+
+AuditReport AuditWorkGraph(const WorkGraph& graph,
+                           const AuditOptions& options) {
+  AuditReport report;
+  AuditWorkGraphStructure(graph, options, &report);
+  return report;
+}
+
+}  // namespace rfidclean

@@ -1,0 +1,49 @@
+#ifndef RFIDCLEAN_ANALYSIS_WORK_GRAPH_AUDIT_H_
+#define RFIDCLEAN_ANALYSIS_WORK_GRAPH_AUDIT_H_
+
+#include "analysis/audit_report.h"
+#include "core/work_graph.h"
+
+namespace rfidclean {
+
+/// \file
+/// Invariant audit of the *in-construction* CSR work graph (see
+/// core/work_graph.h and docs/ALGORITHM.md §8) — the forward-phase state a
+/// ForwardEngine exposes through work(), before ConditionAndCompact
+/// consumes it. The compacted CtGraph has its own auditor (graph_audit.h);
+/// this one verifies the compressed layout the backward phase relies on:
+///
+///  - layer offsets: layer_begin[0] == 0, monotone non-decreasing, last
+///    entry == node count — every layer is a contiguous ascending id range
+///    and node times match their layer (kCsrLayerOffsets / kLayering);
+///  - edge slices: walking expanded layers in id order, each node's
+///    [edge_begin, edge_begin + edge_count) is exactly the next slice of
+///    the edge array, the slices partition it completely, and the
+///    unexpanded frontier owns no edges yet (kCsrEdgeSlices);
+///  - edge targets: every edge lands in the next layer's id range
+///    (kEdgeTargetRange / kLayering);
+///  - key interning: every key id indexes the arena, and no two nodes of
+///    an expanded layer share one — per-layer interning collapsed equal
+///    keys to a single node (kCsrKeyInterning; the source layer is exempt:
+///    Definition 2 materializes one node per candidate reading);
+///  - probability labels: edges carry finite a-priori masses in (0, 1],
+///    sources carry positive masses, non-source layers none
+///    (kCsrProbabilities).
+///
+/// Like the ct-graph auditor it is defensive: out-of-range offsets are
+/// reported, never dereferenced, so it can be pointed at deliberately
+/// corrupted fixtures.
+
+/// Appends violations of `graph` to `report`; updates the report's
+/// coverage counters.
+void AuditWorkGraphStructure(const internal_core::WorkGraph& graph,
+                             const AuditOptions& options,
+                             AuditReport* report);
+
+/// One-call audit of a work graph.
+AuditReport AuditWorkGraph(const internal_core::WorkGraph& graph,
+                           const AuditOptions& options = AuditOptions());
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_ANALYSIS_WORK_GRAPH_AUDIT_H_

@@ -1,95 +1,44 @@
 #include "core/builder.h"
 
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
 #include "common/check.h"
 #include "common/stopwatch.h"
+#include "core/forward.h"
 #include "core/self_audit.h"
-#include "core/successor.h"
 #include "core/work_graph.h"
 
 namespace rfidclean {
 
-using internal_core::WorkEdge;
-using internal_core::WorkGraph;
-using internal_core::WorkNode;
-
 CtGraphBuilder::CtGraphBuilder(const ConstraintSet& constraints,
                                const SuccessorOptions& options)
-    : constraints_(&constraints), options_(options) {}
+    : constraints_(&constraints), successors_(constraints, options) {}
 
 Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
                                       BuildStats* stats) const {
   const Timestamp length = sequence.length();
-  SuccessorGenerator successors(*constraints_, options_);
-
-  WorkGraph work;
-  work.by_time.resize(static_cast<std::size_t>(length));
+  internal_core::ForwardEngine engine(constraints_->num_locations());
 
   Stopwatch stopwatch;
 
-  // --- Initialization (Algorithm 1, lines 1-4): source nodes with their
-  // a-priori probabilities.
-  for (NodeKey& key : successors.SourceKeys(sequence.CandidatesAt(0))) {
-    WorkNode node;
-    node.time = 0;
-    node.source_probability = sequence.ProbabilityAt(0, key.location);
-    node.key = std::move(key);
-    work.by_time[0].push_back(static_cast<NodeId>(work.nodes.size()));
-    work.nodes.push_back(std::move(node));
-  }
-
-  // --- Forward phase (lines 5-14): materialize successors layer by layer,
-  // interning equal keys, labeling edges with the a-priori probability of
-  // their target (time, location) pair. Candidate continuations that are
-  // not successors are simply absent; the backward phase accounts for their
-  // mass implicitly.
-  std::unordered_map<NodeKey, NodeId, NodeKeyHash> interned;
-  std::vector<NodeKey> scratch;
+  // Initialization (Algorithm 1, lines 1-4) and forward phase (lines 5-14):
+  // see forward.h. Layers are always recorded, even when empty — candidate
+  // continuations that are not successors are simply absent, and the
+  // backward phase accounts for their mass implicitly.
+  engine.BeginSources(successors_, sequence.CandidatesAt(0));
   for (Timestamp t = 0; t + 1 < length; ++t) {
-    interned.clear();
-    const std::vector<Candidate>& next_candidates =
-        sequence.CandidatesAt(t + 1);
-    auto& next_layer = work.by_time[static_cast<std::size_t>(t) + 1];
-    for (NodeId id : work.by_time[static_cast<std::size_t>(t)]) {
-      scratch.clear();
-      successors.AppendSuccessors(
-          t, work.nodes[static_cast<std::size_t>(id)].key, next_candidates,
-          &scratch);
-      for (NodeKey& key : scratch) {
-        double apriori = sequence.ProbabilityAt(t + 1, key.location);
-        NodeId target;
-        auto it = interned.find(key);
-        if (it != interned.end()) {
-          target = it->second;
-        } else {
-          target = static_cast<NodeId>(work.nodes.size());
-          WorkNode node;
-          node.time = t + 1;
-          node.key = key;
-          interned.emplace(std::move(key), target);
-          work.nodes.push_back(std::move(node));
-          next_layer.push_back(target);
-        }
-        std::int32_t edge_id = static_cast<std::int32_t>(work.edges.size());
-        work.edges.push_back(WorkEdge{id, target, apriori, true});
-        work.nodes[static_cast<std::size_t>(id)].out_edges.push_back(
-            edge_id);
-        work.nodes[static_cast<std::size_t>(target)].in_edges.push_back(
-            edge_id);
-      }
-    }
+    engine.AdvanceLayer(successors_, t, sequence.CandidatesAt(t + 1),
+                        /*record_empty_layer=*/true);
   }
   if (stats != nullptr) {
     stats->forward_millis = stopwatch.ElapsedMillis();
-    stats->peak_nodes = work.nodes.size();
-    stats->peak_edges = work.edges.size();
+    stats->peak_nodes = engine.work().nodes.size();
+    stats->peak_edges = engine.work().edges.size();
+    stats->peak_keys = engine.num_keys();
   }
 
   Result<CtGraph> graph =
-      internal_core::ConditionAndCompact(std::move(work), stats);
+      internal_core::ConditionAndCompact(engine.TakeWork(), stats);
   if (graph.ok()) {
     RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
   }

@@ -17,6 +17,9 @@ struct BuildStats {
   /// phase prunes dead branches.
   std::size_t peak_nodes = 0;
   std::size_t peak_edges = 0;
+  /// Distinct node keys interned during the forward phase (the arena's
+  /// high-water mark, recycled across cleanings in batch mode).
+  std::size_t peak_keys = 0;
   /// Counts in the returned graph.
   std::size_t final_nodes = 0;
   std::size_t final_edges = 0;
@@ -46,10 +49,14 @@ struct BuildStats {
 /// the structural condition S(n) = 0 — no surviving successor, matching
 /// Proposition 1. Finally the surviving source probabilities are
 /// conditioned, weighting each source by its surviving mass (see the
-/// erratum note in builder.cc and DESIGN.md).
+/// erratum note in DESIGN.md).
 ///
 /// Complexity is polynomial in the sequence length (data complexity §5):
 /// linear in the number of materialized nodes and edges.
+///
+/// The constructor precomputes the successor generator's constraint tables
+/// (hop distances, TL relevance windows) once; Build() can then be called
+/// any number of times, for any sequences, without re-deriving them.
 class CtGraphBuilder {
  public:
   /// The constraint set must outlive the builder. `options` tunes the
@@ -62,9 +69,11 @@ class CtGraphBuilder {
   Result<CtGraph> Build(const LSequence& sequence,
                         BuildStats* stats = nullptr) const;
 
+  const SuccessorGenerator& successors() const { return successors_; }
+
  private:
   const ConstraintSet* constraints_;
-  SuccessorOptions options_;
+  SuccessorGenerator successors_;
 };
 
 }  // namespace rfidclean

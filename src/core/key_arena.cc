@@ -1,0 +1,112 @@
+#include "core/key_arena.h"
+
+#include "common/check.h"
+
+namespace rfidclean::internal_core {
+
+namespace {
+
+constexpr std::int32_t kEmptySlot = -1;
+constexpr std::size_t kInitialSlots = 64;
+
+}  // namespace
+
+std::int32_t NodeKeyArena::Append(const NodeKey& key, std::size_t hash) {
+  const std::int32_t id = static_cast<std::int32_t>(keys_.size());
+  keys_.push_back(key);
+  hashes_.push_back(hash);
+  return id;
+}
+
+std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
+  const std::size_t hash = NodeKeyHash()(key);
+  if (key.departures.size() == 0) {
+    // Keep the load factor below ~0.7 so probe chains stay short.
+    if (persistent_slots_.empty() ||
+        (persistent_count_ + 1) * 10 >= persistent_slots_.size() * 7) {
+      RehashPersistent(persistent_slots_.empty()
+                           ? kInitialSlots
+                           : persistent_slots_.size() * 2);
+    }
+    std::size_t slot = hash & persistent_mask_;
+    while (persistent_slots_[slot] != kEmptySlot) {
+      const std::int32_t id = persistent_slots_[slot];
+      if (hashes_[static_cast<std::size_t>(id)] == hash &&
+          keys_[static_cast<std::size_t>(id)] == key) {
+        return id;
+      }
+      slot = (slot + 1) & persistent_mask_;
+    }
+    const std::int32_t id = Append(key, hash);
+    persistent_slots_[slot] = id;
+    ++persistent_count_;
+    return id;
+  }
+
+  if (scope != current_scope_) {
+    current_scope_ = scope;
+    scoped_count_ = 0;
+  }
+  if (scoped_slots_.empty() ||
+      (scoped_count_ + 1) * 10 >= scoped_slots_.size() * 7) {
+    GrowScoped(scope);
+  }
+  std::size_t slot = hash & scoped_mask_;
+  while (scoped_slots_[slot].id != kEmptySlot &&
+         scoped_slots_[slot].scope == scope) {
+    const std::int32_t id = scoped_slots_[slot].id;
+    if (hashes_[static_cast<std::size_t>(id)] == hash &&
+        keys_[static_cast<std::size_t>(id)] == key) {
+      return id;
+    }
+    slot = (slot + 1) & scoped_mask_;
+  }
+  // First empty-or-expired slot: insertion point. Within one scope this is
+  // plain linear probing — current-scope chains never extend past a stale
+  // slot, because every current-scope insertion stopped at the first one.
+  const std::int32_t id = Append(key, hash);
+  scoped_slots_[slot] = ScopedSlot{scope, id};
+  ++scoped_count_;
+  return id;
+}
+
+void NodeKeyArena::Reserve(std::size_t expected_keys) {
+  keys_.reserve(expected_keys);
+  hashes_.reserve(expected_keys);
+}
+
+void NodeKeyArena::RehashPersistent(std::size_t capacity) {
+  RFID_CHECK_EQ(capacity & (capacity - 1), 0u);
+  std::vector<std::int32_t> old = std::move(persistent_slots_);
+  persistent_slots_.assign(capacity, kEmptySlot);
+  persistent_mask_ = capacity - 1;
+  for (const std::int32_t id : old) {
+    if (id == kEmptySlot) continue;
+    std::size_t slot = hashes_[static_cast<std::size_t>(id)] &
+                       persistent_mask_;
+    while (persistent_slots_[slot] != kEmptySlot) {
+      slot = (slot + 1) & persistent_mask_;
+    }
+    persistent_slots_[slot] = id;
+  }
+}
+
+void NodeKeyArena::GrowScoped(std::uint32_t scope) {
+  const std::size_t capacity =
+      scoped_slots_.empty() ? kInitialSlots : scoped_slots_.size() * 2;
+  std::vector<ScopedSlot> old = std::move(scoped_slots_);
+  scoped_slots_.assign(capacity, ScopedSlot{});
+  scoped_mask_ = capacity - 1;
+  for (const ScopedSlot& entry : old) {
+    if (entry.id == kEmptySlot || entry.scope != scope) continue;
+    std::size_t slot = hashes_[static_cast<std::size_t>(entry.id)] &
+                       scoped_mask_;
+    while (scoped_slots_[slot].id != kEmptySlot &&
+           scoped_slots_[slot].scope == scope) {
+      slot = (slot + 1) & scoped_mask_;
+    }
+    scoped_slots_[slot] = entry;
+  }
+}
+
+}  // namespace rfidclean::internal_core

@@ -6,10 +6,12 @@
 #include "common/float_eq.h"
 #include "common/strings.h"
 #include "core/self_audit.h"
+#include "core/work_graph.h"
 
 namespace rfidclean {
 
 using internal_core::WorkEdge;
+using internal_core::WorkGraph;
 using internal_core::WorkNode;
 
 namespace {
@@ -39,15 +41,17 @@ Status ValidateCandidates(const std::vector<Candidate>& candidates) {
 
 StreamingCleaner::StreamingCleaner(const ConstraintSet& constraints,
                                    const SuccessorOptions& options)
-    : constraints_(&constraints), successors_(constraints, options) {}
+    : owned_successors_(std::in_place, constraints, options),
+      successors_(&*owned_successors_),
+      engine_(constraints.num_locations()) {}
+
+StreamingCleaner::StreamingCleaner(const SuccessorGenerator& successors)
+    : successors_(&successors),
+      engine_(successors.constraints().num_locations()) {}
 
 void StreamingCleaner::ReserveCapacity(std::size_t nodes, std::size_t edges,
-                                       Timestamp ticks) {
-  work_.nodes.reserve(nodes);
-  work_.edges.reserve(edges);
-  if (ticks > 0) {
-    work_.by_time.reserve(static_cast<std::size_t>(ticks));
-  }
+                                       Timestamp ticks, std::size_t keys) {
+  engine_.ReserveCapacity(nodes, edges, ticks, keys);
 }
 
 Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
@@ -57,72 +61,27 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   }
   RFID_RETURN_IF_ERROR(ValidateCandidates(candidates));
 
-  if (work_.by_time.empty()) {
-    // First tick: source nodes.
-    std::vector<NodeId> layer;
-    std::vector<double> alpha;
-    for (NodeKey& key : successors_.SourceKeys(candidates)) {
-      WorkNode node;
-      node.time = 0;
-      for (const Candidate& candidate : candidates) {
-        if (candidate.location == key.location) {
-          node.source_probability = candidate.probability;
-        }
-      }
-      alpha.push_back(node.source_probability);
-      node.key = std::move(key);
-      layer.push_back(static_cast<NodeId>(work_.nodes.size()));
-      work_.nodes.push_back(std::move(node));
+  if (engine_.num_layers() == 0) {
+    // First tick: source nodes, one per candidate, with the candidate
+    // probability as the (unnormalized) filtered mass.
+    engine_.BeginSources(*successors_, candidates);
+    const WorkGraph& work = engine_.work();
+    frontier_alpha_.clear();
+    const std::int32_t end = work.layer_begin[1];
+    for (std::int32_t id = 0; id < end; ++id) {
+      frontier_alpha_.push_back(
+          work.nodes[static_cast<std::size_t>(id)].source_probability);
     }
-    work_.by_time.push_back(std::move(layer));
-    frontier_alpha_ = std::move(alpha);
     return Status::Ok();
   }
 
   const Timestamp t = TicksSeen() - 1;
-  const std::vector<NodeId>& frontier = work_.by_time.back();
-  std::unordered_map<NodeKey, NodeId, NodeKeyHash> interned;
-  std::vector<NodeId> layer;
-  std::vector<double> alpha;
-  std::vector<NodeKey> scratch;
-  std::unordered_map<NodeId, std::size_t> layer_index;
-  for (std::size_t f = 0; f < frontier.size(); ++f) {
-    NodeId id = frontier[f];
-    scratch.clear();
-    successors_.AppendSuccessors(
-        t, work_.nodes[static_cast<std::size_t>(id)].key, candidates,
-        &scratch);
-    for (NodeKey& key : scratch) {
-      double apriori = 0.0;
-      for (const Candidate& candidate : candidates) {
-        if (candidate.location == key.location) {
-          apriori = candidate.probability;
-        }
-      }
-      NodeId target;
-      auto it = interned.find(key);
-      if (it != interned.end()) {
-        target = it->second;
-      } else {
-        target = static_cast<NodeId>(work_.nodes.size());
-        WorkNode node;
-        node.time = t + 1;
-        node.key = key;
-        interned.emplace(std::move(key), target);
-        work_.nodes.push_back(std::move(node));
-        layer_index.emplace(target, layer.size());
-        layer.push_back(target);
-        alpha.push_back(0.0);
-      }
-      std::int32_t edge_id = static_cast<std::int32_t>(work_.edges.size());
-      work_.edges.push_back(WorkEdge{id, target, apriori, true});
-      work_.nodes[static_cast<std::size_t>(id)].out_edges.push_back(edge_id);
-      work_.nodes[static_cast<std::size_t>(target)].in_edges.push_back(
-          edge_id);
-      alpha[layer_index[target]] += frontier_alpha_[f] * apriori;
-    }
-  }
-  if (layer.empty()) {
+  const WorkGraph& work = engine_.work();
+  const std::size_t layers = work.layer_begin.size();
+  const std::int32_t frontier_begin = work.layer_begin[layers - 2];
+  const std::int32_t frontier_end = work.layer_begin[layers - 1];
+  if (!engine_.AdvanceLayer(*successors_, t, candidates,
+                            /*record_empty_layer=*/false)) {
     // No node of the frontier admits a successor compatible with this
     // tick: every interpretation is now invalid. Nothing was appended
     // (successor generation produced no node or edge), so the previous
@@ -131,46 +90,71 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
     return FailedPreconditionError(
         "the new tick leaves no consistent interpretation of the readings");
   }
+
+  // Forward-filter update: each fresh edge carries the a-priori mass of
+  // its target, and the frontier's CSR slices enumerate successors in
+  // generation order, so this reproduces the classical alpha recursion
+  // term by term.
+  const std::int32_t layer_begin = frontier_end;
+  const std::int32_t layer_end = work.layer_begin.back();
+  next_alpha_.assign(static_cast<std::size_t>(layer_end - layer_begin), 0.0);
+  for (std::int32_t id = frontier_begin; id < frontier_end; ++id) {
+    const WorkNode& node = work.nodes[static_cast<std::size_t>(id)];
+    const double mass =
+        frontier_alpha_[static_cast<std::size_t>(id - frontier_begin)];
+    const WorkEdge* out =
+        work.edges.data() + static_cast<std::size_t>(node.edge_begin);
+    for (std::int32_t k = 0; k < node.edge_count; ++k) {
+      next_alpha_[static_cast<std::size_t>(out[k].to - layer_begin)] +=
+          mass * out[k].probability;
+    }
+  }
   double total = 0.0;
-  for (double mass : alpha) total += mass;
+  for (double mass : next_alpha_) total += mass;
   RFID_CHECK_GT(total, 0.0);
-  for (double& mass : alpha) mass /= total;
-  work_.by_time.push_back(std::move(layer));
-  frontier_alpha_ = std::move(alpha);
+  for (double& mass : next_alpha_) mass /= total;
+  frontier_alpha_.swap(next_alpha_);
   return Status::Ok();
 }
 
 std::vector<std::pair<LocationId, double>>
 StreamingCleaner::CurrentDistribution() const {
-  RFID_CHECK(!work_.by_time.empty());
+  RFID_CHECK_GT(engine_.num_layers(), 0);
   std::vector<std::pair<LocationId, double>> distribution;
-  const std::vector<NodeId>& frontier = work_.by_time.back();
-  for (std::size_t f = 0; f < frontier.size(); ++f) {
+  const WorkGraph& work = engine_.work();
+  const std::size_t layers = work.layer_begin.size();
+  const std::int32_t frontier_begin = work.layer_begin[layers - 2];
+  const std::int32_t frontier_end = work.layer_begin[layers - 1];
+  for (std::int32_t id = frontier_begin; id < frontier_end; ++id) {
     LocationId location =
-        work_.nodes[static_cast<std::size_t>(frontier[f])].key.location;
+        work.keys.key(work.nodes[static_cast<std::size_t>(id)].key_id)
+            .location;
+    const double mass =
+        frontier_alpha_[static_cast<std::size_t>(id - frontier_begin)];
     bool found = false;
-    for (auto& [existing, mass] : distribution) {
+    for (auto& [existing, sum] : distribution) {
       if (existing == location) {
-        mass += frontier_alpha_[f];
+        sum += mass;
         found = true;
         break;
       }
     }
     if (!found) {
-      distribution.emplace_back(location, frontier_alpha_[f]);
+      distribution.emplace_back(location, mass);
     }
   }
   return distribution;
 }
 
 Result<CtGraph> StreamingCleaner::Finish(BuildStats* stats) && {
-  RFID_CHECK(!work_.by_time.empty());
+  RFID_CHECK_GT(engine_.num_layers(), 0);
   if (stats != nullptr) {
-    stats->peak_nodes = work_.nodes.size();
-    stats->peak_edges = work_.edges.size();
+    stats->peak_nodes = engine_.work().nodes.size();
+    stats->peak_edges = engine_.work().edges.size();
+    stats->peak_keys = engine_.num_keys();
   }
   Result<CtGraph> graph =
-      internal_core::ConditionAndCompact(std::move(work_), stats);
+      internal_core::ConditionAndCompact(engine_.TakeWork(), stats);
   if (graph.ok()) {
     RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
   }

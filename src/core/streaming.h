@@ -1,7 +1,7 @@
 #ifndef RFIDCLEAN_CORE_STREAMING_H_
 #define RFIDCLEAN_CORE_STREAMING_H_
 
-#include <unordered_map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -9,8 +9,8 @@
 #include "common/status.h"
 #include "constraints/constraint_set.h"
 #include "core/builder.h"
+#include "core/forward.h"
 #include "core/successor.h"
-#include "core/work_graph.h"
 #include "model/lsequence.h"
 
 namespace rfidclean {
@@ -33,19 +33,29 @@ namespace rfidclean {
 /// CtGraphBuilder would build for the same sequence.
 class StreamingCleaner {
  public:
-  /// The constraint set must outlive the cleaner.
+  /// The constraint set must outlive the cleaner. Builds a private
+  /// successor generator (hop distances and TL windows are derived here;
+  /// prefer the shared-generator constructor when cleaning many tags under
+  /// one constraint set).
   explicit StreamingCleaner(
       const ConstraintSet& constraints,
       const SuccessorOptions& options = SuccessorOptions());
 
-  /// Pre-reserves the internal node/edge/layer storage. Purely an
+  /// Shares a prebuilt generator. The generator (and its constraint set)
+  /// must outlive the cleaner; its generation methods are const, so one
+  /// generator can serve any number of concurrent cleaners — the batch
+  /// runtime builds it once per job instead of once per tag.
+  explicit StreamingCleaner(const SuccessorGenerator& successors);
+
+  /// Pre-reserves the internal node/edge/layer/key storage. Purely an
   /// allocation hint: results are bit-identical with or without it. Batch
   /// drivers (runtime/batch_cleaner.h) recycle the high-water marks of the
   /// cleanings a worker already ran through this, so steady-state cleaning
-  /// skips the geometric regrowth of the node arena. Call before the first
-  /// Push; later calls only ever grow capacity.
-  void ReserveCapacity(std::size_t nodes, std::size_t edges,
-                       Timestamp ticks);
+  /// skips the geometric regrowth of the node, edge, and intern-table
+  /// arenas. Call before the first Push; later calls only ever grow
+  /// capacity.
+  void ReserveCapacity(std::size_t nodes, std::size_t edges, Timestamp ticks,
+                       std::size_t keys = 0);
 
   /// Appends the candidate interpretation of the next tick (location,
   /// probability pairs summing to 1, as produced by AprioriModel /
@@ -55,9 +65,7 @@ class StreamingCleaner {
   Status Push(const std::vector<Candidate>& candidates);
 
   /// Number of ticks consumed so far.
-  Timestamp TicksSeen() const {
-    return static_cast<Timestamp>(work_.by_time.size());
-  }
+  Timestamp TicksSeen() const { return engine_.num_layers(); }
 
   /// Filtered distribution over locations at the latest tick (sums to 1).
   /// Requires at least one successful Push.
@@ -69,12 +77,13 @@ class StreamingCleaner {
   Result<CtGraph> Finish(BuildStats* stats = nullptr) &&;
 
  private:
-  const ConstraintSet* constraints_;
-  SuccessorGenerator successors_;
-  internal_core::WorkGraph work_;
-  /// Filtered forward mass per frontier node (aligned with the last layer
-  /// of work_.by_time, renormalized every tick).
+  std::optional<SuccessorGenerator> owned_successors_;
+  const SuccessorGenerator* successors_;
+  internal_core::ForwardEngine engine_;
+  /// Filtered forward mass per frontier node (aligned with the engine's
+  /// last layer, renormalized every tick).
   std::vector<double> frontier_alpha_;
+  std::vector<double> next_alpha_;
   bool failed_ = false;
 };
 

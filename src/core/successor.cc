@@ -1,49 +1,67 @@
 #include "core/successor.h"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/check.h"
 
 namespace rfidclean {
 
-namespace {
-
-/// Minimum number of one-tick moves between every pair of locations under
-/// the direct-unreachability constraints (BFS over the "can move in one
-/// tick" graph). kUnreachableHops when no move sequence exists.
-constexpr Timestamp kUnreachableHops = 1 << 29;
-
-std::vector<Timestamp> ComputeHopDistances(const ConstraintSet& constraints) {
+HopDistances HopDistances::Compute(const ConstraintSet& constraints) {
   const std::size_t n = constraints.num_locations();
-  std::vector<Timestamp> hops(n * n, kUnreachableHops);
+  HopDistances result;
+  result.num_locations_ = n;
+  result.hops_.assign(n * n, kUnreachable);
+
+  // Adjacency lists of the "can move in one tick" graph, built once: the
+  // per-source BFS then scans only actual neighbours instead of re-testing
+  // all n locations on every pop (the old formulation was O(n³) total).
+  std::vector<std::int32_t> adjacency_begin(n + 1, 0);
+  std::vector<LocationId> adjacency;
   for (std::size_t from = 0; from < n; ++from) {
-    Timestamp* row = &hops[from * n];
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      if (constraints.IsUnreachable(static_cast<LocationId>(from),
+                                    static_cast<LocationId>(to))) {
+        continue;
+      }
+      adjacency.push_back(static_cast<LocationId>(to));
+    }
+    adjacency_begin[from + 1] = static_cast<std::int32_t>(adjacency.size());
+  }
+
+  std::vector<LocationId> queue(n);
+  for (std::size_t from = 0; from < n; ++from) {
+    Timestamp* row = &result.hops_[from * n];
     row[from] = 0;
-    std::queue<LocationId> frontier;
-    frontier.push(static_cast<LocationId>(from));
-    while (!frontier.empty()) {
-      LocationId at = frontier.front();
-      frontier.pop();
-      for (std::size_t next = 0; next < n; ++next) {
-        if (row[next] != kUnreachableHops) continue;
-        if (static_cast<std::size_t>(at) == next) continue;
-        if (constraints.IsUnreachable(at, static_cast<LocationId>(next))) {
-          continue;
-        }
-        row[next] = row[static_cast<std::size_t>(at)] + 1;
-        frontier.push(static_cast<LocationId>(next));
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    queue[tail++] = static_cast<LocationId>(from);
+    while (head < tail) {
+      const LocationId at = queue[head++];
+      const Timestamp next_hop = row[static_cast<std::size_t>(at)] + 1;
+      const std::int32_t end = adjacency_begin[static_cast<std::size_t>(at) + 1];
+      for (std::int32_t i = adjacency_begin[static_cast<std::size_t>(at)];
+           i < end; ++i) {
+        const LocationId next = adjacency[static_cast<std::size_t>(i)];
+        if (row[static_cast<std::size_t>(next)] != kUnreachable) continue;
+        row[static_cast<std::size_t>(next)] = next_hop;
+        queue[tail++] = next;
       }
     }
   }
-  return hops;
+  return result;
 }
-
-}  // namespace
 
 SuccessorGenerator::SuccessorGenerator(const ConstraintSet& constraints,
                                        const SuccessorOptions& options)
+    : SuccessorGenerator(constraints, HopDistances::Compute(constraints),
+                         options) {}
+
+SuccessorGenerator::SuccessorGenerator(const ConstraintSet& constraints,
+                                       const HopDistances& hops,
+                                       const SuccessorOptions& options)
     : constraints_(&constraints) {
+  RFID_CHECK_EQ(hops.num_locations(), constraints.num_locations());
   // Precompute the relevance window of TL entries: an entry for a departure
   // from `from` still matters at location `at` for
   //   window(from, at) = max over travelingTime(from, to, nu) in IC of
@@ -53,10 +71,6 @@ SuccessorGenerator::SuccessorGenerator(const ConstraintSet& constraints,
   // maxTravelingTime(from) regardless of `at`.
   const std::size_t n = constraints.num_locations();
   window_.assign(n * n, 0);
-  std::vector<Timestamp> hops;
-  if (options.reachability_tl_pruning) {
-    hops = ComputeHopDistances(constraints);
-  }
   for (std::size_t from = 0; from < n; ++from) {
     const auto& travel_times =
         constraints.TravelingTimesFrom(static_cast<LocationId>(from));
@@ -65,8 +79,8 @@ SuccessorGenerator::SuccessorGenerator(const ConstraintSet& constraints,
       Timestamp window = 0;
       if (options.reachability_tl_pruning) {
         for (const TravelingTime& tt : travel_times) {
-          Timestamp hop = hops[at * n + static_cast<std::size_t>(tt.to)];
-          if (hop >= kUnreachableHops) continue;
+          Timestamp hop = hops.hop(static_cast<LocationId>(at), tt.to);
+          if (hop >= HopDistances::kUnreachable) continue;
           window = std::max(window, tt.min_ticks - hop);
         }
       } else {
@@ -91,13 +105,9 @@ bool SuccessorGenerator::DepartureStillRelevant(Timestamp departure_time,
 std::vector<NodeKey> SuccessorGenerator::SourceKeys(
     const std::vector<Candidate>& candidates) const {
   std::vector<NodeKey> keys;
-  for (const Candidate& candidate : candidates) {
-    NodeKey key;
-    key.location = candidate.location;
-    key.delta =
-        constraints_->HasLatency(candidate.location) ? 0 : kDeltaBottom;
-    keys.push_back(std::move(key));
-  }
+  NodeKey scratch;
+  ForEachSourceKey(candidates, &scratch,
+                   [&keys](const NodeKey& key) { keys.push_back(key); });
   return keys;
 }
 
@@ -105,88 +115,58 @@ void SuccessorGenerator::AppendSuccessors(
     Timestamp t, const NodeKey& key,
     const std::vector<Candidate>& next_candidates,
     std::vector<NodeKey>* out) const {
-  const LocationId l1 = key.location;
-  const Timestamp arrival = t + 1;
-  for (const Candidate& candidate : next_candidates) {
-    const LocationId l2 = candidate.location;
-    if (l1 != l2) {
-      // Condition 2: l2 directly reachable from l1.
-      if (constraints_->IsUnreachable(l1, l2)) continue;
-      // Condition 4: leaving l1 is only allowed once its latency constraint
-      // is satisfied; δ ≠ ⊥ means the stay is still too short (saturation
-      // invariant, §4.1 fact B).
-      if (key.delta != kDeltaBottom) continue;
-      // Condition 5: no pending traveling-time constraint from a recently
-      // left location forbids arriving at l2 now.
-      bool violates_tt = false;
-      for (std::size_t i = 0; i < key.departures.size(); ++i) {
-        const Departure& d = key.departures[i];
-        Timestamp required = constraints_->MinTravelTicks(d.location, l2);
-        if (required > 0 && arrival - d.time < required) {
-          violates_tt = true;
-          break;
-        }
-      }
-      if (violates_tt) continue;
-      // Def. 3 completion (see class comment): a one-tick move cannot
-      // satisfy a traveling-time bound of two or more ticks.
-      if (constraints_->MinTravelTicks(l1, l2) > 1) continue;
-    }
-    out->push_back(MakeSuccessorKey(t, key, l2));
-  }
+  NodeKey scratch;
+  ForEachSuccessor(t, key, next_candidates, &scratch,
+                   [out](const NodeKey& successor) {
+                     out->push_back(successor);
+                   });
 }
 
-NodeKey SuccessorGenerator::MakeSuccessorKey(Timestamp t, const NodeKey& from,
-                                             LocationId to) const {
+void SuccessorGenerator::BuildSuccessorKey(Timestamp t, const NodeKey& from,
+                                           LocationId to,
+                                           NodeKey* out) const {
   const Timestamp arrival = t + 1;
-  NodeKey key;
-  key.location = to;
+  out->location = to;
   if (from.location == to) {
     // Condition 3 with saturation: δ advances while the stay is still
     // shorter than the latency bound, then collapses to ⊥.
     if (from.delta == kDeltaBottom) {
-      key.delta = kDeltaBottom;
+      out->delta = kDeltaBottom;
     } else {
       // δ counts ticks elapsed since arrival (arrival = 0), so a stay of
       // k ticks has δ = k - 1; the latency bound is satisfied — and δ
       // collapses to ⊥ — once k = δ + 1 reaches it.
       Timestamp next = from.delta + 1;
-      key.delta =
+      out->delta =
           next + 1 >= constraints_->LatencyOf(to) ? kDeltaBottom : next;
     }
   } else {
-    key.delta = constraints_->HasLatency(to) ? 0 : kDeltaBottom;
+    out->delta = constraints_->HasLatency(to) ? 0 : kDeltaBottom;
   }
 
-  // Condition 6: TL maintenance. Start from the parent's list, record the
-  // departure from l1 when it is TT-constrained, drop entries that can no
-  // longer cause a violation and entries for the location being
-  // (re-)entered.
-  auto keep = [&](const Departure& d) {
-    if (d.location == to) return false;
-    return DepartureStillRelevant(d.time, d.location, to, arrival);
-  };
+  // Condition 6: TL maintenance, as one merge pass: walk the parent's
+  // (sorted) list, keep entries that can still cause a violation and are
+  // not for the location being (re-)entered, and splice the new departure
+  // from l1 — when it is TT-constrained and itself still relevant — into
+  // its sorted-by-location position. The scratch list keeps its capacity,
+  // so no per-key DepartureList is allocated.
+  out->departures.clear();
+  const Departure departed{t, from.location};
+  const bool add_departure =
+      from.location != to &&
+      constraints_->HasTravelingTimeFrom(from.location) &&
+      DepartureStillRelevant(t, from.location, to, arrival);
+  bool inserted = !add_departure;
   from.departures.ForEach([&](const Departure& d) {
-    if (keep(d)) key.departures.push_back(d);
-  });
-  if (from.location != to && constraints_->HasTravelingTimeFrom(from.location)) {
-    Departure departed{t, from.location};
-    if (keep(departed)) {
-      // Insert keeping the list sorted by location id (canonical form).
-      DepartureList sorted;
-      bool inserted = false;
-      key.departures.ForEach([&](const Departure& d) {
-        if (!inserted && departed.location < d.location) {
-          sorted.push_back(departed);
-          inserted = true;
-        }
-        sorted.push_back(d);
-      });
-      if (!inserted) sorted.push_back(departed);
-      key.departures = std::move(sorted);
+    if (d.location == to) return;
+    if (!DepartureStillRelevant(d.time, d.location, to, arrival)) return;
+    if (!inserted && departed.location < d.location) {
+      out->departures.push_back(departed);
+      inserted = true;
     }
-  }
-  return key;
+    out->departures.push_back(d);
+  });
+  if (!inserted) out->departures.push_back(departed);
 }
 
 }  // namespace rfidclean

@@ -1,6 +1,7 @@
 #ifndef RFIDCLEAN_CORE_SUCCESSOR_H_
 #define RFIDCLEAN_CORE_SUCCESSOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "constraints/constraint_set.h"
@@ -26,6 +27,31 @@ struct SuccessorOptions {
   bool reachability_tl_pruning = true;
 };
 
+/// Minimum number of one-tick moves between every pair of locations under
+/// the direct-unreachability constraints. Computed once per ConstraintSet
+/// (BFS over adjacency lists of the "can move in one tick" graph) and
+/// shareable across every SuccessorGenerator built for that set — the
+/// batch runtime computes it once instead of once per tag.
+class HopDistances {
+ public:
+  static constexpr Timestamp kUnreachable = 1 << 29;
+
+  static HopDistances Compute(const ConstraintSet& constraints);
+
+  /// Hop count of the shortest move sequence from `from` to `to`
+  /// (0 when equal, kUnreachable when none exists).
+  Timestamp hop(LocationId from, LocationId to) const {
+    return hops_[static_cast<std::size_t>(from) * num_locations_ +
+                 static_cast<std::size_t>(to)];
+  }
+
+  std::size_t num_locations() const { return num_locations_; }
+
+ private:
+  std::vector<Timestamp> hops_;
+  std::size_t num_locations_ = 0;
+};
+
 /// Implements the successor relation of Definition 3: which location nodes
 /// at time t+1 consistently extend a given node at time t, under the
 /// integrity constraints and the candidate locations of the next time
@@ -39,23 +65,92 @@ struct SuccessorOptions {
 /// for map-inferred constraint sets the DU constraint between non-adjacent
 /// locations subsumes this, but hand-written sets need the explicit check to
 /// keep ct-graph paths ≡ Def.-2-valid trajectories). See DESIGN.md.
+///
+/// All generation methods are const and touch only state fixed at
+/// construction, so one generator can be shared across threads.
 class SuccessorGenerator {
  public:
-  /// The constraint set must outlive the generator.
+  /// The constraint set must outlive the generator. Computes the hop
+  /// distances itself; prefer the overload below when constructing several
+  /// generators for the same constraint set.
   explicit SuccessorGenerator(
       const ConstraintSet& constraints,
       const SuccessorOptions& options = SuccessorOptions());
 
-  /// Keys of the source nodes (timestamp 0) for the given candidate
-  /// locations: one per candidate l, with δ = 0 if l carries a latency
-  /// constraint (the stay observably starts at τ=0, Definition 2) and
-  /// δ = ⊥ otherwise; TL is empty.
+  /// As above, but reuses hop distances precomputed with
+  /// HopDistances::Compute(constraints). Only consulted during
+  /// construction; `hops` need not outlive the call.
+  SuccessorGenerator(const ConstraintSet& constraints,
+                     const HopDistances& hops,
+                     const SuccessorOptions& options = SuccessorOptions());
+
+  /// Streams the keys of the source nodes (timestamp 0) for the given
+  /// candidate locations through `fn`: one per candidate l, with δ = 0 if
+  /// l carries a latency constraint (the stay observably starts at τ=0,
+  /// Definition 2) and δ = ⊥ otherwise; TL is empty. Each key is built in
+  /// `*scratch` and passed by reference — copy it inside `fn` if it must
+  /// survive the next iteration.
+  template <typename Fn>
+  void ForEachSourceKey(const std::vector<Candidate>& candidates,
+                        NodeKey* scratch, Fn&& fn) const {
+    for (const Candidate& candidate : candidates) {
+      scratch->location = candidate.location;
+      scratch->delta =
+          constraints_->HasLatency(candidate.location) ? 0 : kDeltaBottom;
+      scratch->departures.clear();
+      fn(static_cast<const NodeKey&>(*scratch));
+    }
+  }
+
+  /// Streams the keys of the successors at time t+1 of the node (t, from),
+  /// restricted to `next_candidates` (the candidate locations at time
+  /// t+1), through `fn`. Successor keys are unique per target location.
+  /// Each key is built in `*scratch` (which must not alias `from`) and
+  /// passed by reference — copy it inside `fn` if it must survive the next
+  /// iteration. The scratch's departure list keeps its heap capacity
+  /// across calls, so a long-lived scratch makes TL maintenance
+  /// allocation-free.
+  template <typename Fn>
+  void ForEachSuccessor(Timestamp t, const NodeKey& from,
+                        const std::vector<Candidate>& next_candidates,
+                        NodeKey* scratch, Fn&& fn) const {
+    const LocationId l1 = from.location;
+    const Timestamp arrival = t + 1;
+    for (const Candidate& candidate : next_candidates) {
+      const LocationId l2 = candidate.location;
+      if (l1 != l2) {
+        // Condition 2: l2 directly reachable from l1.
+        if (constraints_->IsUnreachable(l1, l2)) continue;
+        // Condition 4: leaving l1 is only allowed once its latency
+        // constraint is satisfied; δ ≠ ⊥ means the stay is still too short
+        // (saturation invariant, §4.1 fact B).
+        if (from.delta != kDeltaBottom) continue;
+        // Condition 5: no pending traveling-time constraint from a
+        // recently left location forbids arriving at l2 now.
+        bool violates_tt = false;
+        for (std::size_t i = 0; i < from.departures.size(); ++i) {
+          const Departure& d = from.departures[i];
+          Timestamp required = constraints_->MinTravelTicks(d.location, l2);
+          if (required > 0 && arrival - d.time < required) {
+            violates_tt = true;
+            break;
+          }
+        }
+        if (violates_tt) continue;
+        // Def. 3 completion (see class comment): a one-tick move cannot
+        // satisfy a traveling-time bound of two or more ticks.
+        if (constraints_->MinTravelTicks(l1, l2) > 1) continue;
+      }
+      BuildSuccessorKey(t, from, l2, scratch);
+      fn(static_cast<const NodeKey&>(*scratch));
+    }
+  }
+
+  /// Convenience wrapper over ForEachSourceKey returning a fresh vector.
   std::vector<NodeKey> SourceKeys(
       const std::vector<Candidate>& candidates) const;
 
-  /// Appends to `out` the keys of the successors at time t+1 of the node
-  /// (t, key), restricted to `next_candidates` (the candidate locations at
-  /// time t+1). Successor keys are unique per target location.
+  /// Convenience wrapper over ForEachSuccessor appending copies to `out`.
   void AppendSuccessors(Timestamp t, const NodeKey& key,
                         const std::vector<Candidate>& next_candidates,
                         std::vector<NodeKey>* out) const;
@@ -63,10 +158,12 @@ class SuccessorGenerator {
   const ConstraintSet& constraints() const { return *constraints_; }
 
  private:
-  /// Builds the successor key for a legal move/stay, applying δ saturation
-  /// and TL maintenance (Def. 3, conditions 3 and 6).
-  NodeKey MakeSuccessorKey(Timestamp t, const NodeKey& from,
-                           LocationId to) const;
+  /// Builds into `*out` the successor key for a legal move/stay, applying
+  /// δ saturation and TL maintenance (Def. 3, conditions 3 and 6) in a
+  /// single sorted-merge pass over the parent's departure list. `out` must
+  /// not alias `from`.
+  void BuildSuccessorKey(Timestamp t, const NodeKey& from, LocationId to,
+                         NodeKey* out) const;
 
   /// True while the TL entry (departure_time, from) can still cause a
   /// traveling-time violation for an object sitting at `at` at time

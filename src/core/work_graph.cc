@@ -13,9 +13,13 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   Stopwatch stopwatch;
   std::vector<WorkNode>& nodes = work.nodes;
   std::vector<WorkEdge>& edges = work.edges;
-  std::vector<std::vector<NodeId>>& by_time = work.by_time;
-  const Timestamp length = static_cast<Timestamp>(by_time.size());
+  const Timestamp length = work.num_layers();
   RFID_CHECK_GT(length, 0);
+  auto layer_range = [&work](Timestamp t) {
+    return std::pair<std::int32_t, std::int32_t>(
+        work.layer_begin[static_cast<std::size_t>(t)],
+        work.layer_begin[static_cast<std::size_t>(t) + 1]);
+  };
 
   // --- Backward phase (Algorithm 1, lines 15-29), reformulated over
   // surviving masses: S(n) = Σ_k p(k) · S(k) with S(target) = 1, so the
@@ -23,41 +27,40 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   // "divide by (1 - loss)" without subtractive cancellation. Layers are
   // rescaled by their maximum so S stays representable at any length, and
   // a node is dead iff S(n) = 0 (Proposition 1, detected structurally).
+  // Both sweeps stream the layer's nodes and their CSR edge slices in
+  // ascending id order — all memory access is sequential except the gather
+  // of the next layer's `survived`.
   for (Timestamp t = length - 2; t >= 0; --t) {
-    const auto& layer = by_time[static_cast<std::size_t>(t)];
+    const auto [begin, end] = layer_range(t);
     double layer_max = 0.0;
-    for (NodeId id : layer) {
+    for (std::int32_t id = begin; id < end; ++id) {
       WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      const WorkEdge* out =
+          edges.data() + static_cast<std::size_t>(node.edge_begin);
       double mass = 0.0;
-      for (std::int32_t edge_id : node.out_edges) {
-        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
-        mass += edge.probability *
-                nodes[static_cast<std::size_t>(edge.to)].survived;
+      for (std::int32_t k = 0; k < node.edge_count; ++k) {
+        mass += out[k].probability *
+                nodes[static_cast<std::size_t>(out[k].to)].survived;
       }
       node.survived = mass;
       layer_max = std::max(layer_max, mass);
     }
-    for (NodeId id : layer) {
+    for (std::int32_t id = begin; id < end; ++id) {
       WorkNode& node = nodes[static_cast<std::size_t>(id)];
       if (node.survived <= 0.0) {
+        // Dead node: its edges are never read again (the node is skipped
+        // by reachability and compaction), so they keep their a-priori
+        // labels.
         node.alive = false;
-        for (std::int32_t edge_id : node.out_edges) {
-          edges[static_cast<std::size_t>(edge_id)].alive = false;
-        }
         continue;
       }
-      for (std::int32_t edge_id : node.out_edges) {
-        WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+      WorkEdge* out = edges.data() + static_cast<std::size_t>(node.edge_begin);
+      for (std::int32_t k = 0; k < node.edge_count; ++k) {
         double conditioned =
-            edge.probability *
-            nodes[static_cast<std::size_t>(edge.to)].survived /
+            out[k].probability *
+            nodes[static_cast<std::size_t>(out[k].to)].survived /
             node.survived;
-        if (conditioned > 0.0) {
-          edge.probability = conditioned;
-        } else {
-          edge.alive = false;
-          edge.probability = 0.0;
-        }
+        out[k].probability = conditioned > 0.0 ? conditioned : 0.0;
       }
       node.survived /= layer_max;
     }
@@ -66,11 +69,14 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   // Lines 30-31 with the source-weighting erratum fix (see DESIGN.md):
   // each surviving source is weighted by its surviving suffix mass.
   double source_mass = 0.0;
-  for (NodeId id : by_time[0]) {
-    WorkNode& node = nodes[static_cast<std::size_t>(id)];
-    if (node.alive) {
-      node.source_probability *= node.survived;
-      source_mass += node.source_probability;
+  {
+    const auto [begin, end] = layer_range(0);
+    for (std::int32_t id = begin; id < end; ++id) {
+      WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      if (node.alive) {
+        node.source_probability *= node.survived;
+        source_mass += node.source_probability;
+      }
     }
   }
   if (source_mass <= 0.0) {
@@ -81,47 +87,76 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
 
   // --- Compaction: alive nodes reachable from a surviving source through
   // live edges (explicit reachability: per-edge products can underflow to
-  // zero under extreme probability ranges).
+  // zero under extreme probability ranges). A live edge is one whose
+  // conditioned probability stayed positive.
   std::vector<bool> reachable(nodes.size(), false);
-  for (NodeId id : by_time[0]) {
-    const WorkNode& node = nodes[static_cast<std::size_t>(id)];
-    if (node.alive && node.source_probability > 0.0) {
-      reachable[static_cast<std::size_t>(id)] = true;
+  {
+    const auto [begin, end] = layer_range(0);
+    for (std::int32_t id = begin; id < end; ++id) {
+      const WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      if (node.alive && node.source_probability > 0.0) {
+        reachable[static_cast<std::size_t>(id)] = true;
+      }
     }
   }
   for (Timestamp t = 0; t + 1 < length; ++t) {
-    for (NodeId id : by_time[static_cast<std::size_t>(t)]) {
+    const auto [begin, end] = layer_range(t);
+    for (std::int32_t id = begin; id < end; ++id) {
       if (!reachable[static_cast<std::size_t>(id)]) continue;
-      for (std::int32_t edge_id :
-           nodes[static_cast<std::size_t>(id)].out_edges) {
-        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
-        if (edge.alive && nodes[static_cast<std::size_t>(edge.to)].alive) {
-          reachable[static_cast<std::size_t>(edge.to)] = true;
+      const WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      const WorkEdge* out =
+          edges.data() + static_cast<std::size_t>(node.edge_begin);
+      for (std::int32_t k = 0; k < node.edge_count; ++k) {
+        if (out[k].probability > 0.0 &&
+            nodes[static_cast<std::size_t>(out[k].to)].alive) {
+          reachable[static_cast<std::size_t>(out[k].to)] = true;
         }
       }
     }
   }
 
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].alive && reachable[i]) ++survivors;
+  }
   std::vector<CtGraph::Node> compact;
+  compact.reserve(survivors);
   std::vector<NodeId> remap(nodes.size(), kInvalidNode);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    WorkNode& node = nodes[i];
+    const WorkNode& node = nodes[i];
     if (!node.alive || !reachable[i]) continue;
     remap[i] = static_cast<NodeId>(compact.size());
     CtGraph::Node out;
     out.time = node.time;
-    out.key = std::move(node.key);
+    out.key = work.keys.key(node.key_id);
     out.source_probability =
         node.time == 0 ? node.source_probability / source_mass : 0.0;
     compact.push_back(std::move(out));
   }
-  for (const WorkEdge& edge : edges) {
-    if (!edge.alive) continue;
-    NodeId from = remap[static_cast<std::size_t>(edge.from)];
-    NodeId to = remap[static_cast<std::size_t>(edge.to)];
-    if (from == kInvalidNode || to == kInvalidNode) continue;
-    compact[static_cast<std::size_t>(from)].out_edges.push_back(
-        CtGraph::Edge{to, edge.probability});
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId from = remap[i];
+    if (from == kInvalidNode) continue;
+    const WorkNode& node = nodes[i];
+    const WorkEdge* out =
+        edges.data() + static_cast<std::size_t>(node.edge_begin);
+    // Count first so each out_edges vector is allocated exactly once (the
+    // slice is hot in cache for the second pass).
+    std::size_t live = 0;
+    for (std::int32_t k = 0; k < node.edge_count; ++k) {
+      if (out[k].probability > 0.0 &&
+          remap[static_cast<std::size_t>(out[k].to)] != kInvalidNode) {
+        ++live;
+      }
+    }
+    std::vector<CtGraph::Edge>& out_edges =
+        compact[static_cast<std::size_t>(from)].out_edges;
+    out_edges.reserve(live);
+    for (std::int32_t k = 0; k < node.edge_count; ++k) {
+      if (out[k].probability <= 0.0) continue;
+      const NodeId to = remap[static_cast<std::size_t>(out[k].to)];
+      if (to == kInvalidNode) continue;
+      out_edges.push_back(CtGraph::Edge{to, out[k].probability});
+    }
   }
   Result<CtGraph> graph = CtGraph::Assemble(std::move(compact), length);
   RFID_CHECK(graph.ok());  // Construction invariants guarantee validity.

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/ct_graph.h"
+#include "core/key_arena.h"
 
 namespace rfidclean {
 
@@ -14,32 +15,54 @@ struct BuildStats;
 namespace internal_core {
 
 /// Mutable node record shared by the batch builder (CtGraphBuilder) and the
-/// incremental one (StreamingCleaner) during construction.
+/// incremental one (StreamingCleaner) during construction. A flat POD: the
+/// node's identity lives in the build's NodeKeyArena (key_id) and its
+/// outgoing edges are the contiguous slice [edge_begin, edge_begin +
+/// edge_count) of WorkGraph::edges — the forward phase expands each node
+/// exactly once, so the CSR slice is free to maintain and the backward
+/// sweep streams edges sequentially instead of chasing per-node vectors.
 struct WorkNode {
-  NodeKey key;
+  std::int32_t key_id = -1;
   Timestamp time = 0;
+  std::int32_t edge_begin = 0;
+  std::int32_t edge_count = 0;
   double source_probability = 0.0;
   /// Relative a-priori mass of the node's *valid* suffixes (see the
   /// backward-phase commentary in builder.h: this replaces the paper's
   /// additive `loss` with its numerically robust complement).
   double survived = 1.0;
   bool alive = true;
-  std::vector<std::int32_t> out_edges;  // indices into the edge arena
-  std::vector<std::int32_t> in_edges;
 };
 
+/// One outgoing edge. The source is implicit (the owning node's CSR
+/// slice). `probability` carries the a-priori mass of the target during
+/// the forward phase and the conditioned mass after the backward phase;
+/// the backward phase writes 0 for edges that die (no surviving suffix),
+/// so after it "alive" is exactly `probability > 0`.
 struct WorkEdge {
-  NodeId from = kInvalidNode;
   NodeId to = kInvalidNode;
   double probability = 0.0;
-  bool alive = true;
 };
 
-/// The forward-phase output: nodes/edges plus the per-timestamp layers.
+/// The forward-phase output in compressed-sparse-row form: node records in
+/// timestamp order, their concatenated edge slices, the per-timestamp layer
+/// offsets, and the arena holding each distinct node key once.
+///
+/// Layer t is the node-id range [layer_begin[t], layer_begin[t + 1]);
+/// nodes are appended layer by layer, so ids ascend with time and a layer
+/// is always contiguous. layer_begin has num_layers() + 1 entries (empty
+/// until the source layer is pushed).
 struct WorkGraph {
+  NodeKeyArena keys;
   std::vector<WorkNode> nodes;
   std::vector<WorkEdge> edges;
-  std::vector<std::vector<NodeId>> by_time;
+  std::vector<std::int32_t> layer_begin;
+
+  Timestamp num_layers() const {
+    return layer_begin.empty()
+               ? 0
+               : static_cast<Timestamp>(layer_begin.size() - 1);
+  }
 };
 
 /// Runs the backward conditioning phase (survival masses, per-layer

@@ -17,8 +17,7 @@ namespace {
 /// Cleans one workload with the worker's recycled capacity hints. All
 /// error messages are deterministic functions of the workload, so outcomes
 /// compare bit-identical across job counts and runs.
-TagOutcome CleanOne(const ConstraintSet& constraints,
-                    const SuccessorOptions& successor,
+TagOutcome CleanOne(const SuccessorGenerator& successors,
                     const TagWorkload& workload,
                     runtime::WorkerArena* arena) {
   BuildStats stats;
@@ -28,7 +27,7 @@ TagOutcome CleanOne(const ConstraintSet& constraints,
           StrFormat("tag %lld has an empty stream",
                     static_cast<long long>(workload.tag)));
     }
-    StreamingCleaner cleaner(constraints, successor);
+    StreamingCleaner cleaner(successors);
     arena->Prepare(&cleaner, workload.sequence.length());
     for (Timestamp t = 0; t < workload.sequence.length(); ++t) {
       Status pushed = cleaner.Push(workload.sequence.CandidatesAt(t));
@@ -44,7 +43,9 @@ TagOutcome CleanOne(const ConstraintSet& constraints,
 
 BatchCleaner::BatchCleaner(const ConstraintSet& constraints,
                            BatchOptions options)
-    : constraints_(&constraints), options_(std::move(options)) {
+    : constraints_(&constraints),
+      options_(std::move(options)),
+      successors_(constraints, options_.successor) {
   if (options_.jobs < 1) options_.jobs = 1;
 }
 
@@ -66,8 +67,7 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
         try {
           if (options_.before_tag) options_.before_tag(shard);
           slots[shard].emplace(
-              CleanOne(*constraints_, options_.successor, workloads[shard],
-                       &arena));
+              CleanOne(successors_, workloads[shard], &arena));
         } catch (const std::exception& e) {
           slots[shard].emplace(TagOutcome{
               workloads[shard].tag,

@@ -56,9 +56,11 @@ struct BatchOptions {
 /// BatchCleaner output is bit-identical to looping StreamingCleaner over
 /// the same workloads (enforced by tests/batch_differential_test.cc).
 ///
-/// Thread-safety inputs: ConstraintSet is immutable after construction and
-/// the self-audit hook (core/self_audit.h) is an atomic read, so workers
-/// share both without synchronization.
+/// Thread-safety inputs: ConstraintSet and SuccessorGenerator are immutable
+/// after construction (the generator's constraint tables — hop distances,
+/// TL relevance windows — are derived once here instead of once per tag)
+/// and the self-audit hook (core/self_audit.h) is an atomic read, so
+/// workers share all of them without synchronization.
 class BatchCleaner {
  public:
   /// The constraint set must outlive the cleaner.
@@ -76,6 +78,7 @@ class BatchCleaner {
  private:
   const ConstraintSet* constraints_;
   BatchOptions options_;
+  SuccessorGenerator successors_;
 };
 
 }  // namespace rfidclean

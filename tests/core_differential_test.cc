@@ -1,0 +1,192 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_audit.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "core/streaming.h"
+#include "io/ctgraph_io.h"
+#include "oracle_core.h"
+#include "query/marginals.h"
+#include "query/most_likely.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL3;
+
+/// Differential equivalence of the rewritten CSR core against the frozen
+/// pre-rewrite implementation (tests/oracle_core.h): for randomly generated
+/// single-tag workloads, both CtGraphBuilder and StreamingCleaner must be
+/// *bit-identical* — serialized graph bytes, marginals, most-likely
+/// trajectories, and error statuses — to the oracle. The rewrite changed
+/// the memory layout (CSR slices, interned keys, memoized expansion), not
+/// the algorithm, so any divergence is a bug in the new core.
+///
+/// 25 seeds × 8 workloads = 200 random workloads; the self-audit hook is
+/// armed throughout, so every graph either path produces must also pass the
+/// full ct-graph invariant audit.
+class CoreDifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { EnableSelfAudit(); }
+  void TearDown() override { DisableSelfAudit(); }
+
+  /// Random l-sequence over `num_locations`, as in batch_differential_test.
+  static LSequence MakeRandomSequence(std::size_t num_locations, Rng& rng) {
+    const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 8));
+    std::vector<std::vector<Candidate>> candidates;
+    for (Timestamp t = 0; t < length; ++t) {
+      int k = rng.UniformInt(1, 3);
+      std::vector<LocationId> locations(num_locations);
+      for (std::size_t i = 0; i < num_locations; ++i) {
+        locations[i] = static_cast<LocationId>(i);
+      }
+      std::vector<Candidate> at_t;
+      double total = 0.0;
+      for (int i = 0; i < k; ++i) {
+        std::size_t j = static_cast<std::size_t>(i) +
+                        rng.UniformIndex(locations.size() -
+                                         static_cast<std::size_t>(i));
+        std::swap(locations[static_cast<std::size_t>(i)], locations[j]);
+        double weight = rng.UniformDouble(0.1, 1.0);
+        at_t.push_back(
+            Candidate{locations[static_cast<std::size_t>(i)], weight});
+        total += weight;
+      }
+      for (Candidate& candidate : at_t) candidate.probability /= total;
+      candidates.push_back(std::move(at_t));
+    }
+    Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+    RFID_CHECK(sequence.ok());
+    return std::move(sequence).value();
+  }
+
+  /// Random constraint set dense enough that a sizable fraction of the
+  /// workloads contains dead tags, so the error path is diffed too.
+  static ConstraintSet MakeRandomConstraints(std::size_t num_locations,
+                                             Rng& rng) {
+    ConstraintSet constraints(num_locations);
+    for (std::size_t a = 0; a < num_locations; ++a) {
+      for (std::size_t b = 0; b < num_locations; ++b) {
+        if (a == b) continue;
+        if (rng.Bernoulli(0.3)) {
+          constraints.AddUnreachable(static_cast<LocationId>(a),
+                                     static_cast<LocationId>(b));
+        } else if (rng.Bernoulli(0.2)) {
+          constraints.AddTravelingTime(
+              static_cast<LocationId>(a), static_cast<LocationId>(b),
+              static_cast<Timestamp>(rng.UniformInt(2, 4)));
+        }
+      }
+      if (rng.Bernoulli(0.3)) {
+        constraints.AddLatency(static_cast<LocationId>(a),
+                               static_cast<Timestamp>(rng.UniformInt(2, 3)));
+      }
+    }
+    return constraints;
+  }
+
+  static std::string Serialize(const CtGraph& graph) {
+    std::ostringstream os;
+    WriteCtGraph(graph, os);
+    return os.str();
+  }
+
+  /// Asserts a successful result is bit-identical to the oracle's graph:
+  /// full serialization (17 significant digits, round-trip-exact for
+  /// doubles) plus the query results computed on top.
+  static void ExpectBitIdentical(const CtGraph& got, const CtGraph& want) {
+    EXPECT_EQ(Serialize(got), Serialize(want));
+    EXPECT_EQ(NodeMarginals(got), NodeMarginals(want));
+    auto [got_traj, got_p] = MostLikelyTrajectory(got);
+    auto [want_traj, want_p] = MostLikelyTrajectory(want);
+    EXPECT_EQ(got_traj, want_traj);
+    EXPECT_EQ(got_p, want_p);  // exact: same float-op order by design
+  }
+};
+
+TEST_P(CoreDifferentialTest, RewrittenCoreEqualsFrozenOracleBitForBit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/4096);
+  for (int round = 0; round < 8; ++round) {
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " round=" << round);
+    const std::size_t num_locations =
+        static_cast<std::size_t>(rng.UniformInt(3, 5));
+    ConstraintSet constraints = MakeRandomConstraints(num_locations, rng);
+    LSequence sequence = MakeRandomSequence(num_locations, rng);
+
+    Result<CtGraph> expected = oracle::BuildCtGraph(constraints, sequence);
+
+    // Batch path: statuses must match exactly, message included — error
+    // reporting is part of the core's deterministic contract.
+    CtGraphBuilder builder(constraints);
+    Result<CtGraph> batch = builder.Build(sequence);
+    ASSERT_EQ(batch.ok(), expected.ok());
+    if (expected.ok()) {
+      ExpectBitIdentical(batch.value(), expected.value());
+    } else {
+      EXPECT_EQ(batch.status(), expected.status());
+    }
+
+    // Streaming path: a doomed workload must be rejected at the first tick
+    // that leaves no consistent interpretation (the streaming cleaner
+    // reports dead ends eagerly, with its own message); a viable one must
+    // finish with the oracle's exact graph.
+    StreamingCleaner cleaner(constraints);
+    bool push_failed = false;
+    for (Timestamp t = 0; t < sequence.length(); ++t) {
+      Status pushed = cleaner.Push(sequence.CandidatesAt(t));
+      if (!pushed.ok()) {
+        EXPECT_EQ(pushed.code(), StatusCode::kFailedPrecondition);
+        push_failed = true;
+        break;
+      }
+    }
+    EXPECT_EQ(push_failed, !expected.ok());
+    if (!push_failed) {
+      Result<CtGraph> streamed = std::move(cleaner).Finish();
+      ASSERT_EQ(streamed.ok(), expected.ok());
+      if (expected.ok()) {
+        ExpectBitIdentical(streamed.value(), expected.value());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreDifferentialTest,
+                         ::testing::Range(0, 25));
+
+/// The paper's running example (Examples 10-12): both cores must agree
+/// bit-for-bit AND reproduce the published golden trace — the unique valid
+/// trajectory L1 L3 L3 carrying all the conditioned mass.
+TEST(CoreDifferentialGoldenTest, PaperExampleMatchesOracleAndPublishedTrace) {
+  EnableSelfAudit();
+  ConstraintSet constraints = ::rfidclean::testing::PaperExampleConstraints();
+  LSequence sequence = ::rfidclean::testing::PaperExampleSequence();
+
+  Result<CtGraph> expected = oracle::BuildCtGraph(constraints, sequence);
+  ASSERT_TRUE(expected.ok());
+
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> batch = builder.Build(sequence);
+  ASSERT_TRUE(batch.ok());
+  {
+    std::ostringstream want, got;
+    WriteCtGraph(expected.value(), want);
+    WriteCtGraph(batch.value(), got);
+    EXPECT_EQ(got.str(), want.str());
+  }
+
+  auto [trajectory, probability] = MostLikelyTrajectory(batch.value());
+  EXPECT_EQ(trajectory, Trajectory({kL1, kL3, kL3}));
+  EXPECT_NEAR(probability, 1.0, 1e-12);
+  DisableSelfAudit();
+}
+
+}  // namespace
+}  // namespace rfidclean

@@ -1,0 +1,398 @@
+#ifndef RFIDCLEAN_TESTS_ORACLE_CORE_H_
+#define RFIDCLEAN_TESTS_ORACLE_CORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "constraints/constraint_set.h"
+#include "core/ct_graph.h"
+#include "core/location_node.h"
+#include "core/successor.h"
+#include "model/lsequence.h"
+
+namespace rfidclean::oracle {
+
+/// \file
+/// Frozen pre-CSR reference implementation of the ct-graph build
+/// (Algorithm 1), kept verbatim from the tree as it stood before the
+/// cache-friendly core rewrite: dense O(n^2)-scan hop distances, successor
+/// keys built through full DepartureList copies, a per-layer
+/// std::unordered_map intern table, pointer-free but indirection-heavy
+/// work-graph records (per-node out_edges/in_edges index vectors), and the
+/// original backward/compaction sweep over them.
+///
+/// The differential suite (core_differential_test.cc) pins the rewritten
+/// core bit-for-bit against this oracle, so DO NOT "improve" this code:
+/// its value is that it never changes. It shares only public, stable
+/// vocabulary types with the library (NodeKey, ConstraintSet, LSequence,
+/// CtGraph) — none of the rewritten internals.
+
+inline constexpr Timestamp kUnreachableHops = 1 << 29;
+
+/// Minimum number of one-tick moves between every pair of locations under
+/// the direct-unreachability constraints (BFS over the "can move in one
+/// tick" graph, scanning all n locations per dequeued node).
+inline std::vector<Timestamp> ComputeHopDistances(
+    const ConstraintSet& constraints) {
+  const std::size_t n = constraints.num_locations();
+  std::vector<Timestamp> hops(n * n, kUnreachableHops);
+  for (std::size_t from = 0; from < n; ++from) {
+    Timestamp* row = &hops[from * n];
+    row[from] = 0;
+    std::queue<LocationId> frontier;
+    frontier.push(static_cast<LocationId>(from));
+    while (!frontier.empty()) {
+      LocationId at = frontier.front();
+      frontier.pop();
+      for (std::size_t next = 0; next < n; ++next) {
+        if (row[next] != kUnreachableHops) continue;
+        if (static_cast<std::size_t>(at) == next) continue;
+        if (constraints.IsUnreachable(at, static_cast<LocationId>(next))) {
+          continue;
+        }
+        row[next] = row[static_cast<std::size_t>(at)] + 1;
+        frontier.push(static_cast<LocationId>(next));
+      }
+    }
+  }
+  return hops;
+}
+
+/// The pre-rewrite SuccessorGenerator: same successor relation
+/// (Definition 3 plus the documented Def.-3 completion), with successor
+/// keys materialized into caller-owned vectors and TL canonicalization done
+/// by rebuilding a sorted DepartureList.
+class SuccessorOracle {
+ public:
+  explicit SuccessorOracle(const ConstraintSet& constraints,
+                           const SuccessorOptions& options =
+                               SuccessorOptions())
+      : constraints_(&constraints) {
+    const std::size_t n = constraints.num_locations();
+    window_.assign(n * n, 0);
+    std::vector<Timestamp> hops;
+    if (options.reachability_tl_pruning) {
+      hops = ComputeHopDistances(constraints);
+    }
+    for (std::size_t from = 0; from < n; ++from) {
+      const auto& travel_times =
+          constraints.TravelingTimesFrom(static_cast<LocationId>(from));
+      if (travel_times.empty()) continue;
+      for (std::size_t at = 0; at < n; ++at) {
+        Timestamp window = 0;
+        if (options.reachability_tl_pruning) {
+          for (const TravelingTime& tt : travel_times) {
+            Timestamp hop = hops[at * n + static_cast<std::size_t>(tt.to)];
+            if (hop >= kUnreachableHops) continue;
+            window = std::max(window, tt.min_ticks - hop);
+          }
+        } else {
+          window =
+              constraints.MaxTravelingTimeFrom(static_cast<LocationId>(from));
+        }
+        window_[from * n + at] = window;
+      }
+    }
+  }
+
+  std::vector<NodeKey> SourceKeys(
+      const std::vector<Candidate>& candidates) const {
+    std::vector<NodeKey> keys;
+    for (const Candidate& candidate : candidates) {
+      NodeKey key;
+      key.location = candidate.location;
+      key.delta =
+          constraints_->HasLatency(candidate.location) ? 0 : kDeltaBottom;
+      keys.push_back(std::move(key));
+    }
+    return keys;
+  }
+
+  void AppendSuccessors(Timestamp t, const NodeKey& key,
+                        const std::vector<Candidate>& next_candidates,
+                        std::vector<NodeKey>* out) const {
+    const LocationId l1 = key.location;
+    const Timestamp arrival = t + 1;
+    for (const Candidate& candidate : next_candidates) {
+      const LocationId l2 = candidate.location;
+      if (l1 != l2) {
+        if (constraints_->IsUnreachable(l1, l2)) continue;
+        if (key.delta != kDeltaBottom) continue;
+        bool violates_tt = false;
+        for (std::size_t i = 0; i < key.departures.size(); ++i) {
+          const Departure& d = key.departures[i];
+          Timestamp required = constraints_->MinTravelTicks(d.location, l2);
+          if (required > 0 && arrival - d.time < required) {
+            violates_tt = true;
+            break;
+          }
+        }
+        if (violates_tt) continue;
+        if (constraints_->MinTravelTicks(l1, l2) > 1) continue;
+      }
+      out->push_back(MakeSuccessorKey(t, key, l2));
+    }
+  }
+
+ private:
+  bool DepartureStillRelevant(Timestamp departure_time, LocationId from,
+                              LocationId at, Timestamp arrival) const {
+    const std::size_t n = constraints_->num_locations();
+    Timestamp window = window_[static_cast<std::size_t>(from) * n +
+                               static_cast<std::size_t>(at)];
+    return arrival - departure_time < window;
+  }
+
+  NodeKey MakeSuccessorKey(Timestamp t, const NodeKey& from,
+                           LocationId to) const {
+    const Timestamp arrival = t + 1;
+    NodeKey key;
+    key.location = to;
+    if (from.location == to) {
+      if (from.delta == kDeltaBottom) {
+        key.delta = kDeltaBottom;
+      } else {
+        Timestamp next = from.delta + 1;
+        key.delta =
+            next + 1 >= constraints_->LatencyOf(to) ? kDeltaBottom : next;
+      }
+    } else {
+      key.delta = constraints_->HasLatency(to) ? 0 : kDeltaBottom;
+    }
+
+    auto keep = [&](const Departure& d) {
+      if (d.location == to) return false;
+      return DepartureStillRelevant(d.time, d.location, to, arrival);
+    };
+    from.departures.ForEach([&](const Departure& d) {
+      if (keep(d)) key.departures.push_back(d);
+    });
+    if (from.location != to &&
+        constraints_->HasTravelingTimeFrom(from.location)) {
+      Departure departed{t, from.location};
+      if (keep(departed)) {
+        DepartureList sorted;
+        bool inserted = false;
+        key.departures.ForEach([&](const Departure& d) {
+          if (!inserted && departed.location < d.location) {
+            sorted.push_back(departed);
+            inserted = true;
+          }
+          sorted.push_back(d);
+        });
+        if (!inserted) sorted.push_back(departed);
+        key.departures = std::move(sorted);
+      }
+    }
+    return key;
+  }
+
+  std::vector<Timestamp> window_;
+  const ConstraintSet* constraints_;
+};
+
+/// The pre-rewrite work-graph records: inline keys, per-node edge-index
+/// vectors, edge liveness flags, per-timestamp node-id buckets.
+struct WorkNode {
+  NodeKey key;
+  Timestamp time = 0;
+  double source_probability = 0.0;
+  double survived = 1.0;
+  bool alive = true;
+  std::vector<std::int32_t> out_edges;
+  std::vector<std::int32_t> in_edges;
+};
+
+struct WorkEdge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  double probability = 0.0;
+  bool alive = true;
+};
+
+struct WorkGraph {
+  std::vector<WorkNode> nodes;
+  std::vector<WorkEdge> edges;
+  std::vector<std::vector<NodeId>> by_time;
+};
+
+/// The pre-rewrite backward phase and compaction, byte-for-byte including
+/// its floating-point operation order.
+inline Result<CtGraph> ConditionAndCompact(WorkGraph&& work) {
+  std::vector<WorkNode>& nodes = work.nodes;
+  std::vector<WorkEdge>& edges = work.edges;
+  std::vector<std::vector<NodeId>>& by_time = work.by_time;
+  const Timestamp length = static_cast<Timestamp>(by_time.size());
+  RFID_CHECK_GT(length, 0);
+
+  for (Timestamp t = length - 2; t >= 0; --t) {
+    const auto& layer = by_time[static_cast<std::size_t>(t)];
+    double layer_max = 0.0;
+    for (NodeId id : layer) {
+      WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      double mass = 0.0;
+      for (std::int32_t edge_id : node.out_edges) {
+        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        mass += edge.probability *
+                nodes[static_cast<std::size_t>(edge.to)].survived;
+      }
+      node.survived = mass;
+      layer_max = std::max(layer_max, mass);
+    }
+    for (NodeId id : layer) {
+      WorkNode& node = nodes[static_cast<std::size_t>(id)];
+      if (node.survived <= 0.0) {
+        node.alive = false;
+        for (std::int32_t edge_id : node.out_edges) {
+          edges[static_cast<std::size_t>(edge_id)].alive = false;
+        }
+        continue;
+      }
+      for (std::int32_t edge_id : node.out_edges) {
+        WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        double conditioned =
+            edge.probability *
+            nodes[static_cast<std::size_t>(edge.to)].survived /
+            node.survived;
+        if (conditioned > 0.0) {
+          edge.probability = conditioned;
+        } else {
+          edge.alive = false;
+          edge.probability = 0.0;
+        }
+      }
+      node.survived /= layer_max;
+    }
+  }
+
+  double source_mass = 0.0;
+  for (NodeId id : by_time[0]) {
+    WorkNode& node = nodes[static_cast<std::size_t>(id)];
+    if (node.alive) {
+      node.source_probability *= node.survived;
+      source_mass += node.source_probability;
+    }
+  }
+  if (source_mass <= 0.0) {
+    return FailedPreconditionError(
+        "the integrity constraints rule out every interpretation of the "
+        "readings");
+  }
+
+  std::vector<bool> reachable(nodes.size(), false);
+  for (NodeId id : by_time[0]) {
+    const WorkNode& node = nodes[static_cast<std::size_t>(id)];
+    if (node.alive && node.source_probability > 0.0) {
+      reachable[static_cast<std::size_t>(id)] = true;
+    }
+  }
+  for (Timestamp t = 0; t + 1 < length; ++t) {
+    for (NodeId id : by_time[static_cast<std::size_t>(t)]) {
+      if (!reachable[static_cast<std::size_t>(id)]) continue;
+      for (std::int32_t edge_id :
+           nodes[static_cast<std::size_t>(id)].out_edges) {
+        const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
+        if (edge.alive && nodes[static_cast<std::size_t>(edge.to)].alive) {
+          reachable[static_cast<std::size_t>(edge.to)] = true;
+        }
+      }
+    }
+  }
+
+  std::vector<CtGraph::Node> compact;
+  std::vector<NodeId> remap(nodes.size(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    WorkNode& node = nodes[i];
+    if (!node.alive || !reachable[i]) continue;
+    remap[i] = static_cast<NodeId>(compact.size());
+    CtGraph::Node out;
+    out.time = node.time;
+    out.key = std::move(node.key);
+    out.source_probability =
+        node.time == 0 ? node.source_probability / source_mass : 0.0;
+    compact.push_back(std::move(out));
+  }
+  for (const WorkEdge& edge : edges) {
+    if (!edge.alive) continue;
+    NodeId from = remap[static_cast<std::size_t>(edge.from)];
+    NodeId to = remap[static_cast<std::size_t>(edge.to)];
+    if (from == kInvalidNode || to == kInvalidNode) continue;
+    compact[static_cast<std::size_t>(from)].out_edges.push_back(
+        CtGraph::Edge{to, edge.probability});
+  }
+  Result<CtGraph> graph = CtGraph::Assemble(std::move(compact), length);
+  RFID_CHECK(graph.ok());
+  return graph;
+}
+
+/// The pre-rewrite CtGraphBuilder::Build: forward phase with a per-layer
+/// std::unordered_map intern table, then the frozen backward/compaction.
+inline Result<CtGraph> BuildCtGraph(const ConstraintSet& constraints,
+                                    const LSequence& sequence,
+                                    const SuccessorOptions& options =
+                                        SuccessorOptions()) {
+  const Timestamp length = sequence.length();
+  SuccessorOracle successors(constraints, options);
+
+  WorkGraph work;
+  work.by_time.resize(static_cast<std::size_t>(length));
+
+  for (NodeKey& key : successors.SourceKeys(sequence.CandidatesAt(0))) {
+    WorkNode node;
+    node.time = 0;
+    node.source_probability = sequence.ProbabilityAt(0, key.location);
+    node.key = std::move(key);
+    work.by_time[0].push_back(static_cast<NodeId>(work.nodes.size()));
+    work.nodes.push_back(std::move(node));
+  }
+
+  std::unordered_map<NodeKey, NodeId, NodeKeyHash> interned;
+  std::vector<NodeKey> scratch;
+  for (Timestamp t = 0; t + 1 < length; ++t) {
+    interned.clear();
+    const std::vector<Candidate>& next_candidates =
+        sequence.CandidatesAt(t + 1);
+    auto& next_layer = work.by_time[static_cast<std::size_t>(t) + 1];
+    for (NodeId id : work.by_time[static_cast<std::size_t>(t)]) {
+      scratch.clear();
+      successors.AppendSuccessors(
+          t, work.nodes[static_cast<std::size_t>(id)].key, next_candidates,
+          &scratch);
+      for (NodeKey& key : scratch) {
+        double apriori = sequence.ProbabilityAt(t + 1, key.location);
+        NodeId target;
+        auto it = interned.find(key);
+        if (it != interned.end()) {
+          target = it->second;
+        } else {
+          target = static_cast<NodeId>(work.nodes.size());
+          WorkNode node;
+          node.time = t + 1;
+          node.key = key;
+          interned.emplace(std::move(key), target);
+          work.nodes.push_back(std::move(node));
+          next_layer.push_back(target);
+        }
+        std::int32_t edge_id = static_cast<std::int32_t>(work.edges.size());
+        work.edges.push_back(WorkEdge{id, target, apriori, true});
+        work.nodes[static_cast<std::size_t>(id)].out_edges.push_back(
+            edge_id);
+        work.nodes[static_cast<std::size_t>(target)].in_edges.push_back(
+            edge_id);
+      }
+    }
+  }
+
+  return ConditionAndCompact(std::move(work));
+}
+
+}  // namespace rfidclean::oracle
+
+#endif  // RFIDCLEAN_TESTS_ORACLE_CORE_H_

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the shared bench JSON schema (bench_util.h).
+
+Compares a freshly produced BENCH_*.json against a checked-in baseline with
+the same schema and fails when the chosen metric regressed by more than the
+threshold at any measured point. Points are matched by a key field ("ticks"
+by default), so a baseline recorded on one machine still gates relative
+drift on another as long as both runs cover the same points.
+
+    check_bench_regression.py CURRENT BASELINE \
+        [--metric ns_per_timestamp] [--key ticks] [--threshold-pct 25]
+        [--update]
+
+Exit status 0 when every point is within the threshold (improvements always
+pass), 1 on a regression or a point-set mismatch. --update rewrites
+BASELINE with CURRENT's bytes instead of comparing (for refreshing the
+checked-in file after an accepted perf change).
+
+The digest fields are deliberately NOT compared here: bit-identity of the
+graphs is the differential suite's job; this gate only watches speed.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+
+def load_results(path, key, metric):
+    """Returns {key_value: metric_value} for one bench JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    results = payload.get("results", [])
+    points = {}
+    for entry in results:
+        if key not in entry or metric not in entry:
+            raise SystemExit(
+                f"{path}: result entry lacks '{key}' or '{metric}': {entry}")
+        points[entry[key]] = float(entry[metric])
+    if not points:
+        raise SystemExit(f"{path}: no results")
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=Path,
+                        help="freshly produced bench JSON")
+    parser.add_argument("baseline", type=Path,
+                        help="checked-in baseline bench JSON")
+    parser.add_argument("--metric", default="ns_per_timestamp",
+                        help="lower-is-better metric to gate on")
+    parser.add_argument("--key", default="ticks",
+                        help="field matching result points across files")
+    parser.add_argument("--threshold-pct", type=float, default=25.0,
+                        help="maximum tolerated regression, in percent")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current file")
+    args = parser.parse_args()
+
+    if args.update:
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline {args.baseline} updated from {args.current}")
+        return 0
+
+    current = load_results(args.current, args.key, args.metric)
+    baseline = load_results(args.baseline, args.key, args.metric)
+
+    if set(current) != set(baseline):
+        print(f"point sets differ: current {sorted(current)} vs "
+              f"baseline {sorted(baseline)}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for point in sorted(baseline):
+        base = baseline[point]
+        now = current[point]
+        change_pct = 100.0 * (now - base) / base if base > 0 else 0.0
+        verdict = "ok"
+        if change_pct > args.threshold_pct:
+            verdict = f"REGRESSION (> {args.threshold_pct:.0f}%)"
+            failures += 1
+        print(f"{args.key}={point}: {args.metric} {base:.1f} -> {now:.1f} "
+              f"({change_pct:+.1f}%) {verdict}")
+    if failures:
+        print(f"{failures} point(s) regressed beyond "
+              f"{args.threshold_pct:.0f}%", file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
