@@ -1,8 +1,12 @@
 # Determinism check for bench/batch_throughput: two runs with the same
 # workload and seed must produce identical BENCH_batch.json payloads once
-# the timing-dependent fields (millis, tags_per_sec, peak_rss_bytes) are
-# stripped — in particular the result digests, which also must not vary
-# across job counts within a run. Invoked by ctest as
+# the timing-dependent fields (millis, tags_per_sec, peak_rss_bytes) and
+# the scheduling-dependent obs counters (stats_queue_steals,
+# stats_arena_reuses — which worker pops or recycles which shard varies at
+# jobs > 1) are stripped — in particular the result digests, which also
+# must not vary across job counts within a run, and the workload-
+# deterministic stats_* counters, which must not either. Invoked by ctest
+# as
 #   cmake -DBENCH=<binary> -DWORK_DIR=<scratch> -P batch_determinism.cmake
 
 file(REMOVE_RECURSE ${WORK_DIR})
@@ -20,8 +24,9 @@ endforeach()
 
 foreach(run 1 2)
   file(READ ${WORK_DIR}/run${run}.json payload)
-  string(REGEX REPLACE "\"(millis|tags_per_sec|peak_rss_bytes)\": [0-9.]+,?\n" ""
-         payload "${payload}")
+  string(REGEX REPLACE
+         "\"(millis|tags_per_sec|peak_rss_bytes|stats_queue_steals|stats_arena_reuses)\": [0-9.]+,?\n"
+         "" payload "${payload}")
   set(payload_${run} "${payload}")
 endforeach()
 

@@ -30,6 +30,7 @@
 #include "map/standard_buildings.h"
 #include "map/walking_distance.h"
 #include "model/apriori.h"
+#include "obs/cleaning_stats.h"
 #include "rfid/calibration.h"
 #include "rfid/reader_placement.h"
 #include "runtime/batch_cleaner.h"
@@ -133,9 +134,20 @@ int Main(int argc, char** argv) {
     BatchOptions options;
     options.jobs = job_counts[i];
     BatchCleaner cleaner(constraints, options);
+    // Per-job-count observability window (obs/metrics.h): workers fold
+    // their thread-local sinks on exit and CleanAll joins them, so the
+    // capture below is an exact per-run total. All zero with
+    // -DRFIDCLEAN_STATS=OFF.
+    obs::CleaningStats::Reset();
     Stopwatch watch;
     std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
     const double millis = watch.ElapsedMillis();
+    const obs::CleaningStats stats_snapshot = obs::CleaningStats::Capture();
+    for (const std::string& violation : stats_snapshot.CheckInvariants()) {
+      std::fprintf(stderr, "stats invariant violated: %s\n",
+                   violation.c_str());
+      return 1;
+    }
     const double tags_per_sec =
         millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
                    : 0.0;
@@ -161,6 +173,26 @@ int Main(int argc, char** argv) {
         .Add("ok_tags", ok_tags)
         .Add("failed_tags", outcomes.size() - ok_tags)
         .Add("total_nodes", total_nodes)
+        // Workload-deterministic counters: identical across runs and job
+        // counts (checked by bench_batch_determinism alongside the digest).
+        .Add("stats_tags_cleaned",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kBatchTagsCleaned)))
+        .Add("stats_forward_edges",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kForwardEdges)))
+        .Add("stats_edges_killed",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kBackwardEdgesKilled)))
+        // Scheduling-dependent counters: vary run to run at jobs > 1, so
+        // the determinism gate strips them like the timing fields (see
+        // batch_determinism.cmake's regex).
+        .Add("stats_queue_steals",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kQueueSteals)))
+        .Add("stats_arena_reuses",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kBatchArenaReuses)))
         .AddHex64("digest", digest);
   }
   table.Print(std::cout);

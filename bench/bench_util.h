@@ -112,6 +112,7 @@ inline std::size_t PeakRssBytes() {
 /// format:
 ///
 ///   {
+///     "schema": 2,
 ///     "bench": "<name>",
 ///     "mode": "quick" | "paper",
 ///     "params": { ...workload knobs... },
@@ -120,8 +121,14 @@ inline std::size_t PeakRssBytes() {
 ///
 /// Fields keep insertion order and print one per line (the determinism
 /// ctest strips timing-dependent lines with a line-oriented regex).
+/// "schema" is bumped whenever the shape of the shared fields changes, so
+/// the regression gate can refuse to compare files from different eras
+/// instead of silently passing (tools/check_bench_regression.py).
 class BenchJson {
  public:
+  /// Version 2: introduced the "schema" field itself plus the optional
+  /// per-result stats_* dimensions (obs/cleaning_stats.h).
+  static constexpr int kSchemaVersion = 2;
   class Object {
    public:
     Object& Add(const char* key, double value, int decimals = 3) {
@@ -187,6 +194,7 @@ class BenchJson {
 
   void WriteTo(std::ostream& os) const {
     os << "{\n";
+    os << "  \"schema\": " << kSchemaVersion << ",\n";
     os << "  \"bench\": " << Object::Quote(bench_) << ",\n";
     os << "  \"mode\": " << Object::Quote(mode_) << ",\n";
     os << "  \"params\": {\n";

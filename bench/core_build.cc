@@ -26,6 +26,7 @@
 #include "common/table.h"
 #include "core/builder.h"
 #include "io/ctgraph_io.h"
+#include "obs/cleaning_stats.h"
 
 namespace rfidclean::bench {
 namespace {
@@ -101,6 +102,9 @@ int Main(int argc, char** argv) {
     millis.reserve(static_cast<std::size_t>(reps));
     std::uint64_t digest = 0xcbf29ce484222325ULL;
     for (int r = 0; r < reps; ++r) {
+      // Scope the obs counters to the final rep so the emitted stats_*
+      // fields describe exactly one build (and stay rep-count-invariant).
+      if (r == reps - 1) obs::CleaningStats::Reset();
       BuildStats run_stats;
       Stopwatch watch;
       Result<CtGraph> graph = builder.Build(item.lsequence, &run_stats);
@@ -113,6 +117,17 @@ int Main(int argc, char** argv) {
         WriteCtGraph(graph.value(), os);
         digest = Fnv1a(digest, os.str());
       }
+    }
+    // Snapshot of the final rep's observability counters (obs/metrics.h);
+    // all zero when built with -DRFIDCLEAN_STATS=OFF. These double as a
+    // semantic cross-check: the invariants relate them to each other and to
+    // the digest-checked graph, so a miscounting instrumentation point
+    // fails the bench rather than silently skewing dashboards.
+    const obs::CleaningStats stats_snapshot = obs::CleaningStats::Capture();
+    for (const std::string& violation : stats_snapshot.CheckInvariants()) {
+      std::fprintf(stderr, "stats invariant violated: %s\n",
+                   violation.c_str());
+      return 1;
     }
     std::sort(millis.begin(), millis.end());
     const double median = millis[millis.size() / 2];
@@ -149,6 +164,21 @@ int Main(int argc, char** argv) {
         .Add("final_nodes", stats.final_nodes)
         .Add("final_edges", stats.final_edges)
         .Add("peak_rss_bytes", rss)
+        .Add("stats_forward_nodes",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kForwardNodes)))
+        .Add("stats_forward_edges",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kForwardEdges)))
+        .Add("stats_memo_hits",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kForwardMemoHits)))
+        .Add("stats_key_probe_steps",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kKeyProbeSteps)))
+        .Add("stats_edges_killed",
+             static_cast<long long>(
+                 stats_snapshot.Get(obs::Counter::kBackwardEdgesKilled)))
         .AddHex64("digest", digest);
   }
   table.Print(std::cout);

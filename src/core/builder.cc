@@ -7,6 +7,7 @@
 #include "core/forward.h"
 #include "core/self_audit.h"
 #include "core/work_graph.h"
+#include "obs/metrics.h"
 
 namespace rfidclean {
 
@@ -25,10 +26,13 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
   // see forward.h. Layers are always recorded, even when empty — candidate
   // continuations that are not successors are simply absent, and the
   // backward phase accounts for their mass implicitly.
-  engine.BeginSources(successors_, sequence.CandidatesAt(0));
-  for (Timestamp t = 0; t + 1 < length; ++t) {
-    engine.AdvanceLayer(successors_, t, sequence.CandidatesAt(t + 1),
-                        /*record_empty_layer=*/true);
+  {
+    obs::PhaseTimer phase_timer(obs::Phase::kForward);
+    engine.BeginSources(successors_, sequence.CandidatesAt(0));
+    for (Timestamp t = 0; t + 1 < length; ++t) {
+      engine.AdvanceLayer(successors_, t, sequence.CandidatesAt(t + 1),
+                          /*record_empty_layer=*/true);
+    }
   }
   if (stats != nullptr) {
     stats->forward_millis = stopwatch.ElapsedMillis();

@@ -1,6 +1,7 @@
 #include "core/forward.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace rfidclean::internal_core {
 
@@ -60,6 +61,11 @@ void ForwardEngine::BeginSources(const SuccessorGenerator& successors,
   EnsureKeyCapacity(work_.keys.size());
   work_.layer_begin.push_back(static_cast<std::int32_t>(work_.nodes.size()));
   prev_locations_.clear();  // First AdvanceLayer always opens a new epoch.
+#if RFIDCLEAN_STATS_ENABLED
+  obs::Add(obs::Counter::kForwardLayers);
+  obs::Add(obs::Counter::kForwardNodes, work_.nodes.size());
+  obs::ObserveValue(obs::Dist::kLayerWidth, work_.nodes.size());
+#endif
 }
 
 bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
@@ -97,6 +103,13 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
       work_.layer_begin[work_.layer_begin.size() - 2];
   const std::int32_t frontier_end = work_.layer_begin.back();
 
+#if RFIDCLEAN_STATS_ENABLED
+  // Per-layer accumulation in locals, flushed once below: the frontier loop
+  // must not touch a thread-local sink per node or per edge.
+  const std::size_t stats_edges_before = work_.edges.size();
+  std::uint64_t stats_memo_hits = 0;
+#endif
+
   for (std::int32_t id = frontier_begin; id < frontier_end; ++id) {
     const std::size_t idx = static_cast<std::size_t>(id);
     work_.nodes[idx].edge_begin = static_cast<std::int32_t>(work_.edges.size());
@@ -105,6 +118,7 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
     scratch_ids_.clear();
     const MemoEntry memo = memo_[static_cast<std::size_t>(parent_key)];
     if (memo.epoch == candidate_epoch_) {
+      RFID_STATS(++stats_memo_hits);
       for (std::int32_t k = 0; k < memo.count; ++k) {
         scratch_ids_.push_back(
             memo_pool_[static_cast<std::size_t>(memo.begin + k)]);
@@ -159,6 +173,24 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
 
   const std::int32_t layer_end = static_cast<std::int32_t>(work_.nodes.size());
   const bool non_empty = layer_end != frontier_end;
+#if RFIDCLEAN_STATS_ENABLED
+  // Expansion work happened whether or not the layer gets recorded (an
+  // unrecorded empty layer leaves the frontier in place, so the same nodes
+  // are processed again on the next tick).
+  const std::uint64_t stats_frontier =
+      static_cast<std::uint64_t>(frontier_end - frontier_begin);
+  obs::Add(obs::Counter::kForwardMemoHits, stats_memo_hits);
+  obs::Add(obs::Counter::kForwardExpansions, stats_frontier - stats_memo_hits);
+  if (non_empty || record_empty_layer) {
+    const std::uint64_t stats_width =
+        static_cast<std::uint64_t>(layer_end - frontier_end);
+    obs::Add(obs::Counter::kForwardLayers);
+    obs::Add(obs::Counter::kForwardNodes, stats_width);
+    obs::Add(obs::Counter::kForwardEdges,
+             work_.edges.size() - stats_edges_before);
+    obs::ObserveValue(obs::Dist::kLayerWidth, stats_width);
+  }
+#endif
   if (!non_empty && !record_empty_layer) {
     // An empty expansion appended no node and no edge, and the frontier's
     // refreshed (empty) CSR slices are indistinguishable from their

@@ -20,6 +20,11 @@ std::int32_t NodeKeyArena::Append(const NodeKey& key, std::size_t hash) {
 
 std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
   const std::size_t hash = NodeKeyHash()(key);
+  // `steps` counts slot inspections for this call (>= 1 by construction —
+  // CheckInvariants relies on probe_steps >= intern_calls).
+  RFID_STATS(++intern_calls_);
+  std::uint64_t steps = 1;
+  (void)steps;
   if (key.departures.size() == 0) {
     // Keep the load factor below ~0.7 so probe chains stay short.
     if (persistent_slots_.empty() ||
@@ -33,13 +38,16 @@ std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
       const std::int32_t id = persistent_slots_[slot];
       if (hashes_[static_cast<std::size_t>(id)] == hash &&
           keys_[static_cast<std::size_t>(id)] == key) {
+        RFID_STATS(RecordProbe(steps));
         return id;
       }
       slot = (slot + 1) & persistent_mask_;
+      RFID_STATS(++steps);
     }
     const std::int32_t id = Append(key, hash);
     persistent_slots_[slot] = id;
     ++persistent_count_;
+    RFID_STATS(RecordProbe(steps));
     return id;
   }
 
@@ -57,9 +65,11 @@ std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
     const std::int32_t id = scoped_slots_[slot].id;
     if (hashes_[static_cast<std::size_t>(id)] == hash &&
         keys_[static_cast<std::size_t>(id)] == key) {
+      RFID_STATS(RecordProbe(steps));
       return id;
     }
     slot = (slot + 1) & scoped_mask_;
+    RFID_STATS(++steps);
   }
   // First empty-or-expired slot: insertion point. Within one scope this is
   // plain linear probing — current-scope chains never extend past a stale
@@ -67,6 +77,7 @@ std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
   const std::int32_t id = Append(key, hash);
   scoped_slots_[slot] = ScopedSlot{scope, id};
   ++scoped_count_;
+  RFID_STATS(RecordProbe(steps));
   return id;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/location_node.h"
+#include "obs/metrics.h"
 
 namespace rfidclean::internal_core {
 
@@ -59,6 +60,28 @@ class NodeKeyArena {
   /// builds through this).
   void Reserve(std::size_t expected_keys);
 
+  /// Lifetime interning statistics of this arena (obs feed). The counters
+  /// are all-zero when stats are compiled out; the table shape fields are
+  /// always live.
+  struct InternStats {
+    std::uint64_t intern_calls = 0;  ///< Intern() invocations
+    std::uint64_t probe_steps = 0;   ///< slots inspected across both tables
+    std::uint64_t probe_max = 0;     ///< longest single probe chain
+    std::size_t persistent_entries = 0;
+    std::size_t persistent_capacity = 0;
+    std::size_t scoped_capacity = 0;
+  };
+  InternStats intern_stats() const {
+    InternStats stats;
+    RFID_STATS(stats.intern_calls = intern_calls_);
+    RFID_STATS(stats.probe_steps = probe_steps_);
+    RFID_STATS(stats.probe_max = probe_max_);
+    stats.persistent_entries = persistent_count_;
+    stats.persistent_capacity = persistent_slots_.size();
+    stats.scoped_capacity = scoped_slots_.size();
+    return stats;
+  }
+
  private:
   /// Entry of the scoped table; `id` < 0 means never used, a stale `scope`
   /// means expired (treated as empty for both lookup and insertion).
@@ -90,6 +113,19 @@ class NodeKeyArena {
   std::size_t scoped_mask_ = 0;
   std::uint32_t current_scope_ = 0;
   std::size_t scoped_count_ = 0;  // live entries of current_scope_
+
+#if RFIDCLEAN_STATS_ENABLED
+  // Plain members, not thread-local sinks: Intern is the hottest loop in
+  // the forward phase, so the per-call cost must stay at register adds.
+  // ConditionAndCompact folds these into the obs sinks once per build.
+  void RecordProbe(std::uint64_t steps) {
+    probe_steps_ += steps;
+    if (steps > probe_max_) probe_max_ = steps;
+  }
+  std::uint64_t intern_calls_ = 0;
+  std::uint64_t probe_steps_ = 0;
+  std::uint64_t probe_max_ = 0;
+#endif
 };
 
 }  // namespace rfidclean::internal_core

@@ -7,6 +7,7 @@
 #include "common/strings.h"
 #include "core/self_audit.h"
 #include "core/work_graph.h"
+#include "obs/metrics.h"
 
 namespace rfidclean {
 
@@ -59,6 +60,7 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
     return FailedPreconditionError(
         "a previous tick left no consistent interpretation");
   }
+  obs::PhaseTimer phase_timer(obs::Phase::kForward);
   RFID_RETURN_IF_ERROR(ValidateCandidates(candidates));
 
   if (engine_.num_layers() == 0) {

@@ -6,11 +6,39 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "core/builder.h"
+#include "obs/metrics.h"
 
 namespace rfidclean::internal_core {
 
+namespace {
+
+/// Folds the arena's per-build intern counters into the obs sinks.
+/// ConditionAndCompact is the one place that sees every build's arena
+/// (builder and streaming both funnel through it), so the arena itself
+/// never needs thread-local access.
+void FlushKeyArenaStats(const NodeKeyArena& keys) {
+#if RFIDCLEAN_STATS_ENABLED
+  const NodeKeyArena::InternStats arena = keys.intern_stats();
+  obs::Add(obs::Counter::kForwardKeysInterned, keys.size());
+  obs::Add(obs::Counter::kKeyInternCalls, arena.intern_calls);
+  obs::Add(obs::Counter::kKeyProbeSteps, arena.probe_steps);
+  obs::ObserveValue(obs::Dist::kKeyProbeMax, arena.probe_max);
+  if (arena.persistent_capacity > 0) {
+    obs::ObserveValue(obs::Dist::kKeyOccupancyPct,
+                      100 * arena.persistent_entries /
+                          arena.persistent_capacity);
+  }
+#else
+  (void)keys;
+#endif
+}
+
+}  // namespace
+
 Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   Stopwatch stopwatch;
+  obs::PhaseTimer phase_timer(obs::Phase::kBackward);
+  FlushKeyArenaStats(work.keys);
   std::vector<WorkNode>& nodes = work.nodes;
   std::vector<WorkEdge>& edges = work.edges;
   const Timestamp length = work.num_layers();
@@ -30,6 +58,12 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   // Both sweeps stream the layer's nodes and their CSR edge slices in
   // ascending id order — all memory access is sequential except the gather
   // of the next layer's `survived`.
+#if RFIDCLEAN_STATS_ENABLED
+  // Accumulated in locals over the whole sweep, flushed once after it: the
+  // backward loops are the second-hottest path after interning.
+  std::uint64_t stats_edges_kept = 0;
+  std::uint64_t stats_nodes_dead = 0;
+#endif
   for (Timestamp t = length - 2; t >= 0; --t) {
     const auto [begin, end] = layer_range(t);
     double layer_max = 0.0;
@@ -52,6 +86,7 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
         // by reachability and compaction), so they keep their a-priori
         // labels.
         node.alive = false;
+        RFID_STATS(++stats_nodes_dead);
         continue;
       }
       WorkEdge* out = edges.data() + static_cast<std::size_t>(node.edge_begin);
@@ -61,10 +96,24 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
             nodes[static_cast<std::size_t>(out[k].to)].survived /
             node.survived;
         out[k].probability = conditioned > 0.0 ? conditioned : 0.0;
+        RFID_STATS(stats_edges_kept +=
+                   static_cast<std::uint64_t>(conditioned > 0.0));
       }
       node.survived /= layer_max;
     }
   }
+#if RFIDCLEAN_STATS_ENABLED
+  // An edge is "kept" iff conditioning left it a positive probability on a
+  // live owner; everything else (zeroed in place, or stranded on a dead
+  // node) is killed. kept + killed == built by construction.
+  obs::Add(obs::Counter::kBackwardEdgesBuilt, edges.size());
+  obs::Add(obs::Counter::kBackwardEdgesKept, stats_edges_kept);
+  obs::Add(obs::Counter::kBackwardEdgesKilled,
+           edges.size() - stats_edges_kept);
+  obs::Add(obs::Counter::kBackwardNodesDead, stats_nodes_dead);
+  obs::Add(obs::Counter::kBackwardRenormPasses,
+           static_cast<std::uint64_t>(length - 1));
+#endif
 
   // Lines 30-31 with the source-weighting erratum fix (see DESIGN.md):
   // each surviving source is weighted by its surviving suffix mass.
@@ -80,10 +129,22 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
     }
   }
   if (source_mass <= 0.0) {
+    RFID_STATS(obs::ObserveValue(obs::Dist::kMassLostPpb, 1000000000u));
     return FailedPreconditionError(
         "the integrity constraints rule out every interpretation of the "
         "readings");
   }
+#if RFIDCLEAN_STATS_ENABLED
+  {
+    // Source mass is the survival-weighted total; the complement is the
+    // a-priori probability mass the constraints ruled out. Sampled in
+    // parts-per-billion (clamped: rescaling can leave source_mass at 1+ε).
+    const double lost = 1.0 - source_mass;
+    obs::ObserveValue(
+        obs::Dist::kMassLostPpb,
+        lost > 0.0 ? static_cast<std::uint64_t>(lost * 1e9) : 0u);
+  }
+#endif
 
   // --- Compaction: alive nodes reachable from a surviving source through
   // live edges (explicit reachability: per-edge products can underflow to

@@ -1,12 +1,14 @@
 #include "io/building_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace rfidclean {
 
@@ -27,7 +29,11 @@ std::vector<std::string> Tokenize(std::string_view line) {
 bool ParseDouble(const std::string& text, double* out) {
   auto [ptr, ec] =
       std::from_chars(text.data(), text.data() + text.size(), *out);
-  return ec == std::errc() && ptr == text.data() + text.size();
+  // from_chars accepts "inf"/"nan" spellings; non-finite geometry would
+  // poison every downstream distance computation, so treat it as malformed
+  // input rather than a number.
+  return ec == std::errc() && ptr == text.data() + text.size() &&
+         std::isfinite(*out);
 }
 
 bool ParseInt(const std::string& text, int* out) {
@@ -71,11 +77,13 @@ void WriteBuilding(const Building& building, std::ostream& os) {
 }
 
 Result<Building> ReadBuilding(std::istream& is) {
+  obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
   std::optional<BuildingBuilder> builder;
   std::unordered_map<std::string, LocationId> by_name;
   std::string line;
   int line_number = 0;
   auto error = [&line_number](const char* message) {
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
     return InvalidArgumentError(
         StrFormat("line %d: %s", line_number, message));
   };
@@ -146,6 +154,7 @@ Result<Building> ReadBuilding(std::istream& is) {
     } else {
       return error("unknown directive");
     }
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsParsed));
   }
   if (!builder.has_value()) {
     return InvalidArgumentError("no 'building' line found");

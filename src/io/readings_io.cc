@@ -1,12 +1,14 @@
 #include "io/readings_io.h"
 
 #include <charconv>
+#include <limits>
 #include <map>
 #include <string>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace rfidclean {
 
@@ -46,6 +48,13 @@ Status ParseTimeAndReaders(std::string_view content, int line_number,
     return InvalidArgumentError(
         StrFormat("line %d: invalid timestamp", line_number));
   }
+  // Range-check before narrowing: Timestamp is 32-bit while ParseInt
+  // accepts the full `long` range, so a value like 4294967296 would
+  // otherwise truncate to 0 and silently misparse the row.
+  if (time > static_cast<long>(std::numeric_limits<Timestamp>::max())) {
+    return InvalidArgumentError(
+        StrFormat("line %d: timestamp %ld out of range", line_number, time));
+  }
   reading->time = static_cast<Timestamp>(time);
   for (const std::string& token : StrSplit(content.substr(comma + 1), ' ')) {
     std::string_view id_text = StripWhitespace(token);
@@ -54,6 +63,10 @@ Status ParseTimeAndReaders(std::string_view content, int line_number,
     if (!ParseInt(id_text, &id) || id < 0) {
       return InvalidArgumentError(
           StrFormat("line %d: invalid reader id", line_number));
+    }
+    if (id > static_cast<long>(std::numeric_limits<ReaderId>::max())) {
+      return InvalidArgumentError(
+          StrFormat("line %d: reader id %ld out of range", line_number, id));
     }
     reading->readers.push_back(static_cast<ReaderId>(id));
   }
@@ -72,18 +85,34 @@ void WriteReadingsCsv(const RSequence& sequence, std::ostream& os) {
 }
 
 Result<RSequence> ReadReadingsCsv(std::istream& is) {
+  obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
   std::string line;
   if (!std::getline(is, line) || StripWhitespace(line) != "time,readers") {
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
     return InvalidArgumentError("missing 'time,readers' header");
   }
   std::vector<Reading> readings;
+  std::unordered_set<Timestamp> seen_times;
   int line_number = 1;
   while (std::getline(is, line)) {
     ++line_number;
     std::string_view content = StripWhitespace(line);
     if (content.empty()) continue;
     Reading reading;
-    RFID_RETURN_IF_ERROR(ParseTimeAndReaders(content, line_number, &reading));
+    Status parsed = ParseTimeAndReaders(content, line_number, &reading);
+    // Duplicates are also structurally invalid (RSequence::Create requires
+    // exact 0..n-1 coverage), but detecting them here attaches the line
+    // number of the offending row.
+    if (parsed.ok() && !seen_times.insert(reading.time).second) {
+      parsed = InvalidArgumentError(
+          StrFormat("line %d: duplicate time %d", line_number,
+                    static_cast<int>(reading.time)));
+    }
+    if (!parsed.ok()) {
+      RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
+      return parsed;
+    }
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsParsed));
     readings.push_back(std::move(reading));
   }
   return RSequence::Create(std::move(readings));
@@ -104,43 +133,62 @@ void WriteMultiTagReadingsCsv(const std::vector<TagReadings>& tags,
 }
 
 Result<std::vector<TagReadings>> ReadMultiTagReadingsCsv(std::istream& is) {
+  obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
   std::string line;
   if (!std::getline(is, line) ||
       StripWhitespace(line) != kMultiTagReadingsHeader) {
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
     return InvalidArgumentError("missing 'tag,time,readers' header");
   }
   // std::map: tags come out sorted by id, independent of row order.
-  std::map<TagId, std::vector<Reading>> by_tag;
+  struct TagRows {
+    std::vector<Reading> readings;
+    std::unordered_set<Timestamp> seen_times;
+  };
+  std::map<TagId, TagRows> by_tag;
   int line_number = 1;
+  auto reject = [&](Status status) {
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
+    return status;
+  };
   while (std::getline(is, line)) {
     ++line_number;
     std::string_view content = StripWhitespace(line);
     if (content.empty()) continue;
     std::size_t comma = content.find(',');
     if (comma == std::string_view::npos) {
-      return InvalidArgumentError(
-          StrFormat("line %d: expected 'tag,time,readers'", line_number));
+      return reject(InvalidArgumentError(
+          StrFormat("line %d: expected 'tag,time,readers'", line_number)));
     }
     long long tag = 0;
     if (!ParseInt64(StripWhitespace(content.substr(0, comma)), &tag) ||
         tag < 0) {
-      return InvalidArgumentError(
-          StrFormat("line %d: invalid tag id", line_number));
+      return reject(InvalidArgumentError(
+          StrFormat("line %d: invalid tag id", line_number)));
     }
     Reading reading;
-    RFID_RETURN_IF_ERROR(ParseTimeAndReaders(content.substr(comma + 1),
-                                             line_number, &reading));
-    by_tag[static_cast<TagId>(tag)].push_back(std::move(reading));
+    Status parsed = ParseTimeAndReaders(content.substr(comma + 1),
+                                        line_number, &reading);
+    if (!parsed.ok()) return reject(std::move(parsed));
+    TagRows& rows = by_tag[static_cast<TagId>(tag)];
+    if (!rows.seen_times.insert(reading.time).second) {
+      return reject(InvalidArgumentError(
+          StrFormat("line %d: duplicate time %d for tag %lld", line_number,
+                    static_cast<int>(reading.time), tag)));
+    }
+    RFID_STATS(obs::Add(obs::Counter::kIoRowsParsed));
+    rows.readings.push_back(std::move(reading));
   }
   if (by_tag.empty()) {
     return InvalidArgumentError("multi-tag readings file has no data rows");
   }
   std::vector<TagReadings> tags;
   tags.reserve(by_tag.size());
-  for (auto& [tag, readings] : by_tag) {
+  for (auto& [tag, rows] : by_tag) {
     // RSequence::Create enforces the per-tag 0..n-1 coverage, rejecting
-    // duplicate (tag, time) rows and gaps; prefix its message with the tag.
-    Result<RSequence> sequence = RSequence::Create(std::move(readings));
+    // gaps (duplicates were already rejected with their line number above);
+    // prefix its message with the tag.
+    Result<RSequence> sequence = RSequence::Create(std::move(rows.readings));
     if (!sequence.ok()) {
       return Status(sequence.status().code(),
                     StrFormat("tag %lld: %s", static_cast<long long>(tag),

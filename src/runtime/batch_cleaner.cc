@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 #include "runtime/arena.h"
 #include "runtime/shard_queue.h"
 
@@ -14,12 +16,31 @@ namespace rfidclean {
 
 namespace {
 
+#if RFIDCLEAN_STATS_ENABLED
+/// Maps a tag outcome status onto its taxonomy counter. Internal errors
+/// never reach here (exceptions are boxed in run_worker, which counts them
+/// itself).
+obs::Counter OutcomeCounter(const Result<CtGraph>& graph) {
+  if (graph.ok()) return obs::Counter::kBatchTagsCleaned;
+  switch (graph.status().code()) {
+    case StatusCode::kFailedPrecondition:
+      return obs::Counter::kBatchTagsFailedPrecondition;
+    case StatusCode::kInternal:
+      return obs::Counter::kBatchTagsInternalError;
+    default:
+      return obs::Counter::kBatchTagsInvalidArgument;
+  }
+}
+#endif
+
 /// Cleans one workload with the worker's recycled capacity hints. All
 /// error messages are deterministic functions of the workload, so outcomes
 /// compare bit-identical across job counts and runs.
 TagOutcome CleanOne(const SuccessorGenerator& successors,
-                    const TagWorkload& workload,
-                    runtime::WorkerArena* arena) {
+                    const TagWorkload& workload, const BatchOptions& options,
+                    std::size_t index, runtime::WorkerArena* arena) {
+  obs::PhaseTimer phase_timer(obs::Phase::kTagClean);
+  RFID_STATS(const Stopwatch tag_watch);
   BuildStats stats;
   Result<CtGraph> graph = [&]() -> Result<CtGraph> {
     if (workload.sequence.length() == 0) {
@@ -32,10 +53,17 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
     for (Timestamp t = 0; t < workload.sequence.length(); ++t) {
       Status pushed = cleaner.Push(workload.sequence.CandidatesAt(t));
       if (!pushed.ok()) return pushed;
+      if (options.after_tick) options.after_tick(index, t);
     }
     return std::move(cleaner).Finish(&stats);
   }();
   if (graph.ok()) arena->Observe(stats, workload.sequence.length());
+#if RFIDCLEAN_STATS_ENABLED
+  obs::Add(OutcomeCounter(graph));
+  obs::ObserveValue(
+      obs::Dist::kTagMicros,
+      static_cast<std::uint64_t>(tag_watch.ElapsedMillis() * 1000.0));
+#endif
   return TagOutcome{workload.tag, std::move(graph), stats};
 }
 
@@ -64,11 +92,18 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
       runtime::WorkerArena arena;
       std::size_t shard = 0;
       while (queue.Pop(worker, &shard)) {
+        // Counted per popped shard (not inside CleanOne) so that every
+        // shard gets exactly one provision count and one outcome count,
+        // whichever path — success, error status, or throw — it takes.
+        RFID_STATS(obs::Add(arena.tick_hint() > 0
+                                ? obs::Counter::kBatchArenaReuses
+                                : obs::Counter::kBatchArenaColdStarts));
         try {
           if (options_.before_tag) options_.before_tag(shard);
-          slots[shard].emplace(
-              CleanOne(successors_, workloads[shard], &arena));
+          slots[shard].emplace(CleanOne(successors_, workloads[shard],
+                                        options_, shard, &arena));
         } catch (const std::exception& e) {
+          RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
           slots[shard].emplace(TagOutcome{
               workloads[shard].tag,
               InternalError(StrFormat(
@@ -76,6 +111,7 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
                   static_cast<long long>(workloads[shard].tag), e.what())),
               BuildStats{}});
         } catch (...) {
+          RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
           slots[shard].emplace(TagOutcome{
               workloads[shard].tag,
               InternalError(StrFormat(

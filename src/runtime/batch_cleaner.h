@@ -44,6 +44,12 @@ struct BatchOptions {
   /// exception it throws is converted into an Internal outcome for that
   /// tag only.
   std::function<void(std::size_t index)> before_tag;
+  /// Instrumentation/test hook run after each successfully pushed tick of
+  /// shard `index`, while that tag's graph is partially built. Same
+  /// contract as before_tag: thread-safe, and a throw yields an Internal
+  /// outcome for that tag only — with the worker's arena still recyclable
+  /// for the next tag (enforced by tests/batch_stress_test.cc).
+  std::function<void(std::size_t index, Timestamp t)> after_tick;
 };
 
 /// Cleans N independent tag streams concurrently on a fixed-size pool of

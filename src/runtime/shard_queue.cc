@@ -1,6 +1,7 @@
 #include "runtime/shard_queue.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace rfidclean::runtime {
 
@@ -26,6 +27,7 @@ bool ShardQueue::Pop(std::size_t worker, std::size_t* shard) {
       *shard = own.shards.front();
       own.shards.pop_front();
       own.approx_size.store(own.shards.size(), std::memory_order_relaxed);
+      RFID_STATS(obs::Add(obs::Counter::kQueuePopsLocal));
       return true;
     }
   }
@@ -54,6 +56,7 @@ bool ShardQueue::Pop(std::size_t worker, std::size_t* shard) {
     *shard = lane.shards.back();
     lane.shards.pop_back();
     lane.approx_size.store(lane.shards.size(), std::memory_order_relaxed);
+    RFID_STATS(obs::Add(obs::Counter::kQueueSteals));
     return true;
   }
 }

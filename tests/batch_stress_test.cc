@@ -226,6 +226,44 @@ TEST(BatchCleanerStressTest, ThrowingHookIsContainedToItsTag) {
   }
 }
 
+TEST(BatchCleanerStressTest, ThrowMidCleanLeavesArenaRecyclable) {
+  // A worker that throws halfway through a build abandons a StreamingCleaner
+  // mid-layer. With jobs=1 the very same WorkerArena then serves every
+  // following tag, so any state the aborted build leaked into the arena
+  // would show up as a different graph than a fresh-arena run produces.
+  ConstraintSet constraints(2);
+  std::vector<TagWorkload> workloads;
+  for (int k = 0; k < 4; ++k) {
+    workloads.push_back(MakeAliveWorkload(k, 20));
+  }
+
+  BatchOptions faulty;
+  faulty.jobs = 1;
+  faulty.after_tick = [](std::size_t index, Timestamp t) {
+    if (index == 1 && t == 10) throw std::runtime_error("mid-clean fault");
+  };
+  BatchCleaner cleaner(constraints, faulty);
+  std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
+  ASSERT_EQ(outcomes.size(), 4u);
+  ASSERT_FALSE(outcomes[1].graph.ok());
+  EXPECT_EQ(outcomes[1].graph.status().code(), StatusCode::kInternal);
+  EXPECT_NE(outcomes[1].graph.status().message().find("mid-clean fault"),
+            std::string::npos);
+
+  // Every tag after the aborted one must be bit-identical to what a fresh
+  // cleaner (all-cold arenas, no faults) produces.
+  BatchCleaner fresh(constraints, BatchOptions{});
+  std::vector<TagOutcome> reference = fresh.CleanAll(workloads);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    if (i == 1) continue;
+    ASSERT_TRUE(outcomes[i].graph.ok()) << "tag " << i;
+    ASSERT_TRUE(reference[i].graph.ok()) << "tag " << i;
+    EXPECT_EQ(Serialize(outcomes[i].graph.value()),
+              Serialize(reference[i].graph.value()))
+        << "tag " << i << " diverged after the injected fault";
+  }
+}
+
 TEST(BatchCleanerStressTest, RepeatedRunsAreByteStableUnderContention) {
   // 30 tags × 8 workers, repeated: scheduling varies wildly between
   // iterations, the serialized results must not. This is the test TSan

@@ -11,6 +11,21 @@ function(run_step)
   endif()
 endfunction()
 
+# Runs a command that must exit nonzero AND mention `substr` in its output —
+# bad flags must produce a diagnostic, not a silent fallback or a crash.
+function(expect_fail substr)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(code EQUAL 0)
+    message(FATAL_ERROR "expected nonzero exit: ${ARGN}\n${out}\n${err}")
+  endif()
+  string(FIND "${out}${err}" "${substr}" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR
+            "expected '${substr}' in the diagnostics of: ${ARGN}\n${out}\n${err}")
+  endif()
+endfunction()
+
 file(REMOVE_RECURSE ${WORK_DIR})
 file(MAKE_DIRECTORY ${WORK_DIR})
 
@@ -30,6 +45,21 @@ if(NOT EXISTS ${WORK_DIR}/graph.dot)
   message(FATAL_ERROR "clean did not write graph.dot")
 endif()
 
+# Re-clean with stats emission: the JSON must land where asked and carry
+# the counter block.
+run_step(${CLI} clean --dir ${WORK_DIR} --seed 5 --families DU+LT
+         --stats=${WORK_DIR}/stats.json)
+if(NOT EXISTS ${WORK_DIR}/stats.json)
+  message(FATAL_ERROR "clean --stats did not write stats.json")
+endif()
+file(READ ${WORK_DIR}/stats.json stats_payload)
+foreach(field stats_enabled counters phases histograms forward_edges)
+  string(FIND "${stats_payload}" "\"${field}\"" found)
+  if(found EQUAL -1)
+    message(FATAL_ERROR "stats.json lacks \"${field}\":\n${stats_payload}")
+  endif()
+endforeach()
+
 run_step(${CLI} stay --dir ${WORK_DIR} --time 45)
 run_step(${CLI} pattern --dir ${WORK_DIR} --pattern "? F0.Corridor ?")
 run_step(${CLI} sample --dir ${WORK_DIR} --count 2 --seed 7)
@@ -46,5 +76,21 @@ execute_process(COMMAND ${CLI} clean --dir ${WORK_DIR}/does-not-exist
 if(code EQUAL 0)
   message(FATAL_ERROR "clean on a missing directory should fail")
 endif()
+
+# Malformed flag values must be diagnosed up front, never coerced (atoi
+# would quietly read "abc" as 0) or deferred until after minutes of work.
+expect_fail("--jobs must be a positive integer"
+            ${CLI} clean --dir ${WORK_DIR} --jobs 0)
+expect_fail("--jobs must be a positive integer"
+            ${CLI} clean --dir ${WORK_DIR} --jobs abc)
+expect_fail("--jobs must be a positive integer"
+            ${CLI} clean --dir ${WORK_DIR} --jobs -2)
+expect_fail("--tags must be a non-negative integer"
+            ${CLI} generate --out ${WORK_DIR} --tags -3)
+expect_fail("--tags must be a non-negative integer"
+            ${CLI} generate --out ${WORK_DIR} --tags abc)
+expect_fail("cannot write stats file"
+            ${CLI} clean --dir ${WORK_DIR}
+            --stats=${WORK_DIR}/no-such-subdir/stats.json)
 
 message(STATUS "cli smoke test passed")

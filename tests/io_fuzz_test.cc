@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/strings.h"
 #include "core/builder.h"
 #include "io/building_io.h"
 #include "io/ctgraph_io.h"
@@ -174,6 +175,88 @@ TEST_P(IoFuzzTest, CtGraphParserNeverCrashesAndNeverReturnsInvalidGraphs) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IoFuzzTest, ::testing::Range(0, 20));
+
+// Fixed regressions for malformed rows the fuzzers only hit by luck: each
+// must be rejected with a line-numbered message, never silently truncated
+// or accepted.
+
+TEST(IoRegressionTest, OverflowingTimestampIsRejectedWithLineNumber) {
+  // 4294967296 == 2^32 fits in `long` but not in the 32-bit Timestamp; a
+  // narrowing cast would silently wrap it to 0 and misparse the row as a
+  // duplicate of t=0.
+  std::istringstream is("time,readers\n0,1\n4294967296,2\n");
+  Result<RSequence> parsed = ReadReadingsCsv(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(IoRegressionTest, OverflowingReaderIdIsRejectedWithLineNumber) {
+  std::istringstream is("time,readers\n0,1\n1,2147483648\n");
+  Result<RSequence> parsed = ReadReadingsCsv(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 3"), std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("reader id"), std::string::npos);
+}
+
+TEST(IoRegressionTest, DuplicateTimeRowIsRejectedWithLineNumber) {
+  std::istringstream is("time,readers\n0,1\n1,2\n1,3\n2,\n");
+  Result<RSequence> parsed = ReadReadingsCsv(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 4: duplicate time 1"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(IoRegressionTest, MultiTagDuplicateRowIsRejectedWithLineNumberAndTag) {
+  // The duplicate (tag,time) pair sits rows apart from its twin; the error
+  // must name the offending line and tag, not just "invalid sequence".
+  std::istringstream is(
+      "tag,time,readers\n"
+      "7,0,1\n"
+      "12,0,2\n"
+      "7,1,\n"
+      "7,0,3\n");
+  Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      parsed.status().message().find("line 5: duplicate time 0 for tag 7"),
+      std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(IoRegressionTest, MultiTagOverflowingTimestampIsRejected) {
+  std::istringstream is("tag,time,readers\n7,4294967296,1\n");
+  Result<std::vector<TagReadings>> parsed = ReadMultiTagReadingsCsv(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(IoRegressionTest, NonFiniteBuildingCoordinatesAreRejected) {
+  // std::from_chars accepts "inf"/"nan" spellings for doubles; non-finite
+  // geometry would poison every walking-distance computation downstream.
+  for (const char* bad : {"inf", "-inf", "nan"}) {
+    std::istringstream is(
+        StrFormat("building 1 0 0 %s 10\n"
+                  "location a room 0 0 0 1 1\n",
+                  bad));
+    Result<Building> parsed = ReadBuilding(is);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos)
+        << parsed.status().message();
+  }
+}
 
 }  // namespace
 }  // namespace rfidclean

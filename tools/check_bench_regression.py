@@ -12,9 +12,14 @@ drift on another as long as both runs cover the same points.
         [--update]
 
 Exit status 0 when every point is within the threshold (improvements always
-pass), 1 on a regression or a point-set mismatch. --update rewrites
-BASELINE with CURRENT's bytes instead of comparing (for refreshing the
-checked-in file after an accepted perf change).
+pass), 1 on a regression, a point-set mismatch, or a malformed file. Every
+structural problem (unreadable JSON, missing "schema"/"bench", schema
+version mismatch, a result entry lacking the key or metric) fails loudly
+with the offending file and field named — a stale or truncated baseline
+must never read as "perf gate passed". --update rewrites BASELINE with
+CURRENT's bytes instead of comparing (for refreshing the checked-in file
+after an accepted perf change); the current file is still validated first
+so a broken file cannot become the new baseline.
 
 The digest fields are deliberately NOT compared here: bit-identity of the
 graphs is the differential suite's job; this gate only watches speed.
@@ -26,18 +31,51 @@ import shutil
 import sys
 from pathlib import Path
 
+# Must match BenchJson::kSchemaVersion in bench/bench_util.h.
+EXPECTED_SCHEMA = 2
 
-def load_results(path, key, metric):
-    """Returns {key_value: metric_value} for one bench JSON file."""
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
+
+def load_payload(path):
+    """Parses one bench JSON file, failing loudly on structural problems."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as err:
+        raise SystemExit(f"{path}: cannot read: {err}")
+    except json.JSONDecodeError as err:
+        raise SystemExit(f"{path}: not valid JSON: {err}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"{path}: top-level JSON value is not an object")
+    if "schema" not in payload:
+        raise SystemExit(
+            f"{path}: missing 'schema' version field (file predates schema "
+            f"v{EXPECTED_SCHEMA}; regenerate it with the current bench)")
+    if payload["schema"] != EXPECTED_SCHEMA:
+        raise SystemExit(
+            f"{path}: schema version {payload['schema']!r}, expected "
+            f"{EXPECTED_SCHEMA}; refusing to compare files from different "
+            f"schema eras")
+    if "bench" not in payload:
+        raise SystemExit(f"{path}: missing 'bench' name field")
+    return payload
+
+
+def load_results(path, payload, key, metric):
+    """Returns {key_value: metric_value} for one parsed bench payload."""
     results = payload.get("results", [])
     points = {}
     for entry in results:
-        if key not in entry or metric not in entry:
+        if key not in entry:
+            raise SystemExit(f"{path}: result entry lacks '{key}': {entry}")
+        if metric not in entry:
             raise SystemExit(
-                f"{path}: result entry lacks '{key}' or '{metric}': {entry}")
-        points[entry[key]] = float(entry[metric])
+                f"{path}: result entry lacks metric '{metric}': {entry}")
+        try:
+            points[entry[key]] = float(entry[metric])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"{path}: metric '{metric}' is not numeric: "
+                f"{entry[metric]!r}")
     if not points:
         raise SystemExit(f"{path}: no results")
     return points
@@ -59,13 +97,24 @@ def main():
                         help="overwrite the baseline with the current file")
     args = parser.parse_args()
 
+    current_payload = load_payload(args.current)
+
     if args.update:
         shutil.copyfile(args.current, args.baseline)
         print(f"baseline {args.baseline} updated from {args.current}")
         return 0
 
-    current = load_results(args.current, args.key, args.metric)
-    baseline = load_results(args.baseline, args.key, args.metric)
+    baseline_payload = load_payload(args.baseline)
+    if current_payload["bench"] != baseline_payload["bench"]:
+        raise SystemExit(
+            f"bench name mismatch: {args.current} is "
+            f"'{current_payload['bench']}' but {args.baseline} is "
+            f"'{baseline_payload['bench']}'")
+
+    current = load_results(args.current, current_payload, args.key,
+                           args.metric)
+    baseline = load_results(args.baseline, baseline_payload, args.key,
+                            args.metric)
 
     if set(current) != set(baseline):
         print(f"point sets differ: current {sorted(current)} vs "

@@ -29,13 +29,17 @@
 // Calibrator), matching what `generate` used; a production deployment would
 // load its own calibrated coverage instead.
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "analysis/graph_audit.h"
+#include "obs/cleaning_stats.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -65,14 +69,19 @@
 namespace rfidclean::cli {
 namespace {
 
-/// Trivial "--key value" argument map; a "--key" directly followed by
-/// another "--option" (or nothing) is a bare boolean flag, e.g. "--audit".
+/// Trivial "--key value" / "--key=value" argument map; a "--key" directly
+/// followed by another "--option" (or nothing) is a bare boolean flag,
+/// e.g. "--audit" or "--stats".
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) continue;
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      char* equals = std::strchr(argv[i] + 2, '=');
+      if (equals != nullptr) {
+        values_.insert_or_assign(std::string(argv[i] + 2, equals),
+                                 std::string(equals + 1));
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_.insert_or_assign(argv[i] + 2, argv[i + 1]);
         ++i;
       } else {
@@ -83,6 +92,7 @@ class Args {
     }
   }
 
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
@@ -90,6 +100,21 @@ class Args {
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  /// Strictly parsed integer: `fallback` when the key is absent, nullopt
+  /// when present but not a plain base-10 integer (where atoi would
+  /// silently yield 0 — "--jobs abc" must be an error, not 1 job).
+  std::optional<int> GetStrictInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    int value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr != text.data() + text.size()) {
+      return std::nullopt;
+    }
+    return value;
   }
   bool GetBool(const std::string& key, bool fallback) const {
     auto it = values_.find(key);
@@ -108,6 +133,35 @@ int Fail(const Status& status) {
 int Fail(const char* message) {
   std::fprintf(stderr, "error: %s\n", message);
   return 1;
+}
+
+/// Resolved `--stats[=FILE]` request: nullopt when the flag is absent; an
+/// empty path means "print to stdout" (the bare `--stats` form).
+std::optional<std::string> StatsPath(const Args& args) {
+  if (!args.Has("stats")) return std::nullopt;
+  const std::string value = args.Get("stats", "");
+  if (value == "1") return std::string();
+  return value;
+}
+
+/// Writes the process-wide pipeline metrics as JSON to `path` (stdout when
+/// empty). Invariant violations are diagnostics, not failures: the stats
+/// must never turn a successful clean into an error.
+int EmitStats(const std::string& path) {
+  const obs::CleaningStats stats = obs::CleaningStats::Capture();
+  for (const std::string& violation : stats.CheckInvariants()) {
+    std::fprintf(stderr, "stats invariant violated: %s\n", violation.c_str());
+  }
+  if (path.empty()) {
+    stats.WriteJson(std::cout);
+    std::cout << '\n';
+    return 0;
+  }
+  std::ofstream os(path);
+  if (!os) return Fail(("cannot write stats file " + path).c_str());
+  stats.WriteJson(os);
+  os << '\n';
+  return os.good() ? 0 : Fail(("cannot write stats file " + path).c_str());
 }
 
 Result<Building> LoadBuilding(const std::string& dir) {
@@ -157,7 +211,13 @@ int Generate(const Args& args) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const std::string dir = args.Get("out", ".");
-  const int num_tags = args.GetInt("tags", 0);  // 0 = single-tag format
+  // 0 = single-tag format. Negative or non-numeric counts are rejected:
+  // atoi's silent 0 would quietly produce the wrong file format.
+  const std::optional<int> tags_arg = args.GetStrictInt("tags", 0);
+  if (!tags_arg.has_value() || *tags_arg < 0) {
+    return Fail("--tags must be a non-negative integer");
+  }
+  const int num_tags = *tags_arg;
 
   Building building = MakeOfficeBuilding(floors);
   Deployment deployment = MakeDeployment(building, seed);
@@ -255,10 +315,10 @@ Result<ConstraintSet> MakeCliConstraints(const Args& args,
 
 /// The multi-tag batch path of `clean`: every tag cleaned concurrently on
 /// --jobs workers, one graph_<tag>.ctg per successfully cleaned tag.
-int CleanBatch(const Args& args, const std::string& dir,
-               const Building& building, const Deployment& deployment,
-               const ConstraintSet& constraints, ConstraintFamilies families,
-               bool audit) {
+int CleanBatch(const std::string& dir, const Building& building,
+               const Deployment& deployment, const ConstraintSet& constraints,
+               ConstraintFamilies families, bool audit, int jobs,
+               const std::optional<std::string>& stats_path) {
   std::ifstream is(dir + "/readings.csv");
   if (!is) return Fail("cannot open readings.csv");
   Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
@@ -276,7 +336,7 @@ int CleanBatch(const Args& args, const std::string& dir,
   }
 
   BatchOptions options;
-  options.jobs = args.GetInt("jobs", 1);
+  options.jobs = jobs;
   BatchCleaner cleaner(constraints, options);
   Stopwatch watch;
   std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
@@ -311,6 +371,7 @@ int CleanBatch(const Args& args, const std::string& dir,
       millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
                  : 0.0,
       nodes, dir.c_str());
+  if (stats_path.has_value() && EmitStats(*stats_path) != 0) return 1;
   return failures == 0 ? 0 : 1;
 }
 
@@ -318,6 +379,19 @@ int Clean(const Args& args) {
   const std::string dir = args.Get("dir", ".");
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::optional<int> jobs = args.GetStrictInt("jobs", 1);
+  if (!jobs.has_value() || *jobs < 1) {
+    return Fail("--jobs must be a positive integer");
+  }
+  const std::optional<std::string> stats_path = StatsPath(args);
+  if (stats_path.has_value() && !stats_path->empty()) {
+    // Fail before any cleaning work: discovering an unwritable stats path
+    // after minutes of batch cleaning would discard the run.
+    std::ofstream probe(*stats_path);
+    if (!probe) {
+      return Fail(("cannot write stats file " + *stats_path).c_str());
+    }
+  }
   Result<Building> building = LoadBuilding(dir);
   if (!building.ok()) return Fail(building.status());
 
@@ -335,8 +409,8 @@ int Clean(const Args& args) {
   }
 
   if (HasMultiTagReadings(dir)) {
-    return CleanBatch(args, dir, building.value(), deployment,
-                      constraints.value(), families, audit);
+    return CleanBatch(dir, building.value(), deployment, constraints.value(),
+                      families, audit, *jobs, stats_path);
   }
 
   Result<RSequence> readings = LoadReadings(dir);
@@ -369,6 +443,7 @@ int Clean(const Args& args) {
       sequence.length(), ConstraintFamiliesLabel(families).c_str(),
       stats.TotalMillis(), graph.value().NumNodes(),
       graph.value().NumEdges(), dir.c_str());
+  if (stats_path.has_value()) return EmitStats(*stats_path);
   return 0;
 }
 
@@ -503,7 +578,7 @@ int Usage() {
       "value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
-      "[--audit] [--jobs N]\n"
+      "[--audit] [--jobs N] [--stats[=FILE]]\n"
       "  stay     --dir DIR --time T\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
