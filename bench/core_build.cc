@@ -7,14 +7,19 @@
 // perf runs double as a semantic cross-check (the digest is timing-free
 // and must be stable across core refactors).
 //
+// With --trace FILE a trace session records every rep (so the numbers
+// measure the armed-tracer hot path, which CI gates against the untraced
+// baseline) and the timeline is exported as Chrome trace-event JSON.
+//
 //   core_build [--ticks 100,1000,10000] [--reps N] [--seed S]
-//              [--out BENCH_core.json] [--paper]
+//              [--out BENCH_core.json] [--trace FILE] [--paper]
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -27,6 +32,8 @@
 #include "core/builder.h"
 #include "io/ctgraph_io.h"
 #include "obs/cleaning_stats.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 namespace rfidclean::bench {
 namespace {
@@ -52,6 +59,7 @@ int Main(int argc, char** argv) {
   const char* reps_arg = FlagValue(argc, argv, "--reps");
   const char* seed_arg = FlagValue(argc, argv, "--seed");
   const char* out_arg = FlagValue(argc, argv, "--out");
+  const char* trace_arg = FlagValue(argc, argv, "--trace");
   const std::uint64_t seed = static_cast<std::uint64_t>(
       seed_arg != nullptr ? std::atoll(seed_arg) : 1);
   const std::string out = out_arg != nullptr ? out_arg : "BENCH_core.json";
@@ -78,11 +86,24 @@ int Main(int argc, char** argv) {
       dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
   CtGraphBuilder builder(constraints);
 
+  if (trace_arg != nullptr) {
+    if (!obs::TraceCompiledIn()) {
+      std::fprintf(stderr,
+                   "error: --trace requires a tracing-enabled build (this "
+                   "binary was configured with -DRFIDCLEAN_TRACE=OFF)\n");
+      return 1;
+    }
+    obs::TraceOptions trace_options;
+    trace_options.enabled = true;
+    obs::StartTracing(trace_options);
+  }
+
   BenchJson json("core_build", scale.Label());
   json.params()
       .Add("dataset", "SYN1")
       .Add("families", "DU+LT+TT")
-      .Add("seed", static_cast<long long>(seed));
+      .Add("seed", static_cast<long long>(seed))
+      .Add("traced", trace_arg != nullptr ? 1 : 0);
 
   Table table({"ticks", "reps", "median ms", "fwd ms", "bwd ms",
                "ns/timestamp", "nodes+edges/s", "peak nodes", "peak edges",
@@ -182,6 +203,20 @@ int Main(int argc, char** argv) {
         .AddHex64("digest", digest);
   }
   table.Print(std::cout);
+
+  if (trace_arg != nullptr) {
+    const obs::TraceCollection collection = obs::CollectTrace();
+    std::ofstream os(trace_arg);
+    if (!os) {
+      std::fprintf(stderr, "error: cannot write trace file %s\n", trace_arg);
+      return 1;
+    }
+    WriteChromeTrace(collection, os);
+    os << '\n';
+    obs::StopTracing();
+    std::printf("wrote %s (%zu trace events)\n", trace_arg,
+                collection.NumEvents());
+  }
 
   if (!json.WriteFile(out)) return 1;
   std::printf("\nwrote %s\n", out.c_str());

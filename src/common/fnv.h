@@ -1,0 +1,50 @@
+#ifndef RFIDCLEAN_COMMON_FNV_H_
+#define RFIDCLEAN_COMMON_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+/// \file
+/// 64-bit FNV-1a hashing, the project's standard content digest (bench
+/// result digests, trace provenance). Stable across platforms and runs —
+/// no seeding, no pointer hashing; callers feed explicit bytes or values.
+
+namespace rfidclean {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a digest.
+class Fnv64 {
+ public:
+  void Mix(const void* data, std::size_t size) {
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= kFnvPrime;
+    }
+  }
+
+  void MixU64(std::uint64_t value) { Mix(&value, sizeof(value)); }
+
+  void MixI64(std::int64_t value) {
+    MixU64(static_cast<std::uint64_t>(value));
+  }
+
+  /// Mixes the IEEE-754 bit pattern, so digests are exact (no epsilon).
+  void MixDouble(double value) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    MixU64(bits);
+  }
+
+  std::uint64_t Digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_COMMON_FNV_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/fnv.h"
 
 namespace rfidclean {
 
@@ -90,6 +91,30 @@ const std::vector<TravelingTime>& ConstraintSet::TravelingTimesFrom(
     LocationId from) const {
   CheckId(from);
   return tt_from_[static_cast<std::size_t>(from)];
+}
+
+std::uint64_t ConstraintSet::Digest() const {
+  Fnv64 fnv;
+  fnv.MixU64(static_cast<std::uint64_t>(num_locations_));
+  // Walk the indexed stores, mixing only constrained entries (tagged by
+  // index), so the digest stays cheap on sparse constraint sets and is
+  // independent of Add* call order.
+  for (std::size_t i = 0; i < unreachable_.size(); ++i) {
+    if (unreachable_[i]) fnv.MixU64(static_cast<std::uint64_t>(i));
+  }
+  for (std::size_t i = 0; i < travel_ticks_.size(); ++i) {
+    if (travel_ticks_[i] != 0) {
+      fnv.MixU64(static_cast<std::uint64_t>(i));
+      fnv.MixI64(travel_ticks_[i]);
+    }
+  }
+  for (std::size_t i = 0; i < latency_.size(); ++i) {
+    if (latency_[i] != 0) {
+      fnv.MixU64(static_cast<std::uint64_t>(i));
+      fnv.MixI64(latency_[i]);
+    }
+  }
+  return fnv.Digest();
 }
 
 std::size_t ConstraintSet::PairIndex(LocationId from, LocationId to) const {

@@ -1,6 +1,7 @@
 #ifndef RFIDCLEAN_CONSTRAINTS_CONSTRAINT_SET_H_
 #define RFIDCLEAN_CONSTRAINTS_CONSTRAINT_SET_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "constraints/constraint.h"
@@ -45,6 +46,12 @@ class ConstraintSet {
 
   /// All TT constraints with the given first argument.
   const std::vector<TravelingTime>& TravelingTimesFrom(LocationId from) const;
+
+  /// Stable FNV-1a digest of the constraint content (universe size plus
+  /// every DU pair, TT bound and LT bound). Order-insensitive with respect
+  /// to insertion: the digest walks the indexed stores, not the add order.
+  /// Used as the constraint hash in trace provenance.
+  std::uint64_t Digest() const;
 
   std::size_t NumUnreachable() const { return num_unreachable_; }
   std::size_t NumTravelingTime() const { return num_traveling_time_; }

@@ -8,6 +8,7 @@
 #include "core/self_audit.h"
 #include "core/work_graph.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean {
 
@@ -17,6 +18,9 @@ CtGraphBuilder::CtGraphBuilder(const ConstraintSet& constraints,
 
 Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
                                       BuildStats* stats) const {
+  RFID_TRACE_SPAN(span, "core", "build");
+  RFID_TRACE(
+      span.AddArg("ticks", static_cast<std::uint64_t>(sequence.length())));
   const Timestamp length = sequence.length();
   internal_core::ForwardEngine engine(constraints_->num_locations());
 

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/float_eq.h"
+#include "common/fnv.h"
 #include "common/strings.h"
 
 namespace rfidclean {
@@ -54,6 +55,29 @@ std::size_t CtGraph::NumEdges() const {
   std::size_t count = 0;
   for (const Node& node : nodes_) count += node.out_edges.size();
   return count;
+}
+
+std::uint64_t CtGraph::Digest() const {
+  Fnv64 fnv;
+  fnv.MixI64(length());
+  fnv.MixU64(static_cast<std::uint64_t>(nodes_.size()));
+  for (const Node& node : nodes_) {
+    fnv.MixI64(node.time);
+    fnv.MixI64(node.key.location);
+    fnv.MixI64(node.key.delta);
+    fnv.MixU64(static_cast<std::uint64_t>(node.key.departures.size()));
+    for (const Departure& departure : node.key.departures) {
+      fnv.MixI64(departure.time);
+      fnv.MixI64(departure.location);
+    }
+    fnv.MixDouble(node.source_probability);
+    fnv.MixU64(static_cast<std::uint64_t>(node.out_edges.size()));
+    for (const Edge& edge : node.out_edges) {
+      fnv.MixI64(edge.to);
+      fnv.MixDouble(edge.probability);
+    }
+  }
+  return fnv.Digest();
 }
 
 const CtGraph::Node& CtGraph::node(NodeId id) const {

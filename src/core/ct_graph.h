@@ -94,6 +94,13 @@ class CtGraph {
   /// the quantity reported by the §6.7 memory experiment.
   std::size_t ApproximateBytes() const;
 
+  /// Stable FNV-1a digest of the graph structure: length, every node's
+  /// (time, key, source-probability bit pattern) and every edge's
+  /// (target, probability bit pattern) in construction order. Equal graphs
+  /// digest equally across runs, platforms and build configurations; used
+  /// as the graph digest in trace provenance.
+  std::uint64_t Digest() const;
+
  private:
   friend class CtGraphBuilder;
 

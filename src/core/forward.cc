@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean::internal_core {
 
@@ -46,6 +47,7 @@ void ForwardEngine::EnsureKeyCapacity(std::size_t num_keys) {
 
 void ForwardEngine::BeginSources(const SuccessorGenerator& successors,
                                  const std::vector<Candidate>& candidates) {
+  RFID_TRACE_SPAN(span, "forward", "forward_sources");
   RFID_CHECK(work_.layer_begin.empty());
   work_.layer_begin.push_back(0);
   FillProbabilities(candidates);
@@ -61,6 +63,7 @@ void ForwardEngine::BeginSources(const SuccessorGenerator& successors,
   EnsureKeyCapacity(work_.keys.size());
   work_.layer_begin.push_back(static_cast<std::int32_t>(work_.nodes.size()));
   prev_locations_.clear();  // First AdvanceLayer always opens a new epoch.
+  RFID_TRACE(span.AddArg("width", work_.nodes.size()));
 #if RFIDCLEAN_STATS_ENABLED
   obs::Add(obs::Counter::kForwardLayers);
   obs::Add(obs::Counter::kForwardNodes, work_.nodes.size());
@@ -72,6 +75,8 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
                                  Timestamp t,
                                  const std::vector<Candidate>& next_candidates,
                                  bool record_empty_layer) {
+  RFID_TRACE_SPAN(span, "forward", "forward_layer");
+  RFID_TRACE(span.AddArg("t", static_cast<std::uint64_t>(t)));
   RFID_CHECK_GE(work_.layer_begin.size(), 2u);
 
   // The memo epoch tracks the candidate *location sequence*: while
@@ -102,11 +107,11 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
   const std::int32_t frontier_begin =
       work_.layer_begin[work_.layer_begin.size() - 2];
   const std::int32_t frontier_end = work_.layer_begin.back();
+  [[maybe_unused]] const std::size_t edges_before = work_.edges.size();
 
 #if RFIDCLEAN_STATS_ENABLED
   // Per-layer accumulation in locals, flushed once below: the frontier loop
   // must not touch a thread-local sink per node or per edge.
-  const std::size_t stats_edges_before = work_.edges.size();
   std::uint64_t stats_memo_hits = 0;
 #endif
 
@@ -186,11 +191,15 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
         static_cast<std::uint64_t>(layer_end - frontier_end);
     obs::Add(obs::Counter::kForwardLayers);
     obs::Add(obs::Counter::kForwardNodes, stats_width);
-    obs::Add(obs::Counter::kForwardEdges,
-             work_.edges.size() - stats_edges_before);
+    obs::Add(obs::Counter::kForwardEdges, work_.edges.size() - edges_before);
     obs::ObserveValue(obs::Dist::kLayerWidth, stats_width);
   }
+  RFID_TRACE(span.AddArg("memo_hits", stats_memo_hits));
 #endif
+  RFID_TRACE(
+      span.AddArg("width", static_cast<std::uint64_t>(layer_end -
+                                                      frontier_end)));
+  RFID_TRACE(span.AddArg("edges", work_.edges.size() - edges_before));
   if (!non_empty && !record_empty_layer) {
     // An empty expansion appended no node and no edge, and the frontier's
     // refreshed (empty) CSR slices are indistinguishable from their

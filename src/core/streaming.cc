@@ -8,6 +8,7 @@
 #include "core/self_audit.h"
 #include "core/work_graph.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean {
 
@@ -56,6 +57,8 @@ void StreamingCleaner::ReserveCapacity(std::size_t nodes, std::size_t edges,
 }
 
 Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
+  RFID_TRACE_SPAN(span, "stream", "stream_push");
+  RFID_TRACE(span.AddArg("t", static_cast<std::uint64_t>(TicksSeen())));
   if (failed_) {
     return FailedPreconditionError(
         "a previous tick left no consistent interpretation");
@@ -149,6 +152,8 @@ StreamingCleaner::CurrentDistribution() const {
 }
 
 Result<CtGraph> StreamingCleaner::Finish(BuildStats* stats) && {
+  RFID_TRACE_SPAN(span, "stream", "stream_finish");
+  RFID_TRACE(span.AddArg("ticks", static_cast<std::uint64_t>(TicksSeen())));
   RFID_CHECK_GT(engine_.num_layers(), 0);
   if (stats != nullptr) {
     stats->peak_nodes = engine_.work().nodes.size();

@@ -7,6 +7,7 @@
 #include "common/stopwatch.h"
 #include "core/builder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean::internal_core {
 
@@ -64,43 +65,55 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   std::uint64_t stats_edges_kept = 0;
   std::uint64_t stats_nodes_dead = 0;
 #endif
-  for (Timestamp t = length - 2; t >= 0; --t) {
-    const auto [begin, end] = layer_range(t);
-    double layer_max = 0.0;
-    for (std::int32_t id = begin; id < end; ++id) {
-      WorkNode& node = nodes[static_cast<std::size_t>(id)];
-      const WorkEdge* out =
-          edges.data() + static_cast<std::size_t>(node.edge_begin);
-      double mass = 0.0;
-      for (std::int32_t k = 0; k < node.edge_count; ++k) {
-        mass += out[k].probability *
-                nodes[static_cast<std::size_t>(out[k].to)].survived;
+  {
+    RFID_TRACE_SPAN(sweep_span, "backward", "backward_sweep");
+    RFID_TRACE(
+        sweep_span.AddArg("renorm_passes",
+                          static_cast<std::uint64_t>(length - 1)));
+    for (Timestamp t = length - 2; t >= 0; --t) {
+      const auto [begin, end] = layer_range(t);
+      double layer_max = 0.0;
+      for (std::int32_t id = begin; id < end; ++id) {
+        WorkNode& node = nodes[static_cast<std::size_t>(id)];
+        const WorkEdge* out =
+            edges.data() + static_cast<std::size_t>(node.edge_begin);
+        double mass = 0.0;
+        for (std::int32_t k = 0; k < node.edge_count; ++k) {
+          mass += out[k].probability *
+                  nodes[static_cast<std::size_t>(out[k].to)].survived;
+        }
+        node.survived = mass;
+        layer_max = std::max(layer_max, mass);
       }
-      node.survived = mass;
-      layer_max = std::max(layer_max, mass);
+      for (std::int32_t id = begin; id < end; ++id) {
+        WorkNode& node = nodes[static_cast<std::size_t>(id)];
+        if (node.survived <= 0.0) {
+          // Dead node: its edges are never read again (the node is skipped
+          // by reachability and compaction), so they keep their a-priori
+          // labels.
+          node.alive = false;
+          RFID_STATS(++stats_nodes_dead);
+          continue;
+        }
+        WorkEdge* out =
+            edges.data() + static_cast<std::size_t>(node.edge_begin);
+        for (std::int32_t k = 0; k < node.edge_count; ++k) {
+          double conditioned =
+              out[k].probability *
+              nodes[static_cast<std::size_t>(out[k].to)].survived /
+              node.survived;
+          out[k].probability = conditioned > 0.0 ? conditioned : 0.0;
+          RFID_STATS(stats_edges_kept +=
+                     static_cast<std::uint64_t>(conditioned > 0.0));
+        }
+        node.survived /= layer_max;
+      }
     }
-    for (std::int32_t id = begin; id < end; ++id) {
-      WorkNode& node = nodes[static_cast<std::size_t>(id)];
-      if (node.survived <= 0.0) {
-        // Dead node: its edges are never read again (the node is skipped
-        // by reachability and compaction), so they keep their a-priori
-        // labels.
-        node.alive = false;
-        RFID_STATS(++stats_nodes_dead);
-        continue;
-      }
-      WorkEdge* out = edges.data() + static_cast<std::size_t>(node.edge_begin);
-      for (std::int32_t k = 0; k < node.edge_count; ++k) {
-        double conditioned =
-            out[k].probability *
-            nodes[static_cast<std::size_t>(out[k].to)].survived /
-            node.survived;
-        out[k].probability = conditioned > 0.0 ? conditioned : 0.0;
-        RFID_STATS(stats_edges_kept +=
-                   static_cast<std::uint64_t>(conditioned > 0.0));
-      }
-      node.survived /= layer_max;
-    }
+#if RFIDCLEAN_STATS_ENABLED
+    RFID_TRACE(sweep_span.AddArg("edges_killed",
+                                 edges.size() - stats_edges_kept));
+    RFID_TRACE(sweep_span.AddArg("nodes_dead", stats_nodes_dead));
+#endif
   }
 #if RFIDCLEAN_STATS_ENABLED
   // An edge is "kept" iff conditioning left it a positive probability on a
@@ -150,6 +163,7 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
   // live edges (explicit reachability: per-edge products can underflow to
   // zero under extreme probability ranges). A live edge is one whose
   // conditioned probability stayed positive.
+  RFID_TRACE_SPAN(compact_span, "backward", "compact");
   std::vector<bool> reachable(nodes.size(), false);
   {
     const auto [begin, end] = layer_range(0);
@@ -194,6 +208,7 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
         node.time == 0 ? node.source_probability / source_mass : 0.0;
     compact.push_back(std::move(out));
   }
+  [[maybe_unused]] std::size_t live_edges_total = 0;  // trace arg only
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     const NodeId from = remap[i];
     if (from == kInvalidNode) continue;
@@ -209,6 +224,7 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
         ++live;
       }
     }
+    live_edges_total += live;
     std::vector<CtGraph::Edge>& out_edges =
         compact[static_cast<std::size_t>(from)].out_edges;
     out_edges.reserve(live);
@@ -219,6 +235,10 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
       out_edges.push_back(CtGraph::Edge{to, out[k].probability});
     }
   }
+  RFID_TRACE(
+      compact_span.AddArg("nodes", static_cast<std::uint64_t>(survivors)));
+  RFID_TRACE(compact_span.AddArg(
+      "edges", static_cast<std::uint64_t>(live_edges_total)));
   Result<CtGraph> graph = CtGraph::Assemble(std::move(compact), length);
   RFID_CHECK(graph.ok());  // Construction invariants guarantee validity.
   if (stats != nullptr) {

@@ -9,6 +9,7 @@
 
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean {
 
@@ -78,6 +79,7 @@ void WriteBuilding(const Building& building, std::ostream& os) {
 
 Result<Building> ReadBuilding(std::istream& is) {
   obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
+  RFID_TRACE_SPAN(span, "io", "io_parse_building");
   std::optional<BuildingBuilder> builder;
   std::unordered_map<std::string, LocationId> by_name;
   std::string line;
@@ -159,6 +161,7 @@ Result<Building> ReadBuilding(std::istream& is) {
   if (!builder.has_value()) {
     return InvalidArgumentError("no 'building' line found");
   }
+  RFID_TRACE(span.AddArg("rows", static_cast<std::uint64_t>(line_number)));
   return builder->Build();
 }
 

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean {
 
@@ -86,6 +87,7 @@ void WriteReadingsCsv(const RSequence& sequence, std::ostream& os) {
 
 Result<RSequence> ReadReadingsCsv(std::istream& is) {
   obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
+  RFID_TRACE_SPAN(span, "io", "io_parse_readings");
   std::string line;
   if (!std::getline(is, line) || StripWhitespace(line) != "time,readers") {
     RFID_STATS(obs::Add(obs::Counter::kIoRowsRejected));
@@ -115,6 +117,7 @@ Result<RSequence> ReadReadingsCsv(std::istream& is) {
     RFID_STATS(obs::Add(obs::Counter::kIoRowsParsed));
     readings.push_back(std::move(reading));
   }
+  RFID_TRACE(span.AddArg("rows", readings.size()));
   return RSequence::Create(std::move(readings));
 }
 
@@ -134,6 +137,7 @@ void WriteMultiTagReadingsCsv(const std::vector<TagReadings>& tags,
 
 Result<std::vector<TagReadings>> ReadMultiTagReadingsCsv(std::istream& is) {
   obs::PhaseTimer phase_timer(obs::Phase::kIoParse);
+  RFID_TRACE_SPAN(span, "io", "io_parse_readings_multi");
   std::string line;
   if (!std::getline(is, line) ||
       StripWhitespace(line) != kMultiTagReadingsHeader) {
@@ -182,6 +186,7 @@ Result<std::vector<TagReadings>> ReadMultiTagReadingsCsv(std::istream& is) {
   if (by_tag.empty()) {
     return InvalidArgumentError("multi-tag readings file has no data rows");
   }
+  RFID_TRACE(span.AddArg("tags", by_tag.size()));
   std::vector<TagReadings> tags;
   tags.reserve(by_tag.size());
   for (auto& [tag, rows] : by_tag) {

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/float_eq.h"
+#include "common/fnv.h"
 #include "common/strings.h"
 
 namespace rfidclean {
@@ -105,6 +106,19 @@ double LSequence::NumTrajectories() const {
     count *= static_cast<double>(at_t.size());
   }
   return count;
+}
+
+std::uint64_t LSequence::Digest() const {
+  Fnv64 fnv;
+  fnv.MixU64(static_cast<std::uint64_t>(candidates_.size()));
+  for (const auto& at_t : candidates_) {
+    fnv.MixU64(static_cast<std::uint64_t>(at_t.size()));
+    for (const Candidate& candidate : at_t) {
+      fnv.MixI64(candidate.location);
+      fnv.MixDouble(candidate.probability);
+    }
+  }
+  return fnv.Digest();
 }
 
 }  // namespace rfidclean

@@ -1,6 +1,7 @@
 #ifndef RFIDCLEAN_MODEL_LSEQUENCE_H_
 #define RFIDCLEAN_MODEL_LSEQUENCE_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -52,6 +53,11 @@ class LSequence {
   /// Number of trajectories over Γ: Π_t |candidates at t| (§2), as a double
   /// since it overflows integers immediately.
   double NumTrajectories() const;
+
+  /// Stable FNV-1a content digest (per-tick candidate lists: locations and
+  /// probability bit patterns). Equal sequences digest equally across runs
+  /// and platforms; used as the input digest in trace provenance.
+  std::uint64_t Digest() const;
 
  private:
   std::vector<std::vector<Candidate>> candidates_;  // indexed by timestamp

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/strings.h"
+#include "obs/trace_export.h"
 
 namespace rfidclean::obs {
 namespace {
@@ -186,7 +187,22 @@ std::vector<std::string> CleaningStats::CheckInvariants() const {
   return violations;
 }
 
-void CleaningStats::WriteJson(std::ostream& os, int indent) const {
+void TraceSampleCounterTracks() {
+#if RFIDCLEAN_STATS_ENABLED && RFIDCLEAN_TRACE_ENABLED
+  if (!TraceActive()) return;
+  const CleaningStats stats = CleaningStats::Capture();
+  TraceCounter("forward_nodes", stats.Get(Counter::kForwardNodes));
+  TraceCounter("forward_edges", stats.Get(Counter::kForwardEdges));
+  TraceCounter("backward_edges_killed",
+               stats.Get(Counter::kBackwardEdgesKilled));
+  TraceCounter("batch_tags_cleaned", stats.Get(Counter::kBatchTagsCleaned));
+  TraceCounter("queue_steals", stats.Get(Counter::kQueueSteals));
+#endif
+}
+
+void CleaningStats::WriteJson(std::ostream& os, int indent,
+                              const std::vector<TagProvenance>* provenance)
+    const {
   const Indent pad{indent};
   const Indent inner{indent + 2};
   os << "{\n";
@@ -213,7 +229,12 @@ void CleaningStats::WriteJson(std::ostream& os, int indent) const {
     WriteHistogram(os, dists[i], Indent{indent + 4});
     os << (i + 1 < kNumDists ? ",\n" : "\n");
   }
-  os << inner << "}\n";
+  os << inner << (provenance != nullptr ? "},\n" : "}\n");
+  if (provenance != nullptr) {
+    os << inner << "\"provenance\": ";
+    WriteProvenanceJson(*provenance, os, indent + 2);
+    os << "\n";
+  }
   os << pad << "}";
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 /// \file
 /// Point-in-time aggregation of the pipeline metrics (obs/metrics.h) into a
@@ -52,8 +53,18 @@ struct CleaningStats {
   /// Serializes counters, phase times and histogram summaries as one JSON
   /// object (stable key order; counters as integers, times as doubles),
   /// indented by `indent` spaces. Layout documented in README "--stats".
-  void WriteJson(std::ostream& os, int indent = 0) const;
+  /// When `provenance` is non-null, the object additionally carries a
+  /// "provenance" array of per-tag records (obs/trace_export.h layout).
+  void WriteJson(std::ostream& os, int indent = 0,
+                 const std::vector<TagProvenance>* provenance = nullptr) const;
 };
+
+/// Samples a fixed subset of the pipeline counters into trace counter
+/// tracks (forward_nodes, forward_edges, backward_edges_killed,
+/// batch_tags_cleaned, queue_steals), one point per call. Called at phase
+/// boundaries (per cleaned tag, per build). No-op unless stats and tracing
+/// are both compiled in and a trace session is active.
+void TraceSampleCounterTracks();
 
 /// Snake-case stable identifier for each enumerator, used as the JSON key.
 const char* CounterName(Counter counter);

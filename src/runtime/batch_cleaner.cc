@@ -8,7 +8,9 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
+#include "obs/cleaning_stats.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/arena.h"
 #include "runtime/shard_queue.h"
 
@@ -38,7 +40,8 @@ obs::Counter OutcomeCounter(const Result<CtGraph>& graph) {
 /// compare bit-identical across job counts and runs.
 TagOutcome CleanOne(const SuccessorGenerator& successors,
                     const TagWorkload& workload, const BatchOptions& options,
-                    std::size_t index, runtime::WorkerArena* arena) {
+                    std::size_t index, runtime::WorkerArena* arena,
+                    std::uint64_t constraint_digest) {
   obs::PhaseTimer phase_timer(obs::Phase::kTagClean);
   RFID_STATS(const Stopwatch tag_watch);
   BuildStats stats;
@@ -50,11 +53,13 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
     }
     StreamingCleaner cleaner(successors);
     arena->Prepare(&cleaner, workload.sequence.length());
+    const Stopwatch forward_watch;
     for (Timestamp t = 0; t < workload.sequence.length(); ++t) {
       Status pushed = cleaner.Push(workload.sequence.CandidatesAt(t));
       if (!pushed.ok()) return pushed;
       if (options.after_tick) options.after_tick(index, t);
     }
+    stats.forward_millis = forward_watch.ElapsedMillis();
     return std::move(cleaner).Finish(&stats);
   }();
   if (graph.ok()) arena->Observe(stats, workload.sequence.length());
@@ -64,6 +69,19 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
       obs::Dist::kTagMicros,
       static_cast<std::uint64_t>(tag_watch.ElapsedMillis() * 1000.0));
 #endif
+  if (obs::TraceActive()) {
+    // Graph digesting is a full structural walk — only worth it when a
+    // trace session is recording the provenance.
+    obs::TagProvenance provenance;
+    provenance.tag = static_cast<long long>(workload.tag);
+    provenance.input_digest = workload.sequence.Digest();
+    provenance.constraint_digest = constraint_digest;
+    provenance.graph_digest = graph.ok() ? graph.value().Digest() : 0;
+    provenance.forward_millis = stats.forward_millis;
+    provenance.backward_millis = stats.backward_millis;
+    provenance.status = graph.ok() ? "ok" : graph.status().ToString();
+    obs::RecordTagProvenance(std::move(provenance));
+  }
   return TagOutcome{workload.tag, std::move(graph), stats};
 }
 
@@ -73,22 +91,31 @@ BatchCleaner::BatchCleaner(const ConstraintSet& constraints,
                            BatchOptions options)
     : constraints_(&constraints),
       options_(std::move(options)),
-      successors_(constraints, options_.successor) {
+      successors_(constraints, options_.successor),
+      constraint_digest_(constraints.Digest()) {
   if (options_.jobs < 1) options_.jobs = 1;
 }
 
 std::vector<TagOutcome> BatchCleaner::CleanAll(
     const std::vector<TagWorkload>& workloads) const {
+  if (options_.trace.enabled && !obs::TraceActive()) {
+    obs::StartTracing(options_.trace);
+  }
+  RFID_TRACE_SPAN(batch_span, "batch", "batch_clean_all");
+  RFID_TRACE(batch_span.AddArg("tags", workloads.size()));
   std::vector<std::optional<TagOutcome>> slots(workloads.size());
   if (!workloads.empty()) {
     const std::size_t num_workers =
         std::min(static_cast<std::size_t>(options_.jobs), workloads.size());
+    RFID_TRACE(batch_span.AddArg("workers", num_workers));
     runtime::ShardQueue queue(workloads.size(), num_workers);
 
     // Each worker owns slot writes for the shards it pops (shards are
     // handed out exactly once), so no synchronization beyond the queue and
     // the final joins is needed.
     auto run_worker = [&](std::size_t worker) {
+      RFID_TRACE(obs::SetTraceThreadName(StrFormat("worker-%d",
+                                                   static_cast<int>(worker))));
       runtime::WorkerArena arena;
       std::size_t shard = 0;
       while (queue.Pop(worker, &shard)) {
@@ -98,27 +125,44 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
         RFID_STATS(obs::Add(arena.tick_hint() > 0
                                 ? obs::Counter::kBatchArenaReuses
                                 : obs::Counter::kBatchArenaColdStarts));
-        try {
-          if (options_.before_tag) options_.before_tag(shard);
-          slots[shard].emplace(CleanOne(successors_, workloads[shard],
-                                        options_, shard, &arena));
-        } catch (const std::exception& e) {
-          RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
-          slots[shard].emplace(TagOutcome{
-              workloads[shard].tag,
-              InternalError(StrFormat(
-                  "uncaught exception while cleaning tag %lld: %s",
-                  static_cast<long long>(workloads[shard].tag), e.what())),
-              BuildStats{}});
-        } catch (...) {
-          RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
-          slots[shard].emplace(TagOutcome{
-              workloads[shard].tag,
-              InternalError(StrFormat(
-                  "uncaught exception while cleaning tag %lld",
-                  static_cast<long long>(workloads[shard].tag))),
-              BuildStats{}});
+        // Outside the tag span: whether this worker's arena had hints is a
+        // scheduling artifact, and tag_clean subtrees must stay identical
+        // across job counts (tests/obs_trace_test.cc).
+        RFID_TRACE(obs::TraceInstant(
+            "batch", "arena_prepare", "reused",
+            static_cast<std::uint64_t>(arena.tick_hint() > 0)));
+        {
+          RFID_TRACE_SPAN(tag_span, "batch", "tag_clean");
+          RFID_TRACE(tag_span.AddArg(
+              "tag", static_cast<std::uint64_t>(workloads[shard].tag)));
+          try {
+            if (options_.before_tag) options_.before_tag(shard);
+            slots[shard].emplace(CleanOne(successors_, workloads[shard],
+                                          options_, shard, &arena,
+                                          constraint_digest_));
+          } catch (const std::exception& e) {
+            RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
+            slots[shard].emplace(TagOutcome{
+                workloads[shard].tag,
+                InternalError(StrFormat(
+                    "uncaught exception while cleaning tag %lld: %s",
+                    static_cast<long long>(workloads[shard].tag), e.what())),
+                BuildStats{}});
+          } catch (...) {
+            RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
+            slots[shard].emplace(TagOutcome{
+                workloads[shard].tag,
+                InternalError(StrFormat(
+                    "uncaught exception while cleaning tag %lld",
+                    static_cast<long long>(workloads[shard].tag))),
+                BuildStats{}});
+          }
+          RFID_TRACE(tag_span.AddArg(
+              "ok", static_cast<std::uint64_t>(slots[shard]->graph.ok())));
         }
+        // Counter tracks sample global snapshots, which depend on what the
+        // other workers have finished — also outside the tag span.
+        RFID_TRACE(obs::TraceSampleCounterTracks());
       }
     };
 

@@ -11,6 +11,7 @@
 #include "core/streaming.h"
 #include "model/lsequence.h"
 #include "model/reading.h"
+#include "obs/trace.h"
 
 namespace rfidclean {
 
@@ -50,6 +51,12 @@ struct BatchOptions {
   /// outcome for that tag only — with the worker's arena still recyclable
   /// for the next tag (enforced by tests/batch_stress_test.cc).
   std::function<void(std::size_t index, Timestamp t)> after_tick;
+  /// When `trace.enabled` is set and no trace session is active yet,
+  /// CleanAll starts one with these options (obs/trace.h) before spawning
+  /// workers; an already-active session is left untouched, so a CLI that
+  /// traced the io phase keeps one continuous timeline. The session is
+  /// never stopped here — collection/export stay with the embedder.
+  obs::TraceOptions trace;
 };
 
 /// Cleans N independent tag streams concurrently on a fixed-size pool of
@@ -85,6 +92,9 @@ class BatchCleaner {
   const ConstraintSet* constraints_;
   BatchOptions options_;
   SuccessorGenerator successors_;
+  /// Computed once at construction; stamped into every tag's trace
+  /// provenance record (constraint sets are immutable and shared).
+  std::uint64_t constraint_digest_ = 0;
 };
 
 }  // namespace rfidclean

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfidclean::runtime {
 
@@ -57,6 +58,8 @@ bool ShardQueue::Pop(std::size_t worker, std::size_t* shard) {
     lane.shards.pop_back();
     lane.approx_size.store(lane.shards.size(), std::memory_order_relaxed);
     RFID_STATS(obs::Add(obs::Counter::kQueueSteals));
+    RFID_TRACE(obs::TraceInstant("batch", "steal", "victim",
+                                 static_cast<std::uint64_t>(victim)));
     return true;
   }
 }

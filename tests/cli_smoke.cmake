@@ -93,4 +93,25 @@ expect_fail("cannot write stats file"
             ${CLI} clean --dir ${WORK_DIR}
             --stats=${WORK_DIR}/no-such-subdir/stats.json)
 
+# A clean that fails after the --stats writability probe must leave an
+# explicit error object behind, not the probe's zero-byte file: a consumer
+# polling the path has to be able to tell "run failed" from "interrupted
+# mid-write".
+execute_process(COMMAND ${CLI} clean --dir ${WORK_DIR}/does-not-exist
+                --stats=${WORK_DIR}/failed_stats.json
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "clean on a missing directory should fail")
+endif()
+if(NOT EXISTS ${WORK_DIR}/failed_stats.json)
+  message(FATAL_ERROR "failed clean removed the stats file entirely")
+endif()
+file(READ ${WORK_DIR}/failed_stats.json stub_payload)
+string(FIND "${stub_payload}" "\"status\": \"error\"" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR
+          "failed clean left a stats file without the error stub: "
+          "'${stub_payload}'")
+endif()
+
 message(STATUS "cli smoke test passed")

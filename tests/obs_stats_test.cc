@@ -276,6 +276,69 @@ TEST(CleaningStatsTest, DeltaSinceIsolatesAWindow) {
   }
 }
 
+TEST(CleaningStatsTest, CaptureResetDeltaRoundTripAcrossThreads) {
+  if (!obs::Enabled()) GTEST_SKIP() << "stats compiled out";
+  // Delta windows are how long-running embedders meter individual batches
+  // out of the cumulative process-wide counters. Two back-to-back identical
+  // batch runs on 4 workers: the delta between their captures must be
+  // exactly one run's worth of work — counted across the worker threads
+  // that folded their sinks in between — and can never underflow.
+  ConstraintSet constraints(2);
+  std::vector<TagWorkload> workloads;
+  for (int k = 0; k < 12; ++k) {
+    workloads.push_back(TagWorkload{k, UniformTwoLocationSequence(5)});
+  }
+  BatchOptions options;
+  options.jobs = 4;
+  BatchCleaner cleaner(constraints, options);
+
+  obs::CleaningStats::Reset();
+  cleaner.CleanAll(workloads);
+  const obs::CleaningStats first = obs::CleaningStats::Capture();
+  cleaner.CleanAll(workloads);
+  const obs::CleaningStats second = obs::CleaningStats::Capture();
+  const obs::CleaningStats delta = second.DeltaSince(first);
+
+  // Counters are cumulative, so a later capture dominates an earlier one
+  // pointwise and the delta can never exceed the later capture.
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    EXPECT_LE(delta.counters[i], second.counters[i])
+        << obs::CounterName(static_cast<obs::Counter>(i));
+  }
+
+  // The delta must equal a fresh, reset-scoped run of the same workload.
+  // Queue and arena provisioning split between their counters by schedule
+  // (a shard is popped locally or stolen, an arena is warm or cold), so
+  // those compare as pair sums; key-probe step counts depend on the
+  // recycled table capacities. Everything else is workload-determined.
+  obs::CleaningStats::Reset();
+  cleaner.CleanAll(workloads);
+  const obs::CleaningStats fresh = obs::CleaningStats::Capture();
+  for (int i = 0; i < obs::kNumCounters; ++i) {
+    const obs::Counter counter = static_cast<obs::Counter>(i);
+    if (counter == obs::Counter::kQueuePopsLocal ||
+        counter == obs::Counter::kQueueSteals ||
+        counter == obs::Counter::kBatchArenaReuses ||
+        counter == obs::Counter::kBatchArenaColdStarts ||
+        counter == obs::Counter::kKeyProbeSteps) {
+      continue;
+    }
+    EXPECT_EQ(delta.counters[i], fresh.counters[i])
+        << obs::CounterName(counter);
+  }
+  EXPECT_EQ(delta.Get(obs::Counter::kQueuePopsLocal) +
+                delta.Get(obs::Counter::kQueueSteals),
+            fresh.Get(obs::Counter::kQueuePopsLocal) +
+                fresh.Get(obs::Counter::kQueueSteals));
+  EXPECT_EQ(delta.Get(obs::Counter::kBatchArenaReuses) +
+                delta.Get(obs::Counter::kBatchArenaColdStarts),
+            fresh.Get(obs::Counter::kBatchArenaReuses) +
+                fresh.Get(obs::Counter::kBatchArenaColdStarts));
+  // A window of whole cleanings satisfies the same cross-counter
+  // invariants as a from-reset capture.
+  EXPECT_TRUE(delta.CheckInvariants().empty());
+}
+
 TEST(CleaningStatsTest, WriteJsonEmitsEveryNamedField) {
   obs::CleaningStats stats = obs::CleaningStats::Capture();
   std::ostringstream os;

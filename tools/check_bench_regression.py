@@ -60,16 +60,30 @@ def load_payload(path):
     return payload
 
 
-def load_results(path, payload, key, metric):
-    """Returns {key_value: metric_value} for one parsed bench payload."""
+def load_results(path, payload, key, metric, counterpart=None):
+    """Returns {key_value: metric_value} for one parsed bench payload.
+
+    `counterpart` is the path of the file on the other side of the
+    comparison; naming it (plus the bench and the fields the entry does
+    have) turns "result entry lacks metric" from a puzzle into a
+    diagnosis — typically a baseline recorded before the metric existed.
+    """
+    bench = payload.get("bench", "?")
     results = payload.get("results", [])
     points = {}
     for entry in results:
+        available = ", ".join(sorted(entry)) or "<none>"
+        counterpart_hint = (
+            f" (compared against {counterpart})" if counterpart else "")
         if key not in entry:
-            raise SystemExit(f"{path}: result entry lacks '{key}': {entry}")
+            raise SystemExit(
+                f"{path}: bench '{bench}' result entry lacks key field "
+                f"'{key}'{counterpart_hint}; available fields: {available}")
         if metric not in entry:
             raise SystemExit(
-                f"{path}: result entry lacks metric '{metric}': {entry}")
+                f"{path}: bench '{bench}' result entry lacks metric "
+                f"'{metric}'{counterpart_hint}; available fields: "
+                f"{available}")
         try:
             points[entry[key]] = float(entry[metric])
         except (TypeError, ValueError):
@@ -112,9 +126,9 @@ def main():
             f"'{baseline_payload['bench']}'")
 
     current = load_results(args.current, current_payload, args.key,
-                           args.metric)
+                           args.metric, counterpart=args.baseline)
     baseline = load_results(args.baseline, baseline_payload, args.key,
-                            args.metric)
+                            args.metric, counterpart=args.current)
 
     if set(current) != set(baseline):
         print(f"point sets differ: current {sorted(current)} vs "

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Structural validator for the Chrome trace-event JSON `clean --trace` and
+`core_build --trace` emit (obs/trace_export.cc; schema in FORMATS.md).
+
+Checks that the file is loadable by Perfetto/chrome://tracing in practice:
+a "traceEvents" array where every event carries the fields its phase
+requires, timestamps are non-negative numbers, and every thread's begin/end
+events nest properly (every "E" matches the innermost open "B" with the
+same name). A trace whose ring buffers overflowed (otherData.dropped_events
+> 0) may legitimately start mid-span, so balance problems are downgraded to
+warnings in that case — drop-oldest loses prefixes, never scrambles order.
+
+    check_trace_events.py TRACE.json [--require SPAN]... \
+        [--require-counter NAME]... [--min-events N]
+
+--require fails unless a span (B/E pair) with that name appears;
+--require-counter does the same for a counter track. Exit status 0 when
+every check passes, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_BY_PHASE = {
+    "B": ("name", "cat", "ts", "pid", "tid"),
+    "E": ("name", "cat", "ts", "pid", "tid"),
+    "i": ("name", "cat", "ts", "pid", "tid", "s"),
+    "C": ("name", "ts", "pid", "tid", "args"),
+    "M": ("name", "pid", "tid", "args"),
+}
+
+
+def fail(message):
+    print(f"check_trace_events: {message}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SPAN",
+                        help="fail unless a span with this name appears")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless this counter track appears")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of trace events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as err:
+        return fail(f"{args.trace}: cannot read: {err}")
+    except json.JSONDecodeError as err:
+        return fail(f"{args.trace}: not valid JSON: {err}")
+
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        return fail(f"{args.trace}: missing top-level 'traceEvents' array")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        return fail(f"{args.trace}: 'traceEvents' is not an array")
+
+    dropped = 0
+    other = payload.get("otherData", {})
+    if isinstance(other, dict):
+        dropped = int(other.get("dropped_events", 0))
+
+    problems = []
+    span_names = set()
+    counter_names = set()
+    stacks = {}  # tid -> [open span names]; file order is per-thread
+                 # chronological in our exporter
+    payload_events = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in REQUIRED_BY_PHASE:
+            problems.append(f"{where}: unknown or missing ph {phase!r}")
+            continue
+        missing = [f for f in REQUIRED_BY_PHASE[phase] if f not in event]
+        if missing:
+            problems.append(
+                f"{where}: ph {phase!r} lacks {', '.join(missing)}")
+            continue
+        if phase != "M":
+            ts = event["ts"]
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+            payload_events += 1
+        name = event["name"]
+        tid = event.get("tid")
+        if phase == "B":
+            stacks.setdefault(tid, []).append((name, where))
+            span_names.add(name)
+        elif phase == "E":
+            span_names.add(name)
+            stack = stacks.setdefault(tid, [])
+            if not stack:
+                problems.append(
+                    f"{where}: 'E' for {name!r} on tid {tid} with no open "
+                    f"span")
+            elif stack[-1][0] != name:
+                problems.append(
+                    f"{where}: 'E' for {name!r} on tid {tid} but innermost "
+                    f"open span is {stack[-1][0]!r} (from {stack[-1][1]})")
+                stack.pop()
+            else:
+                stack.pop()
+        elif phase == "C":
+            counter_names.add(name)
+            arguments = event["args"]
+            if not isinstance(arguments, dict) or not any(
+                    isinstance(v, (int, float)) for v in arguments.values()):
+                problems.append(
+                    f"{where}: counter {name!r} has no numeric args")
+        elif phase == "i":
+            if event.get("s") not in ("t", "p", "g"):
+                problems.append(
+                    f"{where}: instant {name!r} has bad scope "
+                    f"{event.get('s')!r}")
+
+    for tid, stack in sorted(stacks.items()):
+        for name, where in stack:
+            problems.append(f"{where}: 'B' for {name!r} on tid {tid} never "
+                            f"closed")
+
+    balance_problems = [p for p in problems
+                        if "open span" in p or "never closed" in p]
+    if dropped > 0 and balance_problems:
+        # Ring overflow legitimately truncates span prefixes.
+        for problem in balance_problems:
+            print(f"warning (dropped_events={dropped}): {problem}",
+                  file=sys.stderr)
+        problems = [p for p in problems if p not in balance_problems]
+
+    for required in args.require:
+        if required not in span_names:
+            problems.append(
+                f"required span {required!r} absent (have: "
+                f"{', '.join(sorted(span_names)) or '<none>'})")
+    for required in args.require_counter:
+        if required not in counter_names:
+            problems.append(
+                f"required counter track {required!r} absent (have: "
+                f"{', '.join(sorted(counter_names)) or '<none>'})")
+    if payload_events < args.min_events:
+        problems.append(
+            f"only {payload_events} non-metadata events, expected at least "
+            f"{args.min_events}")
+
+    if problems:
+        for problem in problems:
+            print(f"check_trace_events: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.trace}: {payload_events} events on "
+          f"{len(set(e.get('tid') for e in events if isinstance(e, dict)))} "
+          f"tracks, {len(span_names)} span names, "
+          f"{len(counter_names)} counter tracks, {dropped} dropped: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,8 @@
 
 #include "analysis/graph_audit.h"
 #include "obs/cleaning_stats.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
@@ -144,24 +146,68 @@ std::optional<std::string> StatsPath(const Args& args) {
   return value;
 }
 
+/// Resolved `--trace[=FILE]` request: nullopt when the flag is absent; the
+/// bare `--trace` form writes DIR/trace.json. Unlike --stats there is no
+/// stdout mode — the clean's own report goes there.
+std::optional<std::string> TracePath(const Args& args, const std::string& dir) {
+  if (!args.Has("trace")) return std::nullopt;
+  const std::string value = args.Get("trace", "");
+  if (value == "1") return dir + "/trace.json";
+  return value;
+}
+
 /// Writes the process-wide pipeline metrics as JSON to `path` (stdout when
 /// empty). Invariant violations are diagnostics, not failures: the stats
-/// must never turn a successful clean into an error.
+/// must never turn a successful clean into an error. When a trace session
+/// is active, the per-tag provenance records collected so far are embedded
+/// as a "provenance" array.
 int EmitStats(const std::string& path) {
   const obs::CleaningStats stats = obs::CleaningStats::Capture();
   for (const std::string& violation : stats.CheckInvariants()) {
     std::fprintf(stderr, "stats invariant violated: %s\n", violation.c_str());
   }
+  std::vector<obs::TagProvenance> provenance;
+  const bool tracing = obs::TraceActive();
+  if (tracing) provenance = obs::CollectTrace().provenance;
+  const std::vector<obs::TagProvenance>* embedded =
+      tracing ? &provenance : nullptr;
   if (path.empty()) {
-    stats.WriteJson(std::cout);
+    stats.WriteJson(std::cout, 0, embedded);
     std::cout << '\n';
     return 0;
   }
   std::ofstream os(path);
   if (!os) return Fail(("cannot write stats file " + path).c_str());
-  stats.WriteJson(os);
+  stats.WriteJson(os, 0, embedded);
   os << '\n';
   return os.good() ? 0 : Fail(("cannot write stats file " + path).c_str());
+}
+
+/// Replaces the zero-byte file left by the --stats writability probe with an
+/// explicit error object when the clean fails before stats are emitted, so
+/// a consumer polling the file sees `{"status": "error"}` rather than
+/// truncated output it might mistake for an interrupted write.
+void WriteStatsErrorStub(const std::string& path) {
+  std::ofstream os(path);
+  if (os) os << "{\"status\": \"error\"}\n";
+}
+
+/// Exports the active trace session as Chrome trace-event JSON. Called on
+/// both success and failure exits: a trace of a failed clean is exactly
+/// what the flag was passed for.
+int ExportTrace(const std::string& path) {
+  const obs::TraceCollection collection = obs::CollectTrace();
+  std::ofstream os(path);
+  if (!os) return Fail(("cannot write trace file " + path).c_str());
+  WriteChromeTrace(collection, os);
+  os << '\n';
+  if (!os.good()) return Fail(("cannot write trace file " + path).c_str());
+  std::fprintf(stderr,
+               "trace: %zu events on %zu tracks (%llu dropped) -> %s\n",
+               collection.NumEvents(), collection.threads.size(),
+               static_cast<unsigned long long>(collection.DroppedEvents()),
+               path.c_str());
+  return 0;
 }
 
 Result<Building> LoadBuilding(const std::string& dir) {
@@ -313,12 +359,22 @@ Result<ConstraintSet> MakeCliConstraints(const Args& args,
   return InferConstraints(building, walking, inference);
 }
 
+/// Observability requests threaded through the clean paths. `stats_written`
+/// records whether EmitStats completed, so the failure path can distinguish
+/// "never got there" (write the error stub) from "already emitted".
+struct CleanObs {
+  std::optional<std::string> stats_path;
+  std::optional<std::string> trace_path;
+  obs::TraceOptions trace;
+  bool stats_written = false;
+};
+
 /// The multi-tag batch path of `clean`: every tag cleaned concurrently on
 /// --jobs workers, one graph_<tag>.ctg per successfully cleaned tag.
 int CleanBatch(const std::string& dir, const Building& building,
                const Deployment& deployment, const ConstraintSet& constraints,
                ConstraintFamilies families, bool audit, int jobs,
-               const std::optional<std::string>& stats_path) {
+               CleanObs* observability) {
   std::ifstream is(dir + "/readings.csv");
   if (!is) return Fail("cannot open readings.csv");
   Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
@@ -337,6 +393,10 @@ int CleanBatch(const std::string& dir, const Building& building,
 
   BatchOptions options;
   options.jobs = jobs;
+  // The CLI already started the session (so the io spans above are on the
+  // timeline); passing the options through exercises the embedding hook,
+  // which leaves an active session untouched.
+  options.trace = observability->trace;
   BatchCleaner cleaner(constraints, options);
   Stopwatch watch;
   std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
@@ -371,26 +431,22 @@ int CleanBatch(const std::string& dir, const Building& building,
       millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
                  : 0.0,
       nodes, dir.c_str());
-  if (stats_path.has_value() && EmitStats(*stats_path) != 0) return 1;
+  if (observability->stats_path.has_value()) {
+    if (EmitStats(*observability->stats_path) != 0) return 1;
+    observability->stats_written = true;
+  }
   return failures == 0 ? 0 : 1;
 }
 
-int Clean(const Args& args) {
-  const std::string dir = args.Get("dir", ".");
+/// The body of `clean`, wrapped by Clean() which owns the observability
+/// lifecycle (trace session start/export, stats error stub on failure).
+int CleanImpl(const Args& args, const std::string& dir,
+              CleanObs* observability) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(args.GetInt("seed", 1));
   const std::optional<int> jobs = args.GetStrictInt("jobs", 1);
   if (!jobs.has_value() || *jobs < 1) {
     return Fail("--jobs must be a positive integer");
-  }
-  const std::optional<std::string> stats_path = StatsPath(args);
-  if (stats_path.has_value() && !stats_path->empty()) {
-    // Fail before any cleaning work: discovering an unwritable stats path
-    // after minutes of batch cleaning would discard the run.
-    std::ofstream probe(*stats_path);
-    if (!probe) {
-      return Fail(("cannot write stats file " + *stats_path).c_str());
-    }
   }
   Result<Building> building = LoadBuilding(dir);
   if (!building.ok()) return Fail(building.status());
@@ -410,7 +466,7 @@ int Clean(const Args& args) {
 
   if (HasMultiTagReadings(dir)) {
     return CleanBatch(dir, building.value(), deployment, constraints.value(),
-                      families, audit, *jobs, stats_path);
+                      families, audit, *jobs, observability);
   }
 
   Result<RSequence> readings = LoadReadings(dir);
@@ -422,6 +478,20 @@ int Clean(const Args& args) {
   CtGraphBuilder builder(constraints.value());
   BuildStats stats;
   Result<CtGraph> graph = builder.Build(sequence, &stats);
+  if (obs::TraceActive()) {
+    // Single-tag runs record one provenance record under tag 0, mirroring
+    // what BatchCleaner::CleanOne stamps per tag.
+    obs::TagProvenance provenance;
+    provenance.tag = 0;
+    provenance.input_digest = sequence.Digest();
+    provenance.constraint_digest = constraints.value().Digest();
+    provenance.graph_digest = graph.ok() ? graph.value().Digest() : 0;
+    provenance.forward_millis = stats.forward_millis;
+    provenance.backward_millis = stats.backward_millis;
+    provenance.status = graph.ok() ? "ok" : graph.status().ToString();
+    obs::RecordTagProvenance(std::move(provenance));
+    obs::TraceSampleCounterTracks();
+  }
   if (!graph.ok()) return Fail(graph.status());
   if (audit) {
     std::printf("%s\n", AuditGraph(graph.value()).ToString().c_str());
@@ -443,8 +513,67 @@ int Clean(const Args& args) {
       sequence.length(), ConstraintFamiliesLabel(families).c_str(),
       stats.TotalMillis(), graph.value().NumNodes(),
       graph.value().NumEdges(), dir.c_str());
-  if (stats_path.has_value()) return EmitStats(*stats_path);
+  if (observability->stats_path.has_value()) {
+    if (EmitStats(*observability->stats_path) != 0) return 1;
+    observability->stats_written = true;
+  }
   return 0;
+}
+
+int Clean(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  CleanObs observability;
+  observability.stats_path = StatsPath(args);
+  observability.trace_path = TracePath(args, dir);
+  if (observability.stats_path.has_value() &&
+      !observability.stats_path->empty()) {
+    // Fail before any cleaning work: discovering an unwritable stats path
+    // after minutes of batch cleaning would discard the run.
+    std::ofstream probe(*observability.stats_path);
+    if (!probe) {
+      return Fail(
+          ("cannot write stats file " + *observability.stats_path).c_str());
+    }
+  }
+  if (observability.trace_path.has_value()) {
+    if (!obs::TraceCompiledIn()) {
+      return Fail(
+          "--trace requires a tracing-enabled build (this binary was "
+          "configured with -DRFIDCLEAN_TRACE=OFF)");
+    }
+    const std::optional<int> buffer_events =
+        args.GetStrictInt("trace-buffer-events",
+                          static_cast<int>(obs::TraceOptions().buffer_events));
+    if (!buffer_events.has_value() || *buffer_events < 1) {
+      return Fail("--trace-buffer-events must be a positive integer");
+    }
+    std::ofstream probe(*observability.trace_path);
+    if (!probe) {
+      return Fail(
+          ("cannot write trace file " + *observability.trace_path).c_str());
+    }
+    observability.trace.enabled = true;
+    observability.trace.buffer_events =
+        static_cast<std::size_t>(*buffer_events);
+    // Started here rather than in BatchCleaner so the io parsing spans land
+    // on the same timeline as the cleaning itself.
+    obs::StartTracing(observability.trace);
+  }
+
+  int code = CleanImpl(args, dir, &observability);
+
+  if (observability.trace_path.has_value()) {
+    // Exported on failure too — a timeline of a failed clean is precisely
+    // what --trace is for. An export failure degrades a successful exit.
+    const int exported = ExportTrace(*observability.trace_path);
+    if (code == 0) code = exported;
+    obs::StopTracing();
+  }
+  if (code != 0 && observability.stats_path.has_value() &&
+      !observability.stats_path->empty() && !observability.stats_written) {
+    WriteStatsErrorStub(*observability.stats_path);
+  }
+  return code;
 }
 
 int Stay(const Args& args) {
@@ -579,6 +708,7 @@ int Usage() {
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
       "[--audit] [--jobs N] [--stats[=FILE]]\n"
+      "           [--trace[=FILE]] [--trace-buffer-events N]\n"
       "  stay     --dir DIR --time T\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
