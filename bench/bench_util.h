@@ -77,6 +77,14 @@ inline std::string Minutes(Timestamp ticks) {
   return StrFormat("%dm", ticks / 60);
 }
 
+/// Table cell for the skipped-unsatisfiable count of an experiment row.
+/// Annotates the first statically diagnosed doom tick when preflight saw one.
+inline std::string SkippedCell(int skipped, Timestamp first_doomed_at) {
+  if (skipped == 0) return "0";
+  if (first_doomed_at < 0) return StrFormat("%d", skipped);
+  return StrFormat("%d (doomed@t=%d)", skipped, first_doomed_at);
+}
+
 inline std::vector<ConstraintFamilies> AllFamilies() {
   return {ConstraintFamilies::Du(), ConstraintFamilies::DuLt(),
           ConstraintFamilies::DuLtTt()};

@@ -13,6 +13,12 @@
 //
 //   core_build [--ticks 100,1000,10000] [--reps N] [--seed S]
 //              [--out BENCH_core.json] [--trace FILE] [--paper]
+//
+// With --sparse the workload switches to sparse feeds (one exact anchor
+// every 8 ticks, ghost-branch distractor walks in between) and every point is
+// built twice — preflight on and off — digest-checking the two graphs
+// against each other and emitting the pruning win as BENCH_core_sparse.json
+// (fields ns_per_timestamp, ns_per_timestamp_no_preflight, nodes_pruned).
 
 #include <algorithm>
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -53,6 +60,195 @@ const char* FlagValue(int argc, char** argv, const char* name) {
   return nullptr;
 }
 
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Sparse-feed variant of an item's l-sequence: an exact ground-truth
+/// anchor every 8 ticks, and noisy candidate lists in between — the true
+/// location plus "ghost branches": distractor random walks that start at a
+/// move-graph neighbor of the truth and drift away from the anchored path.
+/// Models a deployment where readers fire only intermittently and the
+/// a-priori model proposes plausible-looking alternate routes. Because
+/// every ghost step is a legal one-tick move from the previous tick's
+/// candidates, the unpruned forward phase materializes the whole branch
+/// (TL variants included); only the backward sweep — or the preflight
+/// pass, before any node exists — discovers that the drifted tail cannot
+/// reconcile the next anchor in the ticks remaining.
+LSequence MakeSparseSequence(const Dataset::Item& item,
+                             const ConstraintSet& constraints, Rng& rng) {
+  constexpr Timestamp kAnchorStride = 8;
+  constexpr int kNumGhosts = 3;
+  const std::size_t num_locations = constraints.num_locations();
+
+  // One-tick out-neighborhoods of the move graph (what SuccessorGenerator
+  // can ever emit as a move).
+  std::vector<std::vector<LocationId>> neighbors(num_locations);
+  for (LocationId a = 0; a < static_cast<LocationId>(num_locations); ++a) {
+    for (LocationId b = 0; b < static_cast<LocationId>(num_locations); ++b) {
+      if (a != b && !constraints.IsUnreachable(a, b) &&
+          constraints.MinTravelTicks(a, b) <= 1) {
+        neighbors[static_cast<std::size_t>(a)].push_back(b);
+      }
+    }
+  }
+  const auto step = [&](LocationId from) -> LocationId {
+    const std::vector<LocationId>& pool =
+        neighbors[static_cast<std::size_t>(from)];
+    // A ghost in a dead end stays put (a legal "stay" for the generator).
+    if (pool.empty()) return from;
+    return pool[rng.UniformIndex(pool.size())];
+  };
+
+  std::vector<LocationId> ghosts(kNumGhosts, item.ground_truth.At(0));
+  std::vector<std::vector<Candidate>> ticks;
+  ticks.reserve(static_cast<std::size_t>(item.duration));
+  for (Timestamp t = 0; t < item.duration; ++t) {
+    const LocationId truth = item.ground_truth.At(t);
+    if (t % kAnchorStride == 0) {
+      // Exact read: the branches collapse and new ghosts fork off here.
+      for (LocationId& ghost : ghosts) ghost = truth;
+      ticks.push_back({Candidate{truth, 1.0}});
+      continue;
+    }
+    std::vector<bool> used(num_locations, false);
+    used[static_cast<std::size_t>(truth)] = true;
+    std::vector<Candidate> at_t = {Candidate{truth, 0.4}};
+    for (LocationId& ghost : ghosts) {
+      ghost = step(ghost);
+      if (used[static_cast<std::size_t>(ghost)]) continue;
+      used[static_cast<std::size_t>(ghost)] = true;
+      at_t.push_back(Candidate{ghost, 0.6 / kNumGhosts});
+    }
+    // Renormalize in case ghost walks collided.
+    double total = 0.0;
+    for (const Candidate& c : at_t) total += c.probability;
+    for (Candidate& c : at_t) c.probability /= total;
+    ticks.push_back(std::move(at_t));
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(ticks));
+  RFID_CHECK(sequence.ok());
+  return std::move(sequence).value();
+}
+
+/// The --sparse mode: the same builds run preflight-on and preflight-off
+/// over sparse feeds, the graphs are digest-checked against each other, and
+/// the pruning win (time ratio + nodes pruned) is emitted for the bench
+/// regression gate (BENCH_core_sparse.json, gated with --direction higher
+/// on nodes_pruned).
+int RunSparse(const BenchScale& scale, const std::vector<Timestamp>& durations,
+              const char* reps_arg, std::uint64_t seed,
+              const std::string& out) {
+  PrintHeader("core_build --sparse",
+              "Preflight pruning win on sparse feeds: anchor tick every 8, "
+              "3 ghost branches drifting in between (SYN1, DU+LT+TT)",
+              scale);
+
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.durations_ticks = durations;
+  options.trajectories_per_duration = 1;
+  options.seed = seed;
+  std::unique_ptr<Dataset> dataset = Dataset::Build(options);
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+  CtGraphBuilder pruned_builder(constraints);
+  CleanOptions raw_options;
+  raw_options.preflight = false;
+  CtGraphBuilder raw_builder(constraints, raw_options);
+
+  BenchJson json("core_build_sparse", scale.Label());
+  json.params()
+      .Add("dataset", "SYN1")
+      .Add("families", "DU+LT+TT")
+      .Add("seed", static_cast<long long>(seed))
+      .Add("anchor_stride", 8)
+      .Add("num_ghosts", 3);
+
+  Table table({"ticks", "reps", "median ms", "no-preflight ms", "speedup",
+               "ns/timestamp", "pruned nodes", "peak nodes", "raw peak",
+               "digest"});
+  for (const Dataset::Item& item : dataset->items()) {
+    const Timestamp ticks = item.duration;
+    Rng rng(seed, /*stream=*/0x5BA55E + static_cast<std::uint64_t>(ticks));
+    const LSequence sequence = MakeSparseSequence(item, constraints, rng);
+
+    int reps = reps_arg != nullptr
+                   ? std::atoi(reps_arg)
+                   : std::max(3, static_cast<int>(30000 / std::max<Timestamp>(
+                                                              ticks, 1)));
+    if (scale.paper) reps *= 3;
+
+    BuildStats stats;
+    BuildStats raw_stats;
+    std::vector<double> millis;
+    std::vector<double> raw_millis;
+    std::uint64_t digest = 0xcbf29ce484222325ULL;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch watch;
+      Result<CtGraph> graph = pruned_builder.Build(sequence, &stats);
+      millis.push_back(watch.ElapsedMillis());
+      RFID_CHECK(graph.ok());
+
+      watch = Stopwatch();
+      Result<CtGraph> raw_graph = raw_builder.Build(sequence, &raw_stats);
+      raw_millis.push_back(watch.ElapsedMillis());
+      RFID_CHECK(raw_graph.ok());
+
+      if (r == 0) {
+        // The pruned and unpruned graphs must be byte-identical — the
+        // bench doubles as a differential check on real-shaped data.
+        std::ostringstream pruned_os;
+        WriteCtGraph(graph.value(), pruned_os);
+        std::ostringstream raw_os;
+        WriteCtGraph(raw_graph.value(), raw_os);
+        RFID_CHECK(pruned_os.str() == raw_os.str());
+        digest = Fnv1a(digest, pruned_os.str());
+      }
+    }
+    // A sparse-feed point that prunes nothing measures nothing: fail loud
+    // instead of green-lighting a regressed preflight.
+    RFID_CHECK_GT(stats.preflight_candidates_pruned, 0u);
+
+    std::sort(millis.begin(), millis.end());
+    std::sort(raw_millis.begin(), raw_millis.end());
+    const double median = millis[millis.size() / 2];
+    const double raw_median = raw_millis[raw_millis.size() / 2];
+    const double ns_per_timestamp = median * 1e6 / static_cast<double>(ticks);
+    const double raw_ns_per_timestamp =
+        raw_median * 1e6 / static_cast<double>(ticks);
+
+    table.AddRow({StrFormat("%d", ticks), StrFormat("%d", reps),
+                  StrFormat("%.2f", median), StrFormat("%.2f", raw_median),
+                  StrFormat("%.2fx", median > 0 ? raw_median / median : 0.0),
+                  StrFormat("%.0f", ns_per_timestamp),
+                  StrFormat("%zu", stats.preflight_candidates_pruned),
+                  StrFormat("%zu", stats.peak_nodes),
+                  StrFormat("%zu", raw_stats.peak_nodes),
+                  StrFormat("%016llx",
+                            static_cast<unsigned long long>(digest))});
+    json.AddResult()
+        .Add("ticks", static_cast<long long>(ticks))
+        .Add("reps", reps)
+        .Add("millis", median)
+        .Add("millis_no_preflight", raw_median)
+        .Add("ns_per_timestamp", ns_per_timestamp)
+        .Add("ns_per_timestamp_no_preflight", raw_ns_per_timestamp)
+        .Add("nodes_pruned", stats.preflight_candidates_pruned)
+        .Add("peak_nodes", stats.peak_nodes)
+        .Add("peak_nodes_no_preflight", raw_stats.peak_nodes)
+        .Add("preflight_millis", stats.preflight_millis)
+        .AddHex64("digest", digest);
+  }
+  table.Print(std::cout);
+
+  if (!json.WriteFile(out)) return 1;
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const BenchScale scale = BenchScale::FromArgs(argc, argv);
   const char* ticks_arg = FlagValue(argc, argv, "--ticks");
@@ -60,9 +256,13 @@ int Main(int argc, char** argv) {
   const char* seed_arg = FlagValue(argc, argv, "--seed");
   const char* out_arg = FlagValue(argc, argv, "--out");
   const char* trace_arg = FlagValue(argc, argv, "--trace");
+  const bool sparse = HasFlag(argc, argv, "--sparse");
   const std::uint64_t seed = static_cast<std::uint64_t>(
       seed_arg != nullptr ? std::atoll(seed_arg) : 1);
-  const std::string out = out_arg != nullptr ? out_arg : "BENCH_core.json";
+  const std::string out =
+      out_arg != nullptr
+          ? out_arg
+          : (sparse ? "BENCH_core_sparse.json" : "BENCH_core.json");
   std::vector<Timestamp> durations;
   for (const std::string& token :
        StrSplit(ticks_arg != nullptr ? ticks_arg : "100,1000,10000", ',')) {
@@ -70,6 +270,8 @@ int Main(int argc, char** argv) {
       durations.push_back(static_cast<Timestamp>(std::atoi(token.c_str())));
     }
   }
+
+  if (sparse) return RunSparse(scale, durations, reps_arg, seed, out);
 
   PrintHeader("core_build",
               "Single-tag ct-graph construction: median build time and "

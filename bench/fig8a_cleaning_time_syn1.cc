@@ -22,14 +22,15 @@ int Run(int argc, char** argv) {
       RunCleaningCost(*dataset, AllFamilies(), MakeLimits(scale));
 
   Table table({"constraints", "duration", "avg clean (ms)", "fwd (ms)",
-               "bwd (ms)", "peak nodes", "final nodes"});
+               "bwd (ms)", "peak nodes", "final nodes", "skipped"});
   for (const CleaningCostRow& row : rows) {
     table.AddRow({row.families, Minutes(row.duration_ticks),
                   StrFormat("%.1f", row.avg_total_ms),
                   StrFormat("%.1f", row.avg_forward_ms),
                   StrFormat("%.1f", row.avg_backward_ms),
                   StrFormat("%.0f", row.avg_peak_nodes),
-                  StrFormat("%.0f", row.avg_final_nodes)});
+                  StrFormat("%.0f", row.avg_final_nodes),
+                  SkippedCell(row.skipped_unsatisfiable, row.first_doomed_at)});
   }
   table.Print(std::cout);
   return 0;

@@ -21,7 +21,7 @@ int Run(int argc, char** argv) {
       "queries are full pattern evaluations).",
       scale);
   Table table({"dataset", "constraints", "duration", "stay query (us)",
-               "trajectory query (us)"});
+               "trajectory query (us)", "skipped"});
   for (int which : {1, 2}) {
     std::unique_ptr<Dataset> dataset =
         Dataset::Build(MakeSynOptions(which, scale));
@@ -30,7 +30,9 @@ int Run(int argc, char** argv) {
     for (const QueryTimeRow& row : rows) {
       table.AddRow({row.dataset, row.families, Minutes(row.duration_ticks),
                     StrFormat("%.1f", row.avg_stay_micros),
-                    StrFormat("%.1f", row.avg_pattern_micros)});
+                    StrFormat("%.1f", row.avg_pattern_micros),
+                    SkippedCell(row.skipped_unsatisfiable,
+                                row.first_doomed_at)});
     }
   }
   table.Print(std::cout);

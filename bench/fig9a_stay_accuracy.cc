@@ -19,7 +19,7 @@ int Run(int argc, char** argv) {
   PrintHeader("Figure 9(a) — stay-query accuracy",
               "Average accuracy of stay-query answers over cleaned data.",
               scale);
-  Table table({"dataset", "constraints", "stay accuracy"});
+  Table table({"dataset", "constraints", "stay accuracy", "skipped"});
   for (int which : {1, 2}) {
     std::unique_ptr<Dataset> dataset =
         Dataset::Build(MakeSynOptions(which, scale));
@@ -27,7 +27,9 @@ int Run(int argc, char** argv) {
         RunAccuracy(*dataset, AllFamilies(), MakeLimits(scale));
     for (const AccuracyRow& row : rows) {
       table.AddRow({row.dataset, row.families,
-                    StrFormat("%.4f", row.stay_accuracy)});
+                    StrFormat("%.4f", row.stay_accuracy),
+                    SkippedCell(row.skipped_unsatisfiable,
+                                row.first_doomed_at)});
     }
   }
   table.Print(std::cout);

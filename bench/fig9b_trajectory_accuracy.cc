@@ -20,7 +20,7 @@ int Run(int argc, char** argv) {
               "Average accuracy of trajectory-query answers over cleaned "
               "data.",
               scale);
-  Table table({"dataset", "constraints", "trajectory accuracy"});
+  Table table({"dataset", "constraints", "trajectory accuracy", "skipped"});
   for (int which : {1, 2}) {
     std::unique_ptr<Dataset> dataset =
         Dataset::Build(MakeSynOptions(which, scale));
@@ -28,7 +28,9 @@ int Run(int argc, char** argv) {
         RunAccuracy(*dataset, AllFamilies(), MakeLimits(scale));
     for (const AccuracyRow& row : rows) {
       table.AddRow({row.dataset, row.families,
-                    StrFormat("%.4f", row.trajectory_accuracy)});
+                    StrFormat("%.4f", row.trajectory_accuracy),
+                    SkippedCell(row.skipped_unsatisfiable,
+                                row.first_doomed_at)});
     }
   }
   table.Print(std::cout);

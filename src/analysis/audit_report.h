@@ -2,6 +2,7 @@
 #define RFIDCLEAN_ANALYSIS_AUDIT_REPORT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,7 @@ namespace rfidclean {
 
 /// The individual invariants the auditor verifies, each traceable to the
 /// paper (see docs/ALGORITHM.md, "Invariants").
-enum class AuditCheck {
+enum class AuditCheck : std::uint8_t {
   /// Every edge references a node index inside the graph.
   kEdgeTargetRange,
   /// Every edge advances the timestamp by exactly one (layered DAG,

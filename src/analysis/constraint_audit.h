@@ -1,0 +1,130 @@
+#ifndef RFIDCLEAN_ANALYSIS_CONSTRAINT_AUDIT_H_
+#define RFIDCLEAN_ANALYSIS_CONSTRAINT_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis/feasibility.h"
+#include "constraints/constraint_set.h"
+
+namespace rfidclean {
+
+/// \file
+/// Lint-style semantic analysis of a constraint set IC against its own
+/// closure (TravelClosure). The paper treats IC as trusted input; inferred
+/// or hand-edited sets arriving at a service boundary are not. The auditor
+/// never aborts: it collects every finding (up to a cap) with severities,
+/// so a caller can reject on errors, surface warnings, and ignore the
+/// informational redundancies — mirroring the ct-graph auditor
+/// (audit_report.h) one layer earlier in the pipeline.
+
+enum class ConstraintSeverity : std::uint8_t {
+  kError,    ///< IC is self-contradictory; cleans will misbehave or fail.
+  kWarning,  ///< suspicious but satisfiable (e.g. unreachable coverage).
+  kInfo,     ///< redundancy: removing the constraint changes nothing.
+};
+
+/// Stable identifier ("error", "warning", "info") for messages and JSON.
+const char* ConstraintSeverityName(ConstraintSeverity severity);
+
+/// The diagnostic catalogue (docs/ALGORITHM.md §11 documents each entry
+/// with its derivation).
+enum class ConstraintDiagnostic : std::uint8_t {
+  /// error: travelingTime(a, b, ν) where the closure shows no path from a
+  /// to b at all — the bound constrains a journey that can never happen,
+  /// which almost always means a reversed pair or a missing adjacency.
+  kTravelingTimeUnsatisfiable,
+  /// error: location a has at least one non-DU target, yet every one of
+  /// them carries a TT bound > 1. No first hop exists, so a can never be
+  /// left — contradicting the non-DU pairs (and any TT constraint out of
+  /// a, which promises the journey is merely slow, not impossible).
+  kNoExit,
+  /// warning: every target of `from` is directly unreachable — the
+  /// location is a deliberate sink, or the DU set over-approximates.
+  kSinkLocation,
+  /// info: unreachable(a, b) alongside travelingTime(a, b, ν >= 2); the TT
+  /// bound already forbids the direct move, so the DU pair is implied.
+  kRedundantUnreachable,
+  /// info: travelingTime(a, b, ν) where a is DU-blocked from b and every
+  /// remaining path through the closure already needs >= ν ticks; dropping
+  /// the bound changes no admissible trajectory.
+  kRedundantTravelingTime,
+  /// warning: no reader covers the location; stays there are invisible to
+  /// the deployment. Only emitted when coverage data is supplied.
+  kUncoveredLocation,
+  /// warning: the location is not reachable (closure) from any covered
+  /// location, so no observed object can ever be placed there. Only
+  /// emitted when coverage data is supplied.
+  kUnreachableFromCoverage,
+};
+
+/// Stable kebab-case identifier ("tt-unsatisfiable", "no-exit", ...).
+const char* ConstraintDiagnosticName(ConstraintDiagnostic code);
+
+/// Severity a diagnostic always carries (the catalogue is static).
+ConstraintSeverity SeverityOf(ConstraintDiagnostic code);
+
+/// One finding, anchored to the locations involved. `to` is
+/// kInvalidLocation for per-location diagnostics; `bound` is the TT bound
+/// for the traveling-time diagnostics and 0 otherwise.
+struct ConstraintFinding {
+  ConstraintDiagnostic code = ConstraintDiagnostic::kNoExit;
+  ConstraintSeverity severity = ConstraintSeverity::kError;
+  LocationId from = kInvalidLocation;
+  LocationId to = kInvalidLocation;
+  Timestamp bound = 0;
+  std::string message;
+
+  /// "[error] no-exit: location 3 ...".
+  std::string ToString() const;
+};
+
+struct ConstraintAuditOptions {
+  /// Collection stops (and `truncated` is set) after this many findings.
+  std::size_t max_findings = 256;
+  /// Per-LocationId reader coverage; empty skips the coverage diagnostics.
+  std::vector<bool> covered_locations;
+  /// Optional per-LocationId display names for messages; ids are used when
+  /// empty (the audit layer knows nothing about buildings).
+  std::vector<std::string> location_names;
+};
+
+/// Findings plus the coverage counters proving what was inspected.
+struct ConstraintAuditReport {
+  std::vector<ConstraintFinding> findings;
+  bool truncated = false;
+
+  std::size_t num_locations = 0;
+  std::size_t num_unreachable = 0;
+  std::size_t num_traveling_time = 0;
+  std::size_t num_latency = 0;
+
+  /// No errors and nothing dropped (warnings and infos are tolerated).
+  bool ok() const {
+    return !truncated && CountOf(ConstraintSeverity::kError) == 0;
+  }
+
+  std::size_t CountOf(ConstraintSeverity severity) const;
+  std::size_t CountOf(ConstraintDiagnostic code) const;
+
+  /// Multi-line human-readable report (summary header + one line per
+  /// finding).
+  std::string ToString() const;
+
+  /// Machine-readable report; schema documented in docs/FORMATS.md
+  /// ("Constraint audit report").
+  void WriteJson(std::ostream& os) const;
+};
+
+/// Runs every diagnostic over `constraints`. `closure` must have been
+/// built from the same constraint set.
+ConstraintAuditReport AuditConstraints(
+    const ConstraintSet& constraints, const TravelClosure& closure,
+    const ConstraintAuditOptions& options = ConstraintAuditOptions());
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_ANALYSIS_CONSTRAINT_AUDIT_H_

@@ -1,6 +1,7 @@
 #ifndef RFIDCLEAN_COMMON_STATUS_H_
 #define RFIDCLEAN_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -13,7 +14,7 @@
 namespace rfidclean {
 
 /// Coarse error categories; fine detail lives in the message.
-enum class StatusCode {
+enum class StatusCode : std::uint8_t {
   kOk = 0,
   kInvalidArgument,
   kNotFound,

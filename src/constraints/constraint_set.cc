@@ -32,32 +32,44 @@ void ConstraintSet::AddTravelingTime(LocationId from, LocationId to,
                                      Timestamp min_ticks) {
   CheckId(from);
   CheckId(to);
-  RFID_CHECK_NE(from, to);
-  if (min_ticks <= 1) return;  // Vacuous: any move takes one tick.
-  std::size_t index = PairIndex(from, to);
-  Timestamp& current = travel_ticks_[index];
+  RFID_CHECK_NE(from, to);  // travelingTime(l, l, ·) is not a journey.
+  // A bound of 0 is not a constraint at all — §3 defines travelingTime over
+  // positive durations, so a 0 almost certainly means a field was dropped
+  // on input. A bound of 1 is well-formed but vacuous (any move takes one
+  // tick) and is ignored.
+  RFID_CHECK_GT(min_ticks, 0);
+  if (min_ticks == 1) return;
+  // Single dedup path: keep the strongest (largest) bound, whether the
+  // pair is fresh or already constrained.
+  Timestamp& current = travel_ticks_[PairIndex(from, to)];
+  if (min_ticks <= current) return;  // Duplicate no stronger than stored.
   if (current == 0) {
     ++num_traveling_time_;
     tt_from_[static_cast<std::size_t>(from)].push_back(
         TravelingTime{from, to, min_ticks});
-  } else if (min_ticks > current) {
-    for (TravelingTime& tt : tt_from_[static_cast<std::size_t>(from)]) {
-      if (tt.to == to) tt.min_ticks = min_ticks;
-    }
   } else {
-    return;  // Weaker duplicate.
+    for (TravelingTime& tt : tt_from_[static_cast<std::size_t>(from)]) {
+      if (tt.to == to) {
+        tt.min_ticks = min_ticks;
+        break;  // Targets are unique within a source's list.
+      }
+    }
   }
-  current = std::max(current, min_ticks);
+  current = min_ticks;
   max_tt_from_[static_cast<std::size_t>(from)] =
       std::max(max_tt_from_[static_cast<std::size_t>(from)], min_ticks);
 }
 
 void ConstraintSet::AddLatency(LocationId location, Timestamp min_stay) {
   CheckId(location);
-  if (min_stay <= 1) return;  // Vacuous: every visit lasts one tick.
+  // As in AddTravelingTime: 0 is a malformed input, 1 is vacuous (every
+  // visit lasts one tick).
+  RFID_CHECK_GT(min_stay, 0);
+  if (min_stay == 1) return;
   Timestamp& current = latency_[static_cast<std::size_t>(location)];
+  if (min_stay <= current) return;  // Duplicate no stronger than stored.
   if (current == 0) ++num_latency_;
-  current = std::max(current, min_stay);
+  current = min_stay;
 }
 
 bool ConstraintSet::IsUnreachable(LocationId from, LocationId to) const {

@@ -19,6 +19,12 @@ namespace rfidclean {
 ///
 /// Adding a duplicate DU constraint is a no-op; duplicate TT/LT constraints
 /// keep the strongest (largest) bound.
+///
+/// Malformed constraints are rejected with RFID_CHECK (program abort): a
+/// self-loop DU pair (staying put must always be possible), a TT self-loop,
+/// and TT/LT bounds of zero or less (§3 defines both over positive
+/// durations — a 0 means a dropped input field, not a vacuous constraint).
+/// Bounds of exactly 1 are well-formed but vacuous and are ignored.
 class ConstraintSet {
  public:
   explicit ConstraintSet(std::size_t num_locations);

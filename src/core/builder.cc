@@ -14,7 +14,13 @@ namespace rfidclean {
 
 CtGraphBuilder::CtGraphBuilder(const ConstraintSet& constraints,
                                const SuccessorOptions& options)
-    : constraints_(&constraints), successors_(constraints, options) {}
+    : CtGraphBuilder(constraints, CleanOptions{options, /*preflight=*/true}) {}
+
+CtGraphBuilder::CtGraphBuilder(const ConstraintSet& constraints,
+                               const CleanOptions& options)
+    : constraints_(&constraints), successors_(constraints, options.successor) {
+  if (options.preflight) oracle_.emplace(constraints);
+}
 
 Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
                                       BuildStats* stats) const {
@@ -22,9 +28,32 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
   RFID_TRACE(
       span.AddArg("ticks", static_cast<std::uint64_t>(sequence.length())));
   const Timestamp length = sequence.length();
-  internal_core::ForwardEngine engine(constraints_->num_locations());
 
   Stopwatch stopwatch;
+
+  // Preflight: detect doomed sequences before materializing anything, and
+  // drop statically dead candidates — both leave the (eventual) output
+  // graph byte-identical (docs/ALGORITHM.md §11).
+  std::optional<PreflightPlan> plan;
+  if (oracle_.has_value()) {
+    plan = oracle_->Analyze(sequence);
+    if (stats != nullptr) {
+      stats->preflight_millis = stopwatch.ElapsedMillis();
+      stats->doomed_at = plan->doomed_at;
+      stats->preflight_candidates_pruned = plan->candidates_pruned;
+    }
+    if (plan->doomed()) {
+      // Must match ConditionAndCompact's failure verbatim: callers (and the
+      // differential suite) treat the fast path as the same outcome.
+      return FailedPreconditionError(
+          "the integrity constraints rule out every interpretation of the "
+          "readings");
+    }
+    if (!plan->any_pruned()) plan.reset();
+    stopwatch = Stopwatch();
+  }
+
+  internal_core::ForwardEngine engine(constraints_->num_locations());
 
   // Initialization (Algorithm 1, lines 1-4) and forward phase (lines 5-14):
   // see forward.h. Layers are always recorded, even when empty — candidate
@@ -32,9 +61,16 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
   // backward phase accounts for their mass implicitly.
   {
     obs::PhaseTimer phase_timer(obs::Phase::kForward);
-    engine.BeginSources(successors_, sequence.CandidatesAt(0));
+    std::vector<Candidate> filtered;
+    const auto candidates_at = [&](Timestamp t) -> const std::vector<Candidate>& {
+      const std::vector<Candidate>& full = sequence.CandidatesAt(t);
+      if (!plan.has_value() || !plan->PrunedAt(t)) return full;
+      plan->FilterTick(t, full, &filtered);
+      return filtered;
+    };
+    engine.BeginSources(successors_, candidates_at(0));
     for (Timestamp t = 0; t + 1 < length; ++t) {
-      engine.AdvanceLayer(successors_, t, sequence.CandidatesAt(t + 1),
+      engine.AdvanceLayer(successors_, t, candidates_at(t + 1),
                           /*record_empty_layer=*/true);
     }
   }

@@ -1,6 +1,9 @@
 #ifndef RFIDCLEAN_CORE_BUILDER_H_
 #define RFIDCLEAN_CORE_BUILDER_H_
 
+#include <optional>
+
+#include "analysis/feasibility.h"
 #include "common/result.h"
 #include "constraints/constraint_set.h"
 #include "core/ct_graph.h"
@@ -9,10 +12,29 @@
 
 namespace rfidclean {
 
+/// Everything that tunes one cleaning run.
+struct CleanOptions {
+  /// Successor-relation knobs (TL pruning; see SuccessorOptions).
+  SuccessorOptions successor;
+  /// Run the static feasibility analysis (analysis/feasibility.h) before
+  /// building: statically doomed sequences fail fast without materializing
+  /// a single layer, and statically dead candidates are pruned from the
+  /// per-tick lists. Sound — the output graph is byte-identical either way
+  /// (docs/ALGORITHM.md §11); turn off only to measure the difference.
+  bool preflight = true;
+};
+
 /// Diagnostics of one ct-graph construction.
 struct BuildStats {
+  double preflight_millis = 0.0;
   double forward_millis = 0.0;
   double backward_millis = 0.0;
+  /// First tick the preflight analysis found statically doomed, or -1.
+  /// Set (with the build failing fast) only when preflight runs.
+  Timestamp doomed_at = -1;
+  /// Statically dead candidates the preflight analysis removed before the
+  /// forward phase saw them (0 when preflight is off).
+  std::size_t preflight_candidates_pruned = 0;
   /// Node/edge counts at the end of the forward phase, before the backward
   /// phase prunes dead branches.
   std::size_t peak_nodes = 0;
@@ -24,7 +46,9 @@ struct BuildStats {
   std::size_t final_nodes = 0;
   std::size_t final_edges = 0;
 
-  double TotalMillis() const { return forward_millis + backward_millis; }
+  double TotalMillis() const {
+    return preflight_millis + forward_millis + backward_millis;
+  }
 };
 
 /// Algorithm 1: builds the conditioned trajectory graph of an l-sequence
@@ -60,9 +84,13 @@ struct BuildStats {
 class CtGraphBuilder {
  public:
   /// The constraint set must outlive the builder. `options` tunes the
-  /// successor relation (see SuccessorOptions).
+  /// successor relation (see SuccessorOptions); preflight is on.
   explicit CtGraphBuilder(const ConstraintSet& constraints,
                           const SuccessorOptions& options = SuccessorOptions());
+
+  /// As above with full control, including CleanOptions::preflight.
+  CtGraphBuilder(const ConstraintSet& constraints,
+                 const CleanOptions& options);
 
   /// Builds the ct-graph of `sequence`. Fails with FailedPrecondition when
   /// the constraints rule out every interpretation of the readings.
@@ -71,9 +99,16 @@ class CtGraphBuilder {
 
   const SuccessorGenerator& successors() const { return successors_; }
 
+  /// The preflight analyzer, or nullptr when CleanOptions::preflight was
+  /// off. Shareable across threads (Analyze is const).
+  const FeasibilityOracle* oracle() const {
+    return oracle_.has_value() ? &*oracle_ : nullptr;
+  }
+
  private:
   const ConstraintSet* constraints_;
   SuccessorGenerator successors_;
+  std::optional<FeasibilityOracle> oracle_;
 };
 
 }  // namespace rfidclean

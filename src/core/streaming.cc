@@ -56,6 +56,11 @@ void StreamingCleaner::ReserveCapacity(std::size_t nodes, std::size_t edges,
   engine_.ReserveCapacity(nodes, edges, ticks, keys);
 }
 
+void StreamingCleaner::SetPreflightPlan(const PreflightPlan* plan) {
+  RFID_CHECK_EQ(engine_.num_layers(), 0);
+  preflight_plan_ = plan;
+}
+
 Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   RFID_TRACE_SPAN(span, "stream", "stream_push");
   RFID_TRACE(span.AddArg("t", static_cast<std::uint64_t>(TicksSeen())));
@@ -66,10 +71,25 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   obs::PhaseTimer phase_timer(obs::Phase::kForward);
   RFID_RETURN_IF_ERROR(ValidateCandidates(candidates));
 
+  // Static pruning: validation always sees the caller's full tick, then
+  // candidates the plan proved dead are dropped before the engine does any
+  // work. The plan indexes by position, so the Push stream must be exactly
+  // the candidate lists the plan was computed from.
+  const std::vector<Candidate>* effective = &candidates;
+  if (preflight_plan_ != nullptr) {
+    const std::size_t t = static_cast<std::size_t>(TicksSeen());
+    RFID_CHECK_LT(t, preflight_plan_->admissible.size());
+    if (preflight_plan_->PrunedAt(static_cast<Timestamp>(t))) {
+      preflight_plan_->FilterTick(static_cast<Timestamp>(t), candidates,
+                                  &plan_filtered_);
+      effective = &plan_filtered_;
+    }
+  }
+
   if (engine_.num_layers() == 0) {
     // First tick: source nodes, one per candidate, with the candidate
     // probability as the (unnormalized) filtered mass.
-    engine_.BeginSources(*successors_, candidates);
+    engine_.BeginSources(*successors_, *effective);
     const WorkGraph& work = engine_.work();
     frontier_alpha_.clear();
     const std::int32_t end = work.layer_begin[1];
@@ -85,7 +105,7 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   const std::size_t layers = work.layer_begin.size();
   const std::int32_t frontier_begin = work.layer_begin[layers - 2];
   const std::int32_t frontier_end = work.layer_begin[layers - 1];
-  if (!engine_.AdvanceLayer(*successors_, t, candidates,
+  if (!engine_.AdvanceLayer(*successors_, t, *effective,
                             /*record_empty_layer=*/false)) {
     // No node of the frontier admits a successor compatible with this
     // tick: every interpretation is now invalid. Nothing was appended

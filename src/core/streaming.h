@@ -57,6 +57,17 @@ class StreamingCleaner {
   void ReserveCapacity(std::size_t nodes, std::size_t edges, Timestamp ticks,
                        std::size_t keys = 0);
 
+  /// Attaches a preflight plan (analysis/feasibility.h) computed over the
+  /// exact candidate lists this cleaner will be Pushed, in order: each Push
+  /// then drops the candidates the plan marked statically dead before they
+  /// reach the forward engine. The plan must outlive the cleaner and must
+  /// not be doomed (callers fail fast instead of pushing a doomed
+  /// sequence). Finish()'s graph is byte-identical with or without a plan;
+  /// CurrentDistribution() becomes partially future-aware, since the plan
+  /// encodes backward knowledge of the whole sequence. Call before the
+  /// first Push; pass nullptr to detach.
+  void SetPreflightPlan(const PreflightPlan* plan);
+
   /// Appends the candidate interpretation of the next tick (location,
   /// probability pairs summing to 1, as produced by AprioriModel /
   /// LSequence). Fails with FailedPrecondition when the new tick leaves no
@@ -84,6 +95,9 @@ class StreamingCleaner {
   /// last layer, renormalized every tick).
   std::vector<double> frontier_alpha_;
   std::vector<double> next_alpha_;
+  /// Optional static-pruning plan; scratch holds the filtered tick.
+  const PreflightPlan* preflight_plan_ = nullptr;
+  std::vector<Candidate> plan_filtered_;
   bool failed_ = false;
 };
 

@@ -49,7 +49,13 @@ std::vector<CleaningCostRow> RunCleaningCost(
       for (const Dataset::Item* item : items) {
         BuildStats stats;
         Result<CtGraph> graph = builder.Build(item->lsequence, &stats);
-        if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+        if (!graph.ok()) {
+          // Genuinely unsatisfiable item: excluded from the averages, but
+          // counted — silently narrowing the item pool skews comparisons.
+          ++row.skipped_unsatisfiable;
+          if (row.first_doomed_at < 0) row.first_doomed_at = stats.doomed_at;
+          continue;
+        }
         ++successes;
         row.avg_total_ms += stats.TotalMillis();
         row.avg_forward_ms += stats.forward_millis;
@@ -60,8 +66,14 @@ std::vector<CleaningCostRow> RunCleaningCost(
         row.avg_graph_bytes +=
             static_cast<double>(graph.value().ApproximateBytes());
       }
-      if (successes == 0) continue;
+      // A cell where every item was skipped still surfaces (zero averages,
+      // nonzero skip count) instead of vanishing from the report.
+      if (successes == 0 && row.skipped_unsatisfiable == 0) continue;
       row.trajectories = successes;
+      if (successes == 0) {
+        rows.push_back(std::move(row));
+        continue;
+      }
       double n = static_cast<double>(successes);
       row.avg_total_ms /= n;
       row.avg_forward_ms /= n;
@@ -98,8 +110,13 @@ std::vector<QueryTimeRow> RunQueryTime(
       std::uint64_t stream = 0;
       for (const Dataset::Item* item : items) {
         Rng rng(limits.query_seed, stream++);
-        Result<CtGraph> graph = builder.Build(item->lsequence);
-        if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+        BuildStats stats;
+        Result<CtGraph> graph = builder.Build(item->lsequence, &stats);
+        if (!graph.ok()) {
+          ++row.skipped_unsatisfiable;
+          if (row.first_doomed_at < 0) row.first_doomed_at = stats.doomed_at;
+          continue;
+        }
         std::vector<Timestamp> times = StayQueryWorkload(
             duration, limits.stay_queries_per_trajectory, rng);
         Stopwatch stopwatch;
@@ -124,7 +141,11 @@ std::vector<QueryTimeRow> RunQueryTime(
         pattern_micros += stopwatch.ElapsedMicros();
         pattern_count += queries.size();
       }
-      if (stay_count == 0 || pattern_count == 0) continue;
+      if (stay_count == 0 || pattern_count == 0) {
+        // Surface an all-skipped cell instead of dropping it.
+        if (row.skipped_unsatisfiable > 0) rows.push_back(std::move(row));
+        continue;
+      }
       row.avg_stay_micros = stay_micros / static_cast<double>(stay_count);
       row.avg_pattern_micros =
           pattern_micros / static_cast<double>(pattern_count);
@@ -204,8 +225,13 @@ std::vector<AccuracyRow> RunAccuracy(
     std::size_t stay_count = 0;
     std::size_t pattern_count = 0;
     for (const ItemWorkload& workload : workloads) {
-      Result<CtGraph> graph = builder.Build(workload.item->lsequence);
-      if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+      BuildStats stats;
+      Result<CtGraph> graph = builder.Build(workload.item->lsequence, &stats);
+      if (!graph.ok()) {
+        ++row.skipped_unsatisfiable;
+        if (row.first_doomed_at < 0) row.first_doomed_at = stats.doomed_at;
+        continue;
+      }
       ++stay_count;
       StayQueryEvaluator evaluator(graph.value());
       stay += StayQueryAccuracy(evaluator, workload.item->ground_truth,
@@ -217,7 +243,11 @@ std::vector<AccuracyRow> RunAccuracy(
         ++pattern_count;
       }
     }
-    if (stay_count == 0 || pattern_count == 0) continue;
+    if (stay_count == 0 || pattern_count == 0) {
+      // Surface an all-skipped family instead of dropping it.
+      if (row.skipped_unsatisfiable > 0) rows.push_back(std::move(row));
+      continue;
+    }
     row.stay_accuracy = stay / static_cast<double>(stay_count);
     row.trajectory_accuracy =
         pattern / static_cast<double>(pattern_count);
@@ -234,13 +264,20 @@ std::vector<AccuracyByLengthRow> RunAccuracyByQueryLength(
   // Each ct-graph is built once and queried at every length.
   double accuracy[3] = {0.0, 0.0, 0.0};
   std::size_t count[3] = {0, 0, 0};
+  int skipped = 0;
+  Timestamp first_doomed_at = -1;
   std::uint64_t stream = 1000;
   for (Timestamp duration : dataset.options().durations_ticks) {
     for (const Dataset::Item* item :
          SelectItems(dataset, duration, limits.max_items_per_duration)) {
       Rng rng(limits.query_seed, stream++);
-      Result<CtGraph> graph = builder.Build(item->lsequence);
-      if (!graph.ok()) continue;  // Genuinely unsatisfiable item: skip.
+      BuildStats stats;
+      Result<CtGraph> graph = builder.Build(item->lsequence, &stats);
+      if (!graph.ok()) {
+        ++skipped;
+        if (first_doomed_at < 0) first_doomed_at = stats.doomed_at;
+        continue;
+      }
       for (int length = 2; length <= 4; ++length) {
         for (int q = 0; q < limits.trajectory_queries_per_trajectory; ++q) {
           Pattern pattern =
@@ -263,6 +300,8 @@ std::vector<AccuracyByLengthRow> RunAccuracyByQueryLength(
     row.query_length = length;
     row.trajectory_accuracy =
         accuracy[length - 2] / static_cast<double>(count[length - 2]);
+    row.skipped_unsatisfiable = skipped;
+    row.first_doomed_at = first_doomed_at;
     rows.push_back(std::move(row));
   }
   return rows;

@@ -34,6 +34,15 @@ struct CleaningCostRow {
   double avg_final_nodes = 0.0;
   double avg_final_edges = 0.0;
   double avg_graph_bytes = 0.0;  ///< The §6.7 memory metric.
+  /// Items whose l-sequence the constraints ruled out entirely (the
+  /// averages above cover only the satisfiable items). Silent loss of
+  /// these items once skewed cross-family comparisons; now they are
+  /// reported.
+  int skipped_unsatisfiable = 0;
+  /// Preflight diagnosis of the first skipped item: the first tick with no
+  /// admissible candidate, or -1 when nothing was skipped (or the doom was
+  /// only detectable dynamically).
+  Timestamp first_doomed_at = -1;
 };
 
 /// Builds the ct-graph of every selected item under every requested
@@ -49,6 +58,9 @@ struct QueryTimeRow {
   Timestamp duration_ticks = 0;
   double avg_stay_micros = 0.0;     ///< Per stay query (marginals amortized).
   double avg_pattern_micros = 0.0;  ///< Per trajectory query.
+  /// See CleaningCostRow: unsatisfiable items excluded from the averages.
+  int skipped_unsatisfiable = 0;
+  Timestamp first_doomed_at = -1;
 };
 
 std::vector<QueryTimeRow> RunQueryTime(
@@ -63,6 +75,9 @@ struct AccuracyRow {
   std::string families;
   double stay_accuracy = 0.0;
   double trajectory_accuracy = 0.0;
+  /// See CleaningCostRow: unsatisfiable items excluded from the averages.
+  int skipped_unsatisfiable = 0;
+  Timestamp first_doomed_at = -1;
 };
 
 std::vector<AccuracyRow> RunAccuracy(
@@ -76,6 +91,10 @@ struct AccuracyByLengthRow {
   std::string families;
   int query_length = 0;
   double trajectory_accuracy = 0.0;
+  /// See CleaningCostRow: unsatisfiable items excluded from the averages
+  /// (identical across the length buckets of one run).
+  int skipped_unsatisfiable = 0;
+  Timestamp first_doomed_at = -1;
 };
 
 std::vector<AccuracyByLengthRow> RunAccuracyByQueryLength(

@@ -16,7 +16,7 @@ inline constexpr LocationId kInvalidLocation = -1;
 
 /// The role of a location; corridors are exempt from latency constraints
 /// (§6.3) and stairwells link consecutive floors.
-enum class LocationKind {
+enum class LocationKind : std::uint8_t {
   kRoom,
   kCorridor,
   kStairwell,

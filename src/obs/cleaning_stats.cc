@@ -68,6 +68,9 @@ const char* CounterName(Counter counter) {
     case Counter::kBatchArenaColdStarts: return "batch_arena_cold_starts";
     case Counter::kQueuePopsLocal: return "queue_pops_local";
     case Counter::kQueueSteals: return "queue_steals";
+    case Counter::kPreflightNodesPruned: return "preflight_nodes_pruned";
+    case Counter::kPreflightEdgesPruned: return "preflight_edges_pruned";
+    case Counter::kPreflightTagsDoomed: return "preflight_tags_doomed";
     case Counter::kCount: break;
   }
   RFID_CHECK(false);  // unreachable: exhaustive switch
@@ -80,6 +83,7 @@ const char* PhaseName(Phase phase) {
     case Phase::kBackward: return "backward_millis";
     case Phase::kIoParse: return "io_parse_millis";
     case Phase::kTagClean: return "tag_clean_millis";
+    case Phase::kPreflight: return "preflight_millis";
     case Phase::kCount: break;
   }
   RFID_CHECK(false);  // unreachable: exhaustive switch

@@ -40,7 +40,7 @@ namespace rfidclean::obs {
 /// Monotonic event counters. Each enumerator is one aggregated uint64; the
 /// semantics (and the invariants tying them together) are documented in
 /// docs/ALGORITHM.md §9 and CounterName().
-enum class Counter : int {
+enum class Counter : std::uint8_t {
   // io layer (readings_io, building_io).
   kIoRowsParsed,     ///< data rows/lines accepted by a text parser
   kIoRowsRejected,   ///< rows/lines that produced a parse error
@@ -74,22 +74,28 @@ enum class Counter : int {
   kQueuePopsLocal,               ///< shards served from the worker's own lane
   kQueueSteals,                  ///< shards stolen from another worker's lane
 
+  // Preflight feasibility analysis (analysis/feasibility.cc).
+  kPreflightNodesPruned,  ///< statically-dead candidates removed pre-build
+  kPreflightEdgesPruned,  ///< relaxed transitions with a dead endpoint
+  kPreflightTagsDoomed,   ///< cleans rejected before building any layer
+
   kCount
 };
 
 /// Wall-time phase accumulators (milliseconds, summed across threads).
-enum class Phase : int {
-  kForward,   ///< forward expansion (layer construction)
-  kBackward,  ///< conditioning + compaction
-  kIoParse,   ///< text parsing (readings, buildings)
-  kTagClean,  ///< whole-tag cleaning in the batch runtime
+enum class Phase : std::uint8_t {
+  kForward,    ///< forward expansion (layer construction)
+  kBackward,   ///< conditioning + compaction
+  kIoParse,    ///< text parsing (readings, buildings)
+  kTagClean,   ///< whole-tag cleaning in the batch runtime
+  kPreflight,  ///< static feasibility analysis before the build
   kCount
 };
 
 /// Value distributions, collected as log2-bucketed histograms. Ratios and
 /// per-build maxima are sampled once per build so count/mean/max summarize
 /// the fleet of builds.
-enum class Dist : int {
+enum class Dist : std::uint8_t {
   kLayerWidth,       ///< nodes per recorded forward layer
   kTagMicros,        ///< per-tag cleaning wall time, microseconds
   kKeyProbeMax,      ///< longest intern probe chain, per build

@@ -39,6 +39,7 @@ obs::Counter OutcomeCounter(const Result<CtGraph>& graph) {
 /// error messages are deterministic functions of the workload, so outcomes
 /// compare bit-identical across job counts and runs.
 TagOutcome CleanOne(const SuccessorGenerator& successors,
+                    const FeasibilityOracle* oracle,
                     const TagWorkload& workload, const BatchOptions& options,
                     std::size_t index, runtime::WorkerArena* arena,
                     std::uint64_t constraint_digest) {
@@ -51,8 +52,26 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
           StrFormat("tag %lld has an empty stream",
                     static_cast<long long>(workload.tag)));
     }
+    std::optional<PreflightPlan> plan;
+    if (oracle != nullptr) {
+      const Stopwatch preflight_watch;
+      plan = oracle->Analyze(workload.sequence);
+      stats.preflight_millis = preflight_watch.ElapsedMillis();
+      stats.doomed_at = plan->doomed_at;
+      stats.preflight_candidates_pruned = plan->candidates_pruned;
+      if (plan->doomed()) {
+        // Fail fast with Push's verbatim failure: if every Push succeeded,
+        // Finish cannot fail, so a doomed sequence always dies in some
+        // Push — the fast path only moves *when* the status surfaces.
+        return FailedPreconditionError(
+            "the new tick leaves no consistent interpretation of the "
+            "readings");
+      }
+      if (!plan->any_pruned()) plan.reset();
+    }
     StreamingCleaner cleaner(successors);
     arena->Prepare(&cleaner, workload.sequence.length());
+    if (plan.has_value()) cleaner.SetPreflightPlan(&*plan);
     const Stopwatch forward_watch;
     for (Timestamp t = 0; t < workload.sequence.length(); ++t) {
       Status pushed = cleaner.Push(workload.sequence.CandidatesAt(t));
@@ -94,6 +113,7 @@ BatchCleaner::BatchCleaner(const ConstraintSet& constraints,
       successors_(constraints, options_.successor),
       constraint_digest_(constraints.Digest()) {
   if (options_.jobs < 1) options_.jobs = 1;
+  if (options_.preflight) oracle_.emplace(constraints);
 }
 
 std::vector<TagOutcome> BatchCleaner::CleanAll(
@@ -137,9 +157,10 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
               "tag", static_cast<std::uint64_t>(workloads[shard].tag)));
           try {
             if (options_.before_tag) options_.before_tag(shard);
-            slots[shard].emplace(CleanOne(successors_, workloads[shard],
-                                          options_, shard, &arena,
-                                          constraint_digest_));
+            slots[shard].emplace(CleanOne(
+                successors_, oracle_.has_value() ? &*oracle_ : nullptr,
+                workloads[shard], options_, shard, &arena,
+                constraint_digest_));
           } catch (const std::exception& e) {
             RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
             slots[shard].emplace(TagOutcome{

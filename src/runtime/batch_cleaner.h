@@ -2,8 +2,10 @@
 #define RFIDCLEAN_RUNTIME_BATCH_CLEANER_H_
 
 #include <functional>
+#include <optional>
 #include <vector>
 
+#include "analysis/feasibility.h"
 #include "common/result.h"
 #include "constraints/constraint_set.h"
 #include "core/builder.h"
@@ -40,6 +42,11 @@ struct BatchOptions {
   /// surplus workers drain by stealing and exit.
   int jobs = 1;
   SuccessorOptions successor;
+  /// Static feasibility preflight (see CleanOptions::preflight): doomed
+  /// tags fail fast without pushing a single tick, and statically dead
+  /// candidates are dropped before the engine sees them. Output graphs and
+  /// statuses are byte-identical either way.
+  bool preflight = true;
   /// Instrumentation/test hook run in the owning worker right before shard
   /// `index` (the workload's position) is cleaned. Must be thread-safe; an
   /// exception it throws is converted into an Internal outcome for that
@@ -92,6 +99,9 @@ class BatchCleaner {
   const ConstraintSet* constraints_;
   BatchOptions options_;
   SuccessorGenerator successors_;
+  /// Shared preflight analyzer (Analyze is const, so workers share it);
+  /// absent when BatchOptions::preflight is off.
+  std::optional<FeasibilityOracle> oracle_;
   /// Computed once at construction; stamped into every tag's trace
   /// provenance record (constraint sets are immutable and shared).
   std::uint64_t constraint_digest_ = 0;

@@ -1,0 +1,76 @@
+# Smoke test of the check-constraints subcommand: generate a dataset, audit
+# its inferred constraint set, and validate the machine-readable report with
+# a real JSON parser (the unit tests only balance braces). Invoked by ctest:
+#   cmake -DCLI=<binary> -DWORK_DIR=<scratch> -DPYTHON=<python3>
+#         -P cli_check_constraints.cmake
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(step_out "${out}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+run_step(${CLI} generate --floors 2 --duration 90 --seed 5 --out ${WORK_DIR})
+
+# The generated deployment's constraints are consistent by construction, so
+# the audit must exit 0 and say so; the summary line is part of the
+# human-facing contract.
+run_step(${CLI} check-constraints --dir ${WORK_DIR} --seed 5
+         --json ${WORK_DIR}/audit.json)
+string(FIND "${step_out}" "constraints:" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "missing summary header:\n${step_out}")
+endif()
+
+if(NOT EXISTS ${WORK_DIR}/audit.json)
+  message(FATAL_ERROR "check-constraints --json did not write audit.json")
+endif()
+
+# Parse the report with a real JSON parser and check the documented schema
+# (FORMATS.md "Constraint audit report"): schema version, verdict, counts
+# by severity, and a findings array.
+if(PYTHON)
+  execute_process(
+    COMMAND ${PYTHON} -c "
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report['schema'] == 1, report
+assert report['ok'] is True, report
+assert set(report['counts']) == {'error', 'warning', 'info'}, report
+assert isinstance(report['findings'], list), report
+assert report['num_locations'] > 0, report
+print('audit.json is valid')
+" ${WORK_DIR}/audit.json
+    RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "audit.json failed schema validation:\n${out}\n${err}")
+  endif()
+endif()
+
+# A smaller family selection must be honored (and still be consistent).
+run_step(${CLI} check-constraints --dir ${WORK_DIR} --seed 5 --families DU)
+string(FIND "${step_out}" "DU" found)
+if(found EQUAL -1)
+  message(FATAL_ERROR "families label missing from summary:\n${step_out}")
+endif()
+
+# Error paths fail cleanly: missing dataset, unwritable JSON target.
+execute_process(COMMAND ${CLI} check-constraints --dir ${WORK_DIR}/missing
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "check-constraints on a missing directory should fail")
+endif()
+execute_process(COMMAND ${CLI} check-constraints --dir ${WORK_DIR}
+                --json ${WORK_DIR}/no-such-subdir/audit.json
+                RESULT_VARIABLE code OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "unwritable --json target should fail")
+endif()
+
+message(STATUS "cli check-constraints test passed")

@@ -1,0 +1,201 @@
+#include "analysis/constraint_audit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.h"
+#include "constraints/constraint_set.h"
+
+namespace rfidclean {
+namespace {
+
+ConstraintAuditReport Audit(
+    const ConstraintSet& constraints,
+    const ConstraintAuditOptions& options = ConstraintAuditOptions()) {
+  TravelClosure closure(constraints);
+  return AuditConstraints(constraints, closure, options);
+}
+
+TEST(ConstraintAuditTest, ConsistentSetIsClean) {
+  ConstraintSet constraints(4);
+  constraints.AddUnreachable(0, 3);
+  constraints.AddLatency(1, 3);
+  constraints.AddTravelingTime(1, 3, 2);
+  ConstraintAuditReport report = Audit(constraints);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.findings.empty()) << report.ToString();
+  EXPECT_EQ(report.num_locations, 4u);
+  EXPECT_EQ(report.num_unreachable, 1u);
+  EXPECT_EQ(report.num_traveling_time, 1u);
+  EXPECT_EQ(report.num_latency, 1u);
+}
+
+TEST(ConstraintAuditTest, TravelingTimeBetweenSeveredLocationsIsError) {
+  // DU walls cut every path from 0 to 2 (0 can only reach 1, which cannot
+  // move on), so travelingTime(0, 2, 3) constrains an impossible journey.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 2);
+  constraints.AddUnreachable(1, 2);
+  constraints.AddTravelingTime(0, 2, 3);
+  ConstraintAuditReport report = Audit(constraints);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(
+      report.CountOf(ConstraintDiagnostic::kTravelingTimeUnsatisfiable), 1u);
+  const ConstraintFinding& finding = report.findings[0];
+  EXPECT_EQ(finding.severity, ConstraintSeverity::kError);
+  EXPECT_EQ(finding.from, 0);
+  EXPECT_EQ(finding.to, 2);
+  EXPECT_EQ(finding.bound, 3);
+}
+
+TEST(ConstraintAuditTest, AllTravelingTimeExitsIsNoExitError) {
+  // Location 0 keeps one non-DU target, but the move carries a bound > 1:
+  // no first hop exists, so 0 can never be left. The TT constraint itself
+  // is then unsatisfiable too — both contradictions surface.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 2);
+  constraints.AddTravelingTime(0, 1, 3);
+  ConstraintAuditReport report = Audit(constraints);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.CountOf(ConstraintDiagnostic::kNoExit), 1u);
+  EXPECT_EQ(
+      report.CountOf(ConstraintDiagnostic::kTravelingTimeUnsatisfiable), 1u);
+  EXPECT_EQ(report.CountOf(ConstraintSeverity::kError), 2u);
+}
+
+TEST(ConstraintAuditTest, FullyDisconnectedLocationIsSinkWarning) {
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(2, 0);
+  constraints.AddUnreachable(2, 1);
+  ConstraintAuditReport report = Audit(constraints);
+  // A deliberate sink is satisfiable: warning, not error.
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.CountOf(ConstraintDiagnostic::kSinkLocation), 1u);
+  EXPECT_EQ(report.findings[0].from, 2);
+  EXPECT_EQ(report.findings[0].severity, ConstraintSeverity::kWarning);
+}
+
+TEST(ConstraintAuditTest, DuImpliedByTravelingTimeIsRedundantInfo) {
+  // travelingTime(0, 1, 3) >= 2 already forbids the direct move, so
+  // unreachable(0, 1) adds nothing; the roundabout path 0 -> 2 -> 1 takes
+  // only 2 ticks, so the TT bound itself is NOT implied by the closure.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 1);
+  constraints.AddTravelingTime(0, 1, 3);
+  ConstraintAuditReport report = Audit(constraints);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.CountOf(ConstraintDiagnostic::kRedundantUnreachable), 1u);
+  EXPECT_EQ(
+      report.CountOf(ConstraintDiagnostic::kRedundantTravelingTime), 0u);
+  EXPECT_EQ(report.CountOf(ConstraintSeverity::kInfo), 1u);
+}
+
+TEST(ConstraintAuditTest, TravelingTimeImpliedByClosureIsRedundantInfo) {
+  // With latency(2) = 3, the only remaining path 0 -> 2 -> 1 already needs
+  // 1 + 3 = 4 ticks, so travelingTime(0, 1, 4) is implied by the closure.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 1);
+  constraints.AddLatency(2, 3);
+  constraints.AddTravelingTime(0, 1, 4);
+  ConstraintAuditReport report = Audit(constraints);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.CountOf(ConstraintDiagnostic::kRedundantUnreachable), 1u);
+  EXPECT_EQ(
+      report.CountOf(ConstraintDiagnostic::kRedundantTravelingTime), 1u);
+}
+
+TEST(ConstraintAuditTest, CoverageDiagnosticsOnlyWithCoverageData) {
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 2);
+  constraints.AddUnreachable(1, 2);
+  EXPECT_TRUE(Audit(constraints).findings.empty());
+
+  // Location 2 is uncovered AND unreachable (closure) from the covered
+  // ones; location 1 is merely uncovered.
+  ConstraintAuditOptions options;
+  options.covered_locations = {true, false, false};
+  ConstraintAuditReport report = Audit(constraints, options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.CountOf(ConstraintDiagnostic::kUncoveredLocation), 2u);
+  EXPECT_EQ(
+      report.CountOf(ConstraintDiagnostic::kUnreachableFromCoverage), 1u);
+  EXPECT_EQ(report.CountOf(ConstraintSeverity::kWarning), 3u);
+}
+
+TEST(ConstraintAuditTest, LocationNamesAppearInMessages) {
+  ConstraintSet constraints(2);
+  constraints.AddUnreachable(1, 0);
+  ConstraintAuditOptions options;
+  options.location_names = {"Lobby", "Vault"};
+  ConstraintAuditReport report = Audit(constraints, options);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].message.find("Vault"), std::string::npos);
+}
+
+TEST(ConstraintAuditTest, FindingCapSetsTruncatedAndFailsOk) {
+  // Four sink locations (every pair severed), cap of 2.
+  ConstraintSet constraints(4);
+  for (LocationId a = 0; a < 4; ++a) {
+    for (LocationId b = 0; b < 4; ++b) {
+      if (a != b) constraints.AddUnreachable(a, b);
+    }
+  }
+  ConstraintAuditOptions options;
+  options.max_findings = 2;
+  ConstraintAuditReport report = Audit(constraints, options);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_FALSE(report.ok());  // Truncation means the verdict is incomplete.
+  EXPECT_EQ(report.findings.size(), 2u);
+}
+
+TEST(ConstraintAuditTest, ToStringListsSummaryAndFindings) {
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 2);
+  constraints.AddUnreachable(1, 2);
+  constraints.AddTravelingTime(0, 2, 3);
+  const std::string text = Audit(constraints).ToString();
+  EXPECT_NE(text.find("1 errors"), std::string::npos) << text;
+  EXPECT_NE(text.find("[error] tt-unsatisfiable"), std::string::npos) << text;
+}
+
+TEST(ConstraintAuditTest, JsonReportCarriesSchemaCountsAndFindings) {
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(0, 2);
+  constraints.AddUnreachable(1, 2);
+  constraints.AddTravelingTime(0, 2, 3);
+  std::ostringstream os;
+  Audit(constraints).WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"counts\": {\"error\": 1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"code\": \"tt-unsatisfiable\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos) << json;
+  // Balanced braces/brackets as a cheap well-formedness proxy (the ctest
+  // CLI check runs a real JSON parser over the same schema).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ConstraintAuditTest, MessagesWithSpecialCharactersStayValidJson) {
+  // Both locations are sinks, so both names land in finding messages.
+  ConstraintSet constraints(2);
+  constraints.AddUnreachable(0, 1);
+  constraints.AddUnreachable(1, 0);
+  ConstraintAuditOptions options;
+  options.location_names = {"A\"quote\\", "B\nnewline"};
+  std::ostringstream os;
+  Audit(constraints, options).WriteJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("A\\\"quote\\\\"), std::string::npos) << json;
+  EXPECT_NE(json.find("B\\nnewline"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace rfidclean

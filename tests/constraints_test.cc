@@ -32,13 +32,75 @@ TEST(ConstraintSetTest, UnreachableIsDirectional) {
 }
 
 TEST(ConstraintSetTest, VacuousBoundsAreIgnored) {
+  // A bound of exactly 1 is well-formed but constrains nothing: every
+  // visit lasts one tick and every move takes one tick.
   ConstraintSet constraints(4);
   constraints.AddLatency(0, 1);
-  constraints.AddLatency(0, 0);
   constraints.AddTravelingTime(0, 1, 1);
-  constraints.AddTravelingTime(0, 1, 0);
   EXPECT_EQ(constraints.TotalConstraints(), 0u);
   EXPECT_FALSE(constraints.HasLatency(0));
+}
+
+TEST(ConstraintSetDeathTest, ZeroBoundsAreRejected) {
+  // A bound of 0 is a malformed input (dropped field), not a vacuous
+  // constraint — it must abort loudly instead of silently vanishing.
+  ConstraintSet constraints(4);
+  EXPECT_DEATH(constraints.AddLatency(0, 0), "min_stay");
+  EXPECT_DEATH(constraints.AddTravelingTime(0, 1, 0), "min_ticks");
+  EXPECT_DEATH(constraints.AddLatency(0, -3), "min_stay");
+  EXPECT_DEATH(constraints.AddTravelingTime(0, 1, -2), "min_ticks");
+}
+
+TEST(ConstraintSetDeathTest, SelfLoopsAreRejected) {
+  ConstraintSet constraints(4);
+  // unreachable(l, l) would forbid staying put; travelingTime(l, l, ·)
+  // is not a journey.
+  EXPECT_DEATH(constraints.AddUnreachable(2, 2), "from");
+  EXPECT_DEATH(constraints.AddTravelingTime(2, 2, 3), "from");
+}
+
+TEST(ConstraintSetTest, DigestIsInsensitiveToInsertionOrder) {
+  const auto digest_of = [](const std::vector<int>& order) {
+    ConstraintSet constraints(5);
+    for (int step : order) {
+      switch (step) {
+        case 0: constraints.AddUnreachable(0, 1); break;
+        case 1: constraints.AddUnreachable(3, 2); break;
+        case 2: constraints.AddTravelingTime(1, 4, 6); break;
+        case 3: constraints.AddTravelingTime(2, 0, 3); break;
+        case 4: constraints.AddLatency(2, 4); break;
+        default: constraints.AddLatency(4, 2); break;
+      }
+    }
+    return constraints.Digest();
+  };
+  const std::uint64_t reference = digest_of({0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(digest_of({5, 4, 3, 2, 1, 0}), reference);
+  EXPECT_EQ(digest_of({2, 0, 5, 3, 1, 4}), reference);
+  // Different content must (overwhelmingly) digest differently.
+  EXPECT_NE(digest_of({0, 1, 2, 3, 4}), reference);
+}
+
+TEST(ConstraintSetTest, DigestIsInsensitiveToWeakerDuplicates) {
+  ConstraintSet reference(5);
+  reference.AddTravelingTime(1, 2, 7);
+  reference.AddLatency(3, 6);
+  reference.AddUnreachable(0, 4);
+
+  ConstraintSet noisy(5);
+  noisy.AddTravelingTime(1, 2, 3);   // Superseded by the 7 below.
+  noisy.AddUnreachable(0, 4);
+  noisy.AddTravelingTime(1, 2, 7);
+  noisy.AddTravelingTime(1, 2, 5);   // Weaker duplicate, dropped.
+  noisy.AddLatency(3, 2);            // Superseded by the 6 below.
+  noisy.AddLatency(3, 6);
+  noisy.AddUnreachable(0, 4);        // DU duplicate, no-op.
+  noisy.AddLatency(3, 4);            // Weaker duplicate, dropped.
+
+  EXPECT_EQ(noisy.Digest(), reference.Digest());
+  EXPECT_EQ(noisy.TotalConstraints(), reference.TotalConstraints());
+  EXPECT_EQ(noisy.MinTravelTicks(1, 2), 7);
+  EXPECT_EQ(noisy.LatencyOf(3), 6);
 }
 
 TEST(ConstraintSetTest, StrongestBoundWins) {

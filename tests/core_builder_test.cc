@@ -45,11 +45,14 @@ TEST(CtGraphBuilderTest, PaperRunningExampleForwardPhasePeakCounts) {
   // n0, n1 (sources), n3, n4, n5 (t=1: L3 once, L4 under two distinct TL
   // variants) and n7 (t=2), i.e. 6 nodes and 4 edges. Matching the paper's
   // node identity exactly requires the paper's TL expiry rule, so the
-  // reachability pruning is disabled here.
+  // reachability pruning is disabled here — and the preflight pass too,
+  // since it would drop the statically dead candidates before the forward
+  // phase even sees them.
   LSequence sequence = PaperExampleSequence();
   ConstraintSet constraints = PaperExampleConstraints();
-  SuccessorOptions options;
-  options.reachability_tl_pruning = false;
+  CleanOptions options;
+  options.successor.reachability_tl_pruning = false;
+  options.preflight = false;
   CtGraphBuilder builder(constraints, options);
   BuildStats stats;
   Result<CtGraph> result = builder.Build(sequence, &stats);
@@ -64,10 +67,13 @@ TEST(CtGraphBuilderTest, ReachabilityPruningMergesIrrelevantTlVariants) {
   // With the reachability-aware TL rule, the departure entry carried by n5
   // is already irrelevant at (1, L4) — L5 cannot be reached before the
   // travelingTime(L1, L5, 3) window closes — so n4 and n5 merge: 5 peak
-  // nodes instead of 6, same final graph.
+  // nodes instead of 6, same final graph. Preflight is off so the count
+  // isolates the TL merge itself.
   LSequence sequence = PaperExampleSequence();
   ConstraintSet constraints = PaperExampleConstraints();
-  CtGraphBuilder builder(constraints);  // Pruning on by default.
+  CleanOptions options;  // Reachability pruning on by default.
+  options.preflight = false;
+  CtGraphBuilder builder(constraints, options);
   BuildStats stats;
   Result<CtGraph> result = builder.Build(sequence, &stats);
   ASSERT_TRUE(result.ok());
@@ -77,6 +83,31 @@ TEST(CtGraphBuilderTest, ReachabilityPruningMergesIrrelevantTlVariants) {
   auto trajectories = result.value().EnumerateTrajectories();
   ASSERT_EQ(trajectories.size(), 1u);
   EXPECT_NEAR(trajectories[0].second, 1.0, 1e-12);
+}
+
+TEST(CtGraphBuilderTest, PreflightPrunesStaticallyDeadCandidates) {
+  // With the preflight pass (on by default) the statically dead candidates
+  // of the running example — L2 at t=0 and one of the t=1 variants — never
+  // reach the forward phase: the peak equals the final graph, which is
+  // byte-identical to the unpruned build.
+  LSequence sequence = PaperExampleSequence();
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  BuildStats stats;
+  Result<CtGraph> result = builder.Build(sequence, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.doomed_at, -1);
+  EXPECT_GT(stats.preflight_candidates_pruned, 0u);
+  EXPECT_EQ(stats.peak_nodes, 3u);
+  EXPECT_EQ(stats.final_nodes, 3u);
+  EXPECT_EQ(stats.final_edges, 2u);
+
+  CleanOptions unpruned;
+  unpruned.preflight = false;
+  Result<CtGraph> reference =
+      CtGraphBuilder(constraints, unpruned).Build(sequence);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(result.value().Digest(), reference.value().Digest());
 }
 
 TEST(CtGraphBuilderTest, PaperRunningExampleTrajectoryProbabilities) {

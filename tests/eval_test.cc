@@ -123,6 +123,9 @@ TEST_F(ExperimentTest, CleaningCostProducesOneRowPerCell) {
     EXPECT_GT(row.avg_final_nodes, 0.0);
     EXPECT_GE(row.avg_peak_nodes, row.avg_final_nodes);
     EXPECT_GT(row.avg_graph_bytes, 0.0);
+    // Generated datasets are satisfiable under their own constraints.
+    EXPECT_EQ(row.skipped_unsatisfiable, 0);
+    EXPECT_EQ(row.first_doomed_at, -1);
   }
 }
 
@@ -133,6 +136,7 @@ TEST_F(ExperimentTest, QueryTimeRowsHavePositiveAverages) {
   for (const QueryTimeRow& row : rows) {
     EXPECT_GT(row.avg_stay_micros, 0.0);
     EXPECT_GT(row.avg_pattern_micros, 0.0);
+    EXPECT_EQ(row.skipped_unsatisfiable, 0);
   }
 }
 

@@ -32,7 +32,8 @@ class GoldenPipelineTest : public ::testing::Test {
 
   struct Golden {
     ConstraintFamilies families;
-    std::size_t peak_nodes;
+    std::size_t peak_nodes;            ///< Raw forward phase (preflight off).
+    std::size_t peak_nodes_preflight;  ///< With static candidate pruning.
     std::size_t final_nodes;
     std::size_t final_edges;
     double entropy_bits;
@@ -47,16 +48,19 @@ TEST_F(GoldenPipelineTest, CandidateWidthsAreStable) {
 
 TEST_F(GoldenPipelineTest, GraphShapesAndEntropiesAreStable) {
   const std::vector<Golden> goldens = {
-      {ConstraintFamilies::Du(), 1454, 1441, 4055, 270.202220},
-      {ConstraintFamilies::DuLt(), 5079, 4580, 6575, 53.854426},
-      {ConstraintFamilies::DuLtTt(), 137566, 123301, 232812, 53.829773},
+      {ConstraintFamilies::Du(), 1454, 1441, 1441, 4055, 270.202220},
+      {ConstraintFamilies::DuLt(), 5079, 4999, 4580, 6575, 53.854426},
+      {ConstraintFamilies::DuLtTt(), 137566, 134775, 123301, 232812,
+       53.829773},
   };
   const Dataset::Item& item = dataset().items()[0];
   for (const Golden& golden : goldens) {
     ConstraintSet constraints = dataset().MakeConstraints(golden.families);
-    CtGraphBuilder builder(constraints);
+    CleanOptions raw;
+    raw.preflight = false;
     BuildStats stats;
-    Result<CtGraph> graph = builder.Build(item.lsequence, &stats);
+    Result<CtGraph> graph =
+        CtGraphBuilder(constraints, raw).Build(item.lsequence, &stats);
     ASSERT_TRUE(graph.ok()) << ConstraintFamiliesLabel(golden.families);
     EXPECT_EQ(stats.peak_nodes, golden.peak_nodes)
         << ConstraintFamiliesLabel(golden.families);
@@ -69,6 +73,18 @@ TEST_F(GoldenPipelineTest, GraphShapesAndEntropiesAreStable) {
     AuditReport audit = AuditGraph(graph.value());
     EXPECT_TRUE(audit.ok()) << ConstraintFamiliesLabel(golden.families)
                             << ": " << audit.ToString();
+
+    // The default (preflight-on) build materializes fewer forward-phase
+    // nodes yet produces the same graph bit for bit.
+    CtGraphBuilder pruned(constraints);
+    BuildStats pruned_stats;
+    Result<CtGraph> pruned_graph =
+        pruned.Build(item.lsequence, &pruned_stats);
+    ASSERT_TRUE(pruned_graph.ok()) << ConstraintFamiliesLabel(golden.families);
+    EXPECT_EQ(pruned_stats.peak_nodes, golden.peak_nodes_preflight)
+        << ConstraintFamiliesLabel(golden.families);
+    EXPECT_EQ(pruned_graph.value().Digest(), graph.value().Digest())
+        << ConstraintFamiliesLabel(golden.families);
   }
 }
 

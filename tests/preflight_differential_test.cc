@@ -1,0 +1,218 @@
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/feasibility.h"
+#include "analysis/graph_audit.h"
+#include "common/rng.h"
+#include "core/builder.h"
+#include "core/streaming.h"
+#include "io/ctgraph_io.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL1;
+using ::rfidclean::testing::kL2;
+
+/// Differential guarantee of the preflight pass: for random workloads the
+/// preflight-on build must be indistinguishable from the preflight-off one
+/// — identical serialized graph bytes on success, identical statuses
+/// (message included) on failure. The pass may only change *when* doom is
+/// detected and how many statically dead nodes the forward phase
+/// materializes, never the result. Same corpus shape as
+/// core_differential_test (25 seeds x 8 random workloads).
+class PreflightDifferentialTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { EnableSelfAudit(); }
+  void TearDown() override { DisableSelfAudit(); }
+
+  static LSequence MakeRandomSequence(std::size_t num_locations, Rng& rng) {
+    const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 8));
+    std::vector<std::vector<Candidate>> candidates;
+    for (Timestamp t = 0; t < length; ++t) {
+      int k = rng.UniformInt(1, 3);
+      std::vector<LocationId> locations(num_locations);
+      for (std::size_t i = 0; i < num_locations; ++i) {
+        locations[i] = static_cast<LocationId>(i);
+      }
+      std::vector<Candidate> at_t;
+      double total = 0.0;
+      for (int i = 0; i < k; ++i) {
+        std::size_t j = static_cast<std::size_t>(i) +
+                        rng.UniformIndex(locations.size() -
+                                         static_cast<std::size_t>(i));
+        std::swap(locations[static_cast<std::size_t>(i)], locations[j]);
+        double weight = rng.UniformDouble(0.1, 1.0);
+        at_t.push_back(
+            Candidate{locations[static_cast<std::size_t>(i)], weight});
+        total += weight;
+      }
+      for (Candidate& candidate : at_t) candidate.probability /= total;
+      candidates.push_back(std::move(at_t));
+    }
+    Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+    RFID_CHECK(sequence.ok());
+    return std::move(sequence).value();
+  }
+
+  /// Dense enough that the corpus contains doomed tags and pruned ticks,
+  /// so the fast-fail and filtering paths are both diffed.
+  static ConstraintSet MakeRandomConstraints(std::size_t num_locations,
+                                             Rng& rng) {
+    ConstraintSet constraints(num_locations);
+    for (std::size_t a = 0; a < num_locations; ++a) {
+      for (std::size_t b = 0; b < num_locations; ++b) {
+        if (a == b) continue;
+        if (rng.Bernoulli(0.3)) {
+          constraints.AddUnreachable(static_cast<LocationId>(a),
+                                     static_cast<LocationId>(b));
+        } else if (rng.Bernoulli(0.2)) {
+          constraints.AddTravelingTime(
+              static_cast<LocationId>(a), static_cast<LocationId>(b),
+              static_cast<Timestamp>(rng.UniformInt(2, 4)));
+        }
+      }
+      if (rng.Bernoulli(0.3)) {
+        constraints.AddLatency(static_cast<LocationId>(a),
+                               static_cast<Timestamp>(rng.UniformInt(2, 3)));
+      }
+    }
+    return constraints;
+  }
+
+  static std::string Serialize(const CtGraph& graph) {
+    std::ostringstream os;
+    WriteCtGraph(graph, os);
+    return os.str();
+  }
+};
+
+TEST_P(PreflightDifferentialTest, PreflightOnEqualsPreflightOffBitForBit) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/4096);
+  int doomed = 0;
+  int pruned = 0;
+  for (int round = 0; round < 8; ++round) {
+    const std::size_t num_locations =
+        static_cast<std::size_t>(rng.UniformInt(3, 5));
+    ConstraintSet constraints = MakeRandomConstraints(num_locations, rng);
+    LSequence sequence = MakeRandomSequence(num_locations, rng);
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << GetParam() << " round=" << round);
+
+    CleanOptions off;
+    off.preflight = false;
+    BuildStats off_stats;
+    Result<CtGraph> reference =
+        CtGraphBuilder(constraints, off).Build(sequence, &off_stats);
+
+    CtGraphBuilder builder(constraints);
+    BuildStats stats;
+    Result<CtGraph> graph = builder.Build(sequence, &stats);
+
+    ASSERT_EQ(graph.ok(), reference.ok());
+    if (!reference.ok()) {
+      // Same outcome, same words: the fast-fail path reuses the engine's
+      // message so callers cannot tell who rejected the input.
+      EXPECT_EQ(graph.status(), reference.status());
+    } else {
+      EXPECT_EQ(Serialize(graph.value()), Serialize(reference.value()));
+      EXPECT_LE(stats.peak_nodes, off_stats.peak_nodes);
+    }
+    if (stats.doomed_at >= 0) {
+      ++doomed;
+      EXPECT_FALSE(reference.ok());
+      EXPECT_EQ(stats.peak_nodes, 0u);  // Nothing was materialized.
+    }
+    if (stats.preflight_candidates_pruned > 0) ++pruned;
+
+    // The streaming path with an explicitly attached plan must agree too.
+    if (reference.ok() && stats.doomed_at < 0) {
+      const FeasibilityOracle* oracle = builder.oracle();
+      ASSERT_NE(oracle, nullptr);
+      PreflightPlan plan = oracle->Analyze(sequence);
+      StreamingCleaner cleaner(constraints);
+      cleaner.SetPreflightPlan(&plan);
+      bool pushed_all = true;
+      for (Timestamp t = 0; t < sequence.length() && pushed_all; ++t) {
+        pushed_all = cleaner.Push(sequence.CandidatesAt(t)).ok();
+      }
+      ASSERT_TRUE(pushed_all);
+      Result<CtGraph> streamed = std::move(cleaner).Finish();
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      EXPECT_EQ(Serialize(streamed.value()), Serialize(reference.value()));
+    }
+  }
+  // The constraint density guarantees both interesting paths appear in
+  // most seeds; requiring at least one across 8 rounds keeps the corpus
+  // honest without being flaky (the streams are deterministic).
+  EXPECT_GT(doomed + pruned, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreflightDifferentialTest,
+                         ::testing::Range(0, 25));
+
+TEST(PreflightFastFailTest, StaticallyDoomedLongInputFailsWithoutBuilding) {
+  // unreachable in both directions plus a forced L1 -> L2 hand-off: no
+  // interpretation exists, and preflight proves it at t=0 already (L1
+  // reconciles the past but not the future). The 10k-tick tail must never
+  // be materialized — the whole point of failing fast.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(kL1, kL2);
+  constraints.AddUnreachable(kL2, kL1);
+  std::vector<std::vector<Candidate>> candidates;
+  candidates.push_back({Candidate{kL1, 1.0}});
+  for (int t = 1; t < 10000; ++t) {
+    candidates.push_back({Candidate{kL2, 1.0}});
+  }
+  Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+  ASSERT_TRUE(sequence.ok());
+
+  CtGraphBuilder builder(constraints);
+  BuildStats stats;
+  Result<CtGraph> graph = builder.Build(sequence.value(), &stats);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().message(),
+            "the integrity constraints rule out every interpretation of the "
+            "readings");
+  EXPECT_EQ(stats.doomed_at, 0);
+  EXPECT_EQ(stats.peak_nodes, 0u);
+  EXPECT_EQ(stats.peak_edges, 0u);
+}
+
+TEST(PreflightPlanTest, FilterTickPreservesOrderAndProbabilities) {
+  // L2 is severed from everything, so its candidates are statically dead;
+  // the survivors must keep their order and exact probabilities.
+  ConstraintSet constraints(3);
+  constraints.AddUnreachable(kL1, kL2);
+  constraints.AddUnreachable(kL2, kL1);
+  constraints.AddUnreachable(0, kL2);
+  constraints.AddUnreachable(kL2, 0);
+  std::vector<std::vector<Candidate>> candidates = {
+      {Candidate{kL1, 1.0}},
+      {Candidate{kL2, 0.25}, Candidate{kL1, 0.5}, Candidate{0, 0.25}},
+      {Candidate{kL1, 1.0}},
+  };
+  Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+  ASSERT_TRUE(sequence.ok());
+
+  FeasibilityOracle oracle(constraints);
+  PreflightPlan plan = oracle.Analyze(sequence.value());
+  EXPECT_FALSE(plan.doomed());
+  ASSERT_TRUE(plan.PrunedAt(1));
+  EXPECT_EQ(plan.candidates_pruned, 1u);
+
+  std::vector<Candidate> filtered;
+  plan.FilterTick(1, sequence.value().CandidatesAt(1), &filtered);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].location, kL1);
+  EXPECT_EQ(filtered[0].probability, 0.5);  // exact, no renormalization
+  EXPECT_EQ(filtered[1].location, 0);
+  EXPECT_EQ(filtered[1].probability, 0.25);
+}
+
+}  // namespace
+}  // namespace rfidclean

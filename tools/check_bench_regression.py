@@ -9,7 +9,13 @@ drift on another as long as both runs cover the same points.
 
     check_bench_regression.py CURRENT BASELINE \
         [--metric ns_per_timestamp] [--key ticks] [--threshold-pct 25]
-        [--update]
+        [--direction lower] [--update]
+
+--direction states which way the metric is supposed to move: "lower"
+(default; a regression is the metric GROWING past the threshold, the right
+sense for times) or "higher" (a regression is the metric SHRINKING past the
+threshold — for counters like nodes_pruned, where a collapse to zero means
+the machinery silently stopped working).
 
 Exit status 0 when every point is within the threshold (improvements always
 pass), 1 on a regression, a point-set mismatch, or a malformed file. Every
@@ -107,6 +113,11 @@ def main():
                         help="field matching result points across files")
     parser.add_argument("--threshold-pct", type=float, default=25.0,
                         help="maximum tolerated regression, in percent")
+    parser.add_argument("--direction", choices=("lower", "higher"),
+                        default="lower",
+                        help="which way the metric should move: 'lower' "
+                             "gates growth (times), 'higher' gates shrinkage "
+                             "(counters)")
     parser.add_argument("--update", action="store_true",
                         help="overwrite the baseline with the current file")
     args = parser.parse_args()
@@ -141,7 +152,11 @@ def main():
         now = current[point]
         change_pct = 100.0 * (now - base) / base if base > 0 else 0.0
         verdict = "ok"
-        if change_pct > args.threshold_pct:
+        if args.direction == "lower":
+            regressed = change_pct > args.threshold_pct
+        else:
+            regressed = change_pct < -args.threshold_pct
+        if regressed:
             verdict = f"REGRESSION (> {args.threshold_pct:.0f}%)"
             failures += 1
         print(f"{args.key}={point}: {args.metric} {base:.1f} -> {now:.1f} "

@@ -118,6 +118,36 @@ class CheckBenchRegressionTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("bench name mismatch", message)
 
+    def test_direction_higher_flags_collapsed_counter(self):
+        """--direction higher inverts the gate: a counter that shrank past
+        the threshold (pruning machinery silently dead) is the regression."""
+        current = self.write("current.json", payload(results=[
+            {"ticks": 100, "nodes_pruned": 0.0}]))
+        baseline = self.write("baseline.json", payload(results=[
+            {"ticks": 100, "nodes_pruned": 100.0}]))
+        code, _ = self.run_main(current, baseline, "--metric", "nodes_pruned",
+                                "--direction", "higher",
+                                "--threshold-pct", "50")
+        self.assertEqual(code, 1)
+
+    def test_direction_higher_passes_growth(self):
+        current = self.write("current.json", payload(results=[
+            {"ticks": 100, "nodes_pruned": 400.0}]))
+        baseline = self.write("baseline.json", payload(results=[
+            {"ticks": 100, "nodes_pruned": 100.0}]))
+        code, _ = self.run_main(current, baseline, "--metric", "nodes_pruned",
+                                "--direction", "higher",
+                                "--threshold-pct", "50")
+        self.assertEqual(code, 0)
+
+    def test_direction_lower_is_default_and_ignores_shrinkage(self):
+        current = self.write("current.json", payload(results=[
+            {"ticks": 100, "ns_per_timestamp": 5.0}]))
+        baseline = self.write("baseline.json", payload(results=[
+            {"ticks": 100, "ns_per_timestamp": 50.0}]))
+        code, _ = self.run_main(current, baseline, "--threshold-pct", "25")
+        self.assertEqual(code, 0)
+
     def test_point_set_mismatch_fails(self):
         current = self.write("current.json", payload(results=[
             {"ticks": 100, "ns_per_timestamp": 5.0}]))

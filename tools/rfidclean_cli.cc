@@ -15,6 +15,13 @@
 //       on N worker threads (runtime/batch_cleaner.h), one
 //       DIR/graph_<tag>.ctg per tag.
 //
+//   rfidclean_cli check-constraints --dir DIR [--families ...] [--seed 1]
+//                                   [--json FILE]
+//       Static audit of the inferred constraint set: contradictions
+//       (errors), suspicious-but-satisfiable findings (warnings) and
+//       implied constraints (infos), printed as a report and optionally
+//       written as JSON. Exits nonzero only on errors.
+//
 //   rfidclean_cli stay --dir DIR --time T
 //       Conditioned location distribution at time T from DIR/graph.ctg.
 //
@@ -38,6 +45,8 @@
 #include <optional>
 #include <string>
 
+#include "analysis/constraint_audit.h"
+#include "analysis/feasibility.h"
 #include "analysis/graph_audit.h"
 #include "obs/cleaning_stats.h"
 #include "obs/trace.h"
@@ -373,8 +382,8 @@ struct CleanObs {
 /// --jobs workers, one graph_<tag>.ctg per successfully cleaned tag.
 int CleanBatch(const std::string& dir, const Building& building,
                const Deployment& deployment, const ConstraintSet& constraints,
-               ConstraintFamilies families, bool audit, int jobs,
-               CleanObs* observability) {
+               ConstraintFamilies families, bool audit, bool preflight,
+               int jobs, CleanObs* observability) {
   std::ifstream is(dir + "/readings.csv");
   if (!is) return Fail("cannot open readings.csv");
   Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
@@ -393,6 +402,7 @@ int CleanBatch(const std::string& dir, const Building& building,
 
   BatchOptions options;
   options.jobs = jobs;
+  options.preflight = preflight;
   // The CLI already started the session (so the io spans above are on the
   // timeline); passing the options through exercises the embedding hook,
   // which leaves an active session untouched.
@@ -458,6 +468,9 @@ int CleanImpl(const Args& args, const std::string& dir,
   if (!constraints.ok()) return Fail(constraints.status());
 
   const bool audit = args.GetBool("audit", false);
+  // --no-preflight disables the static feasibility pass (identical output,
+  // useful for A/B timing and for isolating preflight bugs).
+  const bool preflight = !args.GetBool("no-preflight", false);
   if (audit) {
     // Fails the build itself on any invariant violation (self-audit hook
     // inside CtGraphBuilder), and prints the full report below.
@@ -466,7 +479,7 @@ int CleanImpl(const Args& args, const std::string& dir,
 
   if (HasMultiTagReadings(dir)) {
     return CleanBatch(dir, building.value(), deployment, constraints.value(),
-                      families, audit, *jobs, observability);
+                      families, audit, preflight, *jobs, observability);
   }
 
   Result<RSequence> readings = LoadReadings(dir);
@@ -475,7 +488,9 @@ int CleanImpl(const Args& args, const std::string& dir,
                        deployment.calibrated);
   LSequence sequence = LSequence::FromReadings(readings.value(), apriori);
 
-  CtGraphBuilder builder(constraints.value());
+  CleanOptions build_options;
+  build_options.preflight = preflight;
+  CtGraphBuilder builder(constraints.value(), build_options);
   BuildStats stats;
   Result<CtGraph> graph = builder.Build(sequence, &stats);
   if (obs::TraceActive()) {
@@ -574,6 +589,58 @@ int Clean(const Args& args) {
     WriteStatsErrorStub(*observability.stats_path);
   }
   return code;
+}
+
+/// Static lint of the constraint set a `clean` over DIR would use: builds
+/// the same deployment and inferred constraints, audits them against their
+/// own closure plus the calibrated reader coverage, and prints the report.
+/// Inferred sets legitimately contain implied constraints, so infos (and
+/// warnings) do not fail the command — only contradictions do.
+int CheckConstraints(const Args& args) {
+  const std::string dir = args.Get("dir", ".");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  Result<Building> building = LoadBuilding(dir);
+  if (!building.ok()) return Fail(building.status());
+
+  Deployment deployment = MakeDeployment(building.value(), seed);
+  ConstraintFamilies families = ConstraintFamilies::DuLtTt();
+  Result<ConstraintSet> constraints =
+      MakeCliConstraints(args, building.value(), deployment, &families);
+  if (!constraints.ok()) return Fail(constraints.status());
+
+  const std::size_t n = building.value().NumLocations();
+  ConstraintAuditOptions options;
+  // Every diagnostic is at most per-pair (plus a few per-location classes);
+  // scaling the cap with the building keeps real reports untruncated while
+  // still bounding a pathological blow-up.
+  options.max_findings = 4 * n * n + 64;
+  options.covered_locations.assign(n, false);
+  options.location_names.reserve(n);
+  for (LocationId l = 0; l < static_cast<LocationId>(n); ++l) {
+    options.location_names.push_back(building.value().location(l).name);
+    options.covered_locations[static_cast<std::size_t>(l)] =
+        !deployment.calibrated
+             .ReadersCovering(deployment.grid.CellsOfLocation(l))
+             .empty();
+  }
+
+  TravelClosure closure(constraints.value());
+  ConstraintAuditReport report =
+      AuditConstraints(constraints.value(), closure, options);
+  std::printf("constraints: %s over %zu locations\n%s\n",
+              ConstraintFamiliesLabel(families).c_str(), n,
+              report.ToString().c_str());
+
+  const std::string json = args.Get("json", "");
+  if (!json.empty()) {
+    std::ofstream os(json);
+    if (!os) return Fail(("cannot write json file " + json).c_str());
+    report.WriteJson(os);
+    os << '\n';
+    if (!os.good()) return Fail(("cannot write json file " + json).c_str());
+  }
+  return report.CountOf(ConstraintSeverity::kError) > 0 ? 1 : 0;
 }
 
 int Stay(const Args& args) {
@@ -703,12 +770,15 @@ int Report(const Args& args) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: rfidclean_cli <generate|clean|stay|pattern|sample> [--key "
-      "value ...]\n"
+      "usage: rfidclean_cli "
+      "<generate|clean|check-constraints|stay|pattern|sample|report> "
+      "[--key value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
-      "[--audit] [--jobs N] [--stats[=FILE]]\n"
-      "           [--trace[=FILE]] [--trace-buffer-events N]\n"
+      "[--audit] [--no-preflight] [--jobs N]\n"
+      "           [--stats[=FILE]] [--trace[=FILE]] "
+      "[--trace-buffer-events N]\n"
+      "  check-constraints --dir DIR [--families ...] [--json FILE]\n"
       "  stay     --dir DIR --time T\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
@@ -722,6 +792,7 @@ int Main(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "generate") return Generate(args);
   if (command == "clean") return Clean(args);
+  if (command == "check-constraints") return CheckConstraints(args);
   if (command == "stay") return Stay(args);
   if (command == "pattern") return PatternQuery(args);
   if (command == "sample") return Sample(args);
