@@ -1,0 +1,70 @@
+// Standalone corpus-replay driver, linked into the fuzz harnesses when the
+// toolchain has no libFuzzer (GCC). It accepts the same invocation shape as
+// a libFuzzer binary in regression mode — `harness -runs=0 <corpus-dir>` —
+// by ignoring every '-' argument and replaying each file (or every regular
+// file under each directory, recursively) through LLVMFuzzerTestOneInput.
+// With no path arguments it replays standard input once, so single crash
+// inputs can be piped in. Exploration (mutation) requires a libFuzzer
+// build; this driver only replays.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::string ReadAll(std::istream& is) {
+  return std::string(std::istreambuf_iterator<char>(is),
+                     std::istreambuf_iterator<char>());
+}
+
+void RunOne(const std::string& bytes) {
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer-style flags
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path().string());
+      }
+    } else {
+      files.push_back(arg);
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+
+  if (files.empty()) {
+    RunOne(ReadAll(std::cin));
+    std::fprintf(stderr, "replayed stdin\n");
+    return 0;
+  }
+  for (const std::string& path : files) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is.good()) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    RunOne(ReadAll(is));
+  }
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", files.size());
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fuzz surface: the readings CSV parsers (io/readings_io.h), single-tag
+// and multi-tag. Arbitrary bytes must parse or fail with a Status — never
+// crash — and accepted documents must yield well-formed sequences
+// (positive length, id-sorted tag streams).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "io/readings_io.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  {
+    std::istringstream is(text);
+    auto parsed = rfidclean::ReadReadingsCsv(is);
+    if (parsed.ok()) RFID_CHECK_GT(parsed.value().length(), 0);
+  }
+  {
+    std::istringstream is(text);
+    auto parsed = rfidclean::ReadMultiTagReadingsCsv(is);
+    if (parsed.ok()) {
+      RFID_CHECK(!parsed.value().empty());
+      for (std::size_t i = 0; i < parsed.value().size(); ++i) {
+        RFID_CHECK_GT(parsed.value()[i].readings.length(), 0);
+        if (i > 0) {
+          RFID_CHECK_LT(parsed.value()[i - 1].tag, parsed.value()[i].tag);
+        }
+      }
+    }
+  }
+  return 0;
+}

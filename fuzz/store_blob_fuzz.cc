@@ -1,0 +1,54 @@
+// Fuzz surface: the binary ct-graph blob readers (store/blob_layout.h and
+// everything funneling through it — the materializing decoder and the
+// zero-copy view). The input is arbitrary bytes standing in for a mapped
+// blob; every parse path must return a diagnostic Result, never crash,
+// RFID_CHECK, or read out of bounds (run under asan+ubsan). On inputs that
+// do parse, cross-path invariants are asserted: the verification tiers
+// must be consistent with each other and a decoded graph must re-encode to
+// the exact input bytes (the v1 encoding is canonical).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/check.h"
+#include "store/blob_layout.h"
+#include "store/ctgraph_view.h"
+#include "store/graph_codec.h"
+
+using rfidclean::store::CtGraphView;
+using rfidclean::store::MapVerify;
+using rfidclean::store::SectionChecks;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace store = rfidclean::store;
+
+  const auto all = store::ParseBlobContents(data, size, SectionChecks::kAll);
+  const auto geometry =
+      store::ParseBlobContents(data, size, SectionChecks::kGeometry);
+  // kGeometry verifies a strict subset of what kAll verifies.
+  if (all.ok()) RFID_CHECK(geometry.ok());
+
+  const auto info = store::InspectCtGraphBlob(data, size);
+  // Inspection checks header + table only; any fully parsed blob inspects.
+  if (geometry.ok()) RFID_CHECK(info.ok());
+
+  const auto decoded = store::DecodeCtGraphBlob(data, size);
+  const auto view = CtGraphView::Map(data, size, MapVerify::kFull);
+  // The materializing decoder and the fully-verifying view run the same
+  // checks over the same bytes; they must agree on validity and content.
+  RFID_CHECK_EQ(decoded.ok(), view.ok());
+  if (decoded.ok()) {
+    RFID_CHECK_EQ(decoded.value().Digest(), view.value().Digest());
+    // Canonical encoding: decode -> encode reproduces the input blob.
+    const std::string reencoded = store::EncodeCtGraphBlob(
+        decoded.value(), info.value().header.tag,
+        store::GraphProvenance{info.value().header.input_digest,
+                               info.value().header.constraint_digest});
+    RFID_CHECK_EQ(reencoded.size(), size);
+    RFID_CHECK(std::memcmp(reencoded.data(), data, size) == 0);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#ifndef RFIDCLEAN_COMMON_CRC32_H_
+#define RFIDCLEAN_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the integrity
+/// checksum of the binary ct-store sections (docs/FORMATS.md). Unlike the
+/// FNV digests (common/fnv.h), which identify *content* across runs, CRC-32
+/// here guards *bytes at rest*: every on-disk section carries one so a
+/// flipped bit is a loud decode error instead of a silently wrong
+/// probability.
+
+namespace rfidclean {
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains partial computations:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)) for any split k.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace rfidclean
+
+#endif  // RFIDCLEAN_COMMON_CRC32_H_

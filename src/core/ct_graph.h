@@ -70,6 +70,18 @@ class CtGraph {
 
   const Node& node(NodeId id) const;
   const std::vector<NodeId>& NodesAt(Timestamp t) const;
+
+  // Structural-concept accessors shared with store::CtGraphView, so the
+  // templated query algorithms (query/marginals.h, query/most_likely.h,
+  // query/stay_query.h) run unchanged on either representation.
+  const std::vector<Edge>& OutEdges(NodeId id) const {
+    return node(id).out_edges;
+  }
+  LocationId LocationOf(NodeId id) const { return node(id).key.location; }
+  double SourceProbability(NodeId id) const {
+    return node(id).source_probability;
+  }
+
   const std::vector<NodeId>& SourceNodes() const { return NodesAt(0); }
   const std::vector<NodeId>& TargetNodes() const {
     return NodesAt(length() - 1);

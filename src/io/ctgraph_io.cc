@@ -1,6 +1,7 @@
 #include "io/ctgraph_io.h"
 
 #include <charconv>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,7 @@ Result<CtGraph> ReadCtGraph(std::istream& is) {
 
   Timestamp length = 0;
   std::vector<CtGraph::Node> nodes;
+  std::vector<bool> node_seen;
   bool saw_header = false;
   while (std::getline(is, line)) {
     ++line_number;
@@ -84,6 +86,7 @@ Result<CtGraph> ReadCtGraph(std::istream& is) {
       saw_header = true;
       length = static_cast<Timestamp>(parsed_length);
       nodes.resize(static_cast<std::size_t>(num_nodes));
+      node_seen.assign(nodes.size(), false);
     } else if (tokens[0] == "node") {
       if (!saw_header) return error("'node' before 'ctgraph' header");
       long id = 0, time = 0, location = 0, delta = 0;
@@ -98,6 +101,18 @@ Result<CtGraph> ReadCtGraph(std::istream& is) {
       }
       if (id < 0 || static_cast<std::size_t>(id) >= nodes.size()) {
         return error("node id out of range");
+      }
+      if (node_seen[static_cast<std::size_t>(id)]) {
+        // A silent overwrite would drop the first row's TL entries and
+        // keep its edges — a mangled graph that may still pass Assemble.
+        return InvalidArgumentError(
+            StrFormat("line %d: duplicate row for node %ld", line_number, id));
+      }
+      node_seen[static_cast<std::size_t>(id)] = true;
+      if (!std::isfinite(source_probability)) {
+        // std::from_chars accepts "inf"/"nan" spellings; a non-finite mass
+        // would poison every conditioned probability downstream.
+        return error("non-finite source probability");
       }
       CtGraph::Node& node = nodes[static_cast<std::size_t>(id)];
       node.time = static_cast<Timestamp>(time);
@@ -128,6 +143,14 @@ Result<CtGraph> ReadCtGraph(std::istream& is) {
       if (from < 0 || static_cast<std::size_t>(from) >= nodes.size()) {
         return error("edge source out of range");
       }
+      if (to < 0 || static_cast<std::size_t>(to) >= nodes.size()) {
+        // Assemble would reject the dangling target too, but only after the
+        // whole document is consumed and without naming the line.
+        return error("edge target out of range");
+      }
+      if (!std::isfinite(probability)) {
+        return error("non-finite edge probability");
+      }
       nodes[static_cast<std::size_t>(from)].out_edges.push_back(
           CtGraph::Edge{static_cast<NodeId>(to), probability});
     } else {
@@ -135,6 +158,15 @@ Result<CtGraph> ReadCtGraph(std::istream& is) {
     }
   }
   if (!saw_header) return InvalidArgumentError("no 'ctgraph' header found");
+  for (std::size_t i = 0; i < node_seen.size(); ++i) {
+    if (!node_seen[i]) {
+      // A missing row leaves a default-constructed node whose rejection by
+      // Assemble ("empty layer", "unreachable node") would obscure the
+      // actual defect: the document never declared the node.
+      return InvalidArgumentError(
+          StrFormat("node %zu declared in header but has no 'node' row", i));
+    }
+  }
   return CtGraph::Assemble(std::move(nodes), length);
 }
 

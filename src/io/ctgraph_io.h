@@ -22,7 +22,10 @@ namespace rfidclean {
 void WriteCtGraph(const CtGraph& graph, std::ostream& os);
 
 /// Parses the format written by WriteCtGraph and re-validates every graph
-/// invariant (CtGraph::Assemble).
+/// invariant (CtGraph::Assemble). Document-level defects that Assemble
+/// would only report obliquely — duplicate or missing node rows, edge
+/// targets outside the declared node count, non-finite probabilities — are
+/// rejected at parse time with the offending line number.
 Result<CtGraph> ReadCtGraph(std::istream& is);
 
 }  // namespace rfidclean

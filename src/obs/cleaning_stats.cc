@@ -71,6 +71,11 @@ const char* CounterName(Counter counter) {
     case Counter::kPreflightNodesPruned: return "preflight_nodes_pruned";
     case Counter::kPreflightEdgesPruned: return "preflight_edges_pruned";
     case Counter::kPreflightTagsDoomed: return "preflight_tags_doomed";
+    case Counter::kStoreBlobsEncoded: return "store_blobs_encoded";
+    case Counter::kStoreBytesEncoded: return "store_bytes_encoded";
+    case Counter::kStoreBlobsDecoded: return "store_blobs_decoded";
+    case Counter::kStoreBytesDecoded: return "store_bytes_decoded";
+    case Counter::kStoreCrcFailures: return "store_crc_failures";
     case Counter::kCount: break;
   }
   RFID_CHECK(false);  // unreachable: exhaustive switch
@@ -84,6 +89,8 @@ const char* PhaseName(Phase phase) {
     case Phase::kIoParse: return "io_parse_millis";
     case Phase::kTagClean: return "tag_clean_millis";
     case Phase::kPreflight: return "preflight_millis";
+    case Phase::kStoreEncode: return "store_encode_millis";
+    case Phase::kStoreDecode: return "store_decode_millis";
     case Phase::kCount: break;
   }
   RFID_CHECK(false);  // unreachable: exhaustive switch

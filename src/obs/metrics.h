@@ -79,6 +79,13 @@ enum class Counter : std::uint8_t {
   kPreflightEdgesPruned,  ///< relaxed transitions with a dead endpoint
   kPreflightTagsDoomed,   ///< cleans rejected before building any layer
 
+  // Persistent ct-store (store/graph_codec.cc, store/ct_store.cc).
+  kStoreBlobsEncoded,  ///< ct-graph blobs serialized to the binary format
+  kStoreBytesEncoded,  ///< blob bytes produced by the encoder
+  kStoreBlobsDecoded,  ///< blobs parsed back (materialized or mapped views)
+  kStoreBytesDecoded,  ///< blob bytes parsed and checksum-verified
+  kStoreCrcFailures,   ///< blobs/sections rejected on a checksum mismatch
+
   kCount
 };
 
@@ -86,9 +93,11 @@ enum class Counter : std::uint8_t {
 enum class Phase : std::uint8_t {
   kForward,    ///< forward expansion (layer construction)
   kBackward,   ///< conditioning + compaction
-  kIoParse,    ///< text parsing (readings, buildings)
-  kTagClean,   ///< whole-tag cleaning in the batch runtime
-  kPreflight,  ///< static feasibility analysis before the build
+  kIoParse,      ///< text parsing (readings, buildings)
+  kTagClean,     ///< whole-tag cleaning in the batch runtime
+  kPreflight,    ///< static feasibility analysis before the build
+  kStoreEncode,  ///< binary blob serialization (store/graph_codec.cc)
+  kStoreDecode,  ///< binary blob parse/verify/map (store/*)
   kCount
 };
 

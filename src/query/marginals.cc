@@ -3,21 +3,7 @@
 namespace rfidclean {
 
 std::vector<double> NodeMarginals(const CtGraph& graph) {
-  std::vector<double> alpha(graph.NumNodes(), 0.0);
-  for (NodeId id : graph.SourceNodes()) {
-    alpha[static_cast<std::size_t>(id)] =
-        graph.node(id).source_probability;
-  }
-  for (Timestamp t = 0; t + 1 < graph.length(); ++t) {
-    for (NodeId id : graph.NodesAt(t)) {
-      double mass = alpha[static_cast<std::size_t>(id)];
-      if (mass == 0.0) continue;
-      for (const CtGraph::Edge& edge : graph.node(id).out_edges) {
-        alpha[static_cast<std::size_t>(edge.to)] += mass * edge.probability;
-      }
-    }
-  }
-  return alpha;
+  return NodeMarginalsOf(graph);
 }
 
 }  // namespace rfidclean

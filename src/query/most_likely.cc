@@ -1,55 +1,9 @@
 #include "query/most_likely.h"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <vector>
-
-#include "common/check.h"
-
 namespace rfidclean {
 
 std::pair<Trajectory, double> MostLikelyTrajectory(const CtGraph& graph) {
-  RFID_CHECK_GT(graph.length(), 0);
-  constexpr double kMinusInfinity = -std::numeric_limits<double>::infinity();
-  std::vector<double> best(graph.NumNodes(), kMinusInfinity);
-  std::vector<NodeId> parent(graph.NumNodes(), kInvalidNode);
-
-  for (NodeId id : graph.SourceNodes()) {
-    best[static_cast<std::size_t>(id)] =
-        std::log(graph.node(id).source_probability);
-  }
-  for (Timestamp t = 0; t + 1 < graph.length(); ++t) {
-    for (NodeId id : graph.NodesAt(t)) {
-      double score = best[static_cast<std::size_t>(id)];
-      if (score == kMinusInfinity) continue;
-      for (const CtGraph::Edge& edge : graph.node(id).out_edges) {
-        double candidate = score + std::log(edge.probability);
-        if (candidate > best[static_cast<std::size_t>(edge.to)]) {
-          best[static_cast<std::size_t>(edge.to)] = candidate;
-          parent[static_cast<std::size_t>(edge.to)] = id;
-        }
-      }
-    }
-  }
-
-  NodeId argmax = kInvalidNode;
-  double max_score = kMinusInfinity;
-  for (NodeId id : graph.TargetNodes()) {
-    if (best[static_cast<std::size_t>(id)] > max_score) {
-      max_score = best[static_cast<std::size_t>(id)];
-      argmax = id;
-    }
-  }
-  RFID_CHECK_NE(argmax, kInvalidNode);
-
-  std::vector<LocationId> reversed;
-  for (NodeId id = argmax; id != kInvalidNode;
-       id = parent[static_cast<std::size_t>(id)]) {
-    reversed.push_back(graph.node(id).key.location);
-  }
-  std::reverse(reversed.begin(), reversed.end());
-  return {Trajectory(std::move(reversed)), std::exp(max_score)};
+  return MostLikelyTrajectoryOf(graph);
 }
 
 }  // namespace rfidclean

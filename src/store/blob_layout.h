@@ -1,0 +1,119 @@
+#ifndef RFIDCLEAN_STORE_BLOB_LAYOUT_H_
+#define RFIDCLEAN_STORE_BLOB_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/ct_graph.h"
+#include "core/location_node.h"
+#include "store/format.h"
+
+/// \file
+/// Shared parse-and-verify layer for binary ct-graph blobs. Both decode
+/// paths — materializing (graph_codec.cc) and zero-copy (ctgraph_view.cc) —
+/// funnel through ParseBlobContents, so every byte of a blob is validated
+/// identically no matter how it is consumed. All functions here treat the
+/// input as hostile (they are the fuzz surface behind
+/// fuzz/store_blob_fuzz.cc): any malformed byte stream yields a diagnostic
+/// Result, never UB, an RFID_CHECK, or an out-of-bounds read.
+
+namespace rfidclean::store {
+
+inline constexpr std::uint32_t kBlobTableBytes =
+    kNumSections * kSectionEntryBytes;
+/// Bytes before the first section payload: header + section table.
+inline constexpr std::uint32_t kBlobPreludeBytes =
+    kBlobHeaderBytes + kBlobTableBytes;
+
+/// Sanity ceilings, far above anything the cleaner produces; headers
+/// claiming more are rejected before any allocation is sized from them.
+inline constexpr std::int64_t kMaxBlobLength = std::int64_t{1} << 24;
+inline constexpr std::uint64_t kMaxBlobNodes = 0x7FFFFFFFu;  // NodeId range
+inline constexpr std::uint64_t kMaxBlobEdges = std::uint64_t{1} << 40;
+
+/// Header, section table and raw extent of one verified blob. `base` points
+/// at caller-owned bytes; a ParsedBlob never outlives them.
+struct ParsedBlob {
+  BlobHeader header;
+  SectionEntry sections[kNumSections];  // indexed by SectionId - 1
+  const unsigned char* base = nullptr;
+  std::size_t size = 0;
+
+  const SectionEntry& Section(SectionId id) const {
+    return sections[static_cast<std::uint32_t>(id) - 1];
+  }
+  const unsigned char* SectionData(SectionId id) const {
+    return base + Section(id).offset;
+  }
+  std::uint64_t SectionSize(SectionId id) const { return Section(id).size; }
+};
+
+/// Which section payload CRCs a parse verifies. kGeometry covers every
+/// section whose bytes feed index arithmetic or decoding — LAYERS, KEYS,
+/// EDGEROWS, EDGETGT — i.e. everything memory safety can depend on; the two
+/// probability payloads (SRCPROB, EDGEPROB) are only ever read as opaque
+/// doubles, so the zero-copy load fast path defers their checksums to the
+/// deep verifiers (CtStoreReader::VerifyAll, MapVerify::kFull), which also
+/// re-derive the graph digest over them. kAll checks all six.
+enum class SectionChecks {
+  kGeometry,
+  kAll,
+};
+
+/// Validates magic, version, header checksum, header ranges and the full
+/// section-table geometry (ids in order, aligned back-to-back offsets, the
+/// final section ending flush with the blob), then verifies the selected
+/// payload CRCs. Does not decode section contents.
+Result<ParsedBlob> ParseAndVerifyBlob(
+    const unsigned char* data, std::size_t size,
+    SectionChecks checks = SectionChecks::kAll);
+
+/// Fully structurally-validated contents of one blob. The fixed-width
+/// sections stay as aliases into the input bytes (read via the
+/// endian-stable Load* codecs, which compile to plain loads on
+/// little-endian hosts); the varint-compressed sections are decoded into
+/// owned vectors. Probability *semantics* (sums to one, reachability) are
+/// not checked here — CtGraph::Assemble and CtGraphView::CheckConsistency
+/// own those.
+struct BlobContents {
+  ParsedBlob parsed;
+
+  // Aliased little-endian sections.
+  const unsigned char* layer_begin = nullptr;  // (length + 1) x u32
+  const unsigned char* edge_rows = nullptr;    // (num_nodes + 1) x u32
+  const unsigned char* source_prob = nullptr;  // layer-0 count x double
+  const unsigned char* edge_prob = nullptr;    // num_edges x double
+
+  // Decoded varint sections, flattened into parallel arrays: densely packed
+  // sequential writes keep the decode loop memory-bound-friendly at
+  // multi-hundred-thousand-node scale (per-node NodeKey objects with inline
+  // small-vectors measurably dominated load time).
+  std::vector<LocationId> locations;    // one per node, id order
+  std::vector<Timestamp> deltas;        // one per node, id order
+  std::vector<std::uint32_t> tl_begin;  // num_nodes + 1 offsets into...
+  std::vector<Departure> departures;    // ...concatenated sorted TL lists
+  std::vector<NodeId> edge_targets;  // CSR order, next-layer membership held
+
+  std::uint32_t LayerBegin(std::int32_t t) const {
+    return LoadU32(layer_begin + std::size_t{4} * static_cast<std::size_t>(t));
+  }
+  std::uint32_t EdgeRow(std::uint64_t node) const {
+    return LoadU32(edge_rows + std::size_t{4} * node);
+  }
+};
+
+/// Runs ParseAndVerifyBlob and then decodes + validates every section:
+/// layer offsets (start at 0, strictly increase, end at num_nodes), node
+/// keys (field ranges, sorted TL lists, exact section consumption), CSR
+/// edge rows (start at 0, monotone, end at num_edges, empty exactly on the
+/// last layer) and edge targets (each lands in its source's next layer).
+/// On success the blob is safe to expose through bounds-trusting accessors.
+Result<BlobContents> ParseBlobContents(
+    const unsigned char* data, std::size_t size,
+    SectionChecks checks = SectionChecks::kAll);
+
+}  // namespace rfidclean::store
+
+#endif  // RFIDCLEAN_STORE_BLOB_LAYOUT_H_

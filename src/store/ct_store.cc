@@ -1,0 +1,446 @@
+#include "store/ct_store.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "store/blob_layout.h"
+#include "store/graph_codec.h"
+
+namespace rfidclean::store {
+
+namespace {
+
+Status StoreError(const std::string& path, const std::string& detail) {
+  return InvalidArgumentError(
+      StrFormat("ct-store %s: %s", path.c_str(), detail.c_str()));
+}
+
+Status IoError(const std::string& path, const char* op) {
+  return InternalError(StrFormat("ct-store %s: %s failed: %s", path.c_str(),
+                                 op, std::strerror(errno)));
+}
+
+std::string BuildIndexBlock(std::vector<StoreEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const StoreEntry& a, const StoreEntry& b) {
+              return a.sequence != b.sequence ? a.sequence < b.sequence
+                                              : a.offset < b.offset;
+            });
+  std::string block;
+  block.append(kIndexMagic, sizeof(kIndexMagic));
+  PutU32(&block, static_cast<std::uint32_t>(entries.size()));
+  PutU32(&block, 0);  // reserved
+  for (const StoreEntry& entry : entries) {
+    PutI64(&block, entry.tag);
+    PutU64(&block, entry.offset);
+    PutU64(&block, entry.size);
+    PutU32(&block, entry.blob_crc);
+    PutU32(&block, 0);  // flags
+    PutU64(&block, entry.sequence);
+  }
+  return block;
+}
+
+std::string BuildStoreHeader(std::uint32_t generation,
+                             std::uint64_t index_offset,
+                             const std::string& index_block) {
+  std::string header;
+  header.append(kStoreMagic, sizeof(kStoreMagic));
+  PutU32(&header, kFormatVersion);
+  PutU32(&header, generation);
+  PutU64(&header, index_offset);
+  PutU64(&header, index_block.size());
+  PutU32(&header, Crc32(index_block.data(), index_block.size()));
+  header.append(24, '\0');  // reserved [36, 60)
+  PutU32(&header, Crc32(header.data(), kStoreHeaderBytes - 4));
+  return header;
+}
+
+Status WriteAt(std::FILE* file, const std::string& path,
+               std::uint64_t offset, std::string_view bytes) {
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+    return IoError(path, "fseek");
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    return IoError(path, "fwrite");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- reader
+
+Result<CtStoreReader> CtStoreReader::Open(const std::string& path) {
+  CtStoreReader reader;
+  MmapFile mapped;
+  RFID_ASSIGN_OR_RETURN(mapped, MmapFile::Open(path));
+  reader.file_ = std::make_shared<const MmapFile>(std::move(mapped));
+  const unsigned char* data = reader.file_->data();
+  const std::size_t size = reader.file_->size();
+
+  if (size < kStoreHeaderBytes + kIndexHeaderBytes) {
+    return StoreError(path, StrFormat("file is only %zu bytes", size));
+  }
+  if (std::memcmp(data, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return StoreError(path, "bad magic (not a ct-store)");
+  }
+  const std::uint32_t stored_crc = LoadU32(data + kStoreHeaderBytes - 4);
+  const std::uint32_t computed_crc = Crc32(data, kStoreHeaderBytes - 4);
+  if (stored_crc != computed_crc) {
+    RFID_STATS(obs::Add(obs::Counter::kStoreCrcFailures));
+    return StoreError(path,
+                      StrFormat("header checksum mismatch (stored %08x, "
+                                "computed %08x)",
+                                stored_crc, computed_crc));
+  }
+  StoreHeader& header = reader.header_;
+  header.version = LoadU32(data + 8);
+  if (header.version != kFormatVersion) {
+    return StoreError(path, StrFormat("unsupported format version %u",
+                                      header.version));
+  }
+  header.generation = LoadU32(data + 12);
+  header.index_offset = LoadU64(data + 16);
+  header.index_size = LoadU64(data + 24);
+  header.index_crc = LoadU32(data + 32);
+
+  if (header.index_offset < kStoreHeaderBytes ||
+      header.index_offset % kSectionAlign != 0 ||
+      header.index_size < kIndexHeaderBytes ||
+      header.index_size > size ||
+      header.index_offset > size - header.index_size ||
+      (header.index_size - kIndexHeaderBytes) % kIndexEntryBytes != 0) {
+    return StoreError(
+        path, StrFormat("index block (%llu bytes at %llu) has invalid "
+                        "geometry for a %zu-byte file",
+                        static_cast<unsigned long long>(header.index_size),
+                        static_cast<unsigned long long>(header.index_offset),
+                        size));
+  }
+  const unsigned char* index = data + header.index_offset;
+  const std::uint32_t index_crc =
+      Crc32(index, static_cast<std::size_t>(header.index_size));
+  if (index_crc != header.index_crc) {
+    RFID_STATS(obs::Add(obs::Counter::kStoreCrcFailures));
+    return StoreError(path,
+                      StrFormat("index checksum mismatch (stored %08x, "
+                                "computed %08x)",
+                                header.index_crc, index_crc));
+  }
+  if (std::memcmp(index, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return StoreError(path, "index block has bad magic");
+  }
+  const std::uint32_t count = LoadU32(index + 8);
+  if (count !=
+      (header.index_size - kIndexHeaderBytes) / kIndexEntryBytes) {
+    return StoreError(path,
+                      StrFormat("index claims %u entries but holds %llu",
+                                count,
+                                static_cast<unsigned long long>(
+                                    (header.index_size - kIndexHeaderBytes) /
+                                    kIndexEntryBytes)));
+  }
+
+  reader.entries_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const unsigned char* raw =
+        index + kIndexHeaderBytes + std::size_t{kIndexEntryBytes} * i;
+    StoreEntry entry;
+    entry.tag = LoadI64(raw);
+    entry.offset = LoadU64(raw + 8);
+    entry.size = LoadU64(raw + 16);
+    entry.blob_crc = LoadU32(raw + 24);
+    const std::uint32_t flags = LoadU32(raw + 28);
+    entry.sequence = LoadU64(raw + 32);
+    if (flags != 0) {
+      return StoreError(path, StrFormat("index entry %u has unsupported "
+                                        "flags %08x",
+                                        i, flags));
+    }
+    if (entry.offset < kStoreHeaderBytes ||
+        entry.offset % kSectionAlign != 0 ||
+        entry.size < kBlobPreludeBytes ||
+        entry.size > header.index_offset ||
+        entry.offset > header.index_offset - entry.size) {
+      return StoreError(
+          path,
+          StrFormat("index entry %u (tag %lld) points outside the blob "
+                    "region",
+                    i, static_cast<long long>(entry.tag)));
+    }
+    if (!reader.by_tag_.emplace(entry.tag, reader.entries_.size()).second) {
+      return StoreError(path, StrFormat("duplicate index entry for tag %lld",
+                                        static_cast<long long>(entry.tag)));
+    }
+    reader.entries_.push_back(entry);
+  }
+  // Indexes are written in sequence order; re-sorting tolerates hand-made
+  // files and keeps ls output deterministic either way.
+  std::sort(reader.entries_.begin(), reader.entries_.end(),
+            [](const StoreEntry& a, const StoreEntry& b) {
+              return a.sequence != b.sequence ? a.sequence < b.sequence
+                                              : a.offset < b.offset;
+            });
+  for (std::size_t i = 0; i < reader.entries_.size(); ++i) {
+    reader.by_tag_[reader.entries_[i].tag] = i;
+  }
+  return reader;
+}
+
+std::size_t CtStoreReader::DeadBytes() const {
+  std::uint64_t used = kStoreHeaderBytes;
+  for (const StoreEntry& entry : entries_) used += AlignUp(entry.size);
+  used += AlignUp(header_.index_size);
+  const std::size_t size = file_->size();
+  return size > used ? size - static_cast<std::size_t>(used) : 0;
+}
+
+const StoreEntry* CtStoreReader::Find(std::int64_t tag) const {
+  const auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? nullptr : &entries_[it->second];
+}
+
+Result<CtGraphView> CtStoreReader::LoadView(std::int64_t tag,
+                                            MapVerify verify) const {
+  const StoreEntry* entry = Find(tag);
+  if (entry == nullptr) {
+    return NotFoundError(StrFormat("tag %lld not in store",
+                                   static_cast<long long>(tag)));
+  }
+  return CtGraphView::Map(file_->data() + entry->offset,
+                          static_cast<std::size_t>(entry->size), file_,
+                          verify);
+}
+
+Result<CtGraph> CtStoreReader::LoadGraph(std::int64_t tag) const {
+  const StoreEntry* entry = Find(tag);
+  if (entry == nullptr) {
+    return NotFoundError(StrFormat("tag %lld not in store",
+                                   static_cast<long long>(tag)));
+  }
+  return DecodeCtGraphBlob(file_->data() + entry->offset,
+                           static_cast<std::size_t>(entry->size));
+}
+
+Result<std::string> CtStoreReader::ReadBlobBytes(std::int64_t tag) const {
+  const StoreEntry* entry = Find(tag);
+  if (entry == nullptr) {
+    return NotFoundError(StrFormat("tag %lld not in store",
+                                   static_cast<long long>(tag)));
+  }
+  return std::string(
+      reinterpret_cast<const char*>(file_->data() + entry->offset),
+      static_cast<std::size_t>(entry->size));
+}
+
+Status CtStoreReader::VerifyAll() const {
+  for (const StoreEntry& entry : entries_) {
+    const unsigned char* blob = file_->data() + entry.offset;
+    const std::uint32_t crc =
+        Crc32(blob, static_cast<std::size_t>(entry.size));
+    if (crc != entry.blob_crc) {
+      RFID_STATS(obs::Add(obs::Counter::kStoreCrcFailures));
+      return InvalidArgumentError(
+          StrFormat("tag %lld: index blob checksum mismatch (stored %08x, "
+                    "computed %08x)",
+                    static_cast<long long>(entry.tag), entry.blob_crc, crc));
+    }
+    Result<CtGraph> graph =
+        DecodeCtGraphBlob(blob, static_cast<std::size_t>(entry.size));
+    if (!graph.ok()) {
+      return InvalidArgumentError(
+          StrFormat("tag %lld: %s", static_cast<long long>(entry.tag),
+                    graph.status().message().c_str()));
+    }
+    // The zero-copy path gets the same deep treatment: digest recompute
+    // plus semantic invariants over the mapped bytes (MapVerify::kFull).
+    Result<CtGraphView> view = LoadView(entry.tag, MapVerify::kFull);
+    if (!view.ok()) {
+      return InvalidArgumentError(
+          StrFormat("tag %lld (view): %s", static_cast<long long>(entry.tag),
+                    view.status().message().c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- writer
+
+CtStoreWriter::CtStoreWriter(CtStoreWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      append_offset_(other.append_offset_),
+      generation_(other.generation_),
+      next_sequence_(other.next_sequence_),
+      live_(std::move(other.live_)),
+      by_tag_(std::move(other.by_tag_)),
+      dirty_(std::exchange(other.dirty_, false)) {}
+
+CtStoreWriter& CtStoreWriter::operator=(CtStoreWriter&& other) noexcept {
+  if (this != &other) {
+    if (dirty_) (void)Finish();
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    append_offset_ = other.append_offset_;
+    generation_ = other.generation_;
+    next_sequence_ = other.next_sequence_;
+    live_ = std::move(other.live_);
+    by_tag_ = std::move(other.by_tag_);
+    dirty_ = std::exchange(other.dirty_, false);
+  }
+  return *this;
+}
+
+CtStoreWriter::~CtStoreWriter() {
+  if (dirty_) (void)Finish();  // best effort; errors already surfaced by Put
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<CtStoreWriter> CtStoreWriter::CreateEmpty(const std::string& path,
+                                                 bool must_not_exist) {
+  std::FILE* file = std::fopen(path.c_str(), must_not_exist ? "wbx" : "wb");
+  if (file == nullptr) {
+    if (must_not_exist && errno == EEXIST) {
+      return FailedPreconditionError(
+          StrFormat("ct-store %s already exists", path.c_str()));
+    }
+    return IoError(path, "fopen");
+  }
+  CtStoreWriter writer;
+  writer.file_ = file;
+  writer.path_ = path;
+  const std::string index = BuildIndexBlock({});
+  const std::string header =
+      BuildStoreHeader(/*generation=*/0, kStoreHeaderBytes, index);
+  RFID_RETURN_IF_ERROR(WriteAt(file, path, 0, header));
+  RFID_RETURN_IF_ERROR(WriteAt(file, path, kStoreHeaderBytes, index));
+  if (std::fflush(file) != 0) return IoError(path, "fflush");
+  writer.append_offset_ = AlignUp(kStoreHeaderBytes + index.size());
+  return writer;
+}
+
+Result<CtStoreWriter> CtStoreWriter::Create(const std::string& path,
+                                            bool truncate) {
+  return CreateEmpty(path, /*must_not_exist=*/!truncate);
+}
+
+Result<CtStoreWriter> CtStoreWriter::OpenOrCreate(const std::string& path) {
+  {
+    // Probe without creating; ENOENT falls through to CreateEmpty.
+    std::FILE* probe = std::fopen(path.c_str(), "rb");
+    if (probe == nullptr) {
+      return CreateEmpty(path, /*must_not_exist=*/true);
+    }
+    std::fclose(probe);
+  }
+  CtStoreReader reader;
+  RFID_ASSIGN_OR_RETURN(reader, CtStoreReader::Open(path));
+
+  CtStoreWriter writer;
+  writer.path_ = path;
+  writer.file_ = std::fopen(path.c_str(), "r+b");
+  if (writer.file_ == nullptr) return IoError(path, "fopen");
+  writer.generation_ = reader.generation();
+  writer.live_ = reader.entries();
+  for (std::size_t i = 0; i < writer.live_.size(); ++i) {
+    writer.by_tag_[writer.live_[i].tag] = i;
+    writer.next_sequence_ =
+        std::max(writer.next_sequence_, writer.live_[i].sequence + 1);
+  }
+  // Appends go past the current index so a crash before Finish leaves the
+  // old header -> old index chain fully intact.
+  writer.append_offset_ = AlignUp(reader.FileBytes());
+  return writer;
+}
+
+Status CtStoreWriter::Put(std::int64_t tag, std::string_view blob) {
+  RFID_CHECK(file_ != nullptr);
+  if (blob.size() < kBlobPreludeBytes ||
+      std::memcmp(blob.data(), kBlobMagic, sizeof(kBlobMagic)) != 0) {
+    return InvalidArgumentError(
+        StrFormat("tag %lld: bytes are not a ct-graph blob",
+                  static_cast<long long>(tag)));
+  }
+  RFID_RETURN_IF_ERROR(WriteAt(file_, path_, append_offset_, blob));
+  const std::uint64_t padded = AlignUp(blob.size());
+  if (padded > blob.size()) {
+    const std::string padding(padded - blob.size(), '\0');
+    RFID_RETURN_IF_ERROR(
+        WriteAt(file_, path_, append_offset_ + blob.size(), padding));
+  }
+  StoreEntry entry;
+  entry.tag = tag;
+  entry.offset = append_offset_;
+  entry.size = blob.size();
+  entry.blob_crc = Crc32(blob.data(), blob.size());
+  entry.sequence = next_sequence_++;
+  const auto it = by_tag_.find(tag);
+  if (it != by_tag_.end()) {
+    live_[it->second] = entry;  // supersede in place; old bytes leak
+  } else {
+    by_tag_[tag] = live_.size();
+    live_.push_back(entry);
+  }
+  append_offset_ += padded;
+  dirty_ = true;
+  return Status::Ok();
+}
+
+Status CtStoreWriter::Finish() {
+  RFID_CHECK(file_ != nullptr);
+  if (!dirty_) return Status::Ok();
+  const std::string index = BuildIndexBlock(live_);
+  const std::uint64_t index_offset = append_offset_;
+  RFID_RETURN_IF_ERROR(WriteAt(file_, path_, index_offset, index));
+  if (std::fflush(file_) != 0) return IoError(path_, "fflush");
+  const std::string header =
+      BuildStoreHeader(generation_ + 1, index_offset, index);
+  RFID_RETURN_IF_ERROR(WriteAt(file_, path_, 0, header));
+  if (std::fflush(file_) != 0) return IoError(path_, "fflush");
+  ++generation_;
+  append_offset_ = AlignUp(index_offset + index.size());
+  dirty_ = false;
+  return Status::Ok();
+}
+
+// ------------------------------------------------------------ compaction
+
+Result<CompactionStats> CompactCtStore(const std::string& path) {
+  CtStoreReader reader;
+  RFID_ASSIGN_OR_RETURN(reader, CtStoreReader::Open(path));
+  CompactionStats stats;
+  stats.bytes_before = reader.FileBytes();
+  stats.blobs = reader.entries().size();
+
+  const std::string tmp = path + ".tmp";
+  {
+    CtStoreWriter writer;
+    RFID_ASSIGN_OR_RETURN(writer,
+                          CtStoreWriter::Create(tmp, /*truncate=*/true));
+    for (const StoreEntry& entry : reader.entries()) {
+      std::string blob;
+      RFID_ASSIGN_OR_RETURN(blob, reader.ReadBlobBytes(entry.tag));
+      RFID_RETURN_IF_ERROR(writer.Put(entry.tag, blob));
+    }
+    RFID_RETURN_IF_ERROR(writer.Finish());
+  }
+  {
+    CtStoreReader compacted;
+    RFID_ASSIGN_OR_RETURN(compacted, CtStoreReader::Open(tmp));
+    stats.bytes_after = compacted.FileBytes();
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return IoError(path, "rename");
+  }
+  return stats;
+}
+
+}  // namespace rfidclean::store

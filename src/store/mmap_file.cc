@@ -1,0 +1,58 @@
+#include "store/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace rfidclean::store {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    const std::string message =
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(err));
+    if (err == ENOENT) return NotFoundError(message);
+    return InvalidArgumentError(message);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return InvalidArgumentError(
+        StrFormat("cannot stat %s or not a regular file", path.c_str()));
+  }
+
+  MmapFile file;
+  if (st.st_size > 0) {
+    void* mapped = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return InvalidArgumentError(StrFormat("cannot mmap %s: %s",
+                                            path.c_str(),
+                                            std::strerror(err)));
+    }
+    file.data_ = static_cast<const unsigned char*>(mapped);
+    file.size_ = static_cast<std::size_t>(st.st_size);
+  }
+  // The mapping survives the descriptor.
+  ::close(fd);
+  return file;
+}
+
+void MmapFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace rfidclean::store

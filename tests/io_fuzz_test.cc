@@ -242,6 +242,85 @@ TEST(IoRegressionTest, MultiTagOverflowingTimestampIsRejected) {
             std::string::npos);
 }
 
+// Minimal valid ct-graph document shared by the ReadCtGraph diagnostic
+// tests below: two sources, one target, every line hand-addressable.
+constexpr char kMiniCtGraph[] =
+    "ctgraph 2 3\n"
+    "node 0 0 1 -1 0.5\n"
+    "node 1 0 2 -1 0.5\n"
+    "node 2 1 1 -1 0\n"
+    "edge 0 2 1\n"
+    "edge 1 2 1\n";
+
+TEST(IoRegressionTest, MiniCtGraphDocumentIsValid) {
+  std::istringstream is(kMiniCtGraph);
+  Result<CtGraph> parsed = ReadCtGraph(is);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().NumNodes(), 3u);
+}
+
+TEST(IoRegressionTest, CtGraphDuplicateNodeRowIsRejectedWithLineNumber) {
+  // Without the check the second row silently overwrites the first but
+  // keeps its edges — a mangled graph that can still pass Assemble.
+  std::istringstream is(std::string(kMiniCtGraph) + "node 1 0 2 -1 0.5\n");
+  Result<CtGraph> parsed = ReadCtGraph(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(
+      parsed.status().message().find("line 7: duplicate row for node 1"),
+      std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(IoRegressionTest, CtGraphMissingNodeRowIsRejectedByName) {
+  // Drop the "node 1" row: the default-constructed node would otherwise
+  // surface as a confusing Assemble failure instead of naming the gap.
+  std::istringstream is(
+      "ctgraph 2 3\n"
+      "node 0 0 1 -1 0.5\n"
+      "node 2 1 1 -1 0\n"
+      "edge 0 2 1\n");
+  Result<CtGraph> parsed = ReadCtGraph(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find(
+                "node 1 declared in header but has no 'node' row"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(IoRegressionTest, CtGraphEdgeTargetOutOfRangeIsRejectedWithLineNumber) {
+  std::istringstream is(std::string(kMiniCtGraph) + "edge 0 999 0.5\n");
+  Result<CtGraph> parsed = ReadCtGraph(is);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(parsed.status().message().find("line 7: edge target out of"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(IoRegressionTest, CtGraphNonFiniteProbabilitiesAreRejected) {
+  for (const char* bad : {"inf", "-inf", "nan"}) {
+    std::istringstream node_is(
+        StrFormat("ctgraph 2 3\nnode 0 0 1 -1 %s\n", bad));
+    Result<CtGraph> node_parsed = ReadCtGraph(node_is);
+    ASSERT_FALSE(node_parsed.ok()) << bad;
+    EXPECT_NE(node_parsed.status().message().find(
+                  "line 2: non-finite source probability"),
+              std::string::npos)
+        << node_parsed.status().message();
+
+    std::istringstream edge_is(std::string(kMiniCtGraph) +
+                               StrFormat("edge 0 2 %s\n", bad));
+    Result<CtGraph> edge_parsed = ReadCtGraph(edge_is);
+    ASSERT_FALSE(edge_parsed.ok()) << bad;
+    EXPECT_NE(edge_parsed.status().message().find(
+                  "line 7: non-finite edge probability"),
+              std::string::npos)
+        << edge_parsed.status().message();
+  }
+}
+
 TEST(IoRegressionTest, NonFiniteBuildingCoordinatesAreRejected) {
   // std::from_chars accepts "inf"/"nan" spellings for doubles; non-finite
   // geometry would poison every walking-distance computation downstream.

@@ -1,0 +1,207 @@
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_audit.h"
+#include "common/rng.h"
+#include "constraints/constraint_set.h"
+#include "core/builder.h"
+#include "io/ctgraph_io.h"
+#include "model/lsequence.h"
+#include "query/marginals.h"
+#include "query/most_likely.h"
+#include "store/ct_store.h"
+#include "store/ctgraph_view.h"
+#include "store/graph_codec.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using store::CtGraphView;
+using store::CtStoreReader;
+using store::CtStoreWriter;
+using store::DecodeCtGraphBlob;
+using store::EncodeCtGraphBlob;
+using store::MapVerify;
+
+/// Randomized round-trip property: for random cleaned graphs, every
+/// serialization path — text, binary blob, zero-copy mmap view, container
+/// — must reproduce the graph bit for bit: identical FNV digests,
+/// identical text bytes, identical blob bytes (the v1 encoding is
+/// canonical), and bit-identical query answers (marginals, most-likely
+/// trajectory) between the owning graph and the mapped view. The analysis
+/// self-audit hook is armed for the whole test, so every decode re-audits
+/// the reconstructed graph.
+///
+/// 20 seeds x 10 instances = 200 random graphs per run.
+class StoreRoundTripPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { EnableSelfAudit(); }
+  void TearDown() override { DisableSelfAudit(); }
+
+  struct Instance {
+    LSequence sequence;
+    ConstraintSet constraints{1};
+  };
+
+  static Instance MakeRandomInstance(Rng& rng) {
+    Instance instance;
+    const std::size_t num_locations =
+        static_cast<std::size_t>(rng.UniformInt(3, 6));
+    const Timestamp length = static_cast<Timestamp>(rng.UniformInt(2, 8));
+
+    std::vector<std::vector<Candidate>> candidates;
+    for (Timestamp t = 0; t < length; ++t) {
+      int k = rng.UniformInt(1, 3);
+      std::vector<LocationId> locations(num_locations);
+      for (std::size_t i = 0; i < num_locations; ++i) {
+        locations[i] = static_cast<LocationId>(i);
+      }
+      std::vector<Candidate> at_t;
+      double total = 0.0;
+      for (int i = 0; i < k; ++i) {
+        std::size_t j = i + rng.UniformIndex(locations.size() - i);
+        std::swap(locations[static_cast<std::size_t>(i)], locations[j]);
+        double weight = rng.UniformDouble(0.1, 1.0);
+        at_t.push_back(
+            Candidate{locations[static_cast<std::size_t>(i)], weight});
+        total += weight;
+      }
+      for (Candidate& candidate : at_t) candidate.probability /= total;
+      candidates.push_back(std::move(at_t));
+    }
+    Result<LSequence> sequence = LSequence::Create(std::move(candidates));
+    RFID_CHECK(sequence.ok());
+    instance.sequence = std::move(sequence).value();
+
+    ConstraintSet constraints(num_locations);
+    for (std::size_t a = 0; a < num_locations; ++a) {
+      for (std::size_t b = 0; b < num_locations; ++b) {
+        if (a == b) continue;
+        if (rng.Bernoulli(0.2)) {
+          constraints.AddUnreachable(static_cast<LocationId>(a),
+                                     static_cast<LocationId>(b));
+        } else if (rng.Bernoulli(0.15)) {
+          constraints.AddTravelingTime(
+              static_cast<LocationId>(a), static_cast<LocationId>(b),
+              static_cast<Timestamp>(rng.UniformInt(2, 4)));
+        }
+      }
+      if (rng.Bernoulli(0.25)) {
+        constraints.AddLatency(static_cast<LocationId>(a),
+                               static_cast<Timestamp>(rng.UniformInt(2, 3)));
+      }
+    }
+    instance.constraints = std::move(constraints);
+    return instance;
+  }
+
+  static std::string ToText(const CtGraph& graph) {
+    std::ostringstream os;
+    WriteCtGraph(graph, os);
+    return os.str();
+  }
+};
+
+TEST_P(StoreRoundTripPropertyTest, AllSerializationPathsAreBitFaithful) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/41);
+  const std::string store_path =
+      ::testing::TempDir() + "store_property_" +
+      std::to_string(GetParam()) + ".cts";
+  std::remove(store_path.c_str());
+
+  std::vector<std::pair<std::int64_t, std::uint64_t>> stored_digests;
+  int built = 0;
+  for (int round = 0; round < 10; ++round) {
+    Instance instance = MakeRandomInstance(rng);
+    CtGraphBuilder builder(instance.constraints);
+    Result<CtGraph> built_graph = builder.Build(instance.sequence);
+    if (!built_graph.ok()) {
+      // Over-constrained instance (no valid trajectory): nothing to store.
+      ASSERT_EQ(built_graph.status().code(), StatusCode::kFailedPrecondition)
+          << built_graph.status().ToString();
+      continue;
+    }
+    ++built;
+    const CtGraph& graph = built_graph.value();
+    const std::uint64_t digest = graph.Digest();
+    const std::string text = ToText(graph);
+
+    // Text round trip: parse back, digest-identical, re-serializes to the
+    // same bytes.
+    std::istringstream is(text);
+    Result<CtGraph> reread = ReadCtGraph(is);
+    ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+    EXPECT_EQ(reread.value().Digest(), digest);
+    EXPECT_EQ(ToText(reread.value()), text);
+
+    // Binary round trip through the materializing decoder (the armed
+    // self-audit hook re-audits the decoded graph inside).
+    const store::GraphProvenance provenance{instance.sequence.Digest(),
+                                            instance.constraints.Digest()};
+    const std::string blob = EncodeCtGraphBlob(graph, round, provenance);
+    Result<CtGraph> decoded = DecodeCtGraphBlob(blob);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().Digest(), digest);
+    EXPECT_EQ(ToText(decoded.value()), text);
+
+    // The v1 encoding is canonical: re-encoding the decoded graph must
+    // reproduce the exact blob bytes.
+    EXPECT_EQ(EncodeCtGraphBlob(decoded.value(), round, provenance), blob);
+
+    // Zero-copy view under full verification: provenance fields, digest,
+    // and bit-identical query answers against the owning graph.
+    Result<CtGraphView> view = CtGraphView::Map(
+        reinterpret_cast<const unsigned char*>(blob.data()), blob.size(),
+        MapVerify::kFull);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value().tag(), round);
+    EXPECT_EQ(view.value().input_digest(), provenance.input_digest);
+    EXPECT_EQ(view.value().constraint_digest(), provenance.constraint_digest);
+    EXPECT_EQ(view.value().Digest(), digest);
+    EXPECT_EQ(NodeMarginalsOf(view.value()), NodeMarginals(graph));
+    const auto [view_path, view_prob] =
+        MostLikelyTrajectoryOf(view.value());
+    const auto [graph_path, graph_prob] = MostLikelyTrajectory(graph);
+    EXPECT_EQ(view_path, graph_path);
+    EXPECT_EQ(view_prob, graph_prob);
+
+    // binary -> mmap view -> owning copy -> text: still byte-identical.
+    Result<CtGraph> materialized = view.value().Materialize();
+    ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+    EXPECT_EQ(ToText(materialized.value()), text);
+
+    // Accumulate into the container; verified below through the reader.
+    Result<CtStoreWriter> writer = CtStoreWriter::OpenOrCreate(store_path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer.value().Put(round, blob).ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+    stored_digests.emplace_back(round, digest);
+  }
+  ASSERT_GT(built, 0) << "every random instance was over-constrained";
+
+  // Container round trip: every stored tag loads as a fully verified view
+  // with the recorded digest, and the whole store passes the deep check.
+  Result<CtStoreReader> reader = CtStoreReader::Open(store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_EQ(reader.value().entries().size(), stored_digests.size());
+  for (const auto& [tag, digest] : stored_digests) {
+    Result<CtGraphView> view =
+        reader.value().LoadView(tag, MapVerify::kFull);
+    ASSERT_TRUE(view.ok()) << view.status().ToString();
+    EXPECT_EQ(view.value().Digest(), digest);
+  }
+  EXPECT_TRUE(reader.value().VerifyAll().ok());
+  std::remove(store_path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreRoundTripPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace rfidclean

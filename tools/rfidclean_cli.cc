@@ -9,11 +9,14 @@
 //
 //   rfidclean_cli clean --dir DIR [--families DU|DU+LT|DU+LT+TT]
 //                       [--seed 1] [--dot graph.dot] [--jobs N]
+//                       [--store FILE]
 //       Cleans DIR/readings.csv against DIR/building.map and writes
 //       DIR/graph.ctg (plus an optional GraphViz rendering). A multi-tag
 //       readings file (header "tag,time,readers") is cleaned as a batch
 //       on N worker threads (runtime/batch_cleaner.h), one
-//       DIR/graph_<tag>.ctg per tag.
+//       DIR/graph_<tag>.ctg per tag. With --store FILE the cleaned graphs
+//       go into one binary ct-store container instead of per-tag text
+//       files (with per-blob input/constraint provenance digests).
 //
 //   rfidclean_cli check-constraints --dir DIR [--families ...] [--seed 1]
 //                                   [--json FILE]
@@ -22,8 +25,19 @@
 //       implied constraints (infos), printed as a report and optionally
 //       written as JSON. Exits nonzero only on errors.
 //
-//   rfidclean_cli stay --dir DIR --time T
-//       Conditioned location distribution at time T from DIR/graph.ctg.
+//   rfidclean_cli stay --dir DIR --time T [--store FILE --tag T]
+//       Conditioned location distribution at time T from DIR/graph.ctg,
+//       or zero-copy from a mapped ct-store blob with --store/--tag.
+//
+//   rfidclean_cli store <ls|get|put|compact|verify> --store FILE ...
+//       Operations on a binary ct-store container (docs/FORMATS.md):
+//         ls                          list live blobs and space usage
+//         get --tag T --out F [--raw] extract one graph (text .ctg, or the
+//                                     raw blob bytes with --raw)
+//         put --tag T --in F          encode a text .ctg into the store
+//         compact                     rewrite dropping superseded bytes
+//         verify                      full checksum+invariant+digest check
+//                                     of every live blob
 //
 //   rfidclean_cli pattern --dir DIR --pattern "? F0.RoomA[5] ?"
 //       Probability that the trajectory matches the pattern.
@@ -76,6 +90,9 @@
 #include "rfid/calibration.h"
 #include "rfid/reader_placement.h"
 #include "runtime/batch_cleaner.h"
+#include "store/ct_store.h"
+#include "store/ctgraph_view.h"
+#include "store/graph_codec.h"
 
 namespace rfidclean::cli {
 namespace {
@@ -379,11 +396,14 @@ struct CleanObs {
 };
 
 /// The multi-tag batch path of `clean`: every tag cleaned concurrently on
-/// --jobs workers, one graph_<tag>.ctg per successfully cleaned tag.
+/// --jobs workers; one graph_<tag>.ctg per successfully cleaned tag, or —
+/// with `store_path` — every cleaned graph appended to one binary
+/// ct-store container instead.
 int CleanBatch(const std::string& dir, const Building& building,
                const Deployment& deployment, const ConstraintSet& constraints,
                ConstraintFamilies families, bool audit, bool preflight,
-               int jobs, CleanObs* observability) {
+               int jobs, const std::string& store_path,
+               CleanObs* observability) {
   std::ifstream is(dir + "/readings.csv");
   if (!is) return Fail("cannot open readings.csv");
   Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
@@ -412,9 +432,19 @@ int CleanBatch(const std::string& dir, const Building& building,
   std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
   const double millis = watch.ElapsedMillis();
 
+  std::optional<store::CtStoreWriter> writer;
+  if (!store_path.empty()) {
+    Result<store::CtStoreWriter> opened =
+        store::CtStoreWriter::OpenOrCreate(store_path);
+    if (!opened.ok()) return Fail(opened.status());
+    writer.emplace(std::move(opened).value());
+  }
+  const std::uint64_t constraint_digest = constraints.Digest();
+
   int failures = 0;
   std::size_t nodes = 0;
-  for (const TagOutcome& outcome : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const TagOutcome& outcome = outcomes[i];
     if (!outcome.graph.ok()) {
       ++failures;
       std::fprintf(stderr, "tag %lld: %s\n",
@@ -427,20 +457,37 @@ int CleanBatch(const std::string& dir, const Building& building,
                   AuditGraph(outcome.graph.value()).ToString().c_str());
     }
     nodes += outcome.graph.value().NumNodes();
+    if (writer.has_value()) {
+      RFID_TRACE_SPAN(span, "store", "store_append");
+      store::GraphProvenance provenance;
+      provenance.input_digest = workloads[i].sequence.Digest();
+      provenance.constraint_digest = constraint_digest;
+      const std::string blob = store::EncodeCtGraphBlob(
+          outcome.graph.value(), outcome.tag, provenance);
+      Status put = writer->Put(outcome.tag, blob);
+      if (!put.ok()) return Fail(put);
+      continue;
+    }
     std::ofstream os(
         dir + StrFormat("/graph_%lld.ctg",
                         static_cast<long long>(outcome.tag)));
     if (!os) return Fail("cannot write per-tag graph file");
     WriteCtGraph(outcome.graph.value(), os);
   }
+  if (writer.has_value()) {
+    Status finished = writer->Finish();
+    if (!finished.ok()) return Fail(finished);
+  }
   std::printf(
       "cleaned %zu/%zu tags under %s with %d jobs in %.1f ms "
-      "(%.1f tags/s, %zu total nodes) -> %s/graph_<tag>.ctg\n",
+      "(%.1f tags/s, %zu total nodes) -> %s\n",
       outcomes.size() - static_cast<std::size_t>(failures), outcomes.size(),
       ConstraintFamiliesLabel(families).c_str(), cleaner.jobs(), millis,
       millis > 0 ? 1000.0 * static_cast<double>(outcomes.size()) / millis
                  : 0.0,
-      nodes, dir.c_str());
+      nodes,
+      store_path.empty() ? (dir + "/graph_<tag>.ctg").c_str()
+                         : store_path.c_str());
   if (observability->stats_path.has_value()) {
     if (EmitStats(*observability->stats_path) != 0) return 1;
     observability->stats_written = true;
@@ -477,9 +524,11 @@ int CleanImpl(const Args& args, const std::string& dir,
     EnableSelfAudit();
   }
 
+  const std::string store_path = args.Get("store", "");
   if (HasMultiTagReadings(dir)) {
     return CleanBatch(dir, building.value(), deployment, constraints.value(),
-                      families, audit, preflight, *jobs, observability);
+                      families, audit, preflight, *jobs, store_path,
+                      observability);
   }
 
   Result<RSequence> readings = LoadReadings(dir);
@@ -511,7 +560,21 @@ int CleanImpl(const Args& args, const std::string& dir,
   if (audit) {
     std::printf("%s\n", AuditGraph(graph.value()).ToString().c_str());
   }
-  {
+  if (!store_path.empty()) {
+    RFID_TRACE_SPAN(span, "store", "store_append");
+    Result<store::CtStoreWriter> writer =
+        store::CtStoreWriter::OpenOrCreate(store_path);
+    if (!writer.ok()) return Fail(writer.status());
+    store::GraphProvenance provenance;
+    provenance.input_digest = sequence.Digest();
+    provenance.constraint_digest = constraints.value().Digest();
+    const std::string blob =
+        store::EncodeCtGraphBlob(graph.value(), /*tag=*/0, provenance);
+    Status put = writer->Put(/*tag=*/0, blob);
+    if (!put.ok()) return Fail(put);
+    Status finished = writer->Finish();
+    if (!finished.ok()) return Fail(finished);
+  } else {
     std::ofstream os(dir + "/graph.ctg");
     if (!os) return Fail("cannot write graph.ctg");
     WriteCtGraph(graph.value(), os);
@@ -523,11 +586,12 @@ int CleanImpl(const Args& args, const std::string& dir,
     WriteDot(graph.value(), os, &building.value());
   }
   std::printf(
-      "cleaned %d ticks under %s in %.1f ms: %zu nodes, %zu edges -> "
-      "%s/graph.ctg\n",
+      "cleaned %d ticks under %s in %.1f ms: %zu nodes, %zu edges -> %s\n",
       sequence.length(), ConstraintFamiliesLabel(families).c_str(),
       stats.TotalMillis(), graph.value().NumNodes(),
-      graph.value().NumEdges(), dir.c_str());
+      graph.value().NumEdges(),
+      store_path.empty() ? (dir + "/graph.ctg").c_str()
+                         : store_path.c_str());
   if (observability->stats_path.has_value()) {
     if (EmitStats(*observability->stats_path) != 0) return 1;
     observability->stats_written = true;
@@ -647,20 +711,161 @@ int Stay(const Args& args) {
   const std::string dir = args.Get("dir", ".");
   Result<Building> building = LoadBuilding(dir);
   if (!building.ok()) return Fail(building.status());
+  const Timestamp time = static_cast<Timestamp>(args.GetInt("time", 0));
+
+  auto print_distribution = [&](const auto& evaluator, Timestamp t) {
+    std::printf("P(location at t=%d):\n", t);
+    for (const auto& [location, probability] : evaluator.Evaluate(t)) {
+      std::printf("  %-16s %.4f\n",
+                  building.value().location(location).name.c_str(),
+                  probability);
+    }
+  };
+
+  const std::string store_path = args.Get("store", "");
+  if (!store_path.empty()) {
+    // Zero-copy path: evaluate straight off the mapped container blob.
+    const std::optional<int> tag = args.GetStrictInt("tag", 0);
+    if (!tag.has_value()) return Fail("--tag must be an integer");
+    Result<store::CtStoreReader> reader =
+        store::CtStoreReader::Open(store_path);
+    if (!reader.ok()) return Fail(reader.status());
+    Result<store::CtGraphView> view = reader.value().LoadView(*tag);
+    if (!view.ok()) return Fail(view.status());
+    if (time < 0 || time >= view.value().length()) {
+      return Fail("--time outside the monitored interval");
+    }
+    StayQueryEvaluatorT<store::CtGraphView> evaluator(view.value());
+    print_distribution(evaluator, time);
+    return 0;
+  }
+
   Result<CtGraph> graph = LoadGraph(dir);
   if (!graph.ok()) return Fail(graph.status());
-  Timestamp time = static_cast<Timestamp>(args.GetInt("time", 0));
   if (time < 0 || time >= graph.value().length()) {
     return Fail("--time outside the monitored interval");
   }
   StayQueryEvaluator evaluator(graph.value());
-  std::printf("P(location at t=%d):\n", time);
-  for (const auto& [location, probability] : evaluator.Evaluate(time)) {
-    std::printf("  %-16s %.4f\n",
-                building.value().location(location).name.c_str(),
-                probability);
-  }
+  print_distribution(evaluator, time);
   return 0;
+}
+
+/// The `store` subcommand family: operations on a ct-store container.
+int StoreCmd(int argc, char** argv) {
+  if (argc < 3) return Fail("usage: rfidclean_cli store <ls|get|put|compact|"
+                            "verify> --store FILE ...");
+  const std::string verb = argv[2];
+  Args args(argc, argv, 3);
+  const std::string path = args.Get("store", "");
+  if (path.empty()) return Fail("missing --store FILE");
+
+  if (verb == "ls") {
+    Result<store::CtStoreReader> reader = store::CtStoreReader::Open(path);
+    if (!reader.ok()) return Fail(reader.status());
+    for (const store::StoreEntry& entry : reader.value().entries()) {
+      Result<std::string> bytes = reader.value().ReadBlobBytes(entry.tag);
+      if (!bytes.ok()) return Fail(bytes.status());
+      Result<store::BlobInfo> blob = store::InspectCtGraphBlob(
+          reinterpret_cast<const unsigned char*>(bytes.value().data()),
+          bytes.value().size());
+      if (!blob.ok()) return Fail(blob.status());
+      std::printf(
+          "tag %-8lld seq %-6llu %10llu bytes  T=%-6d %8llu nodes %9llu "
+          "edges  graph=%016llx input=%016llx constraints=%016llx\n",
+          static_cast<long long>(entry.tag),
+          static_cast<unsigned long long>(entry.sequence),
+          static_cast<unsigned long long>(entry.size),
+          blob.value().header.length,
+          static_cast<unsigned long long>(blob.value().header.num_nodes),
+          static_cast<unsigned long long>(blob.value().header.num_edges),
+          static_cast<unsigned long long>(blob.value().header.graph_digest),
+          static_cast<unsigned long long>(blob.value().header.input_digest),
+          static_cast<unsigned long long>(
+              blob.value().header.constraint_digest));
+    }
+    std::printf("store: generation %u, %zu blobs, %s (%s dead)\n",
+                reader.value().generation(),
+                reader.value().entries().size(),
+                HumanBytes(reader.value().FileBytes()).c_str(),
+                HumanBytes(reader.value().DeadBytes()).c_str());
+    return 0;
+  }
+
+  if (verb == "get") {
+    const std::optional<int> tag = args.GetStrictInt("tag", 0);
+    if (!tag.has_value()) return Fail("--tag must be an integer");
+    const std::string out = args.Get("out", "");
+    if (out.empty()) return Fail("missing --out FILE");
+    Result<store::CtStoreReader> reader = store::CtStoreReader::Open(path);
+    if (!reader.ok()) return Fail(reader.status());
+    if (args.GetBool("raw", false)) {
+      Result<std::string> bytes = reader.value().ReadBlobBytes(*tag);
+      if (!bytes.ok()) return Fail(bytes.status());
+      std::ofstream os(out, std::ios::binary);
+      if (!os) return Fail(("cannot write " + out).c_str());
+      os.write(bytes.value().data(),
+               static_cast<std::streamsize>(bytes.value().size()));
+      if (!os.good()) return Fail(("cannot write " + out).c_str());
+      std::printf("tag %d -> %s (%zu blob bytes)\n", *tag, out.c_str(),
+                  bytes.value().size());
+      return 0;
+    }
+    Result<CtGraph> graph = reader.value().LoadGraph(*tag);
+    if (!graph.ok()) return Fail(graph.status());
+    std::ofstream os(out);
+    if (!os) return Fail(("cannot write " + out).c_str());
+    WriteCtGraph(graph.value(), os);
+    if (!os.good()) return Fail(("cannot write " + out).c_str());
+    std::printf("tag %d -> %s (%zu nodes, %zu edges)\n", *tag, out.c_str(),
+                graph.value().NumNodes(), graph.value().NumEdges());
+    return 0;
+  }
+
+  if (verb == "put") {
+    const std::optional<int> tag = args.GetStrictInt("tag", 0);
+    if (!tag.has_value()) return Fail("--tag must be an integer");
+    const std::string in = args.Get("in", "");
+    if (in.empty()) return Fail("missing --in FILE");
+    std::ifstream is(in);
+    if (!is) return Fail(("cannot open " + in).c_str());
+    Result<CtGraph> graph = ReadCtGraph(is);
+    if (!graph.ok()) return Fail(graph.status());
+    Result<store::CtStoreWriter> writer =
+        store::CtStoreWriter::OpenOrCreate(path);
+    if (!writer.ok()) return Fail(writer.status());
+    const std::string blob =
+        store::EncodeCtGraphBlob(graph.value(), *tag);
+    Status put = writer.value().Put(*tag, blob);
+    if (!put.ok()) return Fail(put);
+    Status finished = writer.value().Finish();
+    if (!finished.ok()) return Fail(finished);
+    std::printf("%s: tag %d <- %s (%zu blob bytes)\n", path.c_str(), *tag,
+                in.c_str(), blob.size());
+    return 0;
+  }
+
+  if (verb == "compact") {
+    Result<store::CompactionStats> stats = store::CompactCtStore(path);
+    if (!stats.ok()) return Fail(stats.status());
+    std::printf("%s: %zu blobs, %s -> %s\n", path.c_str(),
+                stats.value().blobs,
+                HumanBytes(stats.value().bytes_before).c_str(),
+                HumanBytes(stats.value().bytes_after).c_str());
+    return 0;
+  }
+
+  if (verb == "verify") {
+    Result<store::CtStoreReader> reader = store::CtStoreReader::Open(path);
+    if (!reader.ok()) return Fail(reader.status());
+    Status verified = reader.value().VerifyAll();
+    if (!verified.ok()) return Fail(verified);
+    std::printf("%s: %zu blobs verified ok (generation %u)\n", path.c_str(),
+                reader.value().entries().size(),
+                reader.value().generation());
+    return 0;
+  }
+
+  return Fail("unknown store verb (expected ls|get|put|compact|verify)");
 }
 
 int PatternQuery(const Args& args) {
@@ -771,25 +976,31 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rfidclean_cli "
-      "<generate|clean|check-constraints|stay|pattern|sample|report> "
+      "<generate|clean|check-constraints|stay|pattern|sample|report|store> "
       "[--key value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
       "[--audit] [--no-preflight] [--jobs N]\n"
-      "           [--stats[=FILE]] [--trace[=FILE]] "
+      "           [--store FILE] [--stats[=FILE]] [--trace[=FILE]] "
       "[--trace-buffer-events N]\n"
       "  check-constraints --dir DIR [--families ...] [--json FILE]\n"
-      "  stay     --dir DIR --time T\n"
+      "  stay     --dir DIR --time T [--store FILE --tag T]\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
       "  sample   --dir DIR --count N --seed S\n"
-      "  report   --dir DIR [--audit]\n");
+      "  report   --dir DIR [--audit]\n"
+      "  store    ls      --store FILE\n"
+      "  store    get     --store FILE --tag T --out F [--raw]\n"
+      "  store    put     --store FILE --tag T --in F\n"
+      "  store    compact --store FILE\n"
+      "  store    verify  --store FILE\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
-  Args args(argc, argv, 2);
   std::string command = argv[1];
+  if (command == "store") return StoreCmd(argc, argv);
+  Args args(argc, argv, 2);
   if (command == "generate") return Generate(args);
   if (command == "clean") return Clean(args);
   if (command == "check-constraints") return CheckConstraints(args);
