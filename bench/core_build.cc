@@ -13,6 +13,7 @@
 //
 //   core_build [--ticks 100,1000,10000] [--reps N] [--seed S]
 //              [--out BENCH_core.json] [--trace FILE] [--paper]
+//              [--forward-threads N] [--force-scalar]
 //
 // With --sparse the workload switches to sparse feeds (one exact anchor
 // every 8 ticks, ghost-branch distractor walks in between) and every point is
@@ -33,6 +34,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/table.h"
@@ -256,7 +258,13 @@ int Main(int argc, char** argv) {
   const char* seed_arg = FlagValue(argc, argv, "--seed");
   const char* out_arg = FlagValue(argc, argv, "--out");
   const char* trace_arg = FlagValue(argc, argv, "--trace");
+  const char* threads_arg = FlagValue(argc, argv, "--forward-threads");
   const bool sparse = HasFlag(argc, argv, "--sparse");
+  // A/B hook for the SIMD win: --force-scalar routes every dispatched
+  // kernel through the scalar reference (digests must not move).
+  if (HasFlag(argc, argv, "--force-scalar")) {
+    simd::ForceScalarForTesting(true);
+  }
   const std::uint64_t seed = static_cast<std::uint64_t>(
       seed_arg != nullptr ? std::atoll(seed_arg) : 1);
   const std::string out =
@@ -286,7 +294,10 @@ int Main(int argc, char** argv) {
   std::unique_ptr<Dataset> dataset = Dataset::Build(options);
   ConstraintSet constraints =
       dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
-  CtGraphBuilder builder(constraints);
+  CleanOptions build_options;
+  build_options.forward_threads =
+      threads_arg != nullptr ? std::atoi(threads_arg) : 1;
+  CtGraphBuilder builder(constraints, build_options);
 
   if (trace_arg != nullptr) {
     if (!obs::TraceCompiledIn()) {
@@ -305,7 +316,9 @@ int Main(int argc, char** argv) {
       .Add("dataset", "SYN1")
       .Add("families", "DU+LT+TT")
       .Add("seed", static_cast<long long>(seed))
-      .Add("traced", trace_arg != nullptr ? 1 : 0);
+      .Add("traced", trace_arg != nullptr ? 1 : 0)
+      .Add("simd_active", simd::VectorKernelsActive() ? 1 : 0)
+      .Add("forward_threads", build_options.forward_threads);
 
   Table table({"ticks", "reps", "median ms", "fwd ms", "bwd ms",
                "ns/timestamp", "nodes+edges/s", "peak nodes", "peak edges",

@@ -1,13 +1,17 @@
 // Micro-benchmarks of the library's hot paths (google-benchmark):
 // successor generation, node-key hashing, ct-graph construction at several
-// sequence lengths, stay-query evaluation, pattern-query evaluation, and
-// trajectory sampling.
+// sequence lengths, stay-query evaluation, pattern-query evaluation,
+// trajectory sampling, and the dispatched SIMD kernels (scalar vs vector,
+// selected by the benchmark arg: 0 = forced scalar, 1 = runtime dispatch).
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "core/builder.h"
 #include "core/location_node.h"
 #include "core/successor.h"
@@ -176,6 +180,86 @@ void BM_AprioriDistribution(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AprioriDistribution);
+
+/// Scoped force-scalar toggle so every kernel bench can run both paths
+/// from one function body (arg 0 = scalar reference, arg 1 = dispatch).
+class ScopedKernelPath {
+ public:
+  explicit ScopedKernelPath(bool dispatch) {
+    simd::ForceScalarForTesting(!dispatch);
+  }
+  ~ScopedKernelPath() { simd::ForceScalarForTesting(false); }
+};
+
+void BM_SimdBlockedSum(benchmark::State& state) {
+  ScopedKernelPath path(state.range(0) == 1);
+  Rng rng(11);
+  std::vector<double> values(1024);
+  for (double& v : values) v = rng.UniformDouble(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::BlockedSum(values.data(), values.size()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_SimdBlockedSum)->Arg(0)->Arg(1);
+
+void BM_SimdGatherProducts(benchmark::State& state) {
+  ScopedKernelPath path(state.range(0) == 1);
+  Rng rng(12);
+  // Mirror the backward sweep's layout: edge probability at double-stride
+  // 2, target node id at int32-stride 4, survived mass at double-stride 5.
+  constexpr std::size_t kEdges = 1024;
+  std::vector<double> edge_probs(kEdges * 2);
+  std::vector<std::int32_t> edge_targets(kEdges * 4);
+  std::vector<double> nodes(256 * 5);
+  for (double& v : edge_probs) v = rng.UniformDouble(0.0, 1.0);
+  for (std::size_t k = 0; k < kEdges; ++k) {
+    edge_targets[k * 4] = static_cast<std::int32_t>(rng.UniformInt(0, 255));
+  }
+  for (std::size_t i = 0; i < 256; ++i) {
+    nodes[i * 5 + 3] = rng.UniformDouble(0.0, 1.0);
+  }
+  std::vector<double> out(kEdges);
+  for (auto _ : state) {
+    simd::GatherProducts(edge_probs.data(), 2, edge_targets.data(), 4,
+                         nodes.data() + 3, 5, kEdges, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kEdges));
+}
+BENCHMARK(BM_SimdGatherProducts)->Arg(0)->Arg(1);
+
+void BM_SimdScanProbeGroup(benchmark::State& state) {
+  ScopedKernelPath path(state.range(0) == 1);
+  Rng rng(13);
+  std::vector<std::size_t> hashes(256);
+  for (std::size_t& h : hashes) {
+    h = static_cast<std::size_t>(rng.UniformInt(0, 1 << 20));
+  }
+  constexpr std::size_t kGroups = 128;
+  std::vector<std::int32_t> slots(kGroups * simd::kProbeGroupWidth);
+  for (std::int32_t& slot : slots) {
+    slot = rng.Bernoulli(0.3)
+               ? -1
+               : static_cast<std::int32_t>(rng.UniformInt(0, 255));
+  }
+  const std::size_t target = hashes[7];
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (std::size_t g = 0; g < kGroups; ++g) {
+      const simd::ProbeGroupMasks masks = simd::ScanProbeGroup(
+          &slots[g * simd::kProbeGroupWidth], hashes.data(), target);
+      acc ^= masks.empty | masks.match;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(kGroups * simd::kProbeGroupWidth));
+}
+BENCHMARK(BM_SimdScanProbeGroup)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace rfidclean

@@ -20,6 +20,9 @@ CtGraphBuilder::CtGraphBuilder(const ConstraintSet& constraints,
                                const CleanOptions& options)
     : constraints_(&constraints), successors_(constraints, options.successor) {
   if (options.preflight) oracle_.emplace(constraints);
+  if (options.forward_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options.forward_threads);
+  }
 }
 
 Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
@@ -54,6 +57,7 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
   }
 
   internal_core::ForwardEngine engine(constraints_->num_locations());
+  engine.SetThreadPool(pool_.get());
 
   // Initialization (Algorithm 1, lines 1-4) and forward phase (lines 5-14):
   // see forward.h. Layers are always recorded, even when empty — candidate

@@ -1,9 +1,11 @@
 #ifndef RFIDCLEAN_CORE_BUILDER_H_
 #define RFIDCLEAN_CORE_BUILDER_H_
 
+#include <memory>
 #include <optional>
 
 #include "analysis/feasibility.h"
+#include "common/parallel.h"
 #include "common/result.h"
 #include "constraints/constraint_set.h"
 #include "core/ct_graph.h"
@@ -22,6 +24,12 @@ struct CleanOptions {
   /// per-tick lists. Sound — the output graph is byte-identical either way
   /// (docs/ALGORITHM.md §11); turn off only to measure the difference.
   bool preflight = true;
+  /// Fork-join lanes for intra-tag layer parallelism in the forward phase
+  /// (caller included; see ForwardEngine::SetThreadPool). 1 = fully
+  /// sequential, no worker thread is ever created. The produced graph is
+  /// byte-identical for every value — only successor generation runs
+  /// concurrently; interning and append order stay sequential.
+  int forward_threads = 1;
 };
 
 /// Diagnostics of one ct-graph construction.
@@ -109,6 +117,11 @@ class CtGraphBuilder {
   const ConstraintSet* constraints_;
   SuccessorGenerator successors_;
   std::optional<FeasibilityOracle> oracle_;
+  /// Present iff CleanOptions::forward_threads > 1. Build() is const and
+  /// reentrant per builder *instance*; the pool serializes one job at a
+  /// time, so a builder with a pool must not run concurrent Builds (batch
+  /// workers hold one builder each, or one with forward_threads == 1).
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace rfidclean

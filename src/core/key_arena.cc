@@ -1,6 +1,9 @@
 #include "core/key_arena.h"
 
+#include <bit>
+
 #include "common/check.h"
+#include "common/simd.h"
 
 namespace rfidclean::internal_core {
 
@@ -19,9 +22,15 @@ std::int32_t NodeKeyArena::Append(const NodeKey& key, std::size_t hash) {
 }
 
 std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
-  const std::size_t hash = NodeKeyHash()(key);
+  return Intern(key, scope, NodeKeyHash()(key));
+}
+
+std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope,
+                                  std::size_t hash) {
   // `steps` counts slot inspections for this call (>= 1 by construction —
-  // CheckInvariants relies on probe_steps >= intern_calls).
+  // CheckInvariants relies on probe_steps >= intern_calls). The batched
+  // probe below preserves the position-based count: steps stays the number
+  // of slots the scalar probe would have walked to reach the accepted one.
   RFID_STATS(++intern_calls_);
   std::uint64_t steps = 1;
   (void)steps;
@@ -34,8 +43,17 @@ std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
                            : persistent_slots_.size() * 2);
     }
     std::size_t slot = hash & persistent_mask_;
-    while (persistent_slots_[slot] != kEmptySlot) {
+    // First slot inline: at the ~0.7 load cap most probes resolve here, and
+    // the group scan only pays off once a chain has started.
+    {
       const std::int32_t id = persistent_slots_[slot];
+      if (id == kEmptySlot) {
+        const std::int32_t fresh = Append(key, hash);
+        persistent_slots_[slot] = fresh;
+        ++persistent_count_;
+        RFID_STATS(RecordProbe(steps));
+        return fresh;
+      }
       if (hashes_[static_cast<std::size_t>(id)] == hash &&
           keys_[static_cast<std::size_t>(id)] == key) {
         RFID_STATS(RecordProbe(steps));
@@ -44,11 +62,57 @@ std::int32_t NodeKeyArena::Intern(const NodeKey& key, std::uint32_t scope) {
       slot = (slot + 1) & persistent_mask_;
       RFID_STATS(++steps);
     }
-    const std::int32_t id = Append(key, hash);
-    persistent_slots_[slot] = id;
-    ++persistent_count_;
-    RFID_STATS(RecordProbe(steps));
-    return id;
+    for (;;) {
+      if (simd::VectorKernelsActive() &&
+          slot + simd::kProbeGroupWidth <= persistent_slots_.size()) {
+        // Batched step: classify eight consecutive slots at once, then
+        // walk the empty/hash-match candidates in ascending offset. The
+        // first empty offset still terminates the chain (linear probing
+        // never stores a live entry past it), so ascending order keeps
+        // the scalar first-empty / first-match semantics exactly.
+        const simd::ProbeGroupMasks masks = simd::ScanProbeGroup(
+            &persistent_slots_[slot], hashes_.data(), hash);
+        std::uint32_t candidates = masks.empty | masks.match;
+        while (candidates != 0) {
+          const unsigned j =
+              static_cast<unsigned>(std::countr_zero(candidates));
+          if ((masks.empty >> j) & 1u) {
+            RFID_STATS(steps += j);
+            const std::int32_t fresh = Append(key, hash);
+            persistent_slots_[slot + j] = fresh;
+            ++persistent_count_;
+            RFID_STATS(RecordProbe(steps));
+            return fresh;
+          }
+          const std::int32_t id = persistent_slots_[slot + j];
+          if (keys_[static_cast<std::size_t>(id)] == key) {
+            RFID_STATS(steps += j);
+            RFID_STATS(RecordProbe(steps));
+            return id;
+          }
+          candidates &= candidates - 1;  // hash collision: next candidate
+        }
+        slot = (slot + simd::kProbeGroupWidth) & persistent_mask_;
+        RFID_STATS(steps += simd::kProbeGroupWidth);
+        continue;
+      }
+      // Scalar step (SIMD off, or the group would wrap the table end).
+      const std::int32_t id = persistent_slots_[slot];
+      if (id == kEmptySlot) {
+        const std::int32_t fresh = Append(key, hash);
+        persistent_slots_[slot] = fresh;
+        ++persistent_count_;
+        RFID_STATS(RecordProbe(steps));
+        return fresh;
+      }
+      if (hashes_[static_cast<std::size_t>(id)] == hash &&
+          keys_[static_cast<std::size_t>(id)] == key) {
+        RFID_STATS(RecordProbe(steps));
+        return id;
+      }
+      slot = (slot + 1) & persistent_mask_;
+      RFID_STATS(++steps);
+    }
   }
 
   if (scope != current_scope_) {

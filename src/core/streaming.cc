@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/float_eq.h"
+#include "common/simd.h"
 #include "common/strings.h"
 #include "core/self_audit.h"
 #include "core/work_graph.h"
@@ -134,10 +135,23 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
           mass * out[k].probability;
     }
   }
-  double total = 0.0;
-  for (double mass : next_alpha_) total += mass;
-  RFID_CHECK_GT(total, 0.0);
-  for (double& mass : next_alpha_) mass /= total;
+  const double total =
+      simd::BlockedSum(next_alpha_.data(), next_alpha_.size());
+  if (!(total > 0.0)) {
+    // The tick was structurally consistent (the new layer is non-empty),
+    // but the filtered mass of every surviving interpretation underflowed
+    // to exact zero — reachable only with denormal-scale candidate
+    // probabilities. An infeasible clean, not a crash: the structurally
+    // valid layer stays appended, the frontier mass reads as all zeros,
+    // and further Pushes are rejected.
+    frontier_alpha_.swap(next_alpha_);
+    failed_ = true;
+    RFID_STATS(obs::Add(obs::Counter::kStreamAlphaUnderflows));
+    return FailedPreconditionError(
+        "the filtered probability mass of every remaining interpretation "
+        "underflowed to zero");
+  }
+  simd::DivideInPlace(next_alpha_.data(), next_alpha_.size(), total);
   frontier_alpha_.swap(next_alpha_);
   return Status::Ok();
 }
@@ -145,28 +159,38 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
 std::vector<std::pair<LocationId, double>>
 StreamingCleaner::CurrentDistribution() const {
   RFID_CHECK_GT(engine_.num_layers(), 0);
-  std::vector<std::pair<LocationId, double>> distribution;
   const WorkGraph& work = engine_.work();
   const std::size_t layers = work.layer_begin.size();
   const std::int32_t frontier_begin = work.layer_begin[layers - 2];
   const std::int32_t frontier_end = work.layer_begin[layers - 1];
+  // Location-indexed accumulation: one O(locations) clear plus O(1) per
+  // frontier node, replacing the old O(frontier × locations) linear probe
+  // of the output vector. The output keeps the historical first-encounter
+  // order over ascending node ids, with bit-identical values — each
+  // location's masses still accumulate in ascending node-id order (locked
+  // by StreamingTest.CurrentDistributionKeepsFirstEncounterOrder).
+  const std::size_t num_locations =
+      successors_->constraints().num_locations();
+  dist_mass_.assign(num_locations, 0.0);
+  dist_seen_.assign(num_locations, 0);
+  std::vector<LocationId> order;
   for (std::int32_t id = frontier_begin; id < frontier_end; ++id) {
-    LocationId location =
+    const LocationId location =
         work.keys.key(work.nodes[static_cast<std::size_t>(id)].key_id)
             .location;
-    const double mass =
+    const std::size_t l = static_cast<std::size_t>(location);
+    if (dist_seen_[l] == 0) {
+      dist_seen_[l] = 1;
+      order.push_back(location);
+    }
+    dist_mass_[l] +=
         frontier_alpha_[static_cast<std::size_t>(id - frontier_begin)];
-    bool found = false;
-    for (auto& [existing, sum] : distribution) {
-      if (existing == location) {
-        sum += mass;
-        found = true;
-        break;
-      }
-    }
-    if (!found) {
-      distribution.emplace_back(location, mass);
-    }
+  }
+  std::vector<std::pair<LocationId, double>> distribution;
+  distribution.reserve(order.size());
+  for (const LocationId location : order) {
+    distribution.emplace_back(location,
+                              dist_mass_[static_cast<std::size_t>(location)]);
   }
   return distribution;
 }

@@ -68,11 +68,24 @@ class StreamingCleaner {
   /// first Push; pass nullptr to detach.
   void SetPreflightPlan(const PreflightPlan* plan);
 
+  /// Attaches a fork-join pool for intra-tag layer parallelism in the
+  /// forward engine (see ForwardEngine::SetThreadPool — successor
+  /// generation only; results are byte-identical with or without it). The
+  /// pool must outlive the cleaner; pass nullptr to detach.
+  void SetThreadPool(ThreadPool* pool) { engine_.SetThreadPool(pool); }
+
   /// Appends the candidate interpretation of the next tick (location,
   /// probability pairs summing to 1, as produced by AprioriModel /
   /// LSequence). Fails with FailedPrecondition when the new tick leaves no
-  /// consistent interpretation — the cleaner then stays at its previous
-  /// state and further Pushes are rejected.
+  /// consistent interpretation, in either of two ways — further Pushes are
+  /// rejected after both:
+  ///  - structurally: no frontier node admits a successor; nothing is
+  ///    appended and the cleaner stays observably at its previous state;
+  ///  - numerically: successors exist, but the filtered mass of every one
+  ///    underflowed to exact zero (possible only with denormal-scale
+  ///    candidate probabilities). The structurally valid layer stays
+  ///    appended, so CurrentDistribution() then reports the new frontier
+  ///    with zero mass everywhere.
   Status Push(const std::vector<Candidate>& candidates);
 
   /// Number of ticks consumed so far.
@@ -98,6 +111,10 @@ class StreamingCleaner {
   /// Optional static-pruning plan; scratch holds the filtered tick.
   const PreflightPlan* preflight_plan_ = nullptr;
   std::vector<Candidate> plan_filtered_;
+  /// CurrentDistribution scratch: per-location mass and first-encounter
+  /// marks, reused across calls.
+  mutable std::vector<double> dist_mass_;
+  mutable std::vector<char> dist_seen_;
   bool failed_ = false;
 };
 

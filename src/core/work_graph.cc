@@ -1,9 +1,12 @@
 #include "core/work_graph.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "common/check.h"
+#include "common/simd.h"
 #include "common/stopwatch.h"
 #include "core/builder.h"
 #include "obs/metrics.h"
@@ -12,6 +15,20 @@
 namespace rfidclean::internal_core {
 
 namespace {
+
+// The backward sweep feeds the CSR records to simd::GatherProducts as
+// strided typed arrays; these pin the layouts the strides encode.
+constexpr std::size_t kEdgeStrideDoubles = sizeof(WorkEdge) / sizeof(double);
+constexpr std::size_t kEdgeStrideInts =
+    sizeof(WorkEdge) / sizeof(std::int32_t);
+constexpr std::size_t kNodeStrideDoubles = sizeof(WorkNode) / sizeof(double);
+static_assert(kEdgeStrideDoubles == 2 && kEdgeStrideInts == 4 &&
+                  offsetof(WorkEdge, to) == 0 &&
+                  offsetof(WorkEdge, probability) == sizeof(double),
+              "GatherProducts strides assume this WorkEdge layout");
+static_assert(kNodeStrideDoubles == 5 &&
+                  offsetof(WorkNode, survived) == 3 * sizeof(double),
+              "GatherProducts strides assume this WorkNode layout");
 
 /// Folds the arena's per-build intern counters into the obs sinks.
 /// ConditionAndCompact is the one place that sees every build's arena
@@ -70,18 +87,51 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
     RFID_TRACE(
         sweep_span.AddArg("renorm_passes",
                           static_cast<std::uint64_t>(length - 1)));
+    // Per-edge p(k)·S(k) products of one layer's contiguous edge slab,
+    // computed by the dispatched kernel and consumed by both passes.
+    // Per-node masses use the fixed zero-skipping 4-lane blocked reduction
+    // of simd.h — scalar, vector, and SIMD-off builds all sum in this one
+    // order, so the emitted graph is bit-identical across them, and exact-
+    // zero products (statically dead edges) do not shift lane assignment,
+    // preserving preflight byte-identity (ALGORITHM.md §11, §13).
+    std::vector<double> products;
+    // The vector gather scales node ids in 32-bit lanes (simd.h).
+    const bool gather_in_range =
+        nodes.size() <=
+        static_cast<std::size_t>(INT32_MAX) / kNodeStrideDoubles;
     for (Timestamp t = length - 2; t >= 0; --t) {
       const auto [begin, end] = layer_range(t);
+      if (begin == end) continue;  // Empty layer: nothing to condition.
+      const std::size_t slab_begin = static_cast<std::size_t>(
+          nodes[static_cast<std::size_t>(begin)].edge_begin);
+      const WorkNode& last = nodes[static_cast<std::size_t>(end) - 1];
+      const std::size_t slab_end =
+          static_cast<std::size_t>(last.edge_begin) +
+          static_cast<std::size_t>(last.edge_count);
+      const std::size_t slab_n = slab_end - slab_begin;
+      products.resize(slab_n);
+      if (slab_n > 0) {
+        if (gather_in_range) {
+          simd::GatherProducts(&edges[slab_begin].probability,
+                               kEdgeStrideDoubles, &edges[slab_begin].to,
+                               kEdgeStrideInts, &nodes[0].survived,
+                               kNodeStrideDoubles, slab_n, products.data());
+        } else {
+          for (std::size_t k = 0; k < slab_n; ++k) {
+            const WorkEdge& edge = edges[slab_begin + k];
+            products[k] =
+                edge.probability *
+                nodes[static_cast<std::size_t>(edge.to)].survived;
+          }
+        }
+      }
       double layer_max = 0.0;
       for (std::int32_t id = begin; id < end; ++id) {
         WorkNode& node = nodes[static_cast<std::size_t>(id)];
-        const WorkEdge* out =
-            edges.data() + static_cast<std::size_t>(node.edge_begin);
-        double mass = 0.0;
-        for (std::int32_t k = 0; k < node.edge_count; ++k) {
-          mass += out[k].probability *
-                  nodes[static_cast<std::size_t>(out[k].to)].survived;
-        }
+        const double mass = simd::BlockedSumSkipZero4(
+            products.data() +
+                (static_cast<std::size_t>(node.edge_begin) - slab_begin),
+            static_cast<std::size_t>(node.edge_count));
         node.survived = mass;
         layer_max = std::max(layer_max, mass);
       }
@@ -97,11 +147,15 @@ Result<CtGraph> ConditionAndCompact(WorkGraph&& work, BuildStats* stats) {
         }
         WorkEdge* out =
             edges.data() + static_cast<std::size_t>(node.edge_begin);
+        const double* node_products =
+            products.data() +
+            (static_cast<std::size_t>(node.edge_begin) - slab_begin);
         for (std::int32_t k = 0; k < node.edge_count; ++k) {
-          double conditioned =
-              out[k].probability *
-              nodes[static_cast<std::size_t>(out[k].to)].survived /
-              node.survived;
+          // products[k] / S(n) evaluates bit-identically to the previous
+          // left-to-right p(k)·S(k)/S(n) and skips re-gathering the
+          // target's survived mass.
+          const double conditioned =
+              node_products[k] / node.survived;
           out[k].probability = conditioned > 0.0 ? conditioned : 0.0;
           RFID_STATS(stats_edges_kept +=
                      static_cast<std::uint64_t>(conditioned > 0.0));

@@ -51,6 +51,7 @@ const char* CounterName(Counter counter) {
     case Counter::kForwardExpansions: return "forward_expansions";
     case Counter::kForwardMemoHits: return "forward_memo_hits";
     case Counter::kForwardKeysInterned: return "forward_keys_interned";
+    case Counter::kStreamAlphaUnderflows: return "stream_alpha_underflows";
     case Counter::kKeyInternCalls: return "key_intern_calls";
     case Counter::kKeyProbeSteps: return "key_probe_steps";
     case Counter::kBackwardEdgesBuilt: return "backward_edges_built";

@@ -53,6 +53,9 @@ enum class Counter : std::uint8_t {
   kForwardMemoHits,      ///< frontier nodes replayed from the memo
   kForwardKeysInterned,  ///< distinct node keys stored by the arenas
 
+  // Streaming cleaner (core/streaming.cc).
+  kStreamAlphaUnderflows,  ///< Pushes rejected: filtered mass hit exact zero
+
   // Key-interning arena (core/key_arena.cc).
   kKeyInternCalls,  ///< NodeKeyArena::Intern invocations
   kKeyProbeSteps,   ///< hash-table probe steps across both tables

@@ -1,6 +1,8 @@
 #include "query/pattern.h"
 
-#include <cstdlib>
+#include <charconv>
+#include <limits>
+#include <system_error>
 
 #include "common/strings.h"
 
@@ -31,11 +33,26 @@ Result<Pattern> Pattern::Parse(std::string_view text,
                       static_cast<int>(token.size()), token.data()));
       }
       name = token.substr(0, bracket);
-      std::string digits(token.substr(bracket + 1,
-                                      token.size() - bracket - 2));
-      char* end = nullptr;
-      long value = std::strtol(digits.c_str(), &end, 10);
-      if (end == digits.c_str() || *end != '\0' || value < 1) {
+      const std::string_view digits =
+          token.substr(bracket + 1, token.size() - bracket - 2);
+      // Strict parse, mirroring the CLI's --jobs handling: full
+      // consumption required, and out-of-range counts are rejected
+      // instead of wrapping through a silent narrowing cast (strtol used
+      // to saturate at LONG_MAX unnoticed and then truncate to 32 bits).
+      long long value = 0;
+      const char* const digits_end = digits.data() + digits.size();
+      const std::from_chars_result parsed =
+          std::from_chars(digits.data(), digits_end, value);
+      if (parsed.ec == std::errc::result_out_of_range ||
+          (parsed.ec == std::errc() && parsed.ptr == digits_end &&
+           value > static_cast<long long>(
+               std::numeric_limits<Timestamp>::max()))) {
+        return InvalidArgumentError(
+            StrFormat("duration out of range in '%.*s'",
+                      static_cast<int>(token.size()), token.data()));
+      }
+      if (parsed.ec != std::errc() || parsed.ptr != digits_end ||
+          value < 1) {
         return InvalidArgumentError(
             StrFormat("invalid duration in '%.*s'",
                       static_cast<int>(token.size()), token.data()));

@@ -42,7 +42,7 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
                     const FeasibilityOracle* oracle,
                     const TagWorkload& workload, const BatchOptions& options,
                     std::size_t index, runtime::WorkerArena* arena,
-                    std::uint64_t constraint_digest) {
+                    ThreadPool* pool, std::uint64_t constraint_digest) {
   obs::PhaseTimer phase_timer(obs::Phase::kTagClean);
   RFID_STATS(const Stopwatch tag_watch);
   BuildStats stats;
@@ -70,6 +70,7 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
       if (!plan->any_pruned()) plan.reset();
     }
     StreamingCleaner cleaner(successors);
+    cleaner.SetThreadPool(pool);
     arena->Prepare(&cleaner, workload.sequence.length());
     if (plan.has_value()) cleaner.SetPreflightPlan(&*plan);
     const Stopwatch forward_watch;
@@ -137,6 +138,13 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
       RFID_TRACE(obs::SetTraceThreadName(StrFormat("worker-%d",
                                                    static_cast<int>(worker))));
       runtime::WorkerArena arena;
+      // Worker-private lanes for intra-tag layer parallelism; byte-identity
+      // across forward_threads values rests on the engine's Phase A/B
+      // split, so the pool's only observable effect is wall-clock.
+      std::optional<ThreadPool> pool;
+      if (options_.forward_threads > 1) {
+        pool.emplace(options_.forward_threads);
+      }
       std::size_t shard = 0;
       while (queue.Pop(worker, &shard)) {
         // Counted per popped shard (not inside CleanOne) so that every
@@ -160,7 +168,7 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
             slots[shard].emplace(CleanOne(
                 successors_, oracle_.has_value() ? &*oracle_ : nullptr,
                 workloads[shard], options_, shard, &arena,
-                constraint_digest_));
+                pool.has_value() ? &*pool : nullptr, constraint_digest_));
           } catch (const std::exception& e) {
             RFID_STATS(obs::Add(obs::Counter::kBatchTagsInternalError));
             slots[shard].emplace(TagOutcome{

@@ -47,6 +47,14 @@ struct BatchOptions {
   /// candidates are dropped before the engine sees them. Output graphs and
   /// statuses are byte-identical either way.
   bool preflight = true;
+  /// Intra-tag layer parallelism (see CleanOptions::forward_threads): each
+  /// worker owns a private fork-join pool of this many lanes and splits
+  /// successor generation over wide layers across them. 1 = off (the
+  /// default — across-tag parallelism via `jobs` is almost always the
+  /// better first lever; this helps batches of few very wide tags). Output
+  /// is byte-identical for every value. Total thread count is roughly
+  /// jobs × forward_threads; tune the product to the machine.
+  int forward_threads = 1;
   /// Instrumentation/test hook run in the owning worker right before shard
   /// `index` (the workload's position) is cleaned. Must be thread-safe; an
   /// exception it throws is converted into an Internal outcome for that

@@ -237,12 +237,25 @@ inline Result<CtGraph> ConditionAndCompact(WorkGraph&& work) {
     double layer_max = 0.0;
     for (NodeId id : layer) {
       WorkNode& node = nodes[static_cast<std::size_t>(id)];
-      double mass = 0.0;
+      // Deliberate deviation from the pre-rewrite sequential sum: the new
+      // core sums per-node masses with the fixed zero-skipping 4-lane
+      // blocked reduction of common/simd.h (identical in scalar, AVX2, and
+      // SIMD-off builds; zero terms never advance the lane cursor, so
+      // preflight-pruned edges keep the sum byte-identical), and the
+      // oracle must share that one numerical contract for the byte-for-
+      // byte comparison to stay meaningful. Everything else in this file
+      // keeps the pre-rewrite operation order.
+      double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+      std::size_t lane = 0;
       for (std::int32_t edge_id : node.out_edges) {
         const WorkEdge& edge = edges[static_cast<std::size_t>(edge_id)];
-        mass += edge.probability *
-                nodes[static_cast<std::size_t>(edge.to)].survived;
+        const double product =
+            edge.probability *
+            nodes[static_cast<std::size_t>(edge.to)].survived;
+        lanes[lane & 3] += product;
+        lane += static_cast<std::size_t>(product != 0.0);
       }
+      const double mass = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
       node.survived = mass;
       layer_max = std::max(layer_max, mass);
     }

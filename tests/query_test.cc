@@ -57,6 +57,40 @@ TEST(PatternTest, ParseRejectsMalformedInput) {
   EXPECT_FALSE(Pattern::Parse("Unknown", NumericResolver()).ok());
 }
 
+TEST(PatternTest, ParseRejectsOutOfRangeAndPartialDurations) {
+  // Regression: strtol-based parsing saturated "L1[99999999999999999999]"
+  // at LONG_MAX and then truncated to 32 bits, silently producing a bogus
+  // (and platform-dependent) duration. Out-of-range now fails with a
+  // diagnostic naming the token.
+  Result<Pattern> overflow =
+      Pattern::Parse("L1[99999999999999999999]", NumericResolver());
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().ToString().find("duration out of range"),
+            std::string::npos)
+      << overflow.status().ToString();
+  EXPECT_NE(overflow.status().ToString().find("L1[99999999999999999999]"),
+            std::string::npos);
+  // Values that fit a long long but not a Timestamp are equally rejected.
+  Result<Pattern> wide = Pattern::Parse("L1[2147483648]", NumericResolver());
+  ASSERT_FALSE(wide.ok());
+  EXPECT_NE(wide.status().ToString().find("duration out of range"),
+            std::string::npos);
+  // Trailing garbage after the digits used to be silently ignored by
+  // strtol; it must be a parse error, again naming the token.
+  Result<Pattern> garbage = Pattern::Parse("L1[3x]", NumericResolver());
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().ToString().find("invalid duration"),
+            std::string::npos);
+  EXPECT_NE(garbage.status().ToString().find("L1[3x]"), std::string::npos);
+  EXPECT_FALSE(Pattern::Parse("L1[+3]", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("L1[-3]", NumericResolver()).ok());
+  EXPECT_FALSE(Pattern::Parse("L1[ 3]", NumericResolver()).ok());
+  // The Timestamp ceiling itself still parses.
+  Result<Pattern> max = Pattern::Parse("L1[2147483647]", NumericResolver());
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max.value().items()[0].min_duration, 2147483647);
+}
+
 TEST(PatternTest, ToStringRoundTrips) {
   Result<Pattern> pattern = Pattern::Parse("? L1[3] ? L2 ?",
                                            NumericResolver());

@@ -1,0 +1,251 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rfidclean::simd {
+namespace {
+
+/// Bitwise double equality: the kernel contract is bit-identity, so NaN
+/// payloads, signed zeros, and denormals must all compare exactly.
+bool SameBits(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof a);
+  std::memcpy(&bb, &b, sizeof b);
+  return ba == bb;
+}
+
+/// Runs `fn` once on the current dispatch path and once forced scalar, and
+/// checks both runs produced bitwise-identical outputs — the core identity
+/// the backward sweep's digest stability rests on. On machines without
+/// AVX2 (or SIMD-off builds) both runs are scalar and the check is
+/// trivially true; CI runs the battery on an AVX2 host.
+template <typename Fn>
+void ExpectDispatchIdentical(Fn fn) {
+  const std::vector<double> vector_path = fn();
+  ForceScalarForTesting(true);
+  const std::vector<double> scalar_path = fn();
+  ForceScalarForTesting(false);
+  ASSERT_EQ(vector_path.size(), scalar_path.size());
+  for (std::size_t i = 0; i < vector_path.size(); ++i) {
+    EXPECT_TRUE(SameBits(vector_path[i], scalar_path[i]))
+        << "i=" << i << " vector=" << vector_path[i]
+        << " scalar=" << scalar_path[i];
+  }
+}
+
+/// Test vectors spanning the awkward sizes (empty, single element, one
+/// partial lane, exactly 4, tails of every length past a full block) and
+/// awkward magnitudes (denormals, huge spreads).
+std::vector<double> MakeValues(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed, /*stream=*/91);
+  std::vector<double> values;
+  values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (rng.UniformInt(0, 5)) {
+      case 0: values.push_back(0.0); break;
+      case 1: values.push_back(5e-324); break;                 // min denormal
+      case 2: values.push_back(1e-200 * 1e-120); break;        // denormal
+      case 3: values.push_back(rng.UniformDouble(0.0, 1.0)); break;
+      case 4: values.push_back(rng.UniformDouble(0.0, 1e300)); break;
+      default: values.push_back(std::numeric_limits<double>::epsilon());
+    }
+  }
+  return values;
+}
+
+TEST(BlockedSumTest, MatchesInlineReferenceAtEverySize) {
+  for (std::size_t n = 0; n <= 33; ++n) {
+    const std::vector<double> x = MakeValues(n, 1000 + n);
+    const double reference = BlockedSum4(x.data(), n);
+    EXPECT_TRUE(SameBits(BlockedSum(x.data(), n), reference)) << "n=" << n;
+    ForceScalarForTesting(true);
+    EXPECT_TRUE(SameBits(BlockedSum(x.data(), n), reference)) << "n=" << n;
+    ForceScalarForTesting(false);
+  }
+}
+
+TEST(BlockedSumTest, EmptyInputIsPositiveZero) {
+  const double sum = BlockedSum(nullptr, 0);
+  EXPECT_EQ(sum, 0.0);
+  EXPECT_FALSE(std::signbit(sum));
+  EXPECT_EQ(BlockedSum4(nullptr, 0), 0.0);
+  EXPECT_EQ(BlockedSumSkipZero4(nullptr, 0), 0.0);
+}
+
+TEST(BlockedSumTest, DenormalsSurviveTheLanes) {
+  // Denormal sums are where reassociation differences would first show:
+  // check the blocked order is honored exactly even at the bottom of the
+  // exponent range.
+  const std::vector<double> x(9, 5e-324);
+  const double expected = BlockedSum4(x.data(), x.size());
+  EXPECT_GT(expected, 0.0);
+  EXPECT_TRUE(SameBits(BlockedSum(x.data(), x.size()), expected));
+}
+
+TEST(BlockedSumSkipZeroTest, InvariantUnderZeroInsertion) {
+  // The exact property the backward sweep needs: pruned builds drop edges
+  // whose products are +0.0, so the per-node reduction must not change
+  // when zeros are struck from (or injected into) the term list.
+  const std::vector<double> dense = {0.5, 0.0, 0.25, 0.0, 0.0,
+                                     0.125, 0.0625, 0.0, 1e-310};
+  std::vector<double> sparse;
+  for (double v : dense) {
+    if (v != 0.0) sparse.push_back(v);
+  }
+  EXPECT_TRUE(SameBits(BlockedSumSkipZero4(dense.data(), dense.size()),
+                       BlockedSumSkipZero4(sparse.data(), sparse.size())));
+  // And with zeros in *different* positions.
+  const std::vector<double> shuffled = {0.0, 0.5, 0.25, 0.125, 0.0,
+                                        0.0625, 1e-310, 0.0, 0.0};
+  EXPECT_TRUE(SameBits(BlockedSumSkipZero4(dense.data(), dense.size()),
+                       BlockedSumSkipZero4(shuffled.data(),
+                                           shuffled.size())));
+  // With no zeros present it degenerates to the positional reduction.
+  EXPECT_TRUE(SameBits(BlockedSumSkipZero4(sparse.data(), sparse.size()),
+                       BlockedSum4(sparse.data(), sparse.size())));
+}
+
+TEST(DivideInPlaceTest, MatchesScalarBitForBit) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{7}, std::size_t{64},
+                        std::size_t{65}}) {
+    ExpectDispatchIdentical([n] {
+      std::vector<double> x = MakeValues(n, 2000 + n);
+      DivideInPlace(x.data(), n, 0.3219);
+      return x;
+    });
+    // Dividing by a denormal (overflow to inf) and by zero must also be
+    // the plain IEEE answer on both paths.
+    ExpectDispatchIdentical([n] {
+      std::vector<double> x = MakeValues(n, 3000 + n);
+      DivideInPlace(x.data(), n, 5e-324);
+      return x;
+    });
+  }
+}
+
+TEST(GatherProductsTest, MatchesScalarBitForBitOnStridedRecords) {
+  // Exercise the exact stride pairs the backward sweep uses (WorkEdge:
+  // probability at double-stride 2, target id at int32-stride 4; WorkNode:
+  // survived at double-stride 5) plus unit strides.
+  Rng rng(77, /*stream=*/92);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{3}, std::size_t{4}, std::size_t{5},
+                        std::size_t{31}, std::size_t{128}}) {
+    std::vector<double> values(n * 2);
+    std::vector<std::int32_t> indices(n * 4);
+    std::vector<double> table(64 * 5);
+    for (double& v : values) v = rng.UniformDouble(0.0, 1.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      indices[k * 4] = static_cast<std::int32_t>(rng.UniformInt(0, 63));
+    }
+    for (std::size_t i = 0; i < 64; ++i) {
+      // Include denormals and exact zeros in the table — survived masses
+      // genuinely hit both.
+      table[i * 5 + 3] =
+          i % 7 == 0 ? 0.0
+                     : (i % 5 == 0 ? 1e-310 : rng.UniformDouble(0.0, 1.0));
+    }
+    ExpectDispatchIdentical([&] {
+      std::vector<double> out(n, -1.0);
+      GatherProducts(values.data(), 2, indices.data(), 4, table.data() + 3,
+                     5, n, out.data());
+      return out;
+    });
+    // Unit-stride variant (plain arrays).
+    std::vector<double> flat_table(64);
+    for (double& v : flat_table) v = rng.UniformDouble(0.0, 1.0);
+    std::vector<std::int32_t> flat_indices(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      flat_indices[k] = static_cast<std::int32_t>(rng.UniformInt(0, 63));
+    }
+    std::vector<double> flat_values(n);
+    for (double& v : flat_values) v = rng.UniformDouble(0.0, 1.0);
+    ExpectDispatchIdentical([&] {
+      std::vector<double> out(n, -1.0);
+      GatherProducts(flat_values.data(), 1, flat_indices.data(), 1,
+                     flat_table.data(), 1, n, out.data());
+      return out;
+    });
+  }
+}
+
+TEST(ScanProbeGroupTest, ClassifiesEmptyAndMatchingSlots) {
+  // Slot layout: ids into `hashes`, -1 = empty. Target hash 0xABCD.
+  const std::vector<std::size_t> hashes = {0xABCD, 0x1111, 0xABCD, 0x2222,
+                                           0x3333, 0xABCD};
+  const std::int32_t slots[kProbeGroupWidth] = {0, -1, 1, 2, -1, 3, 4, 5};
+  auto check = [&](const ProbeGroupMasks& masks) {
+    EXPECT_EQ(masks.empty, 0b00010010u);
+    // Matches: offset 0 (id 0), offset 3 (id 2), offset 7 (id 5); id 1 at
+    // offset 2, ids 3/4 at offsets 5/6 have different hashes.
+    EXPECT_EQ(masks.match, 0b10001001u);
+  };
+  check(ScanProbeGroup(slots, hashes.data(), 0xABCD));
+  ForceScalarForTesting(true);
+  check(ScanProbeGroup(slots, hashes.data(), 0xABCD));
+  ForceScalarForTesting(false);
+}
+
+TEST(ScanProbeGroupTest, EmptySlotsNeverMatchEvenOnZeroHash) {
+  // The vector path gathers a default of 0 for masked (empty) lanes; a
+  // zero target hash must not turn those into phantom matches.
+  const std::vector<std::size_t> hashes = {0, 42};
+  const std::int32_t slots[kProbeGroupWidth] = {-1, -1, -1, -1,
+                                                -1, -1, 0, 1};
+  auto check = [&](const ProbeGroupMasks& masks) {
+    EXPECT_EQ(masks.empty, 0b00111111u);
+    EXPECT_EQ(masks.match, 0b01000000u);  // id 0 (hash 0) at offset 6 only
+  };
+  check(ScanProbeGroup(slots, hashes.data(), 0));
+  ForceScalarForTesting(true);
+  check(ScanProbeGroup(slots, hashes.data(), 0));
+  ForceScalarForTesting(false);
+}
+
+TEST(ScanProbeGroupTest, RandomizedAgreementWithScalarReference) {
+  Rng rng(123, /*stream=*/93);
+  std::vector<std::size_t> hashes(64);
+  for (std::size_t& h : hashes) {
+    h = static_cast<std::size_t>(rng.UniformInt(0, 7));  // force collisions
+  }
+  for (int round = 0; round < 200; ++round) {
+    std::int32_t slots[kProbeGroupWidth];
+    for (std::int32_t& slot : slots) {
+      slot = rng.Bernoulli(0.3)
+                 ? -1
+                 : static_cast<std::int32_t>(rng.UniformInt(0, 63));
+    }
+    const std::size_t target = static_cast<std::size_t>(rng.UniformInt(0, 7));
+    const ProbeGroupMasks dispatched =
+        ScanProbeGroup(slots, hashes.data(), target);
+    const ProbeGroupMasks reference =
+        internal::ScanProbeGroupScalar(slots, hashes.data(), target);
+    EXPECT_EQ(dispatched.empty, reference.empty) << "round=" << round;
+    EXPECT_EQ(dispatched.match, reference.match) << "round=" << round;
+    EXPECT_EQ(dispatched.empty & dispatched.match, 0u);
+  }
+}
+
+TEST(SimdDispatchTest, ForceScalarToggles) {
+  if (!CompiledIn()) {
+    EXPECT_FALSE(VectorKernelsActive());
+    return;
+  }
+  const bool active_before = VectorKernelsActive();
+  ForceScalarForTesting(true);
+  EXPECT_FALSE(VectorKernelsActive());
+  ForceScalarForTesting(false);
+  EXPECT_EQ(VectorKernelsActive(), active_before);
+}
+
+}  // namespace
+}  // namespace rfidclean::simd

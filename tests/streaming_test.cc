@@ -6,6 +6,7 @@
 #include "core/builder.h"
 #include "gen/dataset.h"
 #include "query/stay_query.h"
+#include "runtime/batch_cleaner.h"
 #include "test_util.h"
 
 namespace rfidclean {
@@ -14,6 +15,7 @@ namespace {
 using ::rfidclean::testing::kL1;
 using ::rfidclean::testing::kL2;
 using ::rfidclean::testing::kL3;
+using ::rfidclean::testing::kL4;
 using ::rfidclean::testing::MakeLSequence;
 
 Status PushAll(StreamingCleaner& cleaner, const LSequence& sequence) {
@@ -94,6 +96,93 @@ TEST(StreamingCleanerTest, DeadEndFailsAndStaysFailed) {
   EXPECT_EQ(cleaner.TicksSeen(), 1);
   EXPECT_EQ(cleaner.CurrentDistribution()[0].first, kL1);
   EXPECT_FALSE(cleaner.Push({{kL1, 1.0}}).ok());
+}
+
+/// Builds the regression feed for the alpha-underflow path: the second
+/// tick is structurally consistent (kL2 can reach kL4), but the only
+/// surviving mass is 1e-200 · 1e-200, which underflows to exact zero.
+ConstraintSet UnderflowConstraints() {
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL1, kL3);
+  constraints.AddUnreachable(kL1, kL4);
+  constraints.AddUnreachable(kL2, kL3);
+  return constraints;
+}
+
+TEST(StreamingCleanerTest, AlphaUnderflowFailsCleanlyInsteadOfAborting) {
+  // Regression: this feed used to abort the process on an
+  // RFID_CHECK_GT(total, 0.0) inside Push — a data-dependent crash, since
+  // denormal-scale candidate probabilities pass validation (each is > 0
+  // and the sums are ~1). It must surface as an infeasible-clean status.
+  ConstraintSet constraints = UnderflowConstraints();
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(cleaner.Push({{kL1, 1.0}, {kL2, 1e-200}}).ok());
+  Status underflowed = cleaner.Push({{kL3, 1.0}, {kL4, 1e-200}});
+  ASSERT_FALSE(underflowed.ok());
+  EXPECT_EQ(underflowed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(underflowed.ToString().find("underflowed"), std::string::npos)
+      << underflowed.ToString();
+  // Unlike the structural dead end, the new layer stayed appended (it is
+  // structurally valid); its frontier mass reads as exact zeros.
+  EXPECT_EQ(cleaner.TicksSeen(), 2);
+  auto distribution = cleaner.CurrentDistribution();
+  ASSERT_EQ(distribution.size(), 1u);
+  EXPECT_EQ(distribution[0].first, kL4);
+  EXPECT_EQ(distribution[0].second, 0.0);
+  // Failed state is sticky, exactly as for the structural failure.
+  EXPECT_FALSE(cleaner.Push({{kL4, 1.0}}).ok());
+}
+
+TEST(StreamingCleanerTest, AlphaUnderflowSurfacesThroughBatchCleaner) {
+  // The batch runtime maps the underflow status into the ordinary
+  // FailedPrecondition outcome bucket — one tag failing cleanly, with no
+  // process-level effect on its batch.
+  std::vector<std::vector<Candidate>> spec = {
+      {{kL1, 1.0}, {kL2, 1e-200}}, {{kL3, 1.0}, {kL4, 1e-200}}};
+  Result<LSequence> sequence = LSequence::Create(std::move(spec));
+  ASSERT_TRUE(sequence.ok());
+  ConstraintSet constraints = UnderflowConstraints();
+  BatchCleaner batch(constraints);
+  std::vector<TagWorkload> workloads;
+  workloads.push_back(TagWorkload{7, sequence.value()});
+  workloads.push_back(
+      TagWorkload{8, MakeLSequence({{{kL1, 1.0}}, {{kL2, 1.0}}})});
+  std::vector<TagOutcome> outcomes = batch.CleanAll(workloads);
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].graph.ok());
+  EXPECT_EQ(outcomes[0].graph.status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_NE(outcomes[0].graph.status().ToString().find("underflowed"),
+            std::string::npos);
+  EXPECT_TRUE(outcomes[1].graph.ok());  // Neighbors are unaffected.
+}
+
+TEST(StreamingTest, CurrentDistributionKeepsFirstEncounterOrder) {
+  // Locks the output ordering contract of the location-indexed rewrite:
+  // locations appear in first-encounter order over ascending frontier node
+  // ids — NOT sorted by id or probability. kL3 is encountered before kL1
+  // here because the kL3-interpretations of the frontier were generated
+  // first (sources expand in candidate order).
+  ConstraintSet constraints(6);
+  StreamingCleaner cleaner(constraints);
+  ASSERT_TRUE(cleaner.Push({{kL3, 0.5}, {kL1, 0.3}, {kL2, 0.2}}).ok());
+  auto first = cleaner.CurrentDistribution();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].first, kL3);
+  EXPECT_EQ(first[1].first, kL1);
+  EXPECT_EQ(first[2].first, kL2);
+  EXPECT_NEAR(first[0].second, 0.5, 1e-12);
+  EXPECT_NEAR(first[1].second, 0.3, 1e-12);
+  EXPECT_NEAR(first[2].second, 0.2, 1e-12);
+  // Unconstrained second tick: every frontier node reaches both locations,
+  // and each location's mass accumulates over all three parents.
+  ASSERT_TRUE(cleaner.Push({{kL2, 0.75}, {kL1, 0.25}}).ok());
+  auto second = cleaner.CurrentDistribution();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].first, kL2);
+  EXPECT_EQ(second[1].first, kL1);
+  EXPECT_NEAR(second[0].second, 0.75, 1e-12);
+  EXPECT_NEAR(second[1].second, 0.25, 1e-12);
 }
 
 TEST(StreamingCleanerTest, RejectsMalformedTicks) {

@@ -9,6 +9,7 @@
 //
 //   rfidclean_cli clean --dir DIR [--families DU|DU+LT|DU+LT+TT]
 //                       [--seed 1] [--dot graph.dot] [--jobs N]
+//                       [--forward-threads N]
 //                       [--store FILE]
 //       Cleans DIR/readings.csv against DIR/building.map and writes
 //       DIR/graph.ctg (plus an optional GraphViz rendering). A multi-tag
@@ -402,7 +403,7 @@ struct CleanObs {
 int CleanBatch(const std::string& dir, const Building& building,
                const Deployment& deployment, const ConstraintSet& constraints,
                ConstraintFamilies families, bool audit, bool preflight,
-               int jobs, const std::string& store_path,
+               int jobs, int forward_threads, const std::string& store_path,
                CleanObs* observability) {
   std::ifstream is(dir + "/readings.csv");
   if (!is) return Fail("cannot open readings.csv");
@@ -422,6 +423,7 @@ int CleanBatch(const std::string& dir, const Building& building,
 
   BatchOptions options;
   options.jobs = jobs;
+  options.forward_threads = forward_threads;
   options.preflight = preflight;
   // The CLI already started the session (so the io spans above are on the
   // timeline); passing the options through exercises the embedding hook,
@@ -505,6 +507,13 @@ int CleanImpl(const Args& args, const std::string& dir,
   if (!jobs.has_value() || *jobs < 1) {
     return Fail("--jobs must be a positive integer");
   }
+  // Intra-tag lanes (CleanOptions::forward_threads); output is
+  // byte-identical for every value, so this is purely a wall-clock knob.
+  const std::optional<int> forward_threads =
+      args.GetStrictInt("forward-threads", 1);
+  if (!forward_threads.has_value() || *forward_threads < 1) {
+    return Fail("--forward-threads must be a positive integer");
+  }
   Result<Building> building = LoadBuilding(dir);
   if (!building.ok()) return Fail(building.status());
 
@@ -527,8 +536,8 @@ int CleanImpl(const Args& args, const std::string& dir,
   const std::string store_path = args.Get("store", "");
   if (HasMultiTagReadings(dir)) {
     return CleanBatch(dir, building.value(), deployment, constraints.value(),
-                      families, audit, preflight, *jobs, store_path,
-                      observability);
+                      families, audit, preflight, *jobs, *forward_threads,
+                      store_path, observability);
   }
 
   Result<RSequence> readings = LoadReadings(dir);
@@ -539,6 +548,7 @@ int CleanImpl(const Args& args, const std::string& dir,
 
   CleanOptions build_options;
   build_options.preflight = preflight;
+  build_options.forward_threads = *forward_threads;
   CtGraphBuilder builder(constraints.value(), build_options);
   BuildStats stats;
   Result<CtGraph> graph = builder.Build(sequence, &stats);
@@ -980,7 +990,7 @@ int Usage() {
       "[--key value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
-      "[--audit] [--no-preflight] [--jobs N]\n"
+      "[--audit] [--no-preflight] [--jobs N] [--forward-threads N]\n"
       "           [--store FILE] [--stats[=FILE]] [--trace[=FILE]] "
       "[--trace-buffer-events N]\n"
       "  check-constraints --dir DIR [--families ...] [--json FILE]\n"
