@@ -7,6 +7,7 @@
 #include "core/forward.h"
 #include "core/self_audit.h"
 #include "core/work_graph.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -85,8 +86,32 @@ Result<CtGraph> CtGraphBuilder::Build(const LSequence& sequence,
     stats->peak_keys = engine.num_keys();
   }
 
+  // While an explain session is armed, hand the attribution pass the full
+  // candidate lists (with the plan's pruned flags) and the successor
+  // generator. Dead code in explain-off builds (ExplainArmed() is a
+  // compile-time false), and never perturbs the produced graph.
+  internal_core::ExplainBuildContext explain_ctx;
+  const internal_core::ExplainBuildContext* explain = nullptr;
+  if (obs::ExplainArmed()) {
+    explain_ctx.successors = &successors_;
+    explain_ctx.ticks.resize(static_cast<std::size_t>(length));
+    for (Timestamp t = 0; t < length; ++t) {
+      const std::vector<Candidate>& full = sequence.CandidatesAt(t);
+      std::vector<internal_core::ExplainTickCandidate>& tick =
+          explain_ctx.ticks[static_cast<std::size_t>(t)];
+      tick.reserve(full.size());
+      for (std::size_t i = 0; i < full.size(); ++i) {
+        tick.push_back(
+            {full[i].location, full[i].probability,
+             plan.has_value() &&
+                 !plan->admissible[static_cast<std::size_t>(t)][i]});
+      }
+    }
+    explain = &explain_ctx;
+  }
+
   Result<CtGraph> graph =
-      internal_core::ConditionAndCompact(engine.TakeWork(), stats);
+      internal_core::ConditionAndCompact(engine.TakeWork(), stats, explain);
   if (graph.ok()) {
     RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
   }

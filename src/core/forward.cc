@@ -1,6 +1,7 @@
 #include "core/forward.h"
 
 #include "common/check.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -309,6 +310,15 @@ bool ForwardEngine::AdvanceLayer(const SuccessorGenerator& successors,
       span.AddArg("width", static_cast<std::uint64_t>(layer_end -
                                                       frontier_end)));
   RFID_TRACE(span.AddArg("edges", work_.edges.size() - edges_before));
+  if (!non_empty) {
+    // Structural dead end: no frontier node admits any successor at t + 1,
+    // so every interpretation dies here. The unit mass marks the decision
+    // in the event stream; per-candidate attribution happens in the
+    // conditioning pass (which knows the forward masses).
+    RFID_EXPLAIN(obs::RecordExplainEvent(
+        {obs::ExplainCurrentTag(), t + 1, -1, -1, obs::ExplainPhase::kForward,
+         obs::ExplainConstraint::kInfeasible, 1.0}));
+  }
   if (!non_empty && !record_empty_layer) {
     // An empty expansion appended no node and no edge, and the frontier's
     // refreshed (empty) CSR slices are indistinguishable from their

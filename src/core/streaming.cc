@@ -8,6 +8,7 @@
 #include "common/strings.h"
 #include "core/self_audit.h"
 #include "core/work_graph.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -72,6 +73,25 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
   obs::PhaseTimer phase_timer(obs::Phase::kForward);
   RFID_RETURN_IF_ERROR(ValidateCandidates(candidates));
 
+  // Explain capture: the attribution pass needs the *full* tick (with the
+  // plan's pruned flags), not the filtered one the engine sees. Dead code
+  // when explain is compiled out (ExplainArmed() is a compile-time false).
+  if (obs::ExplainArmed()) {
+    explain_ctx_.successors = successors_;
+    const std::size_t t = static_cast<std::size_t>(TicksSeen());
+    std::vector<internal_core::ExplainTickCandidate> tick;
+    tick.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const bool pruned =
+          preflight_plan_ != nullptr &&
+          t < preflight_plan_->admissible.size() &&
+          !preflight_plan_->admissible[t][i];
+      tick.push_back(
+          {candidates[i].location, candidates[i].probability, pruned});
+    }
+    explain_ctx_.ticks.push_back(std::move(tick));
+  }
+
   // Static pruning: validation always sees the caller's full tick, then
   // candidates the plan proved dead are dropped before the engine does any
   // work. The plan indexes by position, so the Push stream must be exactly
@@ -98,6 +118,7 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
       frontier_alpha_.push_back(
           work.nodes[static_cast<std::size_t>(id)].source_probability);
     }
+    if (obs::ExplainArmed()) explain_ctx_.alpha_deltas.push_back(0.0);
     return Status::Ok();
   }
 
@@ -147,9 +168,16 @@ Status StreamingCleaner::Push(const std::vector<Candidate>& candidates) {
     frontier_alpha_.swap(next_alpha_);
     failed_ = true;
     RFID_STATS(obs::Add(obs::Counter::kStreamAlphaUnderflows));
+    if (obs::ExplainArmed()) explain_ctx_.alpha_deltas.push_back(1.0);
     return FailedPreconditionError(
         "the filtered probability mass of every remaining interpretation "
         "underflowed to zero");
+  }
+  if (obs::ExplainArmed()) {
+    // Renormalization delta: the filtered mass the constraint checks shaved
+    // off this tick before the division restored a unit total.
+    const double delta = 1.0 - total;
+    explain_ctx_.alpha_deltas.push_back(delta > 0.0 ? delta : 0.0);
   }
   simd::DivideInPlace(next_alpha_.data(), next_alpha_.size(), total);
   frontier_alpha_.swap(next_alpha_);
@@ -204,8 +232,9 @@ Result<CtGraph> StreamingCleaner::Finish(BuildStats* stats) && {
     stats->peak_edges = engine_.work().edges.size();
     stats->peak_keys = engine_.num_keys();
   }
-  Result<CtGraph> graph =
-      internal_core::ConditionAndCompact(engine_.TakeWork(), stats);
+  Result<CtGraph> graph = internal_core::ConditionAndCompact(
+      engine_.TakeWork(), stats,
+      obs::ExplainArmed() ? &explain_ctx_ : nullptr);
   if (graph.ok()) {
     RFID_RETURN_IF_ERROR(RunCtGraphAuditHook(graph.value()));
   }

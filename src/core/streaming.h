@@ -111,6 +111,11 @@ class StreamingCleaner {
   /// Optional static-pruning plan; scratch holds the filtered tick.
   const PreflightPlan* preflight_plan_ = nullptr;
   std::vector<Candidate> plan_filtered_;
+  /// Explain-session inputs, captured tick by tick only while a session is
+  /// armed (obs/explain.h) and threaded into Finish's conditioning call:
+  /// the full candidate lists (with pruned flags) plus the per-tick
+  /// renormalization deltas of the alpha recursion.
+  internal_core::ExplainBuildContext explain_ctx_;
   /// CurrentDistribution scratch: per-location mass and first-encounter
   /// marks, reused across calls.
   mutable std::vector<double> dist_mass_;

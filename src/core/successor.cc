@@ -122,6 +122,31 @@ void SuccessorGenerator::AppendSuccessors(
                    });
 }
 
+SuccessorReject SuccessorGenerator::ClassifyRejection(Timestamp t,
+                                                      const NodeKey& from,
+                                                      LocationId to) const {
+  // Mirrors ForEachSuccessor's check order exactly (a stay is always
+  // admissible; then conditions 2, 4, 5, and the Def.-3 completion).
+  const LocationId l1 = from.location;
+  if (l1 == to) return SuccessorReject::kAdmissible;
+  if (constraints_->IsUnreachable(l1, to)) {
+    return SuccessorReject::kUnreachable;
+  }
+  if (from.delta != kDeltaBottom) return SuccessorReject::kLatency;
+  const Timestamp arrival = t + 1;
+  for (std::size_t i = 0; i < from.departures.size(); ++i) {
+    const Departure& d = from.departures[i];
+    Timestamp required = constraints_->MinTravelTicks(d.location, to);
+    if (required > 0 && arrival - d.time < required) {
+      return SuccessorReject::kTravelTime;
+    }
+  }
+  if (constraints_->MinTravelTicks(l1, to) > 1) {
+    return SuccessorReject::kTravelTime;
+  }
+  return SuccessorReject::kAdmissible;
+}
+
 void SuccessorGenerator::BuildSuccessorKey(Timestamp t, const NodeKey& from,
                                            LocationId to,
                                            NodeKey* out) const {

@@ -52,6 +52,17 @@ class HopDistances {
   std::size_t num_locations_ = 0;
 };
 
+/// Why ForEachSuccessor refused (or would refuse) a candidate target
+/// location, for decision-level attribution (obs/explain.h). kAdmissible
+/// means the move passes every Definition-3 check — the forward phase
+/// therefore materializes the edge.
+enum class SuccessorReject : std::uint8_t {
+  kAdmissible,   ///< the move/stay satisfies all checks
+  kUnreachable,  ///< condition 2: DU forbids the direct move
+  kLatency,      ///< condition 4: the latency bound pins the object in place
+  kTravelTime,   ///< condition 5 / Def.-3 completion: a TT bound is violated
+};
+
 /// Implements the successor relation of Definition 3: which location nodes
 /// at time t+1 consistently extend a given node at time t, under the
 /// integrity constraints and the candidate locations of the next time
@@ -145,6 +156,15 @@ class SuccessorGenerator {
       fn(static_cast<const NodeKey&>(*scratch));
     }
   }
+
+  /// Re-runs the Definition-3 checks for the single move (t, from) ->
+  /// (t+1, to) and names the first one that fails, in the exact order
+  /// ForEachSuccessor applies them — the two must stay in lockstep so that
+  /// ClassifyRejection(...) == kAdmissible iff ForEachSuccessor would emit
+  /// the successor key. Used only by the explain attribution pass, never on
+  /// the build hot path.
+  SuccessorReject ClassifyRejection(Timestamp t, const NodeKey& from,
+                                    LocationId to) const;
 
   /// Convenience wrapper over ForEachSourceKey returning a fresh vector.
   std::vector<NodeKey> SourceKeys(

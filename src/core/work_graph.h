@@ -11,6 +11,7 @@
 namespace rfidclean {
 
 struct BuildStats;
+class SuccessorGenerator;
 
 namespace internal_core {
 
@@ -65,12 +66,42 @@ struct WorkGraph {
   }
 };
 
+/// One a-priori candidate of one tick, as the explain attribution pass
+/// (obs/explain.h) needs it: the raw location/probability pair plus whether
+/// the preflight plan statically removed it before the forward phase saw
+/// it. Defined in every build mode — the struct is ABI for
+/// ConditionAndCompact's optional parameter; the pass itself compiles away
+/// with RFIDCLEAN_EXPLAIN=OFF.
+struct ExplainTickCandidate {
+  LocationId location = -1;
+  double probability = 0.0;
+  bool pruned = false;
+};
+
+/// Side-channel inputs of the explain attribution pass (docs/ALGORITHM.md
+/// §14): the full per-tick candidate lists the build consumed (before
+/// preflight filtering), the streaming per-tick filtered-mass deltas
+/// (empty for batch builds), and the successor generator the build used, so
+/// rejected moves can be re-classified against the Definition-3 checks.
+/// Builders populate it only while an explain session is armed; passing it
+/// never changes the produced graph.
+struct ExplainBuildContext {
+  std::vector<std::vector<ExplainTickCandidate>> ticks;
+  std::vector<double> alpha_deltas;
+  const SuccessorGenerator* successors = nullptr;
+};
+
 /// Runs the backward conditioning phase (survival masses, per-layer
 /// rescaling, source weighting) and compacts the survivors into a CtGraph.
 /// Consumes `graph`. Fills the backward timing and final counts of `stats`
 /// when given. Fails with FailedPrecondition when no interpretation
-/// survives.
-Result<CtGraph> ConditionAndCompact(WorkGraph&& graph, BuildStats* stats);
+/// survives. When `explain` is non-null and an explain session is armed,
+/// runs the attribution pass over the pristine forward-phase labels first
+/// and records one ExplainTagSummary (plus the per-decision events); the
+/// returned graph is byte-identical with or without it.
+Result<CtGraph> ConditionAndCompact(WorkGraph&& graph, BuildStats* stats,
+                                    const ExplainBuildContext* explain =
+                                        nullptr);
 
 }  // namespace internal_core
 }  // namespace rfidclean

@@ -104,7 +104,8 @@ const char* DistName(Dist dist) {
     case Dist::kTagMicros: return "tag_micros";
     case Dist::kKeyProbeMax: return "key_probe_max";
     case Dist::kKeyOccupancyPct: return "key_occupancy_pct";
-    case Dist::kMassLostPpb: return "mass_lost_ppb";
+    case Dist::kMassLostBackwardPpb: return "mass_lost_backward_ppb";
+    case Dist::kMassLostCompactionPpb: return "mass_lost_compaction_ppb";
     case Dist::kCount: break;
   }
   RFID_CHECK(false);  // unreachable: exhaustive switch
@@ -181,6 +182,11 @@ std::vector<std::string> CleaningStats::CheckInvariants() const {
           "layer_width sample count != forward_layers");
   require(Hist(Dist::kLayerWidth).sum == Get(Counter::kForwardNodes),
           "layer_width sample sum != forward_nodes");
+  // Every conditioning pass samples both per-phase mass-loss splits.
+  require(Hist(Dist::kMassLostBackwardPpb).count ==
+              Hist(Dist::kMassLostCompactionPpb).count,
+          "mass_lost_backward_ppb sample count != "
+          "mass_lost_compaction_ppb sample count");
   // Every tag that entered the batch runtime got its arena provisioned
   // exactly once (reused hints or a cold start) and landed in exactly one
   // outcome bucket.

@@ -112,7 +112,13 @@ enum class Dist : std::uint8_t {
   kTagMicros,        ///< per-tag cleaning wall time, microseconds
   kKeyProbeMax,      ///< longest intern probe chain, per build
   kKeyOccupancyPct,  ///< persistent key-table load percent, per build
-  kMassLostPpb,      ///< conditioning mass loss (1 - source mass), ppb
+  /// Conditioning mass loss (1 - source mass), ppb, split by the phase
+  /// that removed it: the backward sweep (dead suffixes) vs compaction
+  /// (nodes stranded from every surviving source). Each build samples
+  /// both, so the per-build sum equals the old aggregate mass_lost_ppb
+  /// and reconciles with the explain report (obs/explain.h).
+  kMassLostBackwardPpb,
+  kMassLostCompactionPpb,
   kCount
 };
 

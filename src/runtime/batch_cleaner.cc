@@ -9,6 +9,7 @@
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "obs/cleaning_stats.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/arena.h"
@@ -45,7 +46,17 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
                     ThreadPool* pool, std::uint64_t constraint_digest) {
   obs::PhaseTimer phase_timer(obs::Phase::kTagClean);
   RFID_STATS(const Stopwatch tag_watch);
+  // Every kill decision and summary recorded while this workload cleans —
+  // by the preflight, the forward engine, or the conditioning pass —
+  // carries this tag; outcomes for other paths (doomed, push failure) are
+  // attributed below. No-op symbol in explain-off builds.
+  obs::SetExplainTag(static_cast<long long>(workload.tag));
   BuildStats stats;
+  // Which explain coverage the clean reached: doomed tags are summarized
+  // by the preflight itself and ConditionAndCompact summarizes everything
+  // that finishes, so only the paths that die before Finish (empty stream,
+  // mid-stream Push failure) need a summary from this layer.
+  bool explain_covered = false;
   Result<CtGraph> graph = [&]() -> Result<CtGraph> {
     if (workload.sequence.length() == 0) {
       return InvalidArgumentError(
@@ -63,6 +74,7 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
         // Fail fast with Push's verbatim failure: if every Push succeeded,
         // Finish cannot fail, so a doomed sequence always dies in some
         // Push — the fast path only moves *when* the status surfaces.
+        explain_covered = true;  // Analyze recorded the doomed summary.
         return FailedPreconditionError(
             "the new tick leaves no consistent interpretation of the "
             "readings");
@@ -80,8 +92,22 @@ TagOutcome CleanOne(const SuccessorGenerator& successors,
       if (options.after_tick) options.after_tick(index, t);
     }
     stats.forward_millis = forward_watch.ElapsedMillis();
+    explain_covered = true;  // Finish's conditioning records the summary.
     return std::move(cleaner).Finish(&stats);
   }();
+#if RFIDCLEAN_EXPLAIN_ENABLED
+  if (obs::ExplainArmed() && !graph.ok() && !explain_covered) {
+    // The clean died before conditioning (empty stream or a Push left no
+    // consistent interpretation): record the outcome so the report lists
+    // every tag of the batch exactly once.
+    obs::ExplainTagSummary summary;
+    summary.tag = static_cast<long long>(workload.tag);
+    summary.status = graph.status().message();
+    obs::RecordTagExplain(std::move(summary));
+  }
+#else
+  (void)explain_covered;
+#endif
   if (graph.ok()) arena->Observe(stats, workload.sequence.length());
 #if RFIDCLEAN_STATS_ENABLED
   obs::Add(OutcomeCounter(graph));
@@ -122,6 +148,11 @@ std::vector<TagOutcome> BatchCleaner::CleanAll(
   if (options_.trace.enabled && !obs::TraceActive()) {
     obs::StartTracing(options_.trace);
   }
+#if RFIDCLEAN_EXPLAIN_ENABLED
+  if (options_.explain.enabled && !obs::ExplainArmed()) {
+    obs::StartExplain(options_.explain);
+  }
+#endif
   RFID_TRACE_SPAN(batch_span, "batch", "batch_clean_all");
   RFID_TRACE(batch_span.AddArg("tags", workloads.size()));
   std::vector<std::optional<TagOutcome>> slots(workloads.size());

@@ -13,6 +13,7 @@
 #include "core/streaming.h"
 #include "model/lsequence.h"
 #include "model/reading.h"
+#include "obs/explain.h"
 #include "obs/trace.h"
 
 namespace rfidclean {
@@ -72,6 +73,14 @@ struct BatchOptions {
   /// traced the io phase keeps one continuous timeline. The session is
   /// never stopped here — collection/export stay with the embedder.
   obs::TraceOptions trace;
+  /// Same embedding contract for explain sessions (obs/explain.h): when
+  /// `explain.enabled` is set and no session is armed yet, CleanAll arms
+  /// one with these options before spawning workers and leaves collection
+  /// and export to the embedder. Workers stamp the thread-local explain
+  /// tag with each workload's TagId, so every recorded kill decision and
+  /// per-tag summary carries the tag it belongs to regardless of which
+  /// worker cleaned it.
+  obs::ExplainOptions explain;
 };
 
 /// Cleans N independent tag streams concurrently on a fixed-size pool of

@@ -355,7 +355,8 @@ Result<ParsedBlob> ParseAndVerifyBlob(const unsigned char* data,
     const std::uint32_t computed =
         Crc32(data + section.offset, static_cast<std::size_t>(section.size));
     if (computed != section.crc) {
-      return CrcError(SectionName(id), section.crc, computed);
+      return CrcError(StrFormat("%s section", SectionName(id)).c_str(),
+                      section.crc, computed);
     }
   }
   return blob;

@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "store/blob_layout.h"
+#include "store/explain_codec.h"
 #include "store/graph_codec.h"
 
 namespace rfidclean::store {
@@ -40,7 +41,7 @@ std::string BuildIndexBlock(std::vector<StoreEntry> entries) {
     PutU64(&block, entry.offset);
     PutU64(&block, entry.size);
     PutU32(&block, entry.blob_crc);
-    PutU32(&block, 0);  // flags
+    PutU32(&block, entry.flags);
     PutU64(&block, entry.sequence);
   }
   return block;
@@ -157,16 +158,18 @@ Result<CtStoreReader> CtStoreReader::Open(const std::string& path) {
     entry.offset = LoadU64(raw + 8);
     entry.size = LoadU64(raw + 16);
     entry.blob_crc = LoadU32(raw + 24);
-    const std::uint32_t flags = LoadU32(raw + 28);
+    entry.flags = LoadU32(raw + 28);
     entry.sequence = LoadU64(raw + 32);
-    if (flags != 0) {
+    if ((entry.flags & ~kIndexFlagExplain) != 0) {
       return StoreError(path, StrFormat("index entry %u has unsupported "
                                         "flags %08x",
-                                        i, flags));
+                                        i, entry.flags));
     }
+    const bool is_explain = (entry.flags & kIndexFlagExplain) != 0;
+    const std::uint64_t min_size =
+        is_explain ? kExplainBlobMinBytes : kBlobPreludeBytes;
     if (entry.offset < kStoreHeaderBytes ||
-        entry.offset % kSectionAlign != 0 ||
-        entry.size < kBlobPreludeBytes ||
+        entry.offset % kSectionAlign != 0 || entry.size < min_size ||
         entry.size > header.index_offset ||
         entry.offset > header.index_offset - entry.size) {
       return StoreError(
@@ -175,21 +178,30 @@ Result<CtStoreReader> CtStoreReader::Open(const std::string& path) {
                     "region",
                     i, static_cast<long long>(entry.tag)));
     }
-    if (!reader.by_tag_.emplace(entry.tag, reader.entries_.size()).second) {
+    // Graph and explain entries index independently: a tag may carry one
+    // of each, but never two of a kind.
+    auto& by_tag = is_explain ? reader.explain_by_tag_ : reader.by_tag_;
+    auto& entries = is_explain ? reader.explain_entries_ : reader.entries_;
+    if (!by_tag.emplace(entry.tag, entries.size()).second) {
       return StoreError(path, StrFormat("duplicate index entry for tag %lld",
                                         static_cast<long long>(entry.tag)));
     }
-    reader.entries_.push_back(entry);
+    entries.push_back(entry);
   }
   // Indexes are written in sequence order; re-sorting tolerates hand-made
   // files and keeps ls output deterministic either way.
-  std::sort(reader.entries_.begin(), reader.entries_.end(),
-            [](const StoreEntry& a, const StoreEntry& b) {
-              return a.sequence != b.sequence ? a.sequence < b.sequence
-                                              : a.offset < b.offset;
-            });
+  const auto by_sequence = [](const StoreEntry& a, const StoreEntry& b) {
+    return a.sequence != b.sequence ? a.sequence < b.sequence
+                                    : a.offset < b.offset;
+  };
+  std::sort(reader.entries_.begin(), reader.entries_.end(), by_sequence);
+  std::sort(reader.explain_entries_.begin(), reader.explain_entries_.end(),
+            by_sequence);
   for (std::size_t i = 0; i < reader.entries_.size(); ++i) {
     reader.by_tag_[reader.entries_[i].tag] = i;
+  }
+  for (std::size_t i = 0; i < reader.explain_entries_.size(); ++i) {
+    reader.explain_by_tag_[reader.explain_entries_[i].tag] = i;
   }
   return reader;
 }
@@ -197,6 +209,9 @@ Result<CtStoreReader> CtStoreReader::Open(const std::string& path) {
 std::size_t CtStoreReader::DeadBytes() const {
   std::uint64_t used = kStoreHeaderBytes;
   for (const StoreEntry& entry : entries_) used += AlignUp(entry.size);
+  for (const StoreEntry& entry : explain_entries_) {
+    used += AlignUp(entry.size);
+  }
   used += AlignUp(header_.index_size);
   const std::size_t size = file_->size();
   return size > used ? size - static_cast<std::size_t>(used) : 0;
@@ -240,7 +255,40 @@ Result<std::string> CtStoreReader::ReadBlobBytes(std::int64_t tag) const {
       static_cast<std::size_t>(entry->size));
 }
 
+const StoreEntry* CtStoreReader::FindExplain(std::int64_t tag) const {
+  const auto it = explain_by_tag_.find(tag);
+  return it == explain_by_tag_.end() ? nullptr
+                                     : &explain_entries_[it->second];
+}
+
+Result<obs::ExplainTagSummary> CtStoreReader::LoadExplain(
+    std::int64_t tag) const {
+  const StoreEntry* entry = FindExplain(tag);
+  if (entry == nullptr) {
+    return NotFoundError(
+        StrFormat("tag %lld has no explain summary in the store (clean "
+                  "with --explain to persist one)",
+                  static_cast<long long>(tag)));
+  }
+  return DecodeExplainBlob(file_->data() + entry->offset,
+                           static_cast<std::size_t>(entry->size));
+}
+
+Result<std::string> CtStoreReader::ReadExplainBytes(std::int64_t tag) const {
+  const StoreEntry* entry = FindExplain(tag);
+  if (entry == nullptr) {
+    return NotFoundError(StrFormat("tag %lld has no explain summary",
+                                   static_cast<long long>(tag)));
+  }
+  return std::string(
+      reinterpret_cast<const char*>(file_->data() + entry->offset),
+      static_cast<std::size_t>(entry->size));
+}
+
 Status CtStoreReader::VerifyAll() const {
+  // Every failure names its tag, the check tier that tripped, and (for
+  // decode-tier failures) the failing section — the detail strings from
+  // blob_layout/graph_codec lead with the section name.
   for (const StoreEntry& entry : entries_) {
     const unsigned char* blob = file_->data() + entry.offset;
     const std::uint32_t crc =
@@ -248,15 +296,16 @@ Status CtStoreReader::VerifyAll() const {
     if (crc != entry.blob_crc) {
       RFID_STATS(obs::Add(obs::Counter::kStoreCrcFailures));
       return InvalidArgumentError(
-          StrFormat("tag %lld: index blob checksum mismatch (stored %08x, "
-                    "computed %08x)",
+          StrFormat("tag %lld: check index-crc: whole-blob checksum "
+                    "mismatch (stored %08x, computed %08x)",
                     static_cast<long long>(entry.tag), entry.blob_crc, crc));
     }
     Result<CtGraph> graph =
         DecodeCtGraphBlob(blob, static_cast<std::size_t>(entry.size));
     if (!graph.ok()) {
       return InvalidArgumentError(
-          StrFormat("tag %lld: %s", static_cast<long long>(entry.tag),
+          StrFormat("tag %lld: check decode: %s",
+                    static_cast<long long>(entry.tag),
                     graph.status().message().c_str()));
     }
     // The zero-copy path gets the same deep treatment: digest recompute
@@ -264,8 +313,29 @@ Status CtStoreReader::VerifyAll() const {
     Result<CtGraphView> view = LoadView(entry.tag, MapVerify::kFull);
     if (!view.ok()) {
       return InvalidArgumentError(
-          StrFormat("tag %lld (view): %s", static_cast<long long>(entry.tag),
+          StrFormat("tag %lld: check view-verify: %s",
+                    static_cast<long long>(entry.tag),
                     view.status().message().c_str()));
+    }
+  }
+  for (const StoreEntry& entry : explain_entries_) {
+    const unsigned char* blob = file_->data() + entry.offset;
+    const std::uint32_t crc =
+        Crc32(blob, static_cast<std::size_t>(entry.size));
+    if (crc != entry.blob_crc) {
+      RFID_STATS(obs::Add(obs::Counter::kStoreCrcFailures));
+      return InvalidArgumentError(
+          StrFormat("tag %lld: check explain-crc: whole-blob checksum "
+                    "mismatch (stored %08x, computed %08x)",
+                    static_cast<long long>(entry.tag), entry.blob_crc, crc));
+    }
+    Result<obs::ExplainTagSummary> summary =
+        DecodeExplainBlob(blob, static_cast<std::size_t>(entry.size));
+    if (!summary.ok()) {
+      return InvalidArgumentError(
+          StrFormat("tag %lld: check explain-decode: %s",
+                    static_cast<long long>(entry.tag),
+                    summary.status().message().c_str()));
     }
   }
   return Status::Ok();
@@ -280,7 +350,9 @@ CtStoreWriter::CtStoreWriter(CtStoreWriter&& other) noexcept
       generation_(other.generation_),
       next_sequence_(other.next_sequence_),
       live_(std::move(other.live_)),
+      live_explain_(std::move(other.live_explain_)),
       by_tag_(std::move(other.by_tag_)),
+      explain_by_tag_(std::move(other.explain_by_tag_)),
       dirty_(std::exchange(other.dirty_, false)) {}
 
 CtStoreWriter& CtStoreWriter::operator=(CtStoreWriter&& other) noexcept {
@@ -293,7 +365,9 @@ CtStoreWriter& CtStoreWriter::operator=(CtStoreWriter&& other) noexcept {
     generation_ = other.generation_;
     next_sequence_ = other.next_sequence_;
     live_ = std::move(other.live_);
+    live_explain_ = std::move(other.live_explain_);
     by_tag_ = std::move(other.by_tag_);
+    explain_by_tag_ = std::move(other.explain_by_tag_);
     dirty_ = std::exchange(other.dirty_, false);
   }
   return *this;
@@ -350,10 +424,16 @@ Result<CtStoreWriter> CtStoreWriter::OpenOrCreate(const std::string& path) {
   if (writer.file_ == nullptr) return IoError(path, "fopen");
   writer.generation_ = reader.generation();
   writer.live_ = reader.entries();
+  writer.live_explain_ = reader.explain_entries();
   for (std::size_t i = 0; i < writer.live_.size(); ++i) {
     writer.by_tag_[writer.live_[i].tag] = i;
     writer.next_sequence_ =
         std::max(writer.next_sequence_, writer.live_[i].sequence + 1);
+  }
+  for (std::size_t i = 0; i < writer.live_explain_.size(); ++i) {
+    writer.explain_by_tag_[writer.live_explain_[i].tag] = i;
+    writer.next_sequence_ = std::max(writer.next_sequence_,
+                                     writer.live_explain_[i].sequence + 1);
   }
   // Appends go past the current index so a crash before Finish leaves the
   // old header -> old index chain fully intact.
@@ -361,14 +441,10 @@ Result<CtStoreWriter> CtStoreWriter::OpenOrCreate(const std::string& path) {
   return writer;
 }
 
-Status CtStoreWriter::Put(std::int64_t tag, std::string_view blob) {
-  RFID_CHECK(file_ != nullptr);
-  if (blob.size() < kBlobPreludeBytes ||
-      std::memcmp(blob.data(), kBlobMagic, sizeof(kBlobMagic)) != 0) {
-    return InvalidArgumentError(
-        StrFormat("tag %lld: bytes are not a ct-graph blob",
-                  static_cast<long long>(tag)));
-  }
+Status CtStoreWriter::Append(
+    std::int64_t tag, std::string_view blob, std::uint32_t flags,
+    std::vector<StoreEntry>* live,
+    std::unordered_map<std::int64_t, std::size_t>* by_tag) {
   RFID_RETURN_IF_ERROR(WriteAt(file_, path_, append_offset_, blob));
   const std::uint64_t padded = AlignUp(blob.size());
   if (padded > blob.size()) {
@@ -381,23 +457,64 @@ Status CtStoreWriter::Put(std::int64_t tag, std::string_view blob) {
   entry.offset = append_offset_;
   entry.size = blob.size();
   entry.blob_crc = Crc32(blob.data(), blob.size());
+  entry.flags = flags;
   entry.sequence = next_sequence_++;
-  const auto it = by_tag_.find(tag);
-  if (it != by_tag_.end()) {
-    live_[it->second] = entry;  // supersede in place; old bytes leak
+  const auto it = by_tag->find(tag);
+  if (it != by_tag->end()) {
+    (*live)[it->second] = entry;  // supersede in place; old bytes leak
   } else {
-    by_tag_[tag] = live_.size();
-    live_.push_back(entry);
+    (*by_tag)[tag] = live->size();
+    live->push_back(entry);
   }
   append_offset_ += padded;
   dirty_ = true;
   return Status::Ok();
 }
 
+Status CtStoreWriter::Put(std::int64_t tag, std::string_view blob) {
+  RFID_CHECK(file_ != nullptr);
+  if (blob.size() < kBlobPreludeBytes ||
+      std::memcmp(blob.data(), kBlobMagic, sizeof(kBlobMagic)) != 0) {
+    return InvalidArgumentError(
+        StrFormat("tag %lld: bytes are not a ct-graph blob",
+                  static_cast<long long>(tag)));
+  }
+  RFID_RETURN_IF_ERROR(Append(tag, blob, /*flags=*/0, &live_, &by_tag_));
+  // A summary describes one specific clean of one specific input; a fresh
+  // graph makes any live summary for the tag stale, so drop it (swap-erase
+  // — the index block re-sorts by sequence, so order here is free).
+  const auto stale = explain_by_tag_.find(tag);
+  if (stale != explain_by_tag_.end()) {
+    const std::size_t hole = stale->second;
+    explain_by_tag_.erase(stale);
+    if (hole + 1 != live_explain_.size()) {
+      live_explain_[hole] = live_explain_.back();
+      explain_by_tag_[live_explain_[hole].tag] = hole;
+    }
+    live_explain_.pop_back();
+  }
+  return Status::Ok();
+}
+
+Status CtStoreWriter::PutExplain(std::int64_t tag, std::string_view blob) {
+  RFID_CHECK(file_ != nullptr);
+  if (blob.size() < kExplainBlobMinBytes ||
+      std::memcmp(blob.data(), kExplainBlobMagic,
+                  sizeof(kExplainBlobMagic)) != 0) {
+    return InvalidArgumentError(
+        StrFormat("tag %lld: bytes are not an explain blob",
+                  static_cast<long long>(tag)));
+  }
+  return Append(tag, blob, kIndexFlagExplain, &live_explain_,
+                &explain_by_tag_);
+}
+
 Status CtStoreWriter::Finish() {
   RFID_CHECK(file_ != nullptr);
   if (!dirty_) return Status::Ok();
-  const std::string index = BuildIndexBlock(live_);
+  std::vector<StoreEntry> merged = live_;
+  merged.insert(merged.end(), live_explain_.begin(), live_explain_.end());
+  const std::string index = BuildIndexBlock(std::move(merged));
   const std::uint64_t index_offset = append_offset_;
   RFID_RETURN_IF_ERROR(WriteAt(file_, path_, index_offset, index));
   if (std::fflush(file_) != 0) return IoError(path_, "fflush");
@@ -429,6 +546,13 @@ Result<CompactionStats> CompactCtStore(const std::string& path) {
       std::string blob;
       RFID_ASSIGN_OR_RETURN(blob, reader.ReadBlobBytes(entry.tag));
       RFID_RETURN_IF_ERROR(writer.Put(entry.tag, blob));
+    }
+    // Explain summaries ride along (after the graphs, so Put's stale-
+    // summary invalidation cannot touch them).
+    for (const StoreEntry& entry : reader.explain_entries()) {
+      std::string blob;
+      RFID_ASSIGN_OR_RETURN(blob, reader.ReadExplainBytes(entry.tag));
+      RFID_RETURN_IF_ERROR(writer.PutExplain(entry.tag, blob));
     }
     RFID_RETURN_IF_ERROR(writer.Finish());
   }

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "core/ct_graph.h"
+#include "obs/explain.h"
 #include "store/ctgraph_view.h"
 #include "store/format.h"
 #include "store/mmap_file.h"
@@ -36,6 +37,7 @@ struct StoreEntry {
   std::uint64_t offset = 0;
   std::uint64_t size = 0;
   std::uint32_t blob_crc = 0;
+  std::uint32_t flags = 0;  ///< kIndexFlag* bits; 0 = graph blob
   std::uint64_t sequence = 0;
 };
 
@@ -45,8 +47,12 @@ class CtStoreReader {
  public:
   static Result<CtStoreReader> Open(const std::string& path);
 
-  /// Live entries in append (sequence) order.
+  /// Live graph entries in append (sequence) order.
   const std::vector<StoreEntry>& entries() const { return entries_; }
+  /// Live explain-summary entries (kIndexFlagExplain) in append order.
+  const std::vector<StoreEntry>& explain_entries() const {
+    return explain_entries_;
+  }
   std::uint32_t generation() const { return header_.generation; }
   std::size_t FileBytes() const { return file_->size(); }
   /// Bytes neither reachable from the index nor part of the header or the
@@ -65,15 +71,29 @@ class CtStoreReader {
   /// Raw blob bytes of one tag (for extraction / re-append).
   Result<std::string> ReadBlobBytes(std::int64_t tag) const;
 
-  /// Checks every live blob: index CRC envelope, then a full materializing
-  /// decode (section checksums, invariants, stored digest, audit hook).
+  /// The persisted explain summary of one tag (kill attribution recorded
+  /// by the clean that produced the graph; store/explain_codec.h), or
+  /// NotFound if none was persisted.
+  const StoreEntry* FindExplain(std::int64_t tag) const;
+  Result<obs::ExplainTagSummary> LoadExplain(std::int64_t tag) const;
+  Result<std::string> ReadExplainBytes(std::int64_t tag) const;
+
+  /// Checks every live blob and reports the first failure as
+  /// "tag <tag>: check <tier>: <detail>", where the tier names which
+  /// verification layer tripped — index-crc (the index's whole-blob CRC
+  /// envelope), decode (materializing parse: per-section checksums and
+  /// structure, with the failing section named by the detail), view-verify
+  /// (zero-copy remap with digest + semantic invariants), or the explain
+  /// tiers explain-crc / explain-decode for summary blobs.
   Status VerifyAll() const;
 
  private:
   std::shared_ptr<const MmapFile> file_;
   StoreHeader header_;
   std::vector<StoreEntry> entries_;
+  std::vector<StoreEntry> explain_entries_;
   std::unordered_map<std::int64_t, std::size_t> by_tag_;
+  std::unordered_map<std::int64_t, std::size_t> explain_by_tag_;
 };
 
 /// Appender. Typical use: Create or OpenOrCreate, Put each blob, Finish.
@@ -98,26 +118,40 @@ class CtStoreWriter {
   /// Appends one encoded blob under `tag`, superseding any previous entry
   /// for the same tag (its bytes stay until compaction). The bytes must be
   /// a valid v1 blob (callers produce them with EncodeCtGraphBlob; Put
-  /// re-checks only the magic, not the full structure).
+  /// re-checks only the magic, not the full structure). A fresh graph also
+  /// drops any live explain summary for the tag — a summary describes one
+  /// specific clean, so persist it (PutExplain) after its graph.
   Status Put(std::int64_t tag, std::string_view blob);
+
+  /// Appends one encoded explain-summary blob (EncodeExplainBlob) under
+  /// `tag`, superseding any previous summary for the same tag. The graph
+  /// and summary entries of a tag are independent: a summary may exist
+  /// without a graph (e.g. a failed clean whose attribution was persisted).
+  Status PutExplain(std::int64_t tag, std::string_view blob);
 
   /// Writes the index block and the updated header. Idempotent; called by
   /// the destructor only if at least one Put succeeded since open.
   Status Finish();
 
   std::size_t NumLive() const { return live_.size(); }
+  std::size_t NumLiveExplain() const { return live_explain_.size(); }
 
  private:
   static Result<CtStoreWriter> CreateEmpty(const std::string& path,
                                            bool must_not_exist);
+  Status Append(std::int64_t tag, std::string_view blob,
+                std::uint32_t flags, std::vector<StoreEntry>* live,
+                std::unordered_map<std::int64_t, std::size_t>* by_tag);
 
   std::FILE* file_ = nullptr;
   std::string path_;
   std::uint64_t append_offset_ = 0;  // next 8-aligned write position
   std::uint32_t generation_ = 0;     // of the state last made visible
   std::uint64_t next_sequence_ = 0;
-  std::vector<StoreEntry> live_;     // sequence order
+  std::vector<StoreEntry> live_;     // graph entries, sequence order
+  std::vector<StoreEntry> live_explain_;
   std::unordered_map<std::int64_t, std::size_t> by_tag_;
+  std::unordered_map<std::int64_t, std::size_t> explain_by_tag_;
   bool dirty_ = false;
 };
 

@@ -1,0 +1,270 @@
+#include "store/explain_codec.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+#include "store/format.h"
+
+namespace rfidclean::store {
+
+namespace {
+
+Status ExplainBlobError(const char* what, const std::string& detail) {
+  return InvalidArgumentError(
+      StrFormat("explain blob: %s: %s", what, detail.c_str()));
+}
+
+/// Bounded sequential reader over the blob body; every Get checks the
+/// remaining extent, so a truncated or lying count fails cleanly instead
+/// of reading past the mapping.
+class ByteReader {
+ public:
+  ByteReader(const unsigned char* data, std::size_t size)
+      : cursor_(data), end_(data + size) {}
+
+  std::size_t Remaining() const {
+    return static_cast<std::size_t>(end_ - cursor_);
+  }
+
+  bool GetU32(std::uint32_t* v) {
+    if (Remaining() < 4) return false;
+    *v = LoadU32(cursor_);
+    cursor_ += 4;
+    return true;
+  }
+  bool GetU64(std::uint64_t* v) {
+    if (Remaining() < 8) return false;
+    *v = LoadU64(cursor_);
+    cursor_ += 8;
+    return true;
+  }
+  bool GetI32(std::int32_t* v) {
+    if (Remaining() < 4) return false;
+    *v = LoadI32(cursor_);
+    cursor_ += 4;
+    return true;
+  }
+  bool GetI64(std::int64_t* v) {
+    if (Remaining() < 8) return false;
+    *v = LoadI64(cursor_);
+    cursor_ += 8;
+    return true;
+  }
+  bool GetDouble(double* v) {
+    if (Remaining() < 8) return false;
+    *v = LoadDouble(cursor_);
+    cursor_ += 8;
+    return true;
+  }
+  bool GetBytes(std::string* out, std::size_t n) {
+    if (Remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(cursor_), n);
+    cursor_ += n;
+    return true;
+  }
+
+ private:
+  const unsigned char* cursor_;
+  const unsigned char* end_;
+};
+
+bool ValidEnums(std::uint32_t phase, std::uint32_t constraint) {
+  return phase < static_cast<std::uint32_t>(obs::kNumExplainPhases) &&
+         constraint <
+             static_cast<std::uint32_t>(obs::kNumExplainConstraints);
+}
+
+}  // namespace
+
+std::string EncodeExplainBlob(const obs::ExplainTagSummary& summary) {
+  std::string out;
+  out.append(kExplainBlobMagic, sizeof(kExplainBlobMagic));
+  PutU32(&out, kExplainFormatVersion);
+  PutU32(&out, 0);  // reserved
+  PutI64(&out, static_cast<std::int64_t>(summary.tag));
+  PutU64(&out, summary.mass_lost_backward_ppb);
+  PutU64(&out, summary.mass_lost_compaction_ppb);
+  PutDouble(&out, summary.surviving_mass);
+  PutDouble(&out, summary.attributed_mass);
+  for (int p = 0; p < obs::kNumExplainPhases; ++p) {
+    PutU64(&out, summary.phase_kills[p]);
+  }
+  for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+    PutU64(&out, summary.constraints[c].kills);
+    PutDouble(&out, summary.constraints[c].mass);
+  }
+  PutU64(&out, summary.killed_candidates_truncated);
+  PutU32(&out, static_cast<std::uint32_t>(summary.status.size()));
+  out.append(summary.status);
+  PutU32(&out, static_cast<std::uint32_t>(summary.ticks.size()));
+  PutU32(&out, static_cast<std::uint32_t>(summary.killed_candidates.size()));
+  PutU32(&out, static_cast<std::uint32_t>(summary.top_edges.size()));
+  for (const obs::ExplainTickSummary& tick : summary.ticks) {
+    PutI32(&out, tick.time);
+    PutU32(&out, tick.candidates);
+    PutU32(&out, tick.killed);
+    PutDouble(&out, tick.mass_lost);
+    PutDouble(&out, tick.alpha_delta);
+  }
+  for (const obs::ExplainKilledCandidate& candidate :
+       summary.killed_candidates) {
+    PutI32(&out, candidate.time);
+    PutI32(&out, candidate.location);
+    PutU32(&out, static_cast<std::uint32_t>(candidate.phase));
+    PutU32(&out, static_cast<std::uint32_t>(candidate.constraint));
+    PutDouble(&out, candidate.mass);
+  }
+  for (const obs::ExplainKilledEdge& edge : summary.top_edges) {
+    PutI32(&out, edge.time);
+    PutI32(&out, edge.from_location);
+    PutI32(&out, edge.to_location);
+    PutU32(&out, static_cast<std::uint32_t>(edge.phase));
+    PutU32(&out, static_cast<std::uint32_t>(edge.constraint));
+    PutDouble(&out, edge.mass);
+  }
+  PutU32(&out, Crc32(out.data(), out.size()));
+  return out;
+}
+
+Result<obs::ExplainTagSummary> DecodeExplainBlob(const unsigned char* data,
+                                                 std::size_t size) {
+  if (size < kExplainBlobMinBytes + 4) {
+    return ExplainBlobError("truncated",
+                            StrFormat("%zu bytes is too small", size));
+  }
+  if (std::memcmp(data, kExplainBlobMagic, sizeof(kExplainBlobMagic)) != 0) {
+    return ExplainBlobError("bad magic", "not an explain blob");
+  }
+  const std::uint32_t stored_crc = LoadU32(data + size - 4);
+  const std::uint32_t computed_crc = Crc32(data, size - 4);
+  if (stored_crc != computed_crc) {
+    return ExplainBlobError(
+        "checksum mismatch",
+        StrFormat("stored %08x, computed %08x", stored_crc, computed_crc));
+  }
+
+  ByteReader reader(data + sizeof(kExplainBlobMagic),
+                    size - sizeof(kExplainBlobMagic) - 4);
+  const auto truncated = [] {
+    return ExplainBlobError("truncated", "body ends mid-field");
+  };
+
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  if (!reader.GetU32(&version) || !reader.GetU32(&reserved)) {
+    return truncated();
+  }
+  if (version != kExplainFormatVersion) {
+    return ExplainBlobError(
+        "unsupported format version",
+        StrFormat("%u (this build reads version %u)", version,
+                  kExplainFormatVersion));
+  }
+  if (reserved != 0) {
+    return ExplainBlobError("reserved field", "nonzero");
+  }
+
+  obs::ExplainTagSummary summary;
+  std::int64_t tag = 0;
+  if (!reader.GetI64(&tag) ||
+      !reader.GetU64(&summary.mass_lost_backward_ppb) ||
+      !reader.GetU64(&summary.mass_lost_compaction_ppb) ||
+      !reader.GetDouble(&summary.surviving_mass) ||
+      !reader.GetDouble(&summary.attributed_mass)) {
+    return truncated();
+  }
+  summary.tag = static_cast<long long>(tag);
+  for (int p = 0; p < obs::kNumExplainPhases; ++p) {
+    if (!reader.GetU64(&summary.phase_kills[p])) return truncated();
+  }
+  for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+    if (!reader.GetU64(&summary.constraints[c].kills) ||
+        !reader.GetDouble(&summary.constraints[c].mass)) {
+      return truncated();
+    }
+  }
+  std::uint32_t status_len = 0;
+  if (!reader.GetU64(&summary.killed_candidates_truncated) ||
+      !reader.GetU32(&status_len) ||
+      !reader.GetBytes(&summary.status, status_len)) {
+    return truncated();
+  }
+  std::uint32_t num_ticks = 0;
+  std::uint32_t num_candidates = 0;
+  std::uint32_t num_edges = 0;
+  if (!reader.GetU32(&num_ticks) || !reader.GetU32(&num_candidates) ||
+      !reader.GetU32(&num_edges)) {
+    return truncated();
+  }
+  // Each record costs at least 20 bytes, so a count the remaining body
+  // cannot hold is corruption caught before sizing any container.
+  const std::uint64_t claimed = std::uint64_t{num_ticks} + num_candidates +
+                                std::uint64_t{num_edges};
+  if (claimed > reader.Remaining() / 20) {
+    return ExplainBlobError(
+        "record counts",
+        StrFormat("%llu records exceed the body's capacity",
+                  static_cast<unsigned long long>(claimed)));
+  }
+
+  summary.ticks.reserve(num_ticks);
+  for (std::uint32_t i = 0; i < num_ticks; ++i) {
+    obs::ExplainTickSummary tick;
+    if (!reader.GetI32(&tick.time) || !reader.GetU32(&tick.candidates) ||
+        !reader.GetU32(&tick.killed) || !reader.GetDouble(&tick.mass_lost) ||
+        !reader.GetDouble(&tick.alpha_delta)) {
+      return truncated();
+    }
+    summary.ticks.push_back(tick);
+  }
+  summary.killed_candidates.reserve(num_candidates);
+  for (std::uint32_t i = 0; i < num_candidates; ++i) {
+    obs::ExplainKilledCandidate candidate;
+    std::uint32_t phase = 0;
+    std::uint32_t constraint = 0;
+    if (!reader.GetI32(&candidate.time) ||
+        !reader.GetI32(&candidate.location) || !reader.GetU32(&phase) ||
+        !reader.GetU32(&constraint) || !reader.GetDouble(&candidate.mass)) {
+      return truncated();
+    }
+    if (!ValidEnums(phase, constraint)) {
+      return ExplainBlobError(
+          "killed candidate",
+          StrFormat("entry %u has phase %u / constraint %u out of range", i,
+                    phase, constraint));
+    }
+    candidate.phase = static_cast<obs::ExplainPhase>(phase);
+    candidate.constraint = static_cast<obs::ExplainConstraint>(constraint);
+    summary.killed_candidates.push_back(candidate);
+  }
+  summary.top_edges.reserve(num_edges);
+  for (std::uint32_t i = 0; i < num_edges; ++i) {
+    obs::ExplainKilledEdge edge;
+    std::uint32_t phase = 0;
+    std::uint32_t constraint = 0;
+    if (!reader.GetI32(&edge.time) || !reader.GetI32(&edge.from_location) ||
+        !reader.GetI32(&edge.to_location) || !reader.GetU32(&phase) ||
+        !reader.GetU32(&constraint) || !reader.GetDouble(&edge.mass)) {
+      return truncated();
+    }
+    if (!ValidEnums(phase, constraint)) {
+      return ExplainBlobError(
+          "top edge",
+          StrFormat("entry %u has phase %u / constraint %u out of range", i,
+                    phase, constraint));
+    }
+    edge.phase = static_cast<obs::ExplainPhase>(phase);
+    edge.constraint = static_cast<obs::ExplainConstraint>(constraint);
+    summary.top_edges.push_back(edge);
+  }
+  if (reader.Remaining() != 0) {
+    return ExplainBlobError(
+        "trailing bytes",
+        StrFormat("%zu bytes after the last record", reader.Remaining()));
+  }
+  return summary;
+}
+
+}  // namespace rfidclean::store

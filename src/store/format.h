@@ -65,6 +65,19 @@ struct SectionEntry {
   std::uint64_t size = 0;    // payload bytes, before padding
 };
 
+/// ---- explain blob (per-tag kill-attribution summary, embedded in .cts) ----
+
+/// Magic of a serialized obs::ExplainTagSummary (store/explain_codec.h).
+/// Explain blobs are *not* a seventh graph-blob section: a graph blob stays
+/// byte-identical whether or not a summary was persisted alongside it
+/// (golden fixtures and digests are unaffected). They live as separate
+/// container entries marked with kIndexFlagExplain.
+inline constexpr char kExplainBlobMagic[8] = {'R', 'F', 'C', 'T', 'E', 'X',
+                                              '0', '1'};
+inline constexpr std::uint32_t kExplainFormatVersion = 1;
+/// Magic + version + reserved: the least a valid explain blob can hold.
+inline constexpr std::uint32_t kExplainBlobMinBytes = 16;
+
 /// ---- ct-store container ("*.cts") ----
 
 inline constexpr char kStoreMagic[8] = {'R', 'F', 'C', 'T', 'S', 'T', '0',
@@ -84,6 +97,12 @@ struct StoreHeader {
   std::uint32_t generation = 0;
 };
 
+/// Index-entry flag bits. Bit 0 marks an explain-summary blob
+/// (kExplainBlobMagic) instead of a graph blob; the two kinds share the
+/// tag namespace but index independently, so a tag may carry one of each.
+/// All other bits stay reserved (the reader rejects them).
+inline constexpr std::uint32_t kIndexFlagExplain = 0x1;
+
 /// One live blob in the container index. `sequence` is the append order
 /// across the store's lifetime (compaction preserves it), so `store ls`
 /// output is reproducible.
@@ -92,7 +111,7 @@ struct IndexEntry {
   std::uint64_t offset = 0;  // from file start, kSectionAlign-aligned
   std::uint64_t size = 0;    // blob bytes, before padding
   std::uint32_t blob_crc = 0;
-  std::uint32_t flags = 0;   // reserved, 0 in v1
+  std::uint32_t flags = 0;   // kIndexFlag* bits; 0 = graph blob
   std::uint64_t sequence = 0;
 };
 

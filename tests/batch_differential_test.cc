@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/streaming.h"
 #include "io/ctgraph_io.h"
+#include "obs/explain.h"
+#include "obs/explain_export.h"
 #include "query/marginals.h"
 #include "query/most_likely.h"
 #include "runtime/batch_cleaner.h"
@@ -178,6 +180,45 @@ TEST_P(BatchDifferentialTest, ParallelEqualsSequentialBitForBit) {
       }
       }
     }
+  }
+}
+
+TEST_P(BatchDifferentialTest, ExplainReportIsWorkerCountInvariant) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // Attribution rides the same differential battery: on random workloads
+  // (dead tags included) the exported explain report must be byte-identical
+  // at every worker count, or scheduling has leaked into the lineage.
+  Rng rng(static_cast<std::uint64_t>(GetParam()), /*stream=*/4242);
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t num_locations =
+        static_cast<std::size_t>(rng.UniformInt(3, 5));
+    ConstraintSet constraints = MakeRandomConstraints(num_locations, rng);
+    const int num_tags = rng.UniformInt(2, 6);
+    std::vector<TagWorkload> workloads;
+    for (int k = 0; k < num_tags; ++k) {
+      workloads.push_back(TagWorkload{static_cast<TagId>(100 + k),
+                                      MakeRandomSequence(num_locations, rng)});
+    }
+
+    const auto report_with_jobs = [&](int jobs) {
+      obs::ExplainOptions explain;
+      explain.enabled = true;
+      BatchOptions options;
+      options.jobs = jobs;
+      options.explain = explain;
+      BatchCleaner cleaner(constraints, options);
+      cleaner.CleanAll(workloads);
+      const obs::ExplainCollection collection = obs::CollectExplain();
+      obs::StopExplain();
+      std::ostringstream os;
+      WriteExplainReport(collection, os);
+      return os.str();
+    };
+
+    const std::string serial = report_with_jobs(1);
+    const std::string parallel = report_with_jobs(8);
+    ASSERT_EQ(serial, parallel)
+        << "seed=" << GetParam() << " round=" << round;
   }
 }
 

@@ -51,7 +51,7 @@ if(NOT step_output MATCHES "generation 1, 4 blobs")
   message(FATAL_ERROR "store ls summary is wrong:\n${step_output}")
 endif()
 run_step(${CLI} store verify --store ${STORE})
-if(NOT step_output MATCHES "4 blobs verified ok")
+if(NOT step_output MATCHES "4 blobs, 0 explain summaries verified ok")
   message(FATAL_ERROR "store verify summary is wrong:\n${step_output}")
 endif()
 
@@ -82,7 +82,7 @@ endif()
 # Compaction keeps every live blob loadable and verifiable.
 run_step(${CLI} store compact --store ${STORE})
 run_step(${CLI} store verify --store ${STORE})
-if(NOT step_output MATCHES "5 blobs verified ok")
+if(NOT step_output MATCHES "5 blobs, 0 explain summaries verified ok")
   message(FATAL_ERROR "store verify after compact is wrong:\n${step_output}")
 endif()
 run_step(${CLI} store get --store ${STORE} --tag 100

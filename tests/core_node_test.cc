@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/location_node.h"
 #include "core/successor.h"
 #include "test_util.h"
@@ -284,6 +289,81 @@ TEST(SuccessorGeneratorTest, SuccessorsRestrictedToCandidates) {
   auto successors = Successors(generator, sequence, 0, NodeKey{kL1, kDeltaBottom, {}});
   ASSERT_EQ(successors.size(), 1u);
   EXPECT_EQ(successors[0].location, kL4);
+}
+
+TEST(SuccessorGeneratorTest, ClassifyRejectionLockstepAndGroupClasses) {
+  // The explain attribution pass (core/work_graph.cc) aggregates forward
+  // rejections per (parent location, δ-class) group instead of calling
+  // ClassifyRejection per parent. That is sound only while three facts
+  // about the Definition-3 check order hold:
+  //   (a) ClassifyRejection == kAdmissible  iff  ForEachSuccessor emits;
+  //   (b) for a move, unreachability depends on the location pair alone
+  //       and precedes every other check, and δ ≠ ⊥ then forces kLatency
+  //       regardless of TL;
+  //   (c) a rejected δ = ⊥ parent is always rejected as kTravelTime.
+  // Exercise every key reachable in a few ticks under a constraint set
+  // mixing all three families and check the theorem for every candidate.
+  ConstraintSet constraints(6);
+  constraints.AddUnreachable(kL2, kL5);
+  constraints.AddUnreachable(kL5, kL2);
+  constraints.AddLatency(kL3, 3);
+  constraints.AddTravelingTime(kL1, kL4, 3);
+  constraints.AddTravelingTime(kL3, 5, 2);
+  SuccessorGenerator generator(constraints);
+
+  std::vector<std::vector<std::pair<LocationId, double>>> ticks;
+  for (int t = 0; t < 4; ++t) {
+    std::vector<std::pair<LocationId, double>> tick;
+    for (LocationId l = 0; l < 6; ++l) tick.push_back({l, 1.0 / 6});
+    ticks.push_back(tick);
+  }
+  LSequence sequence = MakeLSequence(ticks);
+
+  std::vector<NodeKey> frontier =
+      generator.SourceKeys(sequence.CandidatesAt(0));
+  std::size_t pairs_checked = 0;
+  for (Timestamp t = 0; t + 1 < 4; ++t) {
+    std::set<std::string> next_seen;
+    std::vector<NodeKey> next_frontier;
+    for (const NodeKey& key : frontier) {
+      const std::vector<NodeKey> emitted =
+          Successors(generator, sequence, t, key);
+      std::set<LocationId> emitted_locations;
+      for (const NodeKey& successor : emitted) {
+        emitted_locations.insert(successor.location);
+        if (next_seen.insert(successor.ToString()).second) {
+          next_frontier.push_back(successor);
+        }
+      }
+      for (const Candidate& candidate : sequence.CandidatesAt(t + 1)) {
+        const LocationId to = candidate.location;
+        const SuccessorReject verdict =
+            generator.ClassifyRejection(t, key, to);
+        ++pairs_checked;
+        // (a) lockstep with emission.
+        EXPECT_EQ(verdict == SuccessorReject::kAdmissible,
+                  emitted_locations.count(to) != 0)
+            << key.ToString() << " -> " << to << " at t=" << t;
+        if (to == key.location) {
+          EXPECT_EQ(verdict, SuccessorReject::kAdmissible) << key.ToString();
+        } else if (constraints.IsUnreachable(key.location, to)) {
+          // (b) location-determined, ahead of latency and TL.
+          EXPECT_EQ(verdict, SuccessorReject::kUnreachable)
+              << key.ToString() << " -> " << to;
+        } else if (key.delta != kDeltaBottom) {
+          EXPECT_EQ(verdict, SuccessorReject::kLatency)
+              << key.ToString() << " -> " << to;
+        } else if (verdict != SuccessorReject::kAdmissible) {
+          // (c) the only remaining rejection class.
+          EXPECT_EQ(verdict, SuccessorReject::kTravelTime)
+              << key.ToString() << " -> " << to;
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  // The enumeration must have visited keys in every δ/TL class.
+  EXPECT_GT(pairs_checked, 100u);
 }
 
 }  // namespace

@@ -1,0 +1,482 @@
+// Correctness of the decision-level explain layer (obs/explain.h +
+// obs/explain_export.h + store/explain_codec.h): attribution summaries must
+// name the exact kill set on hand-checkable workloads, conserve probability
+// mass (attributed + surviving = 1), agree with the preflight-off clean on
+// *what* died (only the phase labels may move), leave the cleaned graph
+// byte-identical, survive the store codec bit for bit, and export
+// deterministically. Every test runs in its own process
+// (gtest_discover_tests), so explain sessions never leak across tests.
+
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "gen/dataset.h"
+#include "io/ctgraph_io.h"
+#include "obs/explain_export.h"
+#include "runtime/batch_cleaner.h"
+#include "store/ct_store.h"
+#include "store/explain_codec.h"
+#include "store/graph_codec.h"
+#include "test_util.h"
+
+namespace rfidclean {
+namespace {
+
+using ::rfidclean::testing::kL2;
+using ::rfidclean::testing::kL4;
+using ::rfidclean::testing::kL5;
+using ::rfidclean::testing::MakeLSequence;
+using ::rfidclean::testing::PaperExampleConstraints;
+using ::rfidclean::testing::PaperExampleSequence;
+
+using KillKey = std::pair<std::int32_t, std::int32_t>;  // (time, location)
+
+std::set<KillKey> KillSet(const obs::ExplainTagSummary& summary) {
+  std::set<KillKey> keys;
+  for (const obs::ExplainKilledCandidate& candidate :
+       summary.killed_candidates) {
+    keys.insert({candidate.time, candidate.location});
+  }
+  return keys;
+}
+
+std::string Serialize(const CtGraph& graph) {
+  std::ostringstream os;
+  WriteCtGraph(graph, os);
+  return os.str();
+}
+
+/// Cleans one sequence under a fresh explain session and returns the
+/// (single) recorded summary.
+obs::ExplainTagSummary ExplainOneClean(const ConstraintSet& constraints,
+                                       const LSequence& sequence,
+                                       bool preflight = true) {
+  obs::ExplainOptions options;
+  options.enabled = true;
+  obs::StartExplain(options);
+  CleanOptions clean;
+  clean.preflight = preflight;
+  CtGraphBuilder builder(constraints, clean);
+  Result<CtGraph> graph = builder.Build(sequence);
+  RFID_CHECK(graph.ok());
+  obs::ExplainCollection collection = obs::CollectExplain();
+  obs::StopExplain();
+  RFID_CHECK(collection.tags.size() == 1);
+  return std::move(collection.tags[0]);
+}
+
+TEST(ExplainTest, DisabledBuildCollectsNothing) {
+  if (obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled in";
+  obs::ExplainOptions options;
+  options.enabled = true;
+  obs::StartExplain(options);
+  EXPECT_FALSE(obs::ExplainArmed());
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  ASSERT_TRUE(builder.Build(PaperExampleSequence()).ok());
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  EXPECT_TRUE(collection.tags.empty());
+  EXPECT_TRUE(collection.events.empty());
+  obs::StopExplain();
+}
+
+TEST(ExplainTest, PaperExampleNamesTheExactKillSet) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // The running example admits exactly one valid trajectory, L1 L3 L3, so
+  // conditioning must kill precisely the other three candidates — no more,
+  // no fewer — and the attribution must say so by (time, location).
+  const obs::ExplainTagSummary summary =
+      ExplainOneClean(PaperExampleConstraints(), PaperExampleSequence());
+
+  EXPECT_EQ(summary.status, "ok");
+  const std::set<KillKey> expected = {{0, kL2}, {1, kL4}, {2, kL5}};
+  EXPECT_EQ(KillSet(summary), expected);
+  EXPECT_EQ(summary.killed_candidates_truncated, 0u);
+
+  // Mass conservation: the surviving a-priori mass is exactly the one
+  // valid trajectory's product, 0.6 * 1/3 * 2/3.
+  EXPECT_PROB_NEAR(summary.surviving_mass, 0.6 * (1.0 / 3) * (2.0 / 3));
+  EXPECT_PROB_NEAR(summary.surviving_mass + summary.attributed_mass, 1.0);
+
+  // Rollup consistency: phase kills and constraint kills count the same
+  // decisions (kRenormalized entries are informational, never kills).
+  std::uint64_t phase_total = 0;
+  for (int p = 0; p < obs::kNumExplainPhases; ++p) {
+    phase_total += summary.phase_kills[p];
+  }
+  std::uint64_t constraint_total = 0;
+  double constraint_mass = 0.0;
+  for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+    constraint_total += summary.constraints[c].kills;
+    constraint_mass += summary.constraints[c].mass;
+  }
+  EXPECT_EQ(phase_total, constraint_total);
+  EXPECT_GT(phase_total, 0u);
+  EXPECT_PROB_NEAR(constraint_mass, summary.attributed_mass);
+
+  // The uncertainty-reduction series covers every timestamp and its killed
+  // counts agree with the candidate-level kill set.
+  ASSERT_EQ(summary.ticks.size(), 3u);
+  for (const obs::ExplainTickSummary& tick : summary.ticks) {
+    EXPECT_EQ(tick.candidates, 2u);
+    EXPECT_EQ(tick.killed, 1u);
+  }
+}
+
+TEST(ExplainTest, MassConservesOnGeneratedWorkloads) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // On realistic generated data every cleaned tag's attribution must
+  // account for the whole a-priori interpretation space: root-cause kill
+  // masses plus surviving source mass sum to 1.
+  DatasetOptions options = DatasetOptions::Syn1();
+  options.num_floors = 2;
+  options.durations_ticks = {60};
+  options.trajectories_per_duration = 3;
+  options.seed = 777;
+  auto dataset = Dataset::Build(options);
+  ConstraintSet constraints =
+      dataset->MakeConstraints(ConstraintFamilies::DuLtTt());
+
+  for (const Dataset::Item& item : dataset->items()) {
+    const obs::ExplainTagSummary summary =
+        ExplainOneClean(constraints, item.lsequence);
+    EXPECT_EQ(summary.status, "ok");
+    EXPECT_NEAR(summary.surviving_mass + summary.attributed_mass, 1.0, 1e-6);
+    double constraint_mass = 0.0;
+    for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+      constraint_mass += summary.constraints[c].mass;
+    }
+    EXPECT_NEAR(constraint_mass, summary.attributed_mass, 1e-9);
+    // Top edges are ranked by attributed mass, descending.
+    for (std::size_t i = 1; i < summary.top_edges.size(); ++i) {
+      EXPECT_GE(summary.top_edges[i - 1].mass, summary.top_edges[i].mass);
+    }
+  }
+}
+
+TEST(ExplainTest, ArmedSessionDoesNotPerturbTheGraph) {
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> plain = builder.Build(PaperExampleSequence());
+  ASSERT_TRUE(plain.ok());
+
+  obs::ExplainOptions options;
+  options.enabled = true;
+  obs::StartExplain(options);
+  Result<CtGraph> observed = builder.Build(PaperExampleSequence());
+  obs::StopExplain();
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(Serialize(plain.value()), Serialize(observed.value()));
+}
+
+TEST(ExplainTest, PreflightShiftsPhaseLabelsButNotTheKillSet) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // Candidate 3 at t=1 is statically dead (no admissible successor into
+  // t=2), so preflight prunes it before the build while the preflight-off
+  // clean discovers the same death dynamically. Attribution must agree on
+  // *what* died and *how much* it cost; only the phase labels may differ.
+  ConstraintSet constraints(4);
+  constraints.AddUnreachable(3, 0);
+  constraints.AddUnreachable(3, 1);
+  const auto make_sequence = [] {
+    return MakeLSequence({{{0, 0.5}, {1, 0.5}},
+                          {{2, 0.5}, {3, 0.5}},
+                          {{0, 0.5}, {1, 0.5}}});
+  };
+
+  const obs::ExplainTagSummary with_preflight =
+      ExplainOneClean(constraints, make_sequence(), /*preflight=*/true);
+  const obs::ExplainTagSummary without_preflight =
+      ExplainOneClean(constraints, make_sequence(), /*preflight=*/false);
+
+  EXPECT_EQ(KillSet(with_preflight), KillSet(without_preflight));
+  const std::set<KillKey> expected = {{1, 3}};
+  EXPECT_EQ(KillSet(with_preflight), expected);
+  EXPECT_PROB_NEAR(with_preflight.attributed_mass,
+                   without_preflight.attributed_mass);
+  EXPECT_PROB_NEAR(with_preflight.surviving_mass,
+                   without_preflight.surviving_mass);
+
+  // The preflight clean attributes the death to the static pass; the raw
+  // clean to the dynamic phases.
+  EXPECT_GT(with_preflight
+                .phase_kills[static_cast<int>(obs::ExplainPhase::kPreflight)],
+            0u);
+  EXPECT_EQ(without_preflight
+                .phase_kills[static_cast<int>(obs::ExplainPhase::kPreflight)],
+            0u);
+}
+
+TEST(ExplainTest, DoomedTagRecordsAFailureSummary) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // A workload the constraints rule out entirely still gets a summary, so
+  // the report explains failed cleans too.
+  ConstraintSet constraints(2);
+  constraints.AddUnreachable(0, 1);
+  obs::ExplainOptions options;
+  options.enabled = true;
+  BatchOptions batch;
+  batch.jobs = 2;
+  batch.explain = options;
+  BatchCleaner cleaner(constraints, batch);
+  std::vector<TagWorkload> workloads;
+  workloads.push_back(
+      TagWorkload{5, MakeLSequence({{{0, 1.0}}, {{1, 1.0}}})});  // dies
+  workloads.push_back(
+      TagWorkload{6, MakeLSequence({{{0, 1.0}}, {{0, 1.0}}})});  // cleans
+  std::vector<TagOutcome> outcomes = cleaner.CleanAll(workloads);
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  obs::StopExplain();
+
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].graph.ok());
+  ASSERT_EQ(collection.tags.size(), 2u);
+  const obs::ExplainTagSummary* doomed = collection.FindTag(5);
+  ASSERT_NE(doomed, nullptr);
+  EXPECT_NE(doomed->status, "ok");
+  EXPECT_FALSE(doomed->status.empty());
+  const obs::ExplainTagSummary* cleaned = collection.FindTag(6);
+  ASSERT_NE(cleaned, nullptr);
+  EXPECT_EQ(cleaned->status, "ok");
+}
+
+TEST(ExplainTest, ReportIsByteIdenticalAcrossWorkerCounts) {
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // The JSON report is part of the deterministic contract: the same
+  // workloads must export the same bytes whether one worker cleaned them
+  // or eight did.
+  ConstraintSet constraints = PaperExampleConstraints();
+  std::vector<TagWorkload> workloads;
+  for (int k = 0; k < 12; ++k) {
+    workloads.push_back(TagWorkload{100 + k, PaperExampleSequence()});
+  }
+
+  const auto report_with_jobs = [&](int jobs) {
+    obs::ExplainOptions options;
+    options.enabled = true;
+    BatchOptions batch;
+    batch.jobs = jobs;
+    batch.explain = options;
+    BatchCleaner cleaner(constraints, batch);
+    cleaner.CleanAll(workloads);
+    const obs::ExplainCollection collection = obs::CollectExplain();
+    obs::StopExplain();
+    std::ostringstream os;
+    WriteExplainReport(collection, os);
+    return os.str();
+  };
+
+  const std::string serial = report_with_jobs(1);
+  const std::string parallel = report_with_jobs(8);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+obs::ExplainTagSummary PopulatedSummary() {
+  obs::ExplainTagSummary summary;
+  summary.tag = 42;
+  summary.status = "ok";
+  summary.mass_lost_backward_ppb = 123456789;
+  summary.mass_lost_compaction_ppb = 987;
+  summary.surviving_mass = 0.25;
+  summary.attributed_mass = 0.75;
+  summary.phase_kills[0] = 1;
+  summary.phase_kills[1] = 2;
+  summary.phase_kills[2] = 3;
+  summary.constraints[0] = {4, 0.5};
+  summary.constraints[2] = {2, 0.25};
+  summary.ticks.push_back({0, 3, 1, 0.125, 0.5});
+  summary.ticks.push_back({1, 2, 0, 0.0, 1.0});
+  summary.killed_candidates.push_back(
+      {0, 7, obs::ExplainPhase::kForward,
+       obs::ExplainConstraint::kUnreachable, 0.125});
+  summary.killed_candidates_truncated = 5;
+  summary.top_edges.push_back({1, 3, 7, obs::ExplainPhase::kBackward,
+                               obs::ExplainConstraint::kPropagated, 0.0625});
+  return summary;
+}
+
+void ExpectSummariesEqual(const obs::ExplainTagSummary& got,
+                          const obs::ExplainTagSummary& want) {
+  EXPECT_EQ(got.tag, want.tag);
+  EXPECT_EQ(got.status, want.status);
+  EXPECT_EQ(got.mass_lost_backward_ppb, want.mass_lost_backward_ppb);
+  EXPECT_EQ(got.mass_lost_compaction_ppb, want.mass_lost_compaction_ppb);
+  EXPECT_EQ(got.surviving_mass, want.surviving_mass);  // exact: same bits
+  EXPECT_EQ(got.attributed_mass, want.attributed_mass);
+  for (int p = 0; p < obs::kNumExplainPhases; ++p) {
+    EXPECT_EQ(got.phase_kills[p], want.phase_kills[p]) << "phase " << p;
+  }
+  for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+    EXPECT_EQ(got.constraints[c].kills, want.constraints[c].kills);
+    EXPECT_EQ(got.constraints[c].mass, want.constraints[c].mass);
+  }
+  ASSERT_EQ(got.ticks.size(), want.ticks.size());
+  for (std::size_t i = 0; i < want.ticks.size(); ++i) {
+    EXPECT_EQ(got.ticks[i].time, want.ticks[i].time);
+    EXPECT_EQ(got.ticks[i].candidates, want.ticks[i].candidates);
+    EXPECT_EQ(got.ticks[i].killed, want.ticks[i].killed);
+    EXPECT_EQ(got.ticks[i].mass_lost, want.ticks[i].mass_lost);
+    EXPECT_EQ(got.ticks[i].alpha_delta, want.ticks[i].alpha_delta);
+  }
+  ASSERT_EQ(got.killed_candidates.size(), want.killed_candidates.size());
+  for (std::size_t i = 0; i < want.killed_candidates.size(); ++i) {
+    EXPECT_EQ(got.killed_candidates[i].time, want.killed_candidates[i].time);
+    EXPECT_EQ(got.killed_candidates[i].location,
+              want.killed_candidates[i].location);
+    EXPECT_EQ(got.killed_candidates[i].phase, want.killed_candidates[i].phase);
+    EXPECT_EQ(got.killed_candidates[i].constraint,
+              want.killed_candidates[i].constraint);
+    EXPECT_EQ(got.killed_candidates[i].mass, want.killed_candidates[i].mass);
+  }
+  EXPECT_EQ(got.killed_candidates_truncated, want.killed_candidates_truncated);
+  ASSERT_EQ(got.top_edges.size(), want.top_edges.size());
+  for (std::size_t i = 0; i < want.top_edges.size(); ++i) {
+    EXPECT_EQ(got.top_edges[i].time, want.top_edges[i].time);
+    EXPECT_EQ(got.top_edges[i].from_location, want.top_edges[i].from_location);
+    EXPECT_EQ(got.top_edges[i].to_location, want.top_edges[i].to_location);
+    EXPECT_EQ(got.top_edges[i].phase, want.top_edges[i].phase);
+    EXPECT_EQ(got.top_edges[i].constraint, want.top_edges[i].constraint);
+    EXPECT_EQ(got.top_edges[i].mass, want.top_edges[i].mass);
+  }
+}
+
+TEST(ExplainCodecTest, BlobRoundTripsBitForBit) {
+  const obs::ExplainTagSummary original = PopulatedSummary();
+  const std::string blob = store::EncodeExplainBlob(original);
+  Result<obs::ExplainTagSummary> decoded = store::DecodeExplainBlob(
+      reinterpret_cast<const unsigned char*>(blob.data()), blob.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ExpectSummariesEqual(decoded.value(), original);
+}
+
+TEST(ExplainCodecTest, EveryByteFlipAndTruncationIsRejected) {
+  // The trailing CRC covers the entire blob, so no single-byte corruption
+  // or truncation may decode — the persisted lineage is evidence, and
+  // corrupted evidence must never parse into a plausible summary.
+  const std::string blob = store::EncodeExplainBlob(PopulatedSummary());
+  for (std::size_t at = 0; at < blob.size(); ++at) {
+    std::string corrupted = blob;
+    corrupted[at] = static_cast<char>(corrupted[at] ^ 0x5A);
+    Result<obs::ExplainTagSummary> decoded = store::DecodeExplainBlob(
+        reinterpret_cast<const unsigned char*>(corrupted.data()),
+        corrupted.size());
+    ASSERT_FALSE(decoded.ok()) << "flip at byte " << at << " was accepted";
+    EXPECT_FALSE(decoded.status().message().empty());
+  }
+  for (std::size_t size = 0; size < blob.size(); ++size) {
+    Result<obs::ExplainTagSummary> decoded = store::DecodeExplainBlob(
+        reinterpret_cast<const unsigned char*>(blob.data()), size);
+    ASSERT_FALSE(decoded.ok()) << "prefix of " << size << " bytes accepted";
+  }
+}
+
+TEST(ExplainStoreTest, SummariesPersistNextToGraphsAndSurviveReopen) {
+  const std::string path = ::testing::TempDir() + "explain_store.cts";
+  std::remove(path.c_str());
+
+  const ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  const std::string graph_blob =
+      store::EncodeCtGraphBlob(graph.value(), /*tag=*/42);
+  const obs::ExplainTagSummary summary = PopulatedSummary();
+
+  {
+    Result<store::CtStoreWriter> writer = store::CtStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    ASSERT_TRUE(writer.value().Put(42, graph_blob).ok());
+    ASSERT_TRUE(
+        writer.value().PutExplain(42, store::EncodeExplainBlob(summary)).ok());
+    // A summary may also exist for a tag with no graph (a failed clean).
+    obs::ExplainTagSummary failed;
+    failed.tag = 99;
+    failed.status = "doomed";
+    ASSERT_TRUE(
+        writer.value().PutExplain(99, store::EncodeExplainBlob(failed)).ok());
+    EXPECT_EQ(writer.value().NumLive(), 1u);
+    EXPECT_EQ(writer.value().NumLiveExplain(), 2u);
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+
+  Result<store::CtStoreReader> reader = store::CtStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().entries().size(), 1u);
+  EXPECT_EQ(reader.value().explain_entries().size(), 2u);
+  EXPECT_TRUE(reader.value().VerifyAll().ok());
+  EXPECT_TRUE(reader.value().LoadView(42).ok());
+
+  Result<obs::ExplainTagSummary> loaded = reader.value().LoadExplain(42);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSummariesEqual(loaded.value(), summary);
+  EXPECT_TRUE(reader.value().LoadExplain(99).ok());
+  // A tag with no summary reports NotFound with actionable guidance.
+  Result<obs::ExplainTagSummary> missing = reader.value().LoadExplain(7);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("--explain"), std::string::npos);
+
+  // Compaction keeps both entry kinds.
+  ASSERT_TRUE(store::CompactCtStore(path).ok());
+  Result<store::CtStoreReader> compacted = store::CtStoreReader::Open(path);
+  ASSERT_TRUE(compacted.ok());
+  EXPECT_EQ(compacted.value().explain_entries().size(), 2u);
+  Result<obs::ExplainTagSummary> after = compacted.value().LoadExplain(42);
+  ASSERT_TRUE(after.ok());
+  ExpectSummariesEqual(after.value(), summary);
+  std::remove(path.c_str());
+}
+
+TEST(ExplainStoreTest, FreshGraphDropsTheStaleSummary) {
+  // A summary describes one specific clean; re-Putting the tag's graph
+  // must invalidate it so `explain --store` never pairs a new graph with
+  // an old lineage.
+  const std::string path = ::testing::TempDir() + "explain_stale.cts";
+  std::remove(path.c_str());
+  const ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  Result<CtGraph> graph = builder.Build(PaperExampleSequence());
+  ASSERT_TRUE(graph.ok());
+  const std::string graph_blob =
+      store::EncodeCtGraphBlob(graph.value(), /*tag=*/42);
+
+  {
+    Result<store::CtStoreWriter> writer = store::CtStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Put(42, graph_blob).ok());
+    ASSERT_TRUE(writer.value()
+                    .PutExplain(42,
+                                store::EncodeExplainBlob(PopulatedSummary()))
+                    .ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  {
+    Result<store::CtStoreWriter> writer =
+        store::CtStoreWriter::OpenOrCreate(path);
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer.value().NumLiveExplain(), 1u);
+    ASSERT_TRUE(writer.value().Put(42, graph_blob).ok());
+    EXPECT_EQ(writer.value().NumLiveExplain(), 0u);
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  Result<store::CtStoreReader> reader = store::CtStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader.value().Find(42) != nullptr);
+  EXPECT_TRUE(reader.value().FindExplain(42) == nullptr);
+  EXPECT_FALSE(reader.value().LoadExplain(42).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rfidclean

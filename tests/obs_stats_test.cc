@@ -21,6 +21,7 @@
 #include "core/forward.h"
 #include "core/successor.h"
 #include "io/ctgraph_io.h"
+#include "obs/explain.h"
 #include "obs/metrics.h"
 #include "runtime/batch_cleaner.h"
 #include "test_util.h"
@@ -337,6 +338,45 @@ TEST(CleaningStatsTest, CaptureResetDeltaRoundTripAcrossThreads) {
   // A window of whole cleanings satisfies the same cross-counter
   // invariants as a from-reset capture.
   EXPECT_TRUE(delta.CheckInvariants().empty());
+}
+
+TEST(CleaningStatsTest, PerPhaseMassLossCountersReconcileWithExplain) {
+  if (!obs::Enabled()) GTEST_SKIP() << "stats compiled out";
+  if (!obs::ExplainCompiledIn()) GTEST_SKIP() << "explain compiled out";
+  // The stats layer meters conditioning loss as two per-phase ppb counters
+  // (backward sweep vs compaction of stranded source mass). The explain
+  // report derives the same split independently from the attribution pass;
+  // on the same clean the integer counters must match exactly, not within
+  // tolerance.
+  ConstraintSet constraints = PaperExampleConstraints();
+  CtGraphBuilder builder(constraints);
+  obs::CleaningStats::Reset();
+  obs::ExplainOptions options;
+  options.enabled = true;
+  obs::StartExplain(options);
+  obs::SetExplainTag(0);
+  ASSERT_TRUE(builder.Build(PaperExampleSequence()).ok());
+  const obs::CleaningStats stats = obs::CleaningStats::Capture();
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  obs::StopExplain();
+
+  ASSERT_EQ(collection.tags.size(), 1u);
+  const obs::ExplainTagSummary& summary = collection.tags[0];
+  // One build, one sample per distribution: the histogram sum IS the
+  // sampled ppb value, and it must equal the report's integer exactly.
+  const obs::HistogramData& backward =
+      stats.Hist(obs::Dist::kMassLostBackwardPpb);
+  const obs::HistogramData& compaction =
+      stats.Hist(obs::Dist::kMassLostCompactionPpb);
+  EXPECT_EQ(backward.count, 1u);
+  EXPECT_EQ(compaction.count, 1u);
+  EXPECT_EQ(backward.sum, summary.mass_lost_backward_ppb);
+  EXPECT_EQ(compaction.sum, summary.mass_lost_compaction_ppb);
+  // The splits partition one clean's total loss; neither leg can exceed
+  // the whole distribution's mass.
+  EXPECT_LE(summary.mass_lost_backward_ppb + summary.mass_lost_compaction_ppb,
+            1000000000u);
+  EXPECT_TRUE(stats.CheckInvariants().empty());
 }
 
 TEST(CleaningStatsTest, WriteJsonEmitsEveryNamedField) {

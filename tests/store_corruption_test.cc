@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include "core/builder.h"
+#include "obs/explain.h"
 #include "store/blob_layout.h"
 #include "store/ct_store.h"
 #include "store/ctgraph_view.h"
+#include "store/explain_codec.h"
 #include "store/graph_codec.h"
 #include "test_util.h"
 
@@ -32,6 +34,7 @@ using store::ParseBlobContents;
 using store::ParsedBlob;
 using store::SectionChecks;
 using store::SectionId;
+using store::StoreEntry;
 
 /// Exhaustive corruption matrix over the binary formats: every single-byte
 /// flip of the blob prelude (header + section table), every truncation
@@ -233,6 +236,109 @@ TEST_F(StoreCorruptionTest, ContainerBlobFlipsAreCaughtByLoadOrVerifyAll) {
         reader.value().LoadView(7, MapVerify::kFull);
     EXPECT_FALSE(view.ok()) << "flip at byte " << at << " loaded (kFull)";
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(StoreCorruptionTest, VerifyAllNamesTheFailingCheckTier) {
+  // `store verify` triage depends on VerifyAll saying *which* verification
+  // layer tripped: the index's whole-blob CRC envelope, the materializing
+  // decode (which names the failing section), or the explain-summary
+  // tiers. Each corruption class must surface under its own tier label.
+  const std::string path = ::testing::TempDir() + "tiers.cts";
+
+  const auto verify_message = [&]() {
+    Result<CtStoreReader> reader = CtStoreReader::Open(path);
+    RFID_CHECK(reader.ok());
+    Status status = reader.value().VerifyAll();
+    RFID_CHECK(!status.ok());
+    return std::string(status.message());
+  };
+
+  // (a) decode tier: stored bytes internally corrupted mid-section. The
+  // magic is intact so Put accepts them, and the index CRC envelopes the
+  // corrupted bytes as-written, so the first tier passes; the decoder must
+  // report the flip and name the failing section.
+  ParsedBlob parsed;
+  {
+    Result<ParsedBlob> ok = ParseAndVerifyBlob(
+        reinterpret_cast<const unsigned char*>(PristineBlob().data()),
+        PristineBlob().size());
+    ASSERT_TRUE(ok.ok());
+    parsed = ok.value();
+  }
+  const SectionId first = static_cast<SectionId>(1);
+  std::string bad_graph = PristineBlob();
+  const std::size_t graph_flip = static_cast<std::size_t>(
+      parsed.Section(first).offset + parsed.SectionSize(first) / 2);
+  bad_graph[graph_flip] = static_cast<char>(bad_graph[graph_flip] ^ 0x5A);
+  {
+    std::remove(path.c_str());
+    Result<CtStoreWriter> writer = CtStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Put(7, bad_graph).ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  std::string message = verify_message();
+  EXPECT_NE(message.find("tag 7: check decode:"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find("section"), std::string::npos) << message;
+
+  // (b) explain-decode tier: same trick on an explain-summary blob.
+  obs::ExplainTagSummary summary;
+  summary.tag = 9;
+  summary.status = "ok";
+  std::string bad_explain = store::EncodeExplainBlob(summary);
+  bad_explain[12] = static_cast<char>(bad_explain[12] ^ 0x5A);
+  {
+    std::remove(path.c_str());
+    Result<CtStoreWriter> writer = CtStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().PutExplain(9, bad_explain).ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  message = verify_message();
+  EXPECT_NE(message.find("tag 9: check explain-decode:"), std::string::npos)
+      << message;
+
+  // (c) index-crc / explain-crc tiers: a pristine store whose file bytes
+  // rot after Finish fails the per-entry CRC envelope, labeled by entry
+  // kind.
+  {
+    std::remove(path.c_str());
+    Result<CtStoreWriter> writer = CtStoreWriter::Create(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Put(7, PristineBlob()).ok());
+    ASSERT_TRUE(
+        writer.value()
+            .PutExplain(9, store::EncodeExplainBlob(summary))
+            .ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  const std::string finished = ReadFile(path);
+  Result<CtStoreReader> pristine_reader = CtStoreReader::Open(path);
+  ASSERT_TRUE(pristine_reader.ok());
+  ASSERT_TRUE(pristine_reader.value().VerifyAll().ok());
+  const StoreEntry graph_entry = pristine_reader.value().entries()[0];
+  const StoreEntry explain_entry =
+      pristine_reader.value().explain_entries()[0];
+
+  std::string rotted = finished;
+  std::size_t at =
+      static_cast<std::size_t>(graph_entry.offset + graph_entry.size / 2);
+  rotted[at] = static_cast<char>(rotted[at] ^ 0x5A);
+  WriteFile(path, rotted);
+  message = verify_message();
+  EXPECT_NE(message.find("tag 7: check index-crc:"), std::string::npos)
+      << message;
+
+  rotted = finished;
+  at = static_cast<std::size_t>(explain_entry.offset +
+                                explain_entry.size / 2);
+  rotted[at] = static_cast<char>(rotted[at] ^ 0x5A);
+  WriteFile(path, rotted);
+  message = verify_message();
+  EXPECT_NE(message.find("tag 9: check explain-crc:"), std::string::npos)
+      << message;
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Structural validator for the explain report JSON `clean --explain` and
+`rfidclean explain --json` emit (obs/explain_export.cc; schema in
+FORMATS.md).
+
+Beyond schema shape, this enforces the attribution arithmetic the report
+promises: per tag, the phase-kill rollup and the constraint rollup count
+the same decisions; constraint masses sum to the attributed mass; an "ok"
+tag's attributed plus surviving mass covers the whole a-priori space; and
+the session totals are the per-tag sums. A report that passes here is safe
+to aggregate downstream without re-deriving anything.
+
+    check_explain_report.py REPORT.json [--min-tags N] [--require-status S]
+
+Exit status 0 when every check passes, 1 otherwise.
+"""
+
+import argparse
+import sys
+
+from report_validator import ReportValidator
+
+PHASES = ("preflight", "forward", "backward", "compaction")
+CONSTRAINTS = ("unreachable", "travel_time", "latency", "infeasible",
+               "propagated", "stranded", "renormalized")
+MASS_TOLERANCE = 1e-6
+PPB = 1_000_000_000
+
+
+def check_rollups(v, tag, where):
+    """Per-tag arithmetic: rollups agree with each other and with the
+    declared kill count."""
+    by_phase = tag.get("by_phase", {})
+    by_constraint = tag.get("by_constraint", {})
+    if not v.expect_keys(by_phase, f"{where}.by_phase", PHASES):
+        return
+    if not v.expect_keys(by_constraint, f"{where}.by_constraint",
+                         CONSTRAINTS):
+        return
+    phase_kills = sum(by_phase[p] for p in PHASES)
+    constraint_kills = sum(by_constraint[c].get("kills", 0)
+                           for c in CONSTRAINTS)
+    if phase_kills != constraint_kills:
+        v.problem(f"{where}: phase kills {phase_kills} != constraint kills "
+                  f"{constraint_kills}")
+    if tag.get("kills") != phase_kills:
+        v.problem(f"{where}: declared kills {tag.get('kills')} != phase "
+                  f"rollup {phase_kills}")
+
+    constraint_mass = sum(by_constraint[c].get("mass", 0.0)
+                          for c in CONSTRAINTS)
+    attributed = tag.get("attributed_mass", 0.0)
+    if abs(constraint_mass - attributed) > MASS_TOLERANCE:
+        v.problem(f"{where}: constraint masses sum to {constraint_mass}, "
+                  f"attributed_mass is {attributed}")
+    if tag.get("status") == "ok":
+        total = attributed + tag.get("surviving_mass", 0.0)
+        if abs(total - 1.0) > MASS_TOLERANCE:
+            v.problem(f"{where}: attributed + surviving mass is {total}, "
+                      f"expected 1 (conservation)")
+
+    for leg in ("mass_lost_backward_ppb", "mass_lost_compaction_ppb"):
+        value = tag.get(leg)
+        if not isinstance(value, int) or not 0 <= value <= PPB:
+            v.problem(f"{where}.{leg}: {value!r} is not a ppb integer")
+
+
+def check_records(v, tag, where):
+    """Timeline, killed-candidate and top-edge record shapes."""
+    for index, tick in enumerate(tag.get("timeline", [])):
+        at = f"{where}.timeline[{index}]"
+        if v.expect_keys(tick, at, ("time", "candidates", "killed",
+                                    "mass_lost", "alpha_delta")):
+            if tick["killed"] > tick["candidates"]:
+                v.problem(f"{at}: killed {tick['killed']} exceeds "
+                          f"candidates {tick['candidates']}")
+    for index, killed in enumerate(tag.get("killed_candidates", [])):
+        at = f"{where}.killed_candidates[{index}]"
+        if v.expect_keys(killed, at, ("time", "location", "phase",
+                                      "constraint", "mass")):
+            if killed["phase"] not in PHASES:
+                v.problem(f"{at}: unknown phase {killed['phase']!r}")
+            if killed["constraint"] not in CONSTRAINTS:
+                v.problem(f"{at}: unknown constraint "
+                          f"{killed['constraint']!r}")
+            v.expect_number(killed["mass"], f"{at}.mass", minimum=0)
+    edges = tag.get("top_killed_edges", [])
+    for index, edge in enumerate(edges):
+        at = f"{where}.top_killed_edges[{index}]"
+        if v.expect_keys(edge, at, ("time", "from", "to", "phase",
+                                    "constraint", "mass")):
+            if index > 0 and edge["mass"] > edges[index - 1]["mass"]:
+                v.problem(f"{at}: masses not descending "
+                          f"({edge['mass']} after "
+                          f"{edges[index - 1]['mass']})")
+
+
+def check_totals(v, payload):
+    """Session totals must be the per-tag sums — no independent counting."""
+    totals = payload["totals"]
+    tags = payload["tags"]
+    if not v.expect_keys(totals, "totals",
+                         ("kills", "surviving_mass", "attributed_mass",
+                          "mass_lost_backward_ppb",
+                          "mass_lost_compaction_ppb", "by_constraint",
+                          "by_phase")):
+        return
+    for field in ("kills", "mass_lost_backward_ppb",
+                  "mass_lost_compaction_ppb"):
+        summed = sum(tag.get(field, 0) for tag in tags)
+        if totals[field] != summed:
+            v.problem(f"totals.{field}: {totals[field]} != per-tag sum "
+                      f"{summed}")
+    for constraint in CONSTRAINTS:
+        summed = sum(tag.get("by_constraint", {})
+                     .get(constraint, {}).get("kills", 0) for tag in tags)
+        declared = totals["by_constraint"].get(constraint, {}).get("kills")
+        if declared != summed:
+            v.problem(f"totals.by_constraint.{constraint}: {declared} != "
+                      f"per-tag sum {summed}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="explain report JSON file")
+    parser.add_argument("--min-tags", type=int, default=1,
+                        help="minimum number of per-tag summaries")
+    parser.add_argument("--require-status", action="append", default=[],
+                        metavar="TAG=STATUS",
+                        help="fail unless tag TAG has this status")
+    args = parser.parse_args()
+
+    v = ReportValidator("check_explain_report", args.report)
+    payload = v.load()
+    if payload is None:
+        return v.finish("")
+
+    if not v.expect_keys(payload, args.report,
+                         ("explain_format_version", "status",
+                          "explain_enabled", "num_tags", "dropped_events",
+                          "totals", "timeline", "tags")):
+        return v.finish("")
+    if payload["explain_format_version"] != 1:
+        v.problem(f"unsupported explain_format_version "
+                  f"{payload['explain_format_version']!r}")
+    tags = payload["tags"]
+    if not isinstance(tags, list):
+        v.problem("'tags' is not an array")
+        return v.finish("")
+    if payload["num_tags"] != len(tags):
+        v.problem(f"num_tags {payload['num_tags']} != len(tags) "
+                  f"{len(tags)}")
+    if len(tags) < args.min_tags:
+        v.problem(f"only {len(tags)} tags, expected at least "
+                  f"{args.min_tags}")
+
+    by_tag = {}
+    for index, tag in enumerate(tags):
+        where = f"tags[{index}]"
+        if not v.expect_keys(tag, where,
+                             ("tag", "status", "kills", "surviving_mass",
+                              "attributed_mass", "mass_lost_backward_ppb",
+                              "mass_lost_compaction_ppb", "by_constraint",
+                              "by_phase", "timeline", "killed_candidates",
+                              "killed_candidates_truncated",
+                              "top_killed_edges")):
+            continue
+        by_tag[str(tag["tag"])] = tag
+        check_rollups(v, tag, where)
+        check_records(v, tag, where)
+    check_totals(v, payload)
+
+    for requirement in args.require_status:
+        tag_id, _, status = requirement.partition("=")
+        tag = by_tag.get(tag_id)
+        if tag is None:
+            v.problem(f"required tag {tag_id} absent")
+        elif tag["status"] != status:
+            v.problem(f"tag {tag_id}: status {tag['status']!r}, required "
+                      f"{status!r}")
+
+    kills = sum(tag.get("kills", 0) for tag in tags
+                if isinstance(tag, dict))
+    return v.finish(f"{args.report}: {len(tags)} tags, {kills} kills, "
+                    f"{payload['dropped_events']} dropped events: OK")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,9 @@ every check passes, 1 otherwise.
 """
 
 import argparse
-import json
 import sys
+
+from report_validator import ReportValidator
 
 REQUIRED_BY_PHASE = {
     "B": ("name", "cat", "ts", "pid", "tid"),
@@ -29,11 +30,6 @@ REQUIRED_BY_PHASE = {
     "C": ("name", "ts", "pid", "tid", "args"),
     "M": ("name", "pid", "tid", "args"),
 }
-
-
-def fail(message):
-    print(f"check_trace_events: {message}", file=sys.stderr)
-    return 1
 
 
 def main():
@@ -49,19 +45,18 @@ def main():
                         help="minimum number of trace events")
     args = parser.parse_args()
 
-    try:
-        with open(args.trace, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except OSError as err:
-        return fail(f"{args.trace}: cannot read: {err}")
-    except json.JSONDecodeError as err:
-        return fail(f"{args.trace}: not valid JSON: {err}")
+    v = ReportValidator("check_trace_events", args.trace)
+    payload = v.load()
+    if payload is None:
+        return v.finish("")
 
     if not isinstance(payload, dict) or "traceEvents" not in payload:
-        return fail(f"{args.trace}: missing top-level 'traceEvents' array")
+        v.problem(f"{args.trace}: missing top-level 'traceEvents' array")
+        return v.finish("")
     events = payload["traceEvents"]
     if not isinstance(events, list):
-        return fail(f"{args.trace}: 'traceEvents' is not an array")
+        v.problem(f"{args.trace}: 'traceEvents' is not an array")
+        return v.finish("")
 
     dropped = 0
     other = payload.get("otherData", {})
@@ -154,15 +149,13 @@ def main():
             f"only {payload_events} non-metadata events, expected at least "
             f"{args.min_events}")
 
-    if problems:
-        for problem in problems:
-            print(f"check_trace_events: {problem}", file=sys.stderr)
-        return 1
-    print(f"{args.trace}: {payload_events} events on "
-          f"{len(set(e.get('tid') for e in events if isinstance(e, dict)))} "
-          f"tracks, {len(span_names)} span names, "
-          f"{len(counter_names)} counter tracks, {dropped} dropped: OK")
-    return 0
+    for problem in problems:
+        v.problem(problem)
+    return v.finish(
+        f"{args.trace}: {payload_events} events on "
+        f"{len(set(e.get('tid') for e in events if isinstance(e, dict)))} "
+        f"tracks, {len(span_names)} span names, "
+        f"{len(counter_names)} counter tracks, {dropped} dropped: OK")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,66 @@
+"""Shared plumbing for the JSON report validators.
+
+check_trace_events.py and check_explain_report.py validate different
+schemas (Chrome trace events vs the explain attribution report) but share
+the same shape: load a JSON file the CLI just wrote, accumulate structural
+problems without stopping at the first one, and exit 0/1 with every
+problem on stderr. This module holds that shared shape so each checker is
+only its schema.
+"""
+
+import json
+import sys
+
+
+class ReportValidator:
+    """Problem accumulator with the validators' common exit protocol."""
+
+    def __init__(self, tool, path):
+        self.tool = tool
+        self.path = path
+        self.problems = []
+
+    def problem(self, message):
+        self.problems.append(message)
+
+    def load(self):
+        """Parses the report file; returns the payload or None after
+        recording the problem."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError as err:
+            self.problem(f"{self.path}: cannot read: {err}")
+        except json.JSONDecodeError as err:
+            self.problem(f"{self.path}: not valid JSON: {err}")
+        return None
+
+    def expect_keys(self, obj, where, keys):
+        """Records a problem per missing key; returns True when all
+        present."""
+        if not isinstance(obj, dict):
+            self.problem(f"{where}: not an object")
+            return False
+        missing = [key for key in keys if key not in obj]
+        if missing:
+            self.problem(f"{where}: lacks {', '.join(missing)}")
+        return not missing
+
+    def expect_number(self, value, where, minimum=None):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            self.problem(f"{where}: {value!r} is not a number")
+            return False
+        if minimum is not None and value < minimum:
+            self.problem(f"{where}: {value!r} is below {minimum}")
+            return False
+        return True
+
+    def finish(self, success_line):
+        """Prints accumulated problems (exit 1) or the success line
+        (exit 0)."""
+        if self.problems:
+            for problem in self.problems:
+                print(f"{self.tool}: {problem}", file=sys.stderr)
+            return 1
+        print(success_line)
+        return 0

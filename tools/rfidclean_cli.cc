@@ -64,6 +64,8 @@
 #include "analysis/feasibility.h"
 #include "analysis/graph_audit.h"
 #include "obs/cleaning_stats.h"
+#include "obs/explain.h"
+#include "obs/explain_export.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "common/rng.h"
@@ -93,6 +95,7 @@
 #include "runtime/batch_cleaner.h"
 #include "store/ct_store.h"
 #include "store/ctgraph_view.h"
+#include "store/explain_codec.h"
 #include "store/graph_codec.h"
 
 namespace rfidclean::cli {
@@ -183,6 +186,16 @@ std::optional<std::string> TracePath(const Args& args, const std::string& dir) {
   return value;
 }
 
+/// Resolved `--explain[=FILE]` request; the bare form writes
+/// DIR/explain.json. Same contract as --trace: no stdout mode.
+std::optional<std::string> ExplainPath(const Args& args,
+                                       const std::string& dir) {
+  if (!args.Has("explain")) return std::nullopt;
+  const std::string value = args.Get("explain", "");
+  if (value == "1") return dir + "/explain.json";
+  return value;
+}
+
 /// Writes the process-wide pipeline metrics as JSON to `path` (stdout when
 /// empty). Invariant violations are diagnostics, not failures: the stats
 /// must never turn a successful clean into an error. When a trace session
@@ -210,13 +223,32 @@ int EmitStats(const std::string& path) {
   return os.good() ? 0 : Fail(("cannot write stats file " + path).c_str());
 }
 
-/// Replaces the zero-byte file left by the --stats writability probe with an
-/// explicit error object when the clean fails before stats are emitted, so
-/// a consumer polling the file sees `{"status": "error"}` rather than
-/// truncated output it might mistake for an interrupted write.
-void WriteStatsErrorStub(const std::string& path) {
+/// Replaces the zero-byte file left by a report flag's writability probe
+/// (--stats=FILE, --explain=FILE) with an explicit error object when the
+/// clean fails before the report is emitted, so a consumer polling the file
+/// sees `{"status": "error"}` rather than truncated output it might mistake
+/// for an interrupted write.
+void WriteReportErrorStub(const std::string& path) {
   std::ofstream os(path);
   if (os) os << "{\"status\": \"error\"}\n";
+}
+
+/// Exports the active explain session as the versioned JSON report
+/// (obs/explain_export.h). Called only after a clean that got far enough to
+/// record attribution; earlier failures leave the error stub instead.
+int ExportExplain(const std::string& path) {
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  std::ofstream os(path);
+  if (!os) return Fail(("cannot write explain file " + path).c_str());
+  WriteExplainReport(collection, os);
+  os << '\n';
+  if (!os.good()) return Fail(("cannot write explain file " + path).c_str());
+  std::fprintf(stderr,
+               "explain: %zu tags, %zu events (%llu dropped) -> %s\n",
+               collection.tags.size(), collection.events.size(),
+               static_cast<unsigned long long>(collection.dropped_events),
+               path.c_str());
+  return 0;
 }
 
 /// Exports the active trace session as Chrome trace-event JSON. Called on
@@ -386,15 +418,32 @@ Result<ConstraintSet> MakeCliConstraints(const Args& args,
   return InferConstraints(building, walking, inference);
 }
 
-/// Observability requests threaded through the clean paths. `stats_written`
-/// records whether EmitStats completed, so the failure path can distinguish
-/// "never got there" (write the error stub) from "already emitted".
+/// Observability requests threaded through the clean paths. The *_written
+/// flags record whether each report was emitted, so the failure path can
+/// distinguish "never got there" (write the error stub) from "already
+/// emitted".
 struct CleanObs {
   std::optional<std::string> stats_path;
   std::optional<std::string> trace_path;
+  std::optional<std::string> explain_path;
   obs::TraceOptions trace;
+  obs::ExplainOptions explain;
   bool stats_written = false;
+  bool explain_written = false;
 };
+
+/// Persists every per-tag explain summary of the active session into the
+/// store the graphs just went to, so `rfidclean explain --store` can answer
+/// attribution queries later without re-cleaning. Summaries for failed tags
+/// ride along on purpose — they explain *why* the tag has no graph.
+Status PersistExplainSummaries(store::CtStoreWriter* writer) {
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  for (const obs::ExplainTagSummary& summary : collection.tags) {
+    RFID_RETURN_IF_ERROR(writer->PutExplain(
+        summary.tag, store::EncodeExplainBlob(summary)));
+  }
+  return Status::Ok();
+}
 
 /// The multi-tag batch path of `clean`: every tag cleaned concurrently on
 /// --jobs workers; one graph_<tag>.ctg per successfully cleaned tag, or —
@@ -477,6 +526,10 @@ int CleanBatch(const std::string& dir, const Building& building,
     WriteCtGraph(outcome.graph.value(), os);
   }
   if (writer.has_value()) {
+    if (obs::ExplainArmed()) {
+      Status persisted = PersistExplainSummaries(&*writer);
+      if (!persisted.ok()) return Fail(persisted);
+    }
     Status finished = writer->Finish();
     if (!finished.ok()) return Fail(finished);
   }
@@ -493,6 +546,12 @@ int CleanBatch(const std::string& dir, const Building& building,
   if (observability->stats_path.has_value()) {
     if (EmitStats(*observability->stats_path) != 0) return 1;
     observability->stats_written = true;
+  }
+  if (observability->explain_path.has_value()) {
+    // Exported even with per-tag failures: the report carries the failed
+    // tags' outcome summaries, which is what the flag is for.
+    if (ExportExplain(*observability->explain_path) != 0) return 1;
+    observability->explain_written = true;
   }
   return failures == 0 ? 0 : 1;
 }
@@ -582,6 +641,10 @@ int CleanImpl(const Args& args, const std::string& dir,
         store::EncodeCtGraphBlob(graph.value(), /*tag=*/0, provenance);
     Status put = writer->Put(/*tag=*/0, blob);
     if (!put.ok()) return Fail(put);
+    if (obs::ExplainArmed()) {
+      Status persisted = PersistExplainSummaries(&writer.value());
+      if (!persisted.ok()) return Fail(persisted);
+    }
     Status finished = writer->Finish();
     if (!finished.ok()) return Fail(finished);
   } else {
@@ -606,6 +669,10 @@ int CleanImpl(const Args& args, const std::string& dir,
     if (EmitStats(*observability->stats_path) != 0) return 1;
     observability->stats_written = true;
   }
+  if (observability->explain_path.has_value()) {
+    if (ExportExplain(*observability->explain_path) != 0) return 1;
+    observability->explain_written = true;
+  }
   return 0;
 }
 
@@ -614,6 +681,7 @@ int Clean(const Args& args) {
   CleanObs observability;
   observability.stats_path = StatsPath(args);
   observability.trace_path = TracePath(args, dir);
+  observability.explain_path = ExplainPath(args, dir);
   if (observability.stats_path.has_value() &&
       !observability.stats_path->empty()) {
     // Fail before any cleaning work: discovering an unwritable stats path
@@ -648,6 +716,30 @@ int Clean(const Args& args) {
     // on the same timeline as the cleaning itself.
     obs::StartTracing(observability.trace);
   }
+  if (observability.explain_path.has_value()) {
+    if (!obs::ExplainCompiledIn()) {
+      return Fail(
+          "--explain requires an explain-enabled build (this binary was "
+          "configured with -DRFIDCLEAN_EXPLAIN=OFF)");
+    }
+    const std::optional<int> top_edges = args.GetStrictInt(
+        "explain-top-edges",
+        static_cast<int>(obs::ExplainOptions().top_edges));
+    if (!top_edges.has_value() || *top_edges < 1) {
+      return Fail("--explain-top-edges must be a positive integer");
+    }
+    // Same up-front probe as --stats/--trace: discovering an unwritable
+    // report path after a long batch clean would discard the attribution.
+    std::ofstream probe(*observability.explain_path);
+    if (!probe) {
+      return Fail(("cannot write explain file " +
+                   *observability.explain_path).c_str());
+    }
+    observability.explain.enabled = true;
+    observability.explain.top_edges =
+        static_cast<std::size_t>(*top_edges);
+    obs::StartExplain(observability.explain);
+  }
 
   int code = CleanImpl(args, dir, &observability);
 
@@ -660,7 +752,13 @@ int Clean(const Args& args) {
   }
   if (code != 0 && observability.stats_path.has_value() &&
       !observability.stats_path->empty() && !observability.stats_written) {
-    WriteStatsErrorStub(*observability.stats_path);
+    WriteReportErrorStub(*observability.stats_path);
+  }
+  if (observability.explain_path.has_value()) {
+    if (code != 0 && !observability.explain_written) {
+      WriteReportErrorStub(*observability.explain_path);
+    }
+    obs::StopExplain();
   }
   return code;
 }
@@ -793,9 +891,17 @@ int StoreCmd(int argc, char** argv) {
           static_cast<unsigned long long>(
               blob.value().header.constraint_digest));
     }
-    std::printf("store: generation %u, %zu blobs, %s (%s dead)\n",
+    for (const store::StoreEntry& entry : reader.value().explain_entries()) {
+      std::printf("tag %-8lld seq %-6llu %10llu bytes  explain summary\n",
+                  static_cast<long long>(entry.tag),
+                  static_cast<unsigned long long>(entry.sequence),
+                  static_cast<unsigned long long>(entry.size));
+    }
+    std::printf("store: generation %u, %zu blobs, %zu explain summaries, "
+                "%s (%s dead)\n",
                 reader.value().generation(),
                 reader.value().entries().size(),
+                reader.value().explain_entries().size(),
                 HumanBytes(reader.value().FileBytes()).c_str(),
                 HumanBytes(reader.value().DeadBytes()).c_str());
     return 0;
@@ -869,13 +975,272 @@ int StoreCmd(int argc, char** argv) {
     if (!reader.ok()) return Fail(reader.status());
     Status verified = reader.value().VerifyAll();
     if (!verified.ok()) return Fail(verified);
-    std::printf("%s: %zu blobs verified ok (generation %u)\n", path.c_str(),
-                reader.value().entries().size(),
-                reader.value().generation());
+    std::printf(
+        "%s: %zu blobs, %zu explain summaries verified ok (generation %u)\n",
+        path.c_str(), reader.value().entries().size(),
+        reader.value().explain_entries().size(), reader.value().generation());
     return 0;
   }
 
   return Fail("unknown store verb (expected ls|get|put|compact|verify)");
+}
+
+/// Location id -> printable name; falls back to the numeric id when no
+/// building is at hand (store decode mode) and "-" for the -1 sentinel.
+std::string ExplainLocationName(const Building* building,
+                                std::int32_t location) {
+  if (location < 0) return "-";
+  if (building != nullptr &&
+      location < static_cast<std::int32_t>(building->NumLocations())) {
+    return building->location(static_cast<LocationId>(location)).name;
+  }
+  return StrFormat("%d", location);
+}
+
+/// Resolves --location as a numeric id or (when a building is loaded) a
+/// location name.
+std::optional<std::int32_t> ResolveLocationArg(const std::string& text,
+                                               const Building* building) {
+  int value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc() && ptr == text.data() + text.size() && value >= 0) {
+    return static_cast<std::int32_t>(value);
+  }
+  if (building != nullptr) {
+    for (LocationId l = 0;
+         l < static_cast<LocationId>(building->NumLocations()); ++l) {
+      if (building->location(l).name == text) {
+        return static_cast<std::int32_t>(l);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Human-readable rendering of one tag's attribution summary.
+void PrintExplainSummary(const obs::ExplainTagSummary& summary,
+                         const Building* building) {
+  std::printf("tag %lld: %s\n", summary.tag, summary.status.c_str());
+  std::printf(
+      "  mass: %.6g survives, %.6g attributed to kills; conditioning loss "
+      "%llu ppb backward + %llu ppb compaction\n",
+      summary.surviving_mass, summary.attributed_mass,
+      static_cast<unsigned long long>(summary.mass_lost_backward_ppb),
+      static_cast<unsigned long long>(summary.mass_lost_compaction_ppb));
+  std::printf("  kills by phase:");
+  for (int p = 0; p < obs::kNumExplainPhases; ++p) {
+    std::printf(" %s=%llu",
+                obs::ExplainPhaseName(static_cast<obs::ExplainPhase>(p)),
+                static_cast<unsigned long long>(summary.phase_kills[p]));
+  }
+  std::printf("\n  kills by constraint:\n");
+  for (int c = 0; c < obs::kNumExplainConstraints; ++c) {
+    const obs::ExplainConstraintTotal& total = summary.constraints[c];
+    if (total.kills == 0 && total.mass == 0.0) continue;
+    std::printf(
+        "    %-12s %8llu kills, mass %.6g\n",
+        obs::ExplainConstraintName(static_cast<obs::ExplainConstraint>(c)),
+        static_cast<unsigned long long>(total.kills), total.mass);
+  }
+  if (!summary.top_edges.empty()) {
+    std::printf("  top killed edges by mass:\n");
+    for (const obs::ExplainKilledEdge& edge : summary.top_edges) {
+      std::printf(
+          "    t=%-5d %-14s -> %-14s %s/%s mass %.6g\n", edge.time,
+          ExplainLocationName(building, edge.from_location).c_str(),
+          ExplainLocationName(building, edge.to_location).c_str(),
+          obs::ExplainPhaseName(edge.phase),
+          obs::ExplainConstraintName(edge.constraint), edge.mass);
+    }
+  }
+  std::printf("  killed candidates: %zu retained",
+              summary.killed_candidates.size());
+  if (summary.killed_candidates_truncated > 0) {
+    std::printf(" (+%llu truncated)",
+                static_cast<unsigned long long>(
+                    summary.killed_candidates_truncated));
+  }
+  std::printf("\n");
+}
+
+/// Answers "why is location X absent at time t" from one tag's
+/// killed-candidate list. Exits nonzero only when the list was truncated
+/// and cannot prove the answer either way.
+int AnswerExplainQuery(const obs::ExplainTagSummary& summary,
+                       const Building* building, std::int32_t time,
+                       std::int32_t location) {
+  const std::string name = ExplainLocationName(building, location);
+  for (const obs::ExplainKilledCandidate& candidate :
+       summary.killed_candidates) {
+    if (candidate.time == time && candidate.location == location) {
+      std::printf(
+          "tag %lld: %s is absent at t=%d: killed in the %s phase by the "
+          "%s check (a-priori mass %.6g removed)\n",
+          summary.tag, name.c_str(), time,
+          obs::ExplainPhaseName(candidate.phase),
+          obs::ExplainConstraintName(candidate.constraint), candidate.mass);
+      return 0;
+    }
+  }
+  if (summary.killed_candidates_truncated > 0) {
+    std::fprintf(stderr,
+                 "tag %lld: no retained kill record for %s at t=%d, but the "
+                 "killed-candidate list was truncated by %llu entries — "
+                 "re-run the clean to answer exactly\n",
+                 summary.tag, name.c_str(), time,
+                 static_cast<unsigned long long>(
+                     summary.killed_candidates_truncated));
+    return 1;
+  }
+  std::printf(
+      "tag %lld: %s at t=%d was not killed: it either survives in the "
+      "cleaned graph or was never an a-priori candidate\n",
+      summary.tag, name.c_str(), time);
+  return 0;
+}
+
+/// The `explain` subcommand: answers attribution queries either from
+/// summaries persisted in a ct-store (`--store FILE [--tag N]`, works in
+/// every build) or by re-cleaning a directory under an explain session
+/// (`--dir DIR`, needs an explain-enabled build).
+int Explain(const Args& args) {
+  const bool has_query = args.Has("time") || args.Has("location");
+  if (has_query && (!args.Has("time") || !args.Has("location"))) {
+    return Fail("--time and --location must be given together");
+  }
+  const std::optional<int> time_arg = args.GetStrictInt("time", 0);
+  if (!time_arg.has_value() || *time_arg < 0) {
+    return Fail("--time must be a non-negative integer");
+  }
+
+  // A building is optional context in store mode (names instead of ids)
+  // and required in re-clean mode.
+  std::optional<Building> building;
+  if (args.Has("dir") || args.Get("store", "").empty()) {
+    Result<Building> loaded = LoadBuilding(args.Get("dir", "."));
+    if (!loaded.ok() && args.Get("store", "").empty()) {
+      return Fail(loaded.status());
+    }
+    if (loaded.ok()) building.emplace(std::move(loaded).value());
+  }
+  const Building* names = building.has_value() ? &*building : nullptr;
+
+  std::optional<std::int32_t> location;
+  if (has_query) {
+    location = ResolveLocationArg(args.Get("location", ""), names);
+    if (!location.has_value()) {
+      return Fail("--location is neither a location id nor a known name");
+    }
+  }
+
+  const std::string store_path = args.Get("store", "");
+  if (!store_path.empty()) {
+    // Decode mode: read the persisted summary; no cleaning, no session.
+    const std::optional<int> tag = args.GetStrictInt("tag", 0);
+    if (!tag.has_value()) return Fail("--tag must be an integer");
+    Result<store::CtStoreReader> reader =
+        store::CtStoreReader::Open(store_path);
+    if (!reader.ok()) return Fail(reader.status());
+    Result<obs::ExplainTagSummary> summary =
+        reader.value().LoadExplain(*tag);
+    if (!summary.ok()) return Fail(summary.status());
+    if (has_query) {
+      return AnswerExplainQuery(summary.value(), names, *time_arg,
+                                *location);
+    }
+    PrintExplainSummary(summary.value(), names);
+    return 0;
+  }
+
+  // Re-clean mode: run the full clean under an explain session and report
+  // from the live collection. The cleaned graphs are discarded — this
+  // command explains, it does not overwrite DIR's outputs.
+  if (!obs::ExplainCompiledIn()) {
+    return Fail(
+        "explain --dir requires an explain-enabled build (this binary was "
+        "configured with -DRFIDCLEAN_EXPLAIN=OFF; --store decode still "
+        "works)");
+  }
+  const std::string dir = args.Get("dir", ".");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.GetInt("seed", 1));
+  const std::optional<int> jobs = args.GetStrictInt("jobs", 1);
+  if (!jobs.has_value() || *jobs < 1) {
+    return Fail("--jobs must be a positive integer");
+  }
+  Deployment deployment = MakeDeployment(*building, seed);
+  ConstraintFamilies families = ConstraintFamilies::DuLtTt();
+  Result<ConstraintSet> constraints =
+      MakeCliConstraints(args, *building, deployment, &families);
+  if (!constraints.ok()) return Fail(constraints.status());
+  const bool preflight = !args.GetBool("no-preflight", false);
+
+  obs::ExplainOptions options;
+  options.enabled = true;
+  const std::optional<int> top_edges = args.GetStrictInt(
+      "explain-top-edges", static_cast<int>(options.top_edges));
+  if (!top_edges.has_value() || *top_edges < 1) {
+    return Fail("--explain-top-edges must be a positive integer");
+  }
+  options.top_edges = static_cast<std::size_t>(*top_edges);
+  obs::StartExplain(options);
+
+  AprioriModel apriori(*building, deployment.grid, deployment.calibrated);
+  if (HasMultiTagReadings(dir)) {
+    std::ifstream is(dir + "/readings.csv");
+    if (!is) return Fail("cannot open readings.csv");
+    Result<std::vector<TagReadings>> tags = ReadMultiTagReadingsCsv(is);
+    if (!tags.ok()) return Fail(tags.status());
+    std::vector<TagWorkload> workloads;
+    workloads.reserve(tags.value().size());
+    for (const TagReadings& tag : tags.value()) {
+      workloads.push_back(TagWorkload{
+          tag.tag, LSequence::FromReadings(tag.readings, apriori)});
+    }
+    BatchOptions batch;
+    batch.jobs = *jobs;
+    batch.preflight = preflight;
+    BatchCleaner cleaner(constraints.value(), batch);
+    (void)cleaner.CleanAll(workloads);
+  } else {
+    Result<RSequence> readings = LoadReadings(dir);
+    if (!readings.ok()) return Fail(readings.status());
+    LSequence sequence =
+        LSequence::FromReadings(readings.value(), apriori);
+    CleanOptions build_options;
+    build_options.preflight = preflight;
+    CtGraphBuilder builder(constraints.value(), build_options);
+    (void)builder.Build(sequence);
+  }
+
+  const obs::ExplainCollection collection = obs::CollectExplain();
+  obs::StopExplain();
+  const std::string json = args.Get("json", "");
+  if (!json.empty()) {
+    std::ofstream os(json);
+    if (!os) return Fail(("cannot write json file " + json).c_str());
+    WriteExplainReport(collection, os);
+    os << '\n';
+    if (!os.good()) {
+      return Fail(("cannot write json file " + json).c_str());
+    }
+  }
+  if (has_query) {
+    const std::optional<int> tag = args.GetStrictInt("tag", 0);
+    if (!tag.has_value()) return Fail("--tag must be an integer");
+    const obs::ExplainTagSummary* summary = collection.FindTag(*tag);
+    if (summary == nullptr) {
+      return Fail(StrFormat("tag %d was not cleaned (no summary recorded)",
+                            *tag)
+                      .c_str());
+    }
+    return AnswerExplainQuery(*summary, names, *time_arg, *location);
+  }
+  for (const obs::ExplainTagSummary& summary : collection.tags) {
+    PrintExplainSummary(summary, names);
+  }
+  return 0;
 }
 
 int PatternQuery(const Args& args) {
@@ -986,13 +1351,20 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rfidclean_cli "
-      "<generate|clean|check-constraints|stay|pattern|sample|report|store> "
-      "[--key value ...]\n"
+      "<generate|clean|explain|check-constraints|stay|pattern|sample|report|"
+      "store> [--key value ...]\n"
       "  generate --floors N --duration T --seed S --out DIR [--tags N]\n"
       "  clean    --dir DIR [--families DU|DU+LT|DU+LT+TT] [--dot F] "
       "[--audit] [--no-preflight] [--jobs N] [--forward-threads N]\n"
       "           [--store FILE] [--stats[=FILE]] [--trace[=FILE]] "
       "[--trace-buffer-events N]\n"
+      "           [--explain[=FILE]] [--explain-top-edges N]\n"
+      "  explain  --store FILE --tag T [--time T --location L]  (decode a "
+      "persisted summary)\n"
+      "  explain  --dir DIR [--families ...] [--seed S] [--jobs N] "
+      "[--no-preflight] [--tag T]\n"
+      "           [--time T --location L] [--json FILE] "
+      "[--explain-top-edges N]  (re-clean and attribute)\n"
       "  check-constraints --dir DIR [--families ...] [--json FILE]\n"
       "  stay     --dir DIR --time T [--store FILE --tag T]\n"
       "  pattern  --dir DIR --pattern \"? F0.RoomA[5] ?\"\n"
@@ -1013,6 +1385,7 @@ int Main(int argc, char** argv) {
   Args args(argc, argv, 2);
   if (command == "generate") return Generate(args);
   if (command == "clean") return Clean(args);
+  if (command == "explain") return Explain(args);
   if (command == "check-constraints") return CheckConstraints(args);
   if (command == "stay") return Stay(args);
   if (command == "pattern") return PatternQuery(args);
